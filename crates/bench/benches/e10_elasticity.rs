@@ -1,0 +1,49 @@
+//! E10 — "the elastic demand for the storage of data, data retrieval,
+//! data processing and data integration makes cloud-based computing
+//! attractive" (§II).
+//!
+//! Times the discrete-event simulation of one pipeline week under each
+//! provisioning policy. The cost/attainment comparison between the
+//! policies (the claim itself) is in `report_e10`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riskpipe_cloud::{
+    peak_deadline_demand, pipeline_week, simulate, FixedPolicy, PipelineWeekSpec, ReactivePolicy,
+    ScheduledPolicy, SimConfig, DAY_MS, HOUR_MS, WEEK_MS,
+};
+
+fn bench_policies(c: &mut Criterion) {
+    let jobs = pipeline_week(&PipelineWeekSpec::default()).expect("workload");
+    let cfg = SimConfig::default();
+    let peak_nodes = ((peak_deadline_demand(&jobs, WEEK_MS) as f64 * 1.25) as u64)
+        .div_ceil(cfg.node.cores as u64) as u32;
+
+    let mut group = c.benchmark_group("e10_elasticity");
+    group.sample_size(10);
+    group.bench_function("sim_fixed_peak", |b| {
+        b.iter(|| {
+            let mut p = FixedPolicy::new(peak_nodes);
+            simulate(&jobs, &mut p, &cfg).unwrap()
+        })
+    });
+    group.bench_function("sim_reactive", |b| {
+        b.iter(|| {
+            let mut p = ReactivePolicy::new(2, peak_nodes);
+            simulate(&jobs, &mut p, &cfg).unwrap()
+        })
+    });
+    group.bench_function("sim_scheduled", |b| {
+        b.iter(|| {
+            let burst = 4 * DAY_MS + 17 * HOUR_MS;
+            let mut p = ScheduledPolicy {
+                windows: vec![(burst, burst + 14 * HOUR_MS, peak_nodes)],
+                base_nodes: 2,
+            };
+            simulate(&jobs, &mut p, &cfg).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

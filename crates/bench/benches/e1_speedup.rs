@@ -1,0 +1,68 @@
+//! E1 — "many-core GPUs ... 15x times faster than the sequential
+//! counterpart" (§II).
+//!
+//! Criterion timings of the aggregate-analysis engines on one fixture:
+//! sequential, CPU-parallel at several thread counts, and the simulated
+//! GPU in both memory modes. The speedup table itself is printed by
+//! `report_e1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riskpipe_aggregate::{
+    AggregateEngine, AggregateOptions, CpuParallelEngine, GpuChunking, GpuEngine,
+    SequentialEngine,
+};
+use riskpipe_bench::{build_fixture, FixtureSize};
+use riskpipe_exec::ThreadPool;
+use riskpipe_simgpu::DeviceSpec;
+use std::sync::Arc;
+
+fn bench_engines(c: &mut Criterion) {
+    let setup_pool = ThreadPool::default();
+    let fixture = build_fixture(FixtureSize::small(), 0xE1, &setup_pool).expect("fixture");
+    let opts = AggregateOptions::default();
+    let mut group = c.benchmark_group("e1_speedup");
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            SequentialEngine
+                .run(&fixture.portfolio, &fixture.yet, &opts)
+                .unwrap()
+        })
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let engine = CpuParallelEngine::new(Arc::clone(&pool));
+        group.bench_with_input(
+            BenchmarkId::new("cpu_parallel", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    engine
+                        .run(&fixture.portfolio, &fixture.yet, &opts)
+                        .unwrap()
+                })
+            },
+        );
+    }
+
+    for (name, chunking) in [
+        ("gpu_global", GpuChunking::GlobalOnly),
+        ("gpu_chunked", GpuChunking::SharedTiles),
+    ] {
+        let pool = Arc::new(ThreadPool::default());
+        let engine = GpuEngine::new(DeviceSpec::host_native(pool.thread_count()), chunking, pool);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                engine
+                    .run(&fixture.portfolio, &fixture.yet, &opts)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E2 — "a 1 million trial aggregate simulation on a typical contract
+//! only takes 25 seconds and can therefore support real-time pricing"
+//! (§II).
+//!
+//! Times single-contract pricing at 100k trials (Criterion-friendly);
+//! `report_e2` extrapolates and measures the full 1M-trial run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use riskpipe_aggregate::{Layer, LayerTerms, RealTimePricer};
+use riskpipe_bench::{build_fixture, FixtureSize};
+use riskpipe_exec::ThreadPool;
+use riskpipe_types::LayerId;
+use std::sync::Arc;
+
+fn bench_pricing(c: &mut Criterion) {
+    let setup_pool = ThreadPool::default();
+    let mut group = c.benchmark_group("e2_realtime");
+    group.sample_size(10);
+
+    for &trials in &[10_000usize, 100_000] {
+        let fixture = build_fixture(
+            FixtureSize {
+                trials,
+                layers: 1,
+                ..FixtureSize::small()
+            },
+            0xE2,
+            &setup_pool,
+        )
+        .expect("fixture");
+        let layer = fixture.portfolio.layers()[0].clone();
+        let pricer = RealTimePricer::new(Arc::new(ThreadPool::default()));
+        group.throughput(Throughput::Elements(trials as u64));
+        group.bench_with_input(BenchmarkId::new("price", trials), &trials, |b, _| {
+            b.iter(|| {
+                let l = Layer::new(LayerId::new(0), LayerTerms::xl(0.0, f64::INFINITY), layer.elt.clone())
+                    .unwrap();
+                pricer.price(l, &fixture.yet).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pricing);
+criterion_main!(benches);

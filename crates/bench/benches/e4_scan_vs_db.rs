@@ -1,0 +1,45 @@
+//! E4 — "traditional database management techniques do not fit the
+//! requirements ... data needs to be scanned over rather than randomly
+//! access data" (§II, §III).
+//!
+//! Times the same per-trial aggregation three ways: columnar streaming
+//! scan, row-store sequential scan, row-store indexed random access.
+//! Page-I/O counters are reported by `report_e4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riskpipe_bench::{build_fixture, FixtureSize};
+use riskpipe_db::YeltTable;
+use riskpipe_exec::ThreadPool;
+use riskpipe_tables::Yelt;
+
+fn bench_access_paths(c: &mut Criterion) {
+    let pool = ThreadPool::default();
+    let fixture = build_fixture(
+        FixtureSize {
+            trials: 20_000,
+            layers: 1,
+            ..FixtureSize::small()
+        },
+        0xE4,
+        &pool,
+    )
+    .expect("fixture");
+    let yelt = Yelt::from_yet_elt(&fixture.yet, &fixture.portfolio.layers()[0].elt);
+    let table = YeltTable::load(&yelt).expect("load table");
+
+    let mut group = c.benchmark_group("e4_scan_vs_db");
+    group.sample_size(10);
+    group.bench_function("columnar_scan", |b| {
+        b.iter(|| yelt.scan_aggregate_by_trial())
+    });
+    group.bench_function("rowstore_scan", |b| {
+        b.iter(|| table.aggregate_by_trial_scan())
+    });
+    group.bench_function("rowstore_indexed", |b| {
+        b.iter(|| table.aggregate_by_trial_indexed().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_paths);
+criterion_main!(benches);

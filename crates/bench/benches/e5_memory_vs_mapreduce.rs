@@ -1,0 +1,59 @@
+//! E5 — "two alternate approaches include accumulation of large memory
+//! and accumulation of large distributed file space" (§II).
+//!
+//! Times per-location aggregation of the same YELLT held in memory
+//! (chunked scan) and as a sharded file store processed by MapReduce.
+//! The crossover analysis (what fits where) is in `report_e5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riskpipe_exec::ThreadPool;
+use riskpipe_mapreduce::LocationRiskJob;
+use riskpipe_tables::{ShardedReader, ShardedWriter, Yellt};
+use riskpipe_types::LocationId;
+use std::path::PathBuf;
+
+fn build_inputs(rows_per_trial: u32, trials: u32) -> (Yellt, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("riskpipe-e5-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut writer = ShardedWriter::create(&dir, 8).expect("store");
+    let mut yellt = Yellt::new();
+    for t in 0..trials {
+        for r in 0..rows_per_trial {
+            let event = (t * 31 + r) % 1000;
+            let loc = LocationId::new((t * 17 + r * 7) % 200);
+            let loss = ((t + r) % 997) as f64 + 1.0;
+            yellt.push(t, event, loc, loss);
+            writer.push_row(t, event, loc, loss).expect("row");
+        }
+    }
+    writer.finish().expect("manifest");
+    (yellt, dir)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let trials = 2_000u32;
+    let (yellt, dir) = build_inputs(50, trials);
+    let reader = ShardedReader::open(&dir).expect("open");
+    let pool = ThreadPool::default();
+
+    let mut group = c.benchmark_group("e5_memory_vs_mapreduce");
+    group.sample_size(10);
+    group.bench_function("in_memory_scan", |b| {
+        b.iter(|| yellt.scan_loss_by_location())
+    });
+    group.bench_function("mapreduce_over_shards", |b| {
+        b.iter(|| {
+            LocationRiskJob {
+                trials: trials as usize,
+                alpha: 0.99,
+            }
+            .run(&reader, 4, &pool)
+            .unwrap()
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E7 — "from a YLT, a reinsurer can derive important portfolio risk
+//! metrics such as the Probable Maximum Loss (PML) and the Tail Value
+//! at Risk (TVAR)" (§II–III).
+//!
+//! Times metric derivation from large YLTs; the convergence and
+//! confidence-interval tables are produced by `report_e7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use riskpipe_metrics::{EpCurve, RiskMeasures};
+use riskpipe_tables::Ylt;
+use riskpipe_types::dist::{Distribution, LogNormal};
+use riskpipe_types::rng::Pcg64;
+use riskpipe_types::TrialId;
+
+fn synthetic_ylt(trials: usize) -> Ylt {
+    let d = LogNormal::from_mean_cv(1e7, 2.0);
+    let mut rng = Pcg64::new(0xE7);
+    let mut ylt = Ylt::zeroed(trials);
+    for t in 0..trials {
+        let agg = d.sample(&mut rng);
+        ylt.set_trial(TrialId::new(t as u32), agg, agg * 0.8, 2);
+    }
+    ylt
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_metrics");
+    group.sample_size(10);
+    for &trials in &[100_000usize, 1_000_000] {
+        let ylt = synthetic_ylt(trials);
+        group.throughput(Throughput::Elements(trials as u64));
+        group.bench_with_input(
+            BenchmarkId::new("risk_measures", trials),
+            &trials,
+            |b, _| b.iter(|| RiskMeasures::from_ylt(&ylt)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ep_curve_pml", trials),
+            &trials,
+            |b, _| {
+                b.iter(|| {
+                    let ep = EpCurve::aggregate(&ylt);
+                    (ep.pml(100.0), ep.pml(250.0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E8 — "the management of large data in memory employs the notion of
+//! chunking, which is utilising shared and constant memory as much as
+//! possible" (§II).
+//!
+//! Wall-time comparison of the simulated-GPU kernel with and without
+//! shared-memory chunking, at two portfolio widths (the chunking win
+//! grows with layer count). Traffic counters are in `report_e8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riskpipe_aggregate::{AggregateEngine, AggregateOptions, GpuChunking, GpuEngine};
+use riskpipe_bench::{build_fixture, FixtureSize};
+use riskpipe_exec::ThreadPool;
+use riskpipe_simgpu::DeviceSpec;
+use std::sync::Arc;
+
+fn bench_chunking(c: &mut Criterion) {
+    let setup_pool = ThreadPool::default();
+    let mut group = c.benchmark_group("e8_chunking");
+    group.sample_size(10);
+
+    for &layers in &[4usize, 16] {
+        let fixture = build_fixture(
+            FixtureSize {
+                layers,
+                trials: 5_000,
+                ..FixtureSize::small()
+            },
+            0xE8,
+            &setup_pool,
+        )
+        .expect("fixture");
+        for (name, chunking) in [
+            ("global", GpuChunking::GlobalOnly),
+            ("chunked", GpuChunking::SharedTiles),
+        ] {
+            let pool = Arc::new(ThreadPool::default());
+            let engine =
+                GpuEngine::new(DeviceSpec::host_native(pool.thread_count()), chunking, pool);
+            group.bench_with_input(
+                BenchmarkId::new(name, layers),
+                &layers,
+                |b, _| {
+                    b.iter(|| {
+                        engine
+                            .run(&fixture.portfolio, &fixture.yet, &AggregateOptions::default())
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunking);
+criterion_main!(benches);

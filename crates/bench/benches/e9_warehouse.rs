@@ -1,0 +1,67 @@
+//! E9 — "pre-computation techniques such as in parallel data
+//! warehousing can be applied" (§II).
+//!
+//! Times the pieces of that claim: building the base cuboid
+//! sequentially vs on the pool (the *parallel* in parallel data
+//! warehousing), and answering the same analytical query from a raw
+//! fact scan vs from a materialised view (the *pre-computation*). The
+//! crossover analysis (after how many queries the build pays for
+//! itself) is in `report_e9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riskpipe_exec::ThreadPool;
+use riskpipe_warehouse::{dim, Cuboid, FactTable, Filter, LevelSelect, Query, Schema, Warehouse};
+
+fn schema() -> Schema {
+    Schema::standard(2_000, 20, 5_000, 6, 64, 8).expect("schema")
+}
+
+fn bench_warehouse(c: &mut Criterion) {
+    let s = schema();
+    let facts = FactTable::synthetic(&s, 400_000, 2012);
+    let pool = ThreadPool::default();
+
+    let mut group = c.benchmark_group("e9_warehouse");
+    group.sample_size(10);
+
+    group.bench_function("cube_build_sequential", |b| {
+        b.iter(|| Cuboid::build(&s, &facts, LevelSelect::BASE, None).unwrap())
+    });
+    group.bench_function("cube_build_parallel", |b| {
+        b.iter(|| Cuboid::build(&s, &facts, LevelSelect::BASE, Some(&pool)).unwrap())
+    });
+
+    // The E9 query: regional loss by peril and season, sliced to one
+    // region — a typical stage-3 drill-down.
+    let query = Query::group_by(LevelSelect([1, 1, 2, 2])).filter(Filter::slice(dim::GEO, 3));
+
+    let cold = Warehouse::new(s.clone(), facts.clone());
+    let mut warm = Warehouse::new(s.clone(), facts.clone());
+    warm.materialize(LevelSelect([1, 1, 1, 1]), Some(&pool))
+        .expect("materialise");
+
+    group.bench_function("query_fact_scan", |b| b.iter(|| cold.answer(&query).unwrap()));
+    group.bench_function("query_from_view", |b| b.iter(|| warm.answer(&query).unwrap()));
+
+    // A batch of eight distinct drill-downs, serial vs on the pool.
+    let batch: Vec<Query> = (0..8u32)
+        .map(|i| {
+            Query::group_by(LevelSelect([1, 1, 2, 2])).filter(Filter::slice(dim::GEO, i % 16))
+        })
+        .collect();
+    group.bench_function("query_batch_serial", |b| {
+        b.iter(|| {
+            batch
+                .iter()
+                .map(|q| warm.answer(q).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("query_batch_parallel", |b| {
+        b.iter(|| warm.answer_batch(&batch, &pool))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_warehouse);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! One-command reproduction driver: runs every experiment report
+//! (E1–E10 plus the ablation) and tees each to `reports/eN.txt`.
+//!
+//! ```text
+//! cargo run --release -p riskpipe-bench --bin report_all
+//! ```
+//!
+//! Each report is an independent sibling binary; this driver locates
+//! them next to its own executable, runs them sequentially (they are
+//! themselves internally parallel), and writes both the console and
+//! `reports/`.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::Command;
+
+const REPORTS: &[(&str, &str)] = &[
+    ("report_e1", "e1.txt"),
+    ("report_e2", "e2.txt"),
+    ("report_e3", "e3.txt"),
+    ("report_e4", "e4.txt"),
+    ("report_e5", "e5.txt"),
+    ("report_e6", "e6.txt"),
+    ("report_e7", "e7.txt"),
+    ("report_e8", "e8.txt"),
+    ("report_e9", "e9.txt"),
+    ("report_e10", "e10.txt"),
+    ("report_ablation", "ablation.txt"),
+];
+
+fn main() {
+    let self_exe = std::env::current_exe().expect("own path");
+    let bin_dir = self_exe.parent().expect("bin dir").to_path_buf();
+    let out_dir = PathBuf::from("reports");
+    std::fs::create_dir_all(&out_dir).expect("reports dir");
+
+    let mut failures = Vec::new();
+    for &(bin, out_name) in REPORTS {
+        let exe = bin_dir.join(bin);
+        if !exe.exists() {
+            eprintln!("skipping {bin}: not built (run with --release and default features)");
+            failures.push(bin);
+            continue;
+        }
+        println!("==> {bin}");
+        let started = std::time::Instant::now();
+        let output = Command::new(&exe).output().expect("spawn report");
+        let secs = started.elapsed().as_secs_f64();
+        if !output.status.success() {
+            eprintln!("{bin} FAILED ({})", output.status);
+            eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+            failures.push(bin);
+            continue;
+        }
+        let path = out_dir.join(out_name);
+        let mut f = std::fs::File::create(&path).expect("report file");
+        f.write_all(&output.stdout).expect("write report");
+        println!(
+            "    {} bytes -> {} ({secs:.1}s)",
+            output.stdout.len(),
+            path.display()
+        );
+    }
+    if failures.is_empty() {
+        println!("\nall {} reports regenerated under reports/", REPORTS.len());
+    } else {
+        eprintln!("\n{} report(s) failed: {:?}", failures.len(), failures);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,136 @@
+//! E1 report: engine speedup table (paper claim: GPU 15× vs sequential).
+//!
+//! ```text
+//! cargo run --release -p riskpipe-bench --bin report_e1
+//! ```
+//!
+//! Times the pure simulation loop (secondary-uncertainty tables are
+//! precomputed state on the 2012 GPU too, so they are excluded from the
+//! engine comparison; E2 times the full pricing path including them).
+//! Because the simulated device executes blocks on host threads, the
+//! measured parallel speedup is capped by the host core count; the
+//! report derives per-SM throughput and prints the linear-scaling
+//! projection to the paper's 14-SM Fermi, justified by the measured
+//! block-parallel efficiency.
+
+use riskpipe_aggregate::{
+    AggregateEngine, AggregateOptions, CpuParallelEngine, GpuChunking, GpuEngine,
+    SequentialEngine,
+};
+use riskpipe_bench::{build_fixture, FixtureSize};
+use riskpipe_core::TextTable;
+use riskpipe_exec::ThreadPool;
+use riskpipe_simgpu::DeviceSpec;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let setup_pool = ThreadPool::default();
+    let size = FixtureSize::standard();
+    eprintln!(
+        "building fixture: {} events, {} layers, {} trials ...",
+        size.events, size.layers, size.trials
+    );
+    let fixture = build_fixture(size, 0xE1, &setup_pool).expect("fixture");
+    let opts = AggregateOptions {
+        secondary_uncertainty: false,
+        ..AggregateOptions::default()
+    };
+
+    let time = |f: &dyn Fn() -> riskpipe_tables::Ylt| -> f64 {
+        let _ = f(); // warmup
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let ylt = f();
+            best = best.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(ylt);
+        }
+        best
+    };
+
+    println!("E1 — aggregate-analysis engine comparison (simulation loop only)");
+    println!(
+        "fixture: {} events, {} layers, {} trials; host: {host_threads} cores\n",
+        size.events, size.layers, size.trials
+    );
+    let mut table = TextTable::new(&["engine", "time (s)", "trials/s", "speedup vs seq"]);
+
+    let seq_t = time(&|| {
+        SequentialEngine
+            .run(&fixture.portfolio, &fixture.yet, &opts)
+            .unwrap()
+    });
+    table.row(&[
+        "sequential (1 core)".into(),
+        format!("{seq_t:.3}"),
+        format!("{:.0}", size.trials as f64 / seq_t),
+        "1.00x".into(),
+    ]);
+
+    let mut par_best = seq_t;
+    for threads in [2usize, host_threads.max(4)] {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let engine = CpuParallelEngine::new(pool);
+        let t = time(&|| engine.run(&fixture.portfolio, &fixture.yet, &opts).unwrap());
+        par_best = par_best.min(t);
+        table.row(&[
+            format!("cpu-parallel ({threads} threads)"),
+            format!("{t:.3}"),
+            format!("{:.0}", size.trials as f64 / t),
+            format!("{:.2}x", seq_t / t),
+        ]);
+    }
+
+    let mut gpu_chunked_t = seq_t;
+    for (label, chunking) in [
+        ("sim-gpu global", GpuChunking::GlobalOnly),
+        ("sim-gpu chunked", GpuChunking::SharedTiles),
+    ] {
+        let pool = Arc::new(ThreadPool::default());
+        let engine = GpuEngine::new(
+            DeviceSpec::host_native(pool.thread_count()),
+            chunking,
+            pool,
+        );
+        let t = time(&|| engine.run(&fixture.portfolio, &fixture.yet, &opts).unwrap());
+        if chunking == GpuChunking::SharedTiles {
+            gpu_chunked_t = t;
+        }
+        table.row(&[
+            format!("{label} ({host_threads} SMs)"),
+            format!("{t:.3}"),
+            format!("{:.0}", size.trials as f64 / t),
+            format!("{:.2}x", seq_t / t),
+        ]);
+    }
+    println!("{table}");
+
+    // Linear block-scaling projection to the paper's 14-SM device.
+    let efficiency = (seq_t / par_best) / host_threads as f64;
+    let per_sm_throughput = size.trials as f64 / (gpu_chunked_t * host_threads as f64);
+    let fermi_sms = 14.0;
+    let projected = fermi_sms * per_sm_throughput * efficiency.min(1.0);
+    let projected_speedup = projected / (size.trials as f64 / seq_t);
+    println!(
+        "\nmeasured block-parallel efficiency at {host_threads} workers: {:.0}%",
+        efficiency * 100.0
+    );
+    println!(
+        "per-SM throughput (chunked kernel): {per_sm_throughput:.0} trials/s"
+    );
+    println!(
+        "linear-scaling projection to a 14-SM Fermi-class device: {projected:.0} trials/s \
+         ≈ {projected_speedup:.1}x vs 1 host core"
+    );
+    println!(
+        "\npaper claim: many-core GPU 15x vs sequential (2012 hardware). The measured\n\
+         speedup here is capped by the {host_threads}-core host the simulated device runs on;\n\
+         the trials are embarrassingly parallel (bit-identical outputs at every\n\
+         thread count), so throughput scales with workers — the projection row is\n\
+         the shape the paper's 14-SM device realises."
+    );
+}

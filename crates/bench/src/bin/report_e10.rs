@@ -1,0 +1,150 @@
+//! E10 report: the processor burst priced — fixed vs elastic
+//! provisioning over one simulated pipeline week.
+//!
+//! E6 derives the burst (stage 1 wants <10 processors, stages 2–3
+//! thousands); this report prices it. The same week of jobs — daily
+//! stage-1 refreshes, the Friday-night stage-2 roll-up, the dependent
+//! stage-3 DFA run, business-hours ad-hoc queries — is replayed under
+//! four provisioning policies, and the paper's "cloud is attractive"
+//! claim becomes a cost/attainment table.
+//!
+//! ```text
+//! cargo run --release -p riskpipe-bench --bin report_e10
+//! ```
+
+use riskpipe_cloud::{
+    peak_deadline_demand, pipeline_week, simulate, total_work_core_ms, FixedPolicy,
+    PipelineWeekSpec, Policy, ReactivePolicy, ScheduledPolicy, SimConfig, SimResult, Stage,
+    DAY_MS, HOUR_MS, WEEK_MS,
+};
+use riskpipe_core::TextTable;
+
+fn main() {
+    let spec = PipelineWeekSpec::default();
+    let jobs = pipeline_week(&spec).expect("workload");
+    let cfg = SimConfig::default();
+
+    let total_core_hours = total_work_core_ms(&jobs) as f64 / 3_600_000.0;
+    // Size the peak baseline to the *deadline* demand — the sustained
+    // core rate needed to land every job inside its window — with 25%
+    // headroom for scheduling slack and boot lag.
+    let peak_cores = peak_deadline_demand(&jobs, WEEK_MS);
+    let peak_nodes =
+        ((peak_cores as f64 * 1.25) as u64).div_ceil(cfg.node.cores as u64) as u32;
+    // A "fixed-average" cluster sized so the week's work fits exactly
+    // if spread uniformly — the capacity-planning answer without
+    // elasticity.
+    let avg_nodes = ((total_work_core_ms(&jobs) as f64
+        / cfg.horizon_ms as f64
+        / cfg.node.cores as f64)
+        .ceil() as u32)
+        .max(1);
+
+    println!("E10 — provisioning the burst (one simulated pipeline week)\n");
+    println!(
+        "workload: {} jobs, {:.0} core-hours total; peak deadline demand\n\
+         {} cores ({} nodes of {} with 25% headroom); uniform-average demand {} nodes.\n",
+        jobs.len(),
+        total_core_hours,
+        peak_cores,
+        peak_nodes,
+        cfg.node.cores,
+        avg_nodes
+    );
+
+    let burst_start = 4 * DAY_MS + 17 * HOUR_MS;
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(FixedPolicy::new(avg_nodes)),
+        Box::new(FixedPolicy::new(peak_nodes)),
+        Box::new(ReactivePolicy::new(2, peak_nodes)),
+        Box::new(ScheduledPolicy {
+            windows: vec![(burst_start, burst_start + 14 * HOUR_MS, peak_nodes)],
+            base_nodes: 2,
+        }),
+    ];
+
+    let mut results: Vec<SimResult> = Vec::new();
+    for p in policies.iter_mut() {
+        results.push(simulate(&jobs, p.as_mut(), &cfg).expect("simulate"));
+    }
+    let fixed_peak_cost = results[1].core_hours();
+
+    let mut table = TextTable::new(&[
+        "policy",
+        "complete",
+        "deadlines met",
+        "core-hours",
+        "vs fixed-peak",
+        "utilization",
+        "peak nodes",
+        "mean wait (min)",
+    ]);
+    for r in &results {
+        table.row(&[
+            r.policy.clone(),
+            if r.all_complete() { "all".into() } else { "NO".into() },
+            format!("{:.1}%", r.deadline_attainment() * 100.0),
+            format!("{:.0}", r.core_hours()),
+            format!("{:.0}%", 100.0 * r.core_hours() / fixed_peak_cost),
+            format!("{:.1}%", r.utilization() * 100.0),
+            r.peak_nodes.to_string(),
+            format!("{:.1}", r.mean_wait_ms() / 60_000.0),
+        ]);
+    }
+    println!("{table}");
+
+    // The burst job in detail.
+    let mut burst = TextTable::new(&["policy", "roll-up wait (min)", "roll-up span (h)", "met 8h deadline"]);
+    for r in &results {
+        let j = r
+            .jobs
+            .iter()
+            .find(|j| j.stage == Stage::PortfolioRollup)
+            .expect("rollup job");
+        burst.row(&[
+            r.policy.clone(),
+            j.wait_ms()
+                .map(|w| format!("{:.1}", w as f64 / 60_000.0))
+                .unwrap_or_else(|| "-".into()),
+            j.span_ms()
+                .map(|s| format!("{:.2}", s as f64 / 3_600_000.0))
+                .unwrap_or_else(|| "never".into()),
+            j.deadline_met()
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{burst}");
+
+    // The burst as a figure: provisioned nodes per 2-hour bucket under
+    // the reactive policy (the week's demand curve made visible).
+    let reactive = &results[2];
+    println!("the burst (reactive policy): provisioned nodes, 4-hour buckets over the week\n");
+    let bucket_ms = 4 * HOUR_MS;
+    let buckets = (cfg.horizon_ms / bucket_ms) as usize;
+    let mut peaks = vec![0u32; buckets];
+    for &(t, nodes, _busy) in &reactive.timeline {
+        let b = ((t / bucket_ms) as usize).min(buckets - 1);
+        peaks[b] = peaks[b].max(nodes);
+    }
+    let max_nodes = peaks.iter().copied().max().unwrap_or(1).max(1);
+    for (b, &n) in peaks.iter().enumerate() {
+        let day = b * 4 / 24;
+        let hour = (b * 4) % 24;
+        let width = ((n as f64 / max_nodes as f64) * 60.0).round() as usize;
+        println!(
+            "  d{day} {hour:02}:00 |{:<60}| {n}",
+            "#".repeat(width.min(60))
+        );
+    }
+
+    println!(
+        "\npaper: stage 1 alone fits a handful of processors all week, but the\n\
+         weekly roll-up needs {peak_nodes} nodes for a few hours. A fixed cluster\n\
+         must choose: sized for the average it blows the reporting deadline;\n\
+         sized for the peak it idles (low utilisation) all week. The elastic\n\
+         policies buy the same deadline attainment for a fraction of the\n\
+         core-hours — \"the elastic demand ... makes cloud-based computing\n\
+         attractive\", as a measured table."
+    );
+}

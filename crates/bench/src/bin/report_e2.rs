@@ -1,0 +1,55 @@
+//! E2 report: 1M-trial single-contract pricing (paper claim: 25 s,
+//! real-time capable).
+//!
+//! ```text
+//! cargo run --release -p riskpipe-bench --bin report_e2
+//! ```
+
+use riskpipe_aggregate::RealTimePricer;
+use riskpipe_bench::{build_fixture, FixtureSize};
+use riskpipe_core::TextTable;
+use riskpipe_exec::ThreadPool;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let setup_pool = ThreadPool::default();
+    println!("E2 — real-time pricing of a typical contract\n");
+    let mut table = TextTable::new(&[
+        "trials",
+        "time (s)",
+        "trials/s",
+        "pure premium",
+        "within 25s budget",
+    ]);
+    for &trials in &[10_000usize, 100_000, 1_000_000] {
+        let fixture = build_fixture(
+            FixtureSize {
+                trials,
+                layers: 1,
+                events: 10_000,
+                locations: 400,
+                annual_rate: 50.0,
+            },
+            0xE2,
+            &setup_pool,
+        )
+        .expect("fixture");
+        let layer = fixture.portfolio.layers()[0].clone();
+        let pricer = RealTimePricer::new(Arc::new(ThreadPool::default()));
+        let result = pricer.price(layer, &fixture.yet).expect("pricing");
+        table.row(&[
+            trials.to_string(),
+            format!("{:.3}", result.elapsed.as_secs_f64()),
+            format!("{:.0}", result.trials_per_second),
+            format!("{:.0}", result.pure_premium),
+            result.is_realtime(Duration::from_secs(25)).to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "\npaper claim: 1M-trial aggregate simulation on a typical contract in 25 s\n\
+         (2012 GPU). Shape to reproduce: 1M trials comfortably inside the real-time\n\
+         budget on commodity parallel hardware."
+    );
+}

@@ -1,0 +1,82 @@
+//! E7 report: PML / TVaR from the YLT, with convergence versus trial
+//! count and bootstrap confidence intervals (paper: "the more
+//! simulation trials you can run the better").
+//!
+//! ```text
+//! cargo run --release -p riskpipe-bench --bin report_e7
+//! ```
+
+use riskpipe_aggregate::{AggregateEngine, AggregateOptions, CpuParallelEngine};
+use riskpipe_bench::{build_fixture, FixtureSize};
+use riskpipe_core::TextTable;
+use riskpipe_exec::ThreadPool;
+use riskpipe_metrics::{
+    bootstrap_ci, BootstrapConfig, ConvergenceStudy, EpCurve, RiskMeasures,
+};
+use riskpipe_metrics::tvar;
+use std::sync::Arc;
+
+fn main() {
+    let pool = Arc::new(ThreadPool::default());
+    let size = FixtureSize {
+        trials: 100_000,
+        ..FixtureSize::small()
+    };
+    eprintln!("running aggregate analysis ({} trials) ...", size.trials);
+    let fixture = build_fixture(size, 0xE7, &pool).expect("fixture");
+    let engine = CpuParallelEngine::new(Arc::clone(&pool));
+    let ylt = engine
+        .run(&fixture.portfolio, &fixture.yet, &AggregateOptions::default())
+        .expect("ylt");
+
+    println!("E7 — portfolio risk metrics from the YLT\n");
+    println!("{}\n", RiskMeasures::from_ylt(&ylt));
+
+    let ep = EpCurve::aggregate(&ylt);
+    let mut curve = TextTable::new(&["return period (y)", "exceedance prob", "loss (PML)"]);
+    for p in ep.standard_points() {
+        curve.row(&[
+            format!("{:.0}", p.return_period),
+            format!("{:.4}", p.probability),
+            format!("{:.0}", p.loss),
+        ]);
+    }
+    println!("aggregate EP curve (the figure-series of the experiment):\n{curve}\n");
+
+    // Convergence of TVaR99 with trial count.
+    let losses = ylt.agg_losses();
+    let study = ConvergenceStudy::run(
+        losses,
+        riskpipe_metrics::convergence::Metric::TvarPermille(990),
+        &[1_000, 5_000, 10_000, 25_000, 50_000, 100_000],
+    );
+    let mut conv = TextTable::new(&["trials", "TVaR99 estimate", "rel. error vs full"]);
+    for row in study.rows() {
+        conv.row(&[
+            row.trials.to_string(),
+            format!("{:.0}", row.estimate),
+            format!("{:.4}", row.rel_error),
+        ]);
+    }
+    println!("TVaR99 convergence with trial count:\n{conv}");
+
+    // Bootstrap CI at two sample sizes.
+    println!("\nbootstrap 90% confidence interval for TVaR99:");
+    for &n in &[10_000usize, 100_000] {
+        let sample = &losses[..n];
+        let ci = bootstrap_ci(sample, &BootstrapConfig::default(), |xs| tvar(xs, 0.99));
+        println!(
+            "  {n:>7} trials: {:.0}  [{:.0}, {:.0}]  (width {:.1}% of point)",
+            ci.point,
+            ci.lo,
+            ci.hi,
+            100.0 * (ci.hi - ci.lo) / ci.point
+        );
+    }
+    println!(
+        "\npaper claim: PML and TVaR are the YLT-derived metrics reported to\n\
+         regulators/rating agencies, and more trials mean better-managed aggregate\n\
+         risk — the convergence table shows the tail metric stabilising, and the\n\
+         bootstrap interval narrowing, with trial count."
+    );
+}

@@ -1,0 +1,83 @@
+//! E8 report: chunking ablation (paper: "utilising shared and constant
+//! memory as much as possible") — global-memory traffic with and
+//! without shared-memory staging, versus portfolio width.
+//!
+//! ```text
+//! cargo run --release -p riskpipe-bench --bin report_e8
+//! ```
+
+use riskpipe_aggregate::{AggregateOptions, GpuChunking, GpuEngine};
+use riskpipe_bench::{build_fixture, FixtureSize};
+use riskpipe_core::TextTable;
+use riskpipe_exec::ThreadPool;
+use riskpipe_simgpu::DeviceSpec;
+use riskpipe_tables::sizing::human_bytes;
+use std::sync::Arc;
+
+fn main() {
+    let setup_pool = ThreadPool::default();
+    println!("E8 — shared-memory chunking ablation on the simulated GPU\n");
+    let mut table = TextTable::new(&[
+        "layers",
+        "mode",
+        "global read",
+        "shared traffic",
+        "const read",
+        "occupancy",
+        "time (s)",
+    ]);
+
+    for &layers in &[2usize, 8, 16] {
+        let fixture = build_fixture(
+            FixtureSize {
+                layers,
+                trials: 20_000,
+                ..FixtureSize::small()
+            },
+            0xE8,
+            &setup_pool,
+        )
+        .expect("fixture");
+        let mut global_read_naive = 0u64;
+        for (label, chunking) in [
+            ("global-only", GpuChunking::GlobalOnly),
+            ("chunked", GpuChunking::SharedTiles),
+        ] {
+            let pool = Arc::new(ThreadPool::default());
+            let engine = GpuEngine::new(DeviceSpec::fermi_like(), chunking, pool);
+            let t0 = std::time::Instant::now();
+            let (_ylt, stats) = engine
+                .run_with_stats(&fixture.portfolio, &fixture.yet, &AggregateOptions::default())
+                .expect("run");
+            let dt = t0.elapsed().as_secs_f64();
+            if chunking == GpuChunking::GlobalOnly {
+                global_read_naive = stats.traffic.global_read;
+            }
+            let shared = stats.traffic.shared_read + stats.traffic.shared_write;
+            table.row(&[
+                layers.to_string(),
+                label.into(),
+                human_bytes(stats.traffic.global_read as u128),
+                human_bytes(shared as u128),
+                human_bytes(stats.traffic.const_read as u128),
+                format!("{:.2}", stats.occupancy),
+                format!("{dt:.3}"),
+            ]);
+            if chunking == GpuChunking::SharedTiles {
+                let saved = 1.0 - stats.traffic.global_read as f64 / global_read_naive as f64;
+                println!(
+                    "  {layers} layers: chunking removes {:.0}% of global-memory reads",
+                    saved * 100.0
+                );
+            }
+        }
+    }
+    println!("\n{table}");
+    println!(
+        "\npaper claim: chunking — staging data through the GPU's small fast\n\
+         memories — is what makes in-memory aggregate analysis feasible. Shape to\n\
+         reproduce: global traffic drops by ~(layers-1)/layers of the occurrence\n\
+         stream when tiles are staged once and re-read from shared memory, and the\n\
+         saving grows with portfolio width."
+    );
+}

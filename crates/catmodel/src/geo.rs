@@ -1,0 +1,104 @@
+//! Planar geography for the synthetic model.
+//!
+//! Real catastrophe models work on geodetic coordinates; for a synthetic
+//! catalogue a planar region in kilometres preserves everything that
+//! matters (distance-driven attenuation, spatial clustering of exposure)
+//! without great-circle bookkeeping.
+
+/// A point in the model region, kilometres from the region origin.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// East-west coordinate in km.
+    pub x: f64,
+    /// North-south coordinate in km.
+    pub y: f64,
+}
+
+impl GeoPoint {
+    /// Construct from kilometre coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point, in km.
+    #[inline]
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// The rectangular model region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Width in km.
+    pub width_km: f64,
+    /// Height in km.
+    pub height_km: f64,
+}
+
+impl Region {
+    /// A region of the given size.
+    pub fn new(width_km: f64, height_km: f64) -> Self {
+        assert!(width_km > 0.0 && height_km > 0.0, "region must be positive");
+        Self {
+            width_km,
+            height_km,
+        }
+    }
+
+    /// The default model region: 1000 km × 1000 km, a US-state-to-
+    /// country scale territory.
+    pub fn default_region() -> Self {
+        Self::new(1000.0, 1000.0)
+    }
+
+    /// Whether a point lies inside the region.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        (0.0..=self.width_km).contains(&p.x) && (0.0..=self.height_km).contains(&p.y)
+    }
+
+    /// Clamp a point into the region.
+    pub fn clamp(&self, p: GeoPoint) -> GeoPoint {
+        GeoPoint {
+            x: p.x.clamp(0.0, self.width_km),
+            y: p.y.clamp(0.0, self.height_km),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(3.0, 4.0);
+        assert!((a.distance_km(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_km(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(10.0, 20.0);
+        let b = GeoPoint::new(-5.0, 7.5);
+        assert_eq!(a.distance_km(&b), b.distance_km(&a));
+    }
+
+    #[test]
+    fn region_contains_and_clamps() {
+        let r = Region::new(100.0, 50.0);
+        assert!(r.contains(&GeoPoint::new(50.0, 25.0)));
+        assert!(!r.contains(&GeoPoint::new(150.0, 25.0)));
+        let clamped = r.clamp(GeoPoint::new(150.0, -10.0));
+        assert_eq!(clamped, GeoPoint::new(100.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_region() {
+        Region::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! The hazard module: event + site → local intensity.
+//!
+//! Intensities are expressed on a common 0–12 scale (MMI-like) for all
+//! perils so that one family of vulnerability curves can consume them;
+//! each peril has its own attenuation shape:
+//!
+//! * **Earthquake** — logarithmic decay with distance (standard
+//!   intensity-attenuation form `I = c₀ + c₁·M − c₂·ln(d + c₃)`).
+//! * **Hurricane** — exponential decay of the wind field away from the
+//!   track point.
+//! * **Flood** — sharp power-law decay: floods devastate locally and
+//!   vanish quickly with distance.
+
+use crate::catalog::CatalogEvent;
+use crate::geo::GeoPoint;
+use crate::peril::Peril;
+
+/// Intensity produced by `event` at `site`, on the 0–12 scale.
+/// Returns 0 outside the peril's maximum radius.
+#[inline]
+pub fn site_intensity(event: &CatalogEvent, site: &GeoPoint) -> f64 {
+    let d = event.center.distance_km(site);
+    intensity_at_distance(event.peril, event.magnitude, d)
+}
+
+/// Attenuation as a function of peril, magnitude, and distance (km).
+#[inline]
+pub fn intensity_at_distance(peril: Peril, magnitude: f64, d_km: f64) -> f64 {
+    if d_km > peril.max_radius_km() {
+        return 0.0;
+    }
+    let i = match peril {
+        // I = c0 + c1 M − c2 ln(d + c3): classic intensity attenuation.
+        Peril::Earthquake => 0.5 + 1.6 * magnitude - 1.8 * (d_km + 8.0).ln(),
+        // Wind-field style: peak scales with magnitude, e-folding 90 km.
+        Peril::Hurricane => (1.35 * magnitude) * (-d_km / 90.0).exp(),
+        // Sharp local footprint: power-law with small core radius.
+        Peril::Flood => (1.45 * magnitude) / (1.0 + (d_km / 6.0).powi(2)),
+    };
+    i.clamp(0.0, 12.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riskpipe_types::EventId;
+
+    fn event(peril: Peril, magnitude: f64) -> CatalogEvent {
+        CatalogEvent {
+            id: EventId::new(0),
+            peril,
+            rate: 0.1,
+            magnitude,
+            center: GeoPoint::new(500.0, 500.0),
+        }
+    }
+
+    #[test]
+    fn intensity_decreases_with_distance() {
+        for peril in Peril::ALL {
+            let mut prev = f64::INFINITY;
+            for d in [0.0, 5.0, 20.0, 50.0, 100.0, 200.0] {
+                let i = intensity_at_distance(peril, 7.5, d);
+                assert!(
+                    i <= prev + 1e-12,
+                    "{peril}: intensity rose from {prev} to {i} at d={d}"
+                );
+                prev = i;
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_increases_with_magnitude() {
+        for peril in Peril::ALL {
+            for d in [0.0, 10.0, 50.0] {
+                let lo = intensity_at_distance(peril, 5.5, d);
+                let hi = intensity_at_distance(peril, 8.5, d);
+                assert!(hi >= lo, "{peril} at d={d}: {hi} < {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_beyond_max_radius() {
+        for peril in Peril::ALL {
+            let r = peril.max_radius_km();
+            assert_eq!(intensity_at_distance(peril, 9.0, r + 1.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn intensity_bounded_by_scale() {
+        for peril in Peril::ALL {
+            for d in [0.0, 1.0, 10.0] {
+                let i = intensity_at_distance(peril, 9.0, d);
+                assert!((0.0..=12.0).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn site_intensity_uses_event_center() {
+        let e = event(Peril::Earthquake, 8.0);
+        let near = site_intensity(&e, &GeoPoint::new(505.0, 500.0));
+        let far = site_intensity(&e, &GeoPoint::new(700.0, 500.0));
+        assert!(near > far);
+        assert!(near > 0.0);
+    }
+
+    #[test]
+    fn flood_is_more_local_than_earthquake() {
+        let at = |p: Peril, d: f64| intensity_at_distance(p, 8.0, d);
+        // Relative decay at 50 km is much stronger for flood.
+        let eq_ratio = at(Peril::Earthquake, 50.0) / at(Peril::Earthquake, 0.0);
+        let fl_ratio = at(Peril::Flood, 50.0) / at(Peril::Flood, 0.0);
+        assert!(fl_ratio < eq_ratio * 0.5, "fl={fl_ratio} eq={eq_ratio}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Perils: the catastrophe types the synthetic catalogue models.
+
+use std::fmt;
+
+/// The modelled peril of a catalogue event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Peril {
+    /// Crustal earthquake: Gutenberg–Richter frequency-magnitude,
+    /// logarithmic attenuation with distance.
+    Earthquake,
+    /// Hurricane / tropical cyclone wind: lognormal severity,
+    /// exponential decay of wind with distance from the track point.
+    Hurricane,
+    /// Riverine flood: sharp, localised footprint.
+    Flood,
+}
+
+impl Peril {
+    /// All modelled perils.
+    pub const ALL: [Peril; 3] = [Peril::Earthquake, Peril::Hurricane, Peril::Flood];
+
+    /// A stable small integer code (used by codecs and stream keying).
+    pub const fn code(self) -> u8 {
+        match self {
+            Peril::Earthquake => 0,
+            Peril::Hurricane => 1,
+            Peril::Flood => 2,
+        }
+    }
+
+    /// Inverse of [`Peril::code`].
+    pub fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(Peril::Earthquake),
+            1 => Some(Peril::Hurricane),
+            2 => Some(Peril::Flood),
+            _ => None,
+        }
+    }
+
+    /// Maximum radius (km) beyond which the peril produces no damaging
+    /// intensity — the footprint cut-off used to skip distant sites.
+    pub fn max_radius_km(self) -> f64 {
+        match self {
+            Peril::Earthquake => 300.0,
+            Peril::Hurricane => 400.0,
+            Peril::Flood => 60.0,
+        }
+    }
+}
+
+impl fmt::Display for Peril {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Peril::Earthquake => "earthquake",
+            Peril::Hurricane => "hurricane",
+            Peril::Flood => "flood",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_round_trips() {
+        for p in Peril::ALL {
+            assert_eq!(Peril::from_code(p.code()), Some(p));
+        }
+        assert_eq!(Peril::from_code(99), None);
+    }
+
+    #[test]
+    fn radii_are_positive_and_peril_specific() {
+        for p in Peril::ALL {
+            assert!(p.max_radius_km() > 0.0);
+        }
+        assert!(Peril::Flood.max_radius_km() < Peril::Earthquake.max_radius_km());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Peril::Earthquake.to_string(), "earthquake");
+        assert_eq!(Peril::Hurricane.to_string(), "hurricane");
+        assert_eq!(Peril::Flood.to_string(), "flood");
+    }
+}

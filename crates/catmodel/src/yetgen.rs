@@ -1,0 +1,234 @@
+//! Year-Event-Table pre-simulation: the Monte-Carlo step that turns a
+//! catalogue's annual rates into "alternative views of a contractual
+//! year" (the paper's aggregate-analysis input).
+//!
+//! Per trial: the number of occurrences is Poisson with the catalogue's
+//! total rate; each occurrence picks an event by rate-weighted alias
+//! sampling, a day uniformly in the year, and a uniform `z` for
+//! downstream secondary uncertainty. Trials are generated in parallel,
+//! each from its own counter-based Philox stream keyed by
+//! `(seed, trial)` — the table is bit-identical regardless of thread
+//! count.
+
+use crate::catalog::EventCatalog;
+use riskpipe_exec::{par_map_collect, suggest_grain, ThreadPool};
+use riskpipe_tables::yet::{Occurrence, YearEventTable, YetBuilder};
+use riskpipe_types::dist::{AliasTable, Poisson};
+use riskpipe_types::rng::{Rng64, SeedStream};
+use riskpipe_types::{EventId, RiskError, RiskResult};
+
+/// Configuration of YET pre-simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct YetConfig {
+    /// Number of trials (alternative years) to simulate.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for YetConfig {
+    fn default() -> Self {
+        Self {
+            trials: 10_000,
+            seed: 0x5EED_0F_E4,
+        }
+    }
+}
+
+/// Simulate one trial's occurrences (deterministic in `(seed, trial)`).
+fn simulate_trial(
+    streams: &SeedStream,
+    trial: u64,
+    freq: &Poisson,
+    alias: &AliasTable,
+) -> Vec<Occurrence> {
+    let mut rng = streams.stream(trial);
+    let n = freq.sample_count(&mut rng);
+    let mut occs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let event_index = alias.sample(&mut rng);
+        let day = rng.next_below(365) as u16;
+        let z = rng.next_f64_open();
+        occs.push(Occurrence {
+            event_id: EventId::new(event_index as u32),
+            day,
+            z,
+        });
+    }
+    // Temporal order within the year (stable: ties keep sample order,
+    // which is itself deterministic).
+    occs.sort_by_key(|o| o.day);
+    occs
+}
+
+/// Pre-simulate a YET for a catalogue.
+pub fn simulate_yet(
+    catalog: &EventCatalog,
+    cfg: &YetConfig,
+    pool: &ThreadPool,
+) -> RiskResult<YearEventTable> {
+    if cfg.trials == 0 {
+        return Err(RiskError::invalid("trial count must be positive"));
+    }
+    let alias = AliasTable::new(&catalog.rates())?;
+    let freq = Poisson::new(catalog.total_rate());
+    let streams = SeedStream::new(cfg.seed);
+    let grain = suggest_grain(cfg.trials, pool.thread_count(), 64);
+    let per_trial: Vec<Vec<Occurrence>> = par_map_collect(pool, cfg.trials, grain, |t| {
+        simulate_trial(&streams, t as u64, &freq, &alias)
+    });
+    let total: usize = per_trial.iter().map(|v| v.len()).sum();
+    let mut builder = YetBuilder::with_capacity(cfg.trials, total);
+    for occs in &per_trial {
+        builder.push_trial(occs);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use riskpipe_types::TrialId;
+
+    fn catalog(rate: f64) -> EventCatalog {
+        EventCatalog::generate(&CatalogConfig {
+            events: 500,
+            total_annual_rate: rate,
+            seed: 3,
+            ..CatalogConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn mean_occurrences_match_total_rate() {
+        let cat = catalog(8.0);
+        let pool = ThreadPool::new(4);
+        let yet = simulate_yet(
+            &cat,
+            &YetConfig {
+                trials: 20_000,
+                seed: 1,
+            },
+            &pool,
+        )
+        .unwrap();
+        let mean = yet.mean_occurrences();
+        assert!((mean - 8.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let cat = catalog(5.0);
+        let cfg = YetConfig {
+            trials: 500,
+            seed: 42,
+        };
+        let a = simulate_yet(&cat, &cfg, &ThreadPool::new(1)).unwrap();
+        let b = simulate_yet(&cat, &cfg, &ThreadPool::new(8)).unwrap();
+        assert_eq!(a.total_occurrences(), b.total_occurrences());
+        for t in 0..a.trials() {
+            let t = TrialId::new(t as u32);
+            assert_eq!(a.trial_slices(t), b.trial_slices(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cat = catalog(5.0);
+        let a = simulate_yet(
+            &cat,
+            &YetConfig {
+                trials: 200,
+                seed: 1,
+            },
+            &ThreadPool::new(2),
+        )
+        .unwrap();
+        let b = simulate_yet(
+            &cat,
+            &YetConfig {
+                trials: 200,
+                seed: 2,
+            },
+            &ThreadPool::new(2),
+        )
+        .unwrap();
+        assert_ne!(a.total_occurrences(), b.total_occurrences());
+    }
+
+    #[test]
+    fn occurrences_sorted_by_day_with_valid_fields() {
+        let cat = catalog(20.0);
+        let pool = ThreadPool::new(2);
+        let yet = simulate_yet(
+            &cat,
+            &YetConfig {
+                trials: 200,
+                seed: 9,
+            },
+            &pool,
+        )
+        .unwrap();
+        for t in 0..yet.trials() {
+            let (es, ds, zs) = yet.trial_slices(TrialId::new(t as u32));
+            for w in ds.windows(2) {
+                assert!(w[0] <= w[1], "days out of order");
+            }
+            for &d in ds {
+                assert!(d < 365);
+            }
+            for &z in zs {
+                assert!(z > 0.0 && z < 1.0);
+            }
+            for &e in es {
+                assert!((e as usize) < cat.len());
+            }
+        }
+    }
+
+    #[test]
+    fn event_frequency_tracks_rates() {
+        let cat = catalog(50.0);
+        let pool = ThreadPool::new(4);
+        let yet = simulate_yet(
+            &cat,
+            &YetConfig {
+                trials: 10_000,
+                seed: 7,
+            },
+            &pool,
+        )
+        .unwrap();
+        // Count occurrences of the highest-rate event; expectation =
+        // rate * trials.
+        let rates = cat.rates();
+        let (max_idx, &max_rate) = rates
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        let mut count = 0u64;
+        for t in 0..yet.trials() {
+            let (es, _, _) = yet.trial_slices(TrialId::new(t as u32));
+            count += es.iter().filter(|&&e| e as usize == max_idx).count() as u64;
+        }
+        let expect = max_rate * yet.trials() as f64;
+        assert!(
+            (count as f64 - expect).abs() < 5.0 * expect.sqrt().max(3.0),
+            "count={count} expect={expect}"
+        );
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let cat = catalog(5.0);
+        assert!(simulate_yet(
+            &cat,
+            &YetConfig { trials: 0, seed: 0 },
+            &ThreadPool::new(1)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # riskpipe-cloud
+//!
+//! Discrete-event simulation of elastic cluster provisioning — the
+//! paper's closing observation quantified: "One characteristic of the
+//! reinsurance risk analytics problem is the sudden burst of data in
+//! the pipeline. While in the first stage less than ten processors may
+//! be sufficient …, in the second and third stages thousands or even
+//! tens of thousands of processors need to be put together … The
+//! elastic demand … makes cloud-based computing attractive."
+//!
+//! The E6 report derives *how many* processors each stage needs; this
+//! crate answers the follow-on question — what that burst costs under
+//! different provisioning strategies (experiment E10):
+//!
+//! * [`workload`] — the pipeline week as a job stream: daily stage-1
+//!   refreshes, the Friday-night stage-2 roll-up burst, the dependent
+//!   stage-3 DFA run, and business-hours ad-hoc queries.
+//! * [`cluster`] — nodes with boot latency, plus paid/used core-time
+//!   integrals.
+//! * [`policy`] — fixed, reactive-autoscale and scheduled provisioning.
+//! * [`sim`] — the deterministic event loop tying them together.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use riskpipe_cloud::{pipeline_week, simulate, ReactivePolicy, SimConfig};
+//!
+//! let jobs = pipeline_week(&Default::default())?;
+//! let mut policy = ReactivePolicy::new(2, 100);
+//! let result = simulate(&jobs, &mut policy, &SimConfig::default())?;
+//! assert!(result.all_complete());
+//! // The elastic run pays only for what the burst actually used.
+//! assert!(result.utilization() > 0.05);
+//! # Ok::<(), riskpipe_types::RiskError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod policy;
+mod proptests;
+pub mod sim;
+pub mod workload;
+
+pub use cluster::{Cluster, NodeSpec};
+pub use policy::{Action, FixedPolicy, Observation, Policy, ReactivePolicy, ScheduledPolicy};
+pub use sim::{simulate, JobOutcome, SimConfig, SimResult};
+pub use workload::{
+    peak_deadline_demand, peak_parallel_demand, pipeline_week, total_work_core_ms, JobSpec,
+    PipelineWeekSpec, Stage, DAY_MS, HOUR_MS, WEEK_MS,
+};

@@ -1,0 +1,169 @@
+//! Property tests over the discrete-event simulator's invariants.
+
+#![cfg(test)]
+
+use crate::cluster::NodeSpec;
+use crate::policy::{FixedPolicy, ReactivePolicy};
+use crate::sim::{simulate, SimConfig};
+use crate::workload::{JobSpec, Stage};
+use proptest::prelude::*;
+
+fn any_job(max_arrival: u64) -> impl Strategy<Value = JobSpec> {
+    (
+        0..max_arrival,
+        1u32..40,
+        1u64..2_000,
+        0u32..6,
+        prop::option::of(1u64..100_000),
+    )
+        .prop_map(|(arrival, tasks, task_ms, max_par, deadline)| JobSpec {
+            name: format!("j{arrival}-{tasks}"),
+            stage: Stage::AdHoc,
+            arrival_ms: arrival,
+            tasks,
+            task_ms,
+            max_parallel: max_par,
+            deadline_ms: deadline,
+            after: None,
+        })
+}
+
+fn any_workload() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(any_job(50_000), 0..12)
+}
+
+fn config(cores: u32, boot_ms: u64) -> SimConfig {
+    SimConfig {
+        node: NodeSpec { cores, boot_ms },
+        tick_ms: 1_000,
+        horizon_ms: 200_000,
+        max_sim_ms: 10_000_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn work_is_conserved_and_capacity_never_oversubscribed(
+        jobs in any_workload(),
+        cores in 1u32..8,
+        nodes in 1u32..6,
+        boot in 0u64..5_000,
+    ) {
+        let cfg = config(cores, boot);
+        let mut p = FixedPolicy::new(nodes);
+        let r = simulate(&jobs, &mut p, &cfg).unwrap();
+        // With at least one node every job eventually completes.
+        prop_assert!(r.all_complete());
+        let total: u64 = jobs.iter().map(|j| j.work_core_ms()).sum();
+        prop_assert_eq!(r.busy_core_ms, total);
+        prop_assert!(r.capacity_core_ms >= r.busy_core_ms);
+        prop_assert!(r.utilization() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn outcomes_are_internally_consistent(jobs in any_workload()) {
+        let cfg = config(4, 100);
+        let mut p = FixedPolicy::new(2);
+        let r = simulate(&jobs, &mut p, &cfg).unwrap();
+        for (o, j) in r.jobs.iter().zip(jobs.iter()) {
+            // Starts never precede arrival (or node readiness).
+            if let Some(s) = o.first_start_ms {
+                prop_assert!(s >= o.arrival_ms);
+                prop_assert!(s >= cfg.node.boot_ms);
+            }
+            // Completion implies a start, and orders correctly.
+            if let Some(c) = o.completed_ms {
+                let s = o.first_start_ms.expect("completed without starting");
+                // A job needs at least one full task after first start.
+                prop_assert!(c >= s + j.task_ms);
+            }
+            // deadline_met agrees with the raw timestamps.
+            match (o.deadline_abs_ms, o.completed_ms, o.deadline_met()) {
+                (None, _, met) => prop_assert!(met.is_none()),
+                (Some(d), Some(c), Some(met)) => prop_assert_eq!(met, c <= d),
+                (Some(_), None, Some(met)) => prop_assert!(!met),
+                other => prop_assert!(false, "inconsistent outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(jobs in any_workload(), nodes in 1u32..5) {
+        let cfg = config(2, 500);
+        let run = || {
+            let mut p = ReactivePolicy::new(1, nodes.max(1));
+            simulate(&jobs, &mut p, &cfg).unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.capacity_core_ms, b.capacity_core_ms);
+        prop_assert_eq!(a.busy_core_ms, b.busy_core_ms);
+        prop_assert_eq!(a.boots, b.boots);
+        prop_assert_eq!(a.retires, b.retires);
+        for (x, y) in a.jobs.iter().zip(b.jobs.iter()) {
+            prop_assert_eq!(x.first_start_ms, y.first_start_ms);
+            prop_assert_eq!(x.completed_ms, y.completed_ms);
+        }
+    }
+
+    #[test]
+    fn single_job_makespan_matches_closed_form(
+        tasks in 1u32..200,
+        task_ms in 1u64..1_000,
+        cores in 1u32..16,
+    ) {
+        // One job, one node, no boot lag, unlimited per-job
+        // parallelism: completion = ceil(tasks/cores) · task_ms.
+        let jobs = vec![JobSpec {
+            name: "solo".into(),
+            stage: Stage::AdHoc,
+            arrival_ms: 0,
+            tasks,
+            task_ms,
+            max_parallel: 0,
+            deadline_ms: None,
+            after: None,
+        }];
+        let cfg = config(cores, 0);
+        let mut p = FixedPolicy::new(1);
+        let r = simulate(&jobs, &mut p, &cfg).unwrap();
+        let waves = (tasks as u64).div_ceil(cores as u64);
+        prop_assert_eq!(r.jobs[0].completed_ms, Some(waves * task_ms));
+    }
+
+    #[test]
+    fn dependencies_respect_completion_order(
+        a_tasks in 1u32..20,
+        b_tasks in 1u32..20,
+        task_ms in 1u64..500,
+    ) {
+        let a = JobSpec {
+            name: "a".into(),
+            stage: Stage::AdHoc,
+            arrival_ms: 0,
+            tasks: a_tasks,
+            task_ms,
+            max_parallel: 0,
+            deadline_ms: None,
+            after: None,
+        };
+        let b = JobSpec {
+            name: "b".into(),
+            stage: Stage::AdHoc,
+            arrival_ms: 0,
+            tasks: b_tasks,
+            task_ms,
+            max_parallel: 0,
+            deadline_ms: None,
+            after: Some(0),
+        };
+        let cfg = config(4, 0);
+        let mut p = FixedPolicy::new(2);
+        let r = simulate(&[a, b], &mut p, &cfg).unwrap();
+        let a_done = r.jobs[0].completed_ms.unwrap();
+        let b_start = r.jobs[1].first_start_ms.unwrap();
+        prop_assert!(b_start >= a_done, "dependent started before dependency finished");
+    }
+}

@@ -1,0 +1,619 @@
+//! The discrete-event simulation loop.
+//!
+//! Jobs arrive, tasks claim cores, the policy is consulted on every
+//! event and on a periodic tick, and the cluster integrates paid and
+//! used core-time. Everything is integer-millisecond timestamped and
+//! tie-broken by a sequence counter, so a run is exactly reproducible.
+
+use crate::cluster::{Cluster, NodeSpec};
+use crate::policy::{Action, Observation, Policy};
+use crate::workload::{validate_workload, JobSpec, Stage};
+use riskpipe_types::RiskResult;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Node shape.
+    pub node: NodeSpec,
+    /// Policy tick interval (ms).
+    pub tick_ms: u64,
+    /// Accounting horizon: capacity is billed at least this long, and
+    /// the policy keeps ticking until the later of this and the last
+    /// job completion.
+    pub horizon_ms: u64,
+    /// Hard stop: give up on unfinished jobs beyond this time (guards
+    /// against policies that never provision).
+    pub max_sim_ms: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            node: NodeSpec {
+                cores: 8,
+                boot_ms: 120_000,
+            },
+            tick_ms: 60_000,
+            horizon_ms: crate::workload::WEEK_MS,
+            max_sim_ms: 4 * crate::workload::WEEK_MS,
+        }
+    }
+}
+
+/// Outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Job name.
+    pub name: String,
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Arrival time.
+    pub arrival_ms: u64,
+    /// When the first task started, if any did.
+    pub first_start_ms: Option<u64>,
+    /// Completion time, if the job finished.
+    pub completed_ms: Option<u64>,
+    /// Deadline in absolute ms, if the job had one.
+    pub deadline_abs_ms: Option<u64>,
+}
+
+impl JobOutcome {
+    /// Whether the deadline was met (None when the job had none).
+    pub fn deadline_met(&self) -> Option<bool> {
+        self.deadline_abs_ms
+            .map(|d| self.completed_ms.map(|c| c <= d).unwrap_or(false))
+    }
+
+    /// Queue wait before the first task ran.
+    pub fn wait_ms(&self) -> Option<u64> {
+        self.first_start_ms.map(|s| s - self.arrival_ms)
+    }
+
+    /// Total time from arrival to completion.
+    pub fn span_ms(&self) -> Option<u64> {
+        self.completed_ms.map(|c| c - self.arrival_ms)
+    }
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Policy name.
+    pub policy: String,
+    /// Per-job outcomes, in workload order.
+    pub jobs: Vec<JobOutcome>,
+    /// Paid capacity (core-ms).
+    pub capacity_core_ms: u64,
+    /// Used capacity (core-ms).
+    pub busy_core_ms: u64,
+    /// Peak simultaneous ready nodes.
+    pub peak_nodes: u32,
+    /// Total boot requests.
+    pub boots: u64,
+    /// Total retirements.
+    pub retires: u64,
+    /// Time of the last completion (0 when nothing ran).
+    pub last_completion_ms: u64,
+    /// `(time_ms, ready_nodes, busy_cores)` samples taken at every
+    /// policy tick — the demand/provision curve (the E10 figure).
+    pub timeline: Vec<(u64, u32, u32)>,
+}
+
+impl SimResult {
+    /// Fraction of deadline-bearing jobs that met their deadline.
+    pub fn deadline_attainment(&self) -> f64 {
+        let with: Vec<bool> = self.jobs.iter().filter_map(|j| j.deadline_met()).collect();
+        if with.is_empty() {
+            return 1.0;
+        }
+        with.iter().filter(|&&m| m).count() as f64 / with.len() as f64
+    }
+
+    /// Whether every job completed.
+    pub fn all_complete(&self) -> bool {
+        self.jobs.iter().all(|j| j.completed_ms.is_some())
+    }
+
+    /// Paid capacity in core-hours — the cost proxy.
+    pub fn core_hours(&self) -> f64 {
+        self.capacity_core_ms as f64 / 3_600_000.0
+    }
+
+    /// Used ÷ paid capacity.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_core_ms == 0 {
+            return 0.0;
+        }
+        self.busy_core_ms as f64 / self.capacity_core_ms as f64
+    }
+
+    /// Mean queue wait over jobs that started (ms).
+    pub fn mean_wait_ms(&self) -> f64 {
+        let waits: Vec<u64> = self.jobs.iter().filter_map(|j| j.wait_ms()).collect();
+        if waits.is_empty() {
+            return 0.0;
+        }
+        waits.iter().sum::<u64>() as f64 / waits.len() as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Arrival(usize),
+    TaskFinish { job: usize, node: usize },
+    NodeReady,
+    Tick,
+}
+
+#[derive(Debug)]
+struct JobState {
+    /// Tasks not yet started.
+    pending: u32,
+    /// Tasks currently running.
+    running: u32,
+    /// Arrival reached.
+    arrived: bool,
+    /// Dependency satisfied (or none).
+    dep_done: bool,
+    first_start: Option<u64>,
+    completed: Option<u64>,
+}
+
+impl JobState {
+    fn released(&self) -> bool {
+        self.arrived && self.dep_done && self.completed.is_none()
+    }
+}
+
+/// Run `policy` against `jobs` under `config`.
+pub fn simulate(
+    jobs: &[JobSpec],
+    policy: &mut dyn Policy,
+    config: &SimConfig,
+) -> RiskResult<SimResult> {
+    validate_workload(jobs)?;
+    config.node.validate()?;
+    let mut cluster = Cluster::new(config.node)?;
+
+    let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut events: Vec<EventKind> = Vec::new();
+    let mut seq = 0u64;
+    fn push(
+        heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+        events: &mut Vec<EventKind>,
+        seq: &mut u64,
+        t: u64,
+        kind: EventKind,
+    ) {
+        events.push(kind);
+        heap.push(Reverse((t, *seq, events.len() - 1)));
+        *seq += 1;
+    }
+
+    // Dependents: job i completes → release these jobs.
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); jobs.len()];
+    let mut states: Vec<JobState> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            if let Some(d) = j.after {
+                dependents[d].push(i);
+            }
+            JobState {
+                pending: j.tasks,
+                running: 0,
+                arrived: false,
+                dep_done: j.after.is_none(),
+                first_start: None,
+                completed: None,
+            }
+        })
+        .collect();
+
+    for (i, j) in jobs.iter().enumerate() {
+        push(&mut heap, &mut events, &mut seq, j.arrival_ms, EventKind::Arrival(i));
+    }
+    push(&mut heap, &mut events, &mut seq, 0, EventKind::Tick);
+
+    let mut queued_total: u64 = jobs.iter().map(|j| j.tasks as u64).sum();
+    let mut running_total: u64 = 0;
+    let mut last_completion = 0u64;
+    let mut timeline: Vec<(u64, u32, u32)> = Vec::new();
+    // The policy is consulted once per unique timestamp. Consulting it
+    // again for events its *own actions* scheduled at the same instant
+    // (a zero-latency boot's NodeReady) would let a hostile policy
+    // boot-and-retire forever without the clock moving — a livelock
+    // the failure-injection suite exercises.
+    let mut policy_consulted_at: Option<u64> = None;
+
+    // Dispatch pending tasks of released jobs onto free cores, FIFO by
+    // arrival (ties by workload order).
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (jobs[i].arrival_ms, i));
+
+    let dispatch = |cluster: &mut Cluster,
+                    states: &mut [JobState],
+                    heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+                    events: &mut Vec<EventKind>,
+                    seq: &mut u64,
+                    running_total: &mut u64,
+                    order: &[usize],
+                    now: u64| {
+        for &i in order {
+            let spec = &jobs[i];
+            loop {
+                let st = &states[i];
+                if !st.released() || st.pending == 0 {
+                    break;
+                }
+                if spec.max_parallel != 0 && st.running >= spec.max_parallel {
+                    break;
+                }
+                let Some(node) = cluster.claim_core() else {
+                    return; // cluster saturated
+                };
+                let st = &mut states[i];
+                st.pending -= 1;
+                st.running += 1;
+                st.first_start.get_or_insert(now);
+                *running_total += 1;
+                events.push(EventKind::TaskFinish { job: i, node });
+                heap.push(Reverse((now + spec.task_ms, *seq, events.len() - 1)));
+                *seq += 1;
+            }
+        }
+    };
+
+    while let Some(&Reverse((t, _, _))) = heap.peek() {
+        cluster.advance_to(t);
+        // Drain every event at this timestamp before dispatch/policy.
+        while let Some(&Reverse((t2, _, idx))) = heap.peek() {
+            if t2 != t {
+                break;
+            }
+            heap.pop();
+            match events[idx] {
+                EventKind::Arrival(i) => {
+                    states[i].arrived = true;
+                }
+                EventKind::TaskFinish { job, node } => {
+                    cluster.release_core(node);
+                    let st = &mut states[job];
+                    st.running -= 1;
+                    running_total -= 1;
+                    queued_total -= 1;
+                    if st.pending == 0 && st.running == 0 {
+                        st.completed = Some(t);
+                        last_completion = last_completion.max(t);
+                        for &d in &dependents[job] {
+                            states[d].dep_done = true;
+                        }
+                    }
+                }
+                EventKind::NodeReady => {
+                    cluster.activate_ready();
+                }
+                EventKind::Tick => {
+                    timeline.push((t, cluster.ready_nodes(), cluster.busy_cores()));
+                    let unfinished = states.iter().any(|s| s.completed.is_none());
+                    let next = t + config.tick_ms;
+                    if (next <= config.horizon_ms || unfinished) && next <= config.max_sim_ms {
+                        push(&mut heap, &mut events, &mut seq, next, EventKind::Tick);
+                    }
+                }
+            }
+        }
+
+        dispatch(
+            &mut cluster,
+            &mut states,
+            &mut heap,
+            &mut events,
+            &mut seq,
+            &mut running_total,
+            &order,
+            t,
+        );
+
+        // Consult the policy with the post-dispatch state. The queue
+        // signal is the *dispatchable* backlog: a job capped at
+        // max_parallel can never use more cores than its headroom, so
+        // reporting its whole pending count would make the autoscaler
+        // buy capacity the scheduler cannot use.
+        let queued_now: u64 = states
+            .iter()
+            .zip(jobs.iter())
+            .filter(|(s, _)| s.released())
+            .map(|(s, j)| {
+                if j.max_parallel == 0 {
+                    s.pending as u64
+                } else {
+                    (j.max_parallel.saturating_sub(s.running) as u64).min(s.pending as u64)
+                }
+            })
+            .sum();
+        if policy_consulted_at != Some(t) {
+            policy_consulted_at = Some(t);
+            let obs = Observation {
+                now_ms: t,
+                queued_tasks: queued_now,
+                running_tasks: running_total,
+                ready_nodes: cluster.ready_nodes(),
+                booting_nodes: cluster.booting_nodes(),
+                cores_per_node: config.node.cores,
+                free_cores: cluster.free_cores(),
+            };
+            let Action { boot, retire_idle } = policy.act(&obs);
+            if boot > 0 {
+                let ready_at = cluster.boot(boot);
+                push(&mut heap, &mut events, &mut seq, ready_at, EventKind::NodeReady);
+            }
+            if retire_idle > 0 {
+                cluster.retire_idle(retire_idle);
+            }
+            // Booted nodes with zero latency are ready this timestamp;
+            // the NodeReady event sits at the same t and the outer loop
+            // re-enters to activate and dispatch — but does not consult
+            // the policy again until the clock moves.
+        }
+    }
+
+    // Settle accounting to the horizon (a fixed cluster is paid for
+    // the full period even after the last job).
+    let settle = config.horizon_ms.max(cluster.clock_ms());
+    cluster.advance_to(settle);
+    let _ = queued_total;
+
+    let outcomes: Vec<JobOutcome> = jobs
+        .iter()
+        .zip(states.iter())
+        .map(|(j, s)| JobOutcome {
+            name: j.name.clone(),
+            stage: j.stage,
+            arrival_ms: j.arrival_ms,
+            first_start_ms: s.first_start,
+            completed_ms: s.completed,
+            deadline_abs_ms: j.deadline_ms.map(|d| j.arrival_ms + d),
+        })
+        .collect();
+
+    Ok(SimResult {
+        policy: policy.name().to_string(),
+        jobs: outcomes,
+        capacity_core_ms: cluster.capacity_core_ms(),
+        busy_core_ms: cluster.busy_core_ms(),
+        peak_nodes: cluster.peak_ready_nodes(),
+        boots: cluster.boots(),
+        retires: cluster.retires(),
+        last_completion_ms: last_completion,
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FixedPolicy, ReactivePolicy, ScheduledPolicy};
+    use crate::workload::{JobSpec, Stage};
+
+    fn job(name: &str, arrival: u64, tasks: u32, task_ms: u64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            stage: Stage::AdHoc,
+            arrival_ms: arrival,
+            tasks,
+            task_ms,
+            max_parallel: 0,
+            deadline_ms: None,
+            after: None,
+        }
+    }
+
+    fn config(cores: u32, boot_ms: u64, horizon: u64) -> SimConfig {
+        SimConfig {
+            node: NodeSpec { cores, boot_ms },
+            tick_ms: 1_000,
+            horizon_ms: horizon,
+            max_sim_ms: horizon * 10,
+        }
+    }
+
+    #[test]
+    fn single_job_completes_with_correct_makespan() {
+        // 8 tasks × 100 ms on 1 node × 4 cores, no boot lag:
+        // two waves → completion at 200 ms.
+        let jobs = vec![job("j", 0, 8, 100)];
+        let mut p = FixedPolicy::new(1);
+        let r = simulate(&jobs, &mut p, &config(4, 0, 10_000)).unwrap();
+        assert!(r.all_complete());
+        assert_eq!(r.jobs[0].completed_ms, Some(200));
+        assert_eq!(r.jobs[0].first_start_ms, Some(0));
+        // Work conservation: busy integral equals total work.
+        assert_eq!(r.busy_core_ms, 800);
+        // Paid for the whole horizon.
+        assert_eq!(r.capacity_core_ms, 4 * 10_000);
+    }
+
+    #[test]
+    fn boot_latency_delays_start() {
+        let jobs = vec![job("j", 0, 1, 100)];
+        let mut p = FixedPolicy::new(1);
+        let r = simulate(&jobs, &mut p, &config(1, 500, 10_000)).unwrap();
+        assert_eq!(r.jobs[0].first_start_ms, Some(500));
+        assert_eq!(r.jobs[0].completed_ms, Some(600));
+        // Capacity only accrues once ready: 10_000 − 500.
+        assert_eq!(r.capacity_core_ms, 9_500);
+    }
+
+    #[test]
+    fn max_parallel_caps_concurrency() {
+        let mut j = job("j", 0, 4, 100);
+        j.max_parallel = 1;
+        let mut p = FixedPolicy::new(4);
+        let r = simulate(&[j], &mut p, &config(4, 0, 10_000)).unwrap();
+        // Serialised: 4 × 100 ms.
+        assert_eq!(r.jobs[0].completed_ms, Some(400));
+    }
+
+    #[test]
+    fn dependencies_gate_start() {
+        let a = job("a", 0, 2, 100);
+        let mut b = job("b", 0, 2, 100);
+        b.after = Some(0);
+        let mut p = FixedPolicy::new(1);
+        let r = simulate(&[a, b], &mut p, &config(2, 0, 10_000)).unwrap();
+        // a: [0,100); b starts at 100.
+        assert_eq!(r.jobs[0].completed_ms, Some(100));
+        assert_eq!(r.jobs[1].first_start_ms, Some(100));
+        assert_eq!(r.jobs[1].completed_ms, Some(200));
+    }
+
+    #[test]
+    fn deadline_attainment_reflects_misses() {
+        let mut a = job("a", 0, 10, 100);
+        a.deadline_ms = Some(300); // needs ≥ 4 cores-rounds: on 1 core → 1000ms, miss
+        let mut b = job("b", 0, 1, 100);
+        b.deadline_ms = Some(5_000); // trivially met
+        let mut p = FixedPolicy::new(1);
+        let r = simulate(&[a, b], &mut p, &config(1, 0, 20_000)).unwrap();
+        assert!(r.all_complete());
+        let met: Vec<bool> = r.jobs.iter().filter_map(|j| j.deadline_met()).collect();
+        assert_eq!(met, vec![false, true]);
+        assert!((r.deadline_attainment() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_capacity_leaves_jobs_incomplete() {
+        let jobs = vec![job("stuck", 0, 1, 100)];
+        let mut p = FixedPolicy::new(0);
+        let cfg = SimConfig {
+            max_sim_ms: 5_000,
+            ..config(1, 0, 2_000)
+        };
+        let r = simulate(&jobs, &mut p, &cfg).unwrap();
+        assert!(!r.all_complete());
+        assert_eq!(r.jobs[0].deadline_met(), None); // no deadline set
+        assert_eq!(r.busy_core_ms, 0);
+        assert_eq!(r.capacity_core_ms, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let jobs = crate::workload::pipeline_week(&Default::default()).unwrap();
+        let cfg = SimConfig::default();
+        let run = || {
+            let mut p = ReactivePolicy::new(2, 600);
+            simulate(&jobs, &mut p, &cfg).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.capacity_core_ms, b.capacity_core_ms);
+        assert_eq!(a.busy_core_ms, b.busy_core_ms);
+        assert_eq!(a.peak_nodes, b.peak_nodes);
+        for (x, y) in a.jobs.iter().zip(b.jobs.iter()) {
+            assert_eq!(x.completed_ms, y.completed_ms);
+        }
+    }
+
+    #[test]
+    fn work_conservation_on_full_completion() {
+        let jobs = vec![
+            job("a", 0, 37, 130),
+            job("b", 500, 11, 90),
+            job("c", 1_000, 64, 200),
+        ];
+        let total: u64 = jobs.iter().map(|j| j.work_core_ms()).sum();
+        let mut p = FixedPolicy::new(3);
+        let r = simulate(&jobs, &mut p, &config(4, 50, 100_000)).unwrap();
+        assert!(r.all_complete());
+        assert_eq!(r.busy_core_ms, total);
+        assert!(r.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn reactive_beats_fixed_peak_on_cost() {
+        let jobs = crate::workload::pipeline_week(&Default::default()).unwrap();
+        let cfg = SimConfig::default();
+        let peak_cores =
+            crate::workload::peak_deadline_demand(&jobs, crate::workload::WEEK_MS);
+        // Headroom so the fixed-peak baseline actually meets deadlines.
+        let peak_nodes = ((peak_cores as f64 * 1.25) as u64)
+            .div_ceil(cfg.node.cores as u64) as u32;
+        let mut fixed = FixedPolicy::new(peak_nodes);
+        let rf = simulate(&jobs, &mut fixed, &cfg).unwrap();
+        let mut reactive = ReactivePolicy::new(2, peak_nodes);
+        let rr = simulate(&jobs, &mut reactive, &cfg).unwrap();
+        assert!(rf.all_complete());
+        assert!(rr.all_complete());
+        // The elastic run pays far less for the same week.
+        assert!(
+            rr.core_hours() < rf.core_hours() * 0.5,
+            "reactive {} vs fixed {}",
+            rr.core_hours(),
+            rf.core_hours()
+        );
+        assert!(rr.utilization() > rf.utilization());
+    }
+
+    #[test]
+    fn scheduled_provisions_ahead_of_burst() {
+        let jobs = crate::workload::pipeline_week(&Default::default()).unwrap();
+        let cfg = SimConfig::default();
+        // Window around the Friday-evening burst.
+        let burst_start = 4 * crate::workload::DAY_MS + 17 * crate::workload::HOUR_MS;
+        let burst_end = burst_start + 14 * crate::workload::HOUR_MS;
+        let mut p = ScheduledPolicy {
+            windows: vec![(burst_start, burst_end, 80)],
+            base_nodes: 2,
+        };
+        let r = simulate(&jobs, &mut p, &cfg).unwrap();
+        let rollup = r
+            .jobs
+            .iter()
+            .find(|j| j.name == "stage2-portfolio-rollup")
+            .unwrap();
+        assert_eq!(rollup.deadline_met(), Some(true));
+        // Pre-provisioned: the roll-up starts within a tick + boot.
+        assert!(rollup.wait_ms().unwrap() <= cfg.tick_ms + cfg.node.boot_ms);
+    }
+
+    #[test]
+    fn timeline_tracks_the_burst() {
+        let jobs = crate::workload::pipeline_week(&Default::default()).unwrap();
+        let cfg = SimConfig::default();
+        let mut p = ReactivePolicy::new(2, 100);
+        let r = simulate(&jobs, &mut p, &cfg).unwrap();
+        assert!(!r.timeline.is_empty());
+        // Samples are time-ordered and within provisioned bounds.
+        for w in r.timeline.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for &(_, nodes, busy) in &r.timeline {
+            assert!(nodes <= 100);
+            assert!(busy <= nodes * cfg.node.cores);
+        }
+        // The burst is visible: peak sampled nodes far above the floor.
+        let peak = r.timeline.iter().map(|&(_, n, _)| n).max().unwrap();
+        let friday_noon = 4 * crate::workload::DAY_MS + 12 * crate::workload::HOUR_MS;
+        let before_burst = r
+            .timeline
+            .iter()
+            .filter(|&&(t, _, _)| t < friday_noon)
+            .map(|&(_, n, _)| n)
+            .max()
+            .unwrap();
+        assert!(peak >= 4 * before_burst, "peak {peak} vs pre-burst {before_burst}");
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        let mut p = FixedPolicy::new(2);
+        let r = simulate(&[], &mut p, &config(2, 0, 1_000)).unwrap();
+        assert!(r.all_complete());
+        assert_eq!(r.deadline_attainment(), 1.0);
+        assert_eq!(r.busy_core_ms, 0);
+        assert!(r.capacity_core_ms > 0); // the fixed cluster still bills
+    }
+}

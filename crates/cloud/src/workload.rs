@@ -1,0 +1,473 @@
+//! Workloads: the pipeline's bursty week as a job stream.
+//!
+//! The paper's elasticity observation is about *shape over time*: the
+//! stage-1 catastrophe models trickle along all week on a handful of
+//! processors, then the weekly portfolio roll-up (stage 2) and the DFA
+//! consolidation that feeds on it (stage 3) demand thousands of cores
+//! for a few hours. [`pipeline_week`] reproduces that shape, with
+//! work sizes derived from the same per-stage arithmetic as the E6
+//! elasticity model.
+
+use riskpipe_types::rng::{Rng64, SplitMix64};
+use riskpipe_types::{RiskError, RiskResult};
+
+/// Milliseconds in one hour.
+pub const HOUR_MS: u64 = 3_600_000;
+/// Milliseconds in one day.
+pub const DAY_MS: u64 = 24 * HOUR_MS;
+/// Milliseconds in one week.
+pub const WEEK_MS: u64 = 7 * DAY_MS;
+
+/// Which pipeline stage a job belongs to (reporting only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Stage 1: risk modelling (ELT refresh).
+    RiskModelling,
+    /// Stage 2: portfolio risk management (aggregate analysis).
+    PortfolioRollup,
+    /// Stage 3: dynamic financial analysis.
+    Dfa,
+    /// Interactive analyst queries (real-time pricing, drill-downs).
+    AdHoc,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Stage::RiskModelling => "stage-1",
+            Stage::PortfolioRollup => "stage-2",
+            Stage::Dfa => "stage-3",
+            Stage::AdHoc => "ad-hoc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One job: a bag of identical single-core tasks (trials and
+/// event-exposure pairs are embarrassingly parallel, so every pipeline
+/// computation decomposes this way).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Display name.
+    pub name: String,
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Arrival time (ms since simulation start).
+    pub arrival_ms: u64,
+    /// Number of tasks.
+    pub tasks: u32,
+    /// Duration of each task on one core (ms).
+    pub task_ms: u64,
+    /// Cap on simultaneously running tasks (0 = unlimited) — models
+    /// the non-parallelisable fraction / coordination limits.
+    pub max_parallel: u32,
+    /// Completion deadline relative to arrival (ms), if any.
+    pub deadline_ms: Option<u64>,
+    /// Index of a job that must complete before this one starts
+    /// (stage 3 feeds on stage 2's YLTs).
+    pub after: Option<usize>,
+}
+
+impl JobSpec {
+    /// Total work in core-milliseconds.
+    pub fn work_core_ms(&self) -> u64 {
+        self.tasks as u64 * self.task_ms
+    }
+
+    /// Validate the spec (non-empty, dependency index in range handled
+    /// by [`validate_workload`]).
+    pub fn validate(&self) -> RiskResult<()> {
+        if self.tasks == 0 {
+            return Err(RiskError::invalid(format!(
+                "job '{}' has zero tasks",
+                self.name
+            )));
+        }
+        if self.task_ms == 0 {
+            return Err(RiskError::invalid(format!(
+                "job '{}' has zero-length tasks",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validate a whole workload: every job valid, dependencies acyclic
+/// (must point backwards) and in range.
+pub fn validate_workload(jobs: &[JobSpec]) -> RiskResult<()> {
+    for (i, j) in jobs.iter().enumerate() {
+        j.validate()?;
+        if let Some(dep) = j.after {
+            if dep >= i {
+                return Err(RiskError::invalid(format!(
+                    "job '{}' depends on job {dep} which is not earlier in the list",
+                    j.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parameters of the simulated pipeline week.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineWeekSpec {
+    /// Core-hours of one day's stage-1 refresh (paper: fits on <10
+    /// processors at the weekly cadence).
+    pub stage1_core_hours_per_day: f64,
+    /// Core-hours of the weekly stage-2 portfolio roll-up — the burst.
+    pub stage2_core_hours: f64,
+    /// Core-hours of the stage-3 DFA consolidation (runs after stage 2).
+    pub stage3_core_hours: f64,
+    /// Stage-2 deadline in hours from its arrival (the reporting
+    /// window).
+    pub rollup_deadline_hours: f64,
+    /// Ad-hoc analyst queries per business day.
+    pub adhoc_per_day: u32,
+    /// Core-minutes per ad-hoc query (real-time pricing scale).
+    pub adhoc_core_minutes: f64,
+    /// Task granularity (ms per task).
+    pub task_ms: u64,
+    /// RNG seed for ad-hoc arrival jitter.
+    pub seed: u64,
+}
+
+impl Default for PipelineWeekSpec {
+    fn default() -> Self {
+        Self {
+            // Paper-shaped defaults: stage 1 a few core-hours a day;
+            // stage 2 three orders of magnitude more in one burst.
+            stage1_core_hours_per_day: 16.0,
+            stage2_core_hours: 4_096.0,
+            stage3_core_hours: 512.0,
+            rollup_deadline_hours: 8.0,
+            adhoc_per_day: 24,
+            adhoc_core_minutes: 8.0,
+            task_ms: 60_000,
+            seed: 2012,
+        }
+    }
+}
+
+/// Generate one simulated week of pipeline jobs.
+///
+/// Layout: a stage-1 refresh arrives at 02:00 every day; the stage-2
+/// roll-up arrives Friday 18:00 with the reporting deadline; stage 3
+/// depends on stage 2; ad-hoc queries arrive during business hours
+/// (09:00–17:00) Monday–Friday with per-query deadlines of 15 minutes.
+pub fn pipeline_week(spec: &PipelineWeekSpec) -> RiskResult<Vec<JobSpec>> {
+    if spec.task_ms == 0 {
+        return Err(RiskError::invalid("task_ms must be positive"));
+    }
+    let mut jobs = Vec::new();
+    let tasks_for = |core_hours: f64| -> u32 {
+        ((core_hours * HOUR_MS as f64) / spec.task_ms as f64).ceil().max(1.0) as u32
+    };
+
+    // Stage 1: daily refresh at 02:00.
+    for day in 0..7u64 {
+        jobs.push(JobSpec {
+            name: format!("stage1-refresh-d{day}"),
+            stage: Stage::RiskModelling,
+            arrival_ms: day * DAY_MS + 2 * HOUR_MS,
+            tasks: tasks_for(spec.stage1_core_hours_per_day),
+            task_ms: spec.task_ms,
+            // The paper: stage 1 runs on fewer than ten processors.
+            max_parallel: 8,
+            deadline_ms: Some(22 * HOUR_MS), // done before next refresh
+            after: None,
+        });
+    }
+
+    // Stage 2: the weekly burst, Friday (day 4) 18:00.
+    let stage2_idx = jobs.len();
+    jobs.push(JobSpec {
+        name: "stage2-portfolio-rollup".into(),
+        stage: Stage::PortfolioRollup,
+        arrival_ms: 4 * DAY_MS + 18 * HOUR_MS,
+        tasks: tasks_for(spec.stage2_core_hours),
+        task_ms: spec.task_ms,
+        max_parallel: 0, // trials: embarrassingly parallel
+        deadline_ms: Some((spec.rollup_deadline_hours * HOUR_MS as f64) as u64),
+        after: None,
+    });
+
+    // Stage 3: DFA, gated on stage 2, same reporting deadline window.
+    jobs.push(JobSpec {
+        name: "stage3-dfa-consolidation".into(),
+        stage: Stage::Dfa,
+        arrival_ms: 4 * DAY_MS + 18 * HOUR_MS,
+        tasks: tasks_for(spec.stage3_core_hours),
+        task_ms: spec.task_ms,
+        max_parallel: 0,
+        deadline_ms: Some((spec.rollup_deadline_hours * HOUR_MS as f64) as u64 + 4 * HOUR_MS),
+        after: Some(stage2_idx),
+    });
+
+    // Ad-hoc queries: business hours Monday–Friday.
+    let mut rng = SplitMix64::new(spec.seed);
+    let adhoc_tasks =
+        ((spec.adhoc_core_minutes * 60_000.0) / spec.task_ms as f64).ceil().max(1.0) as u32;
+    for day in 0..5u64 {
+        for q in 0..spec.adhoc_per_day {
+            let offset_ms = 9 * HOUR_MS + rng.next_u64() % (8 * HOUR_MS);
+            jobs.push(JobSpec {
+                name: format!("adhoc-d{day}-q{q}"),
+                stage: Stage::AdHoc,
+                arrival_ms: day * DAY_MS + offset_ms,
+                tasks: adhoc_tasks,
+                task_ms: spec.task_ms,
+                max_parallel: 0,
+                deadline_ms: Some(15 * 60_000),
+                after: None,
+            });
+        }
+    }
+
+    // Keep arrival order stable for readability of reports (not
+    // required by the simulator, which orders by arrival internally;
+    // dependencies must still point backwards, which sorting by
+    // arrival preserves because stage 3 arrives with stage 2 but is
+    // listed after it and the sort is stable).
+    validate_workload(&jobs)?;
+    Ok(jobs)
+}
+
+/// Total work across jobs, in core-milliseconds.
+pub fn total_work_core_ms(jobs: &[JobSpec]) -> u64 {
+    jobs.iter().map(|j| j.work_core_ms()).sum()
+}
+
+/// Peak concurrent demand in cores if every job ran the moment it
+/// arrived with unlimited resources (an upper bound used to size the
+/// fixed-peak baseline).
+pub fn peak_parallel_demand(jobs: &[JobSpec]) -> u64 {
+    // Tasks of a job would all run at arrival for task_ms; sweep over
+    // arrival edges.
+    let mut edges: Vec<(u64, i64)> = Vec::with_capacity(jobs.len() * 2);
+    for j in jobs {
+        let par = if j.max_parallel == 0 {
+            j.tasks as i64
+        } else {
+            j.max_parallel.min(j.tasks) as i64
+        };
+        edges.push((j.arrival_ms, par));
+        // A lower bound on duration: ceil(tasks/par) rounds of task_ms.
+        let rounds = (j.tasks as u64).div_ceil(par as u64);
+        edges.push((j.arrival_ms + rounds * j.task_ms, -par));
+    }
+    edges.sort_unstable();
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as u64
+}
+
+/// Peak *deadline* demand in cores: the sustained rate each job needs
+/// to finish inside its deadline (`work ÷ deadline`), swept over time
+/// and summed where the windows overlap. This is the honest size for a
+/// deadline-meeting fixed cluster — [`peak_parallel_demand`] instead
+/// answers "run everything the instant it arrives", which over-sizes
+/// by orders of magnitude for bursts of short tasks.
+///
+/// Jobs without a deadline contribute their work spread to
+/// `default_window_ms`.
+pub fn peak_deadline_demand(jobs: &[JobSpec], default_window_ms: u64) -> u64 {
+    let mut edges: Vec<(u64, f64)> = Vec::with_capacity(jobs.len() * 2);
+    for j in jobs {
+        let window = j.deadline_ms.unwrap_or(default_window_ms).max(1);
+        let rate = j.work_core_ms() as f64 / window as f64;
+        edges.push((j.arrival_ms, rate));
+        edges.push((j.arrival_ms + window, -rate));
+    }
+    edges.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut cur = 0.0f64;
+    let mut peak = 0.0f64;
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_week_shape() {
+        let jobs = pipeline_week(&PipelineWeekSpec::default()).unwrap();
+        let s1 = jobs.iter().filter(|j| j.stage == Stage::RiskModelling).count();
+        let s2 = jobs.iter().filter(|j| j.stage == Stage::PortfolioRollup).count();
+        let s3 = jobs.iter().filter(|j| j.stage == Stage::Dfa).count();
+        let adhoc = jobs.iter().filter(|j| j.stage == Stage::AdHoc).count();
+        assert_eq!(s1, 7);
+        assert_eq!(s2, 1);
+        assert_eq!(s3, 1);
+        assert_eq!(adhoc, 5 * 24);
+        // All arrivals inside the week.
+        assert!(jobs.iter().all(|j| j.arrival_ms < WEEK_MS));
+    }
+
+    #[test]
+    fn stage2_dominates_work() {
+        let spec = PipelineWeekSpec::default();
+        let jobs = pipeline_week(&spec).unwrap();
+        let work = |s: Stage| -> u64 {
+            jobs.iter()
+                .filter(|j| j.stage == s)
+                .map(|j| j.work_core_ms())
+                .sum()
+        };
+        let s1 = work(Stage::RiskModelling);
+        let s2 = work(Stage::PortfolioRollup);
+        // The burst: stage 2 is well over an order of magnitude beyond
+        // a *week* of stage 1.
+        assert!(s2 > 10 * s1, "s2 {s2} vs s1-week {s1}");
+    }
+
+    #[test]
+    fn stage3_depends_on_stage2() {
+        let jobs = pipeline_week(&PipelineWeekSpec::default()).unwrap();
+        let s2 = jobs
+            .iter()
+            .position(|j| j.stage == Stage::PortfolioRollup)
+            .unwrap();
+        let s3 = jobs.iter().find(|j| j.stage == Stage::Dfa).unwrap();
+        assert_eq!(s3.after, Some(s2));
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let a = pipeline_week(&PipelineWeekSpec::default()).unwrap();
+        let b = pipeline_week(&PipelineWeekSpec::default()).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.arrival_ms, y.arrival_ms);
+            assert_eq!(x.tasks, y.tasks);
+        }
+        let c = pipeline_week(&PipelineWeekSpec {
+            seed: 999,
+            ..Default::default()
+        })
+        .unwrap();
+        let moved = a
+            .iter()
+            .zip(c.iter())
+            .any(|(x, y)| x.arrival_ms != y.arrival_ms);
+        assert!(moved, "different seed should jitter ad-hoc arrivals");
+    }
+
+    #[test]
+    fn validation_rejects_bad_jobs() {
+        let mut j = JobSpec {
+            name: "x".into(),
+            stage: Stage::AdHoc,
+            arrival_ms: 0,
+            tasks: 0,
+            task_ms: 1,
+            max_parallel: 0,
+            deadline_ms: None,
+            after: None,
+        };
+        assert!(j.validate().is_err());
+        j.tasks = 1;
+        j.task_ms = 0;
+        assert!(j.validate().is_err());
+        j.task_ms = 1;
+        assert!(j.validate().is_ok());
+        // Forward dependency rejected.
+        let jobs = vec![JobSpec {
+            after: Some(0),
+            ..j.clone()
+        }];
+        assert!(validate_workload(&jobs).is_err());
+    }
+
+    #[test]
+    fn work_and_peak_accounting() {
+        let jobs = vec![
+            JobSpec {
+                name: "a".into(),
+                stage: Stage::AdHoc,
+                arrival_ms: 0,
+                tasks: 10,
+                task_ms: 100,
+                max_parallel: 0,
+                deadline_ms: None,
+                after: None,
+            },
+            JobSpec {
+                name: "b".into(),
+                stage: Stage::AdHoc,
+                arrival_ms: 50,
+                tasks: 4,
+                task_ms: 100,
+                max_parallel: 2,
+                deadline_ms: None,
+                after: None,
+            },
+        ];
+        assert_eq!(total_work_core_ms(&jobs), 10 * 100 + 4 * 100);
+        // a runs 10-wide [0,100); b runs 2-wide [50,250) → peak 12.
+        assert_eq!(peak_parallel_demand(&jobs), 12);
+    }
+
+    #[test]
+    fn deadline_demand_is_rate_based() {
+        let jobs = vec![
+            JobSpec {
+                name: "burst".into(),
+                stage: Stage::PortfolioRollup,
+                arrival_ms: 0,
+                tasks: 1_000,
+                task_ms: 1_000,
+                max_parallel: 0,
+                deadline_ms: Some(10_000), // 1000 core-s over 10 s → 100 cores
+                after: None,
+            },
+            JobSpec {
+                name: "background".into(),
+                stage: Stage::RiskModelling,
+                arrival_ms: 5_000, // overlaps the burst window
+                tasks: 10,
+                task_ms: 1_000,
+                max_parallel: 0,
+                deadline_ms: Some(1_000), // 10 core-s over 1 s → 10 cores
+                after: None,
+            },
+        ];
+        assert_eq!(peak_deadline_demand(&jobs, WEEK_MS), 110);
+        // Far smaller than the run-everything-now bound.
+        assert!(peak_deadline_demand(&jobs, WEEK_MS) < peak_parallel_demand(&jobs));
+    }
+
+    #[test]
+    fn deadline_demand_uses_default_window_when_absent() {
+        let jobs = vec![JobSpec {
+            name: "lazy".into(),
+            stage: Stage::AdHoc,
+            arrival_ms: 0,
+            tasks: 100,
+            task_ms: 1_000,
+            max_parallel: 0,
+            deadline_ms: None,
+            after: None,
+        }];
+        // 100 core-s over a 50 s default window → 2 cores.
+        assert_eq!(peak_deadline_demand(&jobs, 50_000), 2);
+    }
+
+    #[test]
+    fn zero_task_ms_rejected() {
+        assert!(pipeline_week(&PipelineWeekSpec {
+            task_ms: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

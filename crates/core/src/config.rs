@@ -1,0 +1,209 @@
+//! Scenario configuration: one knob set sizing the whole pipeline.
+
+use riskpipe_aggregate::{LayerTerms, Portfolio};
+use riskpipe_catmodel::{
+    CatalogConfig, EltGenConfig, EventCatalog, ExposureConfig, ExposurePortfolio, Stage1Output,
+    YetConfig,
+};
+use riskpipe_exec::ThreadPool;
+use riskpipe_tables::yet::YearEventTable;
+use riskpipe_types::{RiskError, RiskResult};
+use std::sync::Arc;
+
+/// Sizing and seeding of a synthetic end-to-end scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Scenario name for reports.
+    pub name: String,
+    /// Catalogue events.
+    pub events: usize,
+    /// Expected event occurrences per contractual year.
+    pub annual_rate: f64,
+    /// Number of contracts (books / portfolio layers).
+    pub contracts: usize,
+    /// Exposed locations per contract.
+    pub locations_per_contract: usize,
+    /// Simulation trials.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-occurrence attachment as a fraction of a book's expected
+    /// event loss (layers attach above the working layer).
+    pub attachment_factor: f64,
+}
+
+impl ScenarioConfig {
+    /// A seconds-scale scenario for tests and quickstarts.
+    pub fn small() -> Self {
+        Self {
+            name: "small".into(),
+            events: 2_000,
+            annual_rate: 20.0,
+            contracts: 4,
+            locations_per_contract: 150,
+            trials: 2_000,
+            seed: 0x5EED,
+            attachment_factor: 0.5,
+        }
+    }
+
+    /// A minutes-scale scenario exercising chunking and parallelism.
+    pub fn medium() -> Self {
+        Self {
+            name: "medium".into(),
+            events: 20_000,
+            annual_rate: 100.0,
+            contracts: 16,
+            locations_per_contract: 500,
+            trials: 20_000,
+            seed: 0x5EED,
+            attachment_factor: 0.5,
+        }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the trial count.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    fn validate(&self) -> RiskResult<()> {
+        if self.events == 0 || self.contracts == 0 || self.trials == 0 {
+            return Err(RiskError::invalid(
+                "events, contracts and trials must be positive",
+            ));
+        }
+        if self.locations_per_contract == 0 {
+            return Err(RiskError::invalid("need at least one location"));
+        }
+        Ok(())
+    }
+
+    /// Run stage 1 for this scenario: generate the catalogue, one
+    /// exposure portfolio and ELT per contract, the YET, and a
+    /// ready-to-run portfolio with layer terms derived from each book's
+    /// loss profile.
+    pub fn build_stage1(&self) -> RiskResult<Stage1Bundle> {
+        self.build_stage1_on(riskpipe_exec::global_pool())
+    }
+
+    /// As [`ScenarioConfig::build_stage1`] on an explicit pool.
+    pub fn build_stage1_on(&self, pool: &ThreadPool) -> RiskResult<Stage1Bundle> {
+        self.validate()?;
+        let catalog = EventCatalog::generate(&CatalogConfig {
+            events: self.events,
+            total_annual_rate: self.annual_rate,
+            seed: self.seed ^ 0xCA7A_06,
+            ..CatalogConfig::default()
+        })?;
+        let exposures: Vec<ExposurePortfolio> = (0..self.contracts)
+            .map(|c| {
+                ExposurePortfolio::generate(&ExposureConfig {
+                    locations: self.locations_per_contract,
+                    seed: self.seed ^ (0xE4905 + c as u64 * 7919),
+                    ..ExposureConfig::default()
+                })
+            })
+            .collect::<RiskResult<_>>()?;
+        let output = Stage1Output::build(
+            catalog,
+            exposures,
+            EltGenConfig::default(),
+            YetConfig {
+                trials: self.trials,
+                seed: self.seed ^ 0x7E7,
+            },
+            pool,
+        )?;
+
+        // Layer terms: attach above `attachment_factor` × the book's
+        // mean event loss, with a limit an order of magnitude wider.
+        let mut parts = Vec::with_capacity(output.books.len());
+        for book in &output.books {
+            let mean_event_loss = book.elt.total_mean_loss() / book.elt.len().max(1) as f64;
+            let attach = self.attachment_factor * mean_event_loss;
+            let limit = 20.0 * mean_event_loss;
+            parts.push((LayerTerms::xl(attach, limit), Arc::clone(&book.elt)));
+        }
+        let portfolio = Portfolio::from_parts(parts)?;
+        Ok(Stage1Bundle { output, portfolio })
+    }
+}
+
+/// Stage-1 outputs plus the derived portfolio — everything stage 2
+/// consumes.
+#[derive(Debug, Clone)]
+pub struct Stage1Bundle {
+    /// Raw stage-1 output (catalogue, books, YET).
+    pub output: Stage1Output,
+    /// The portfolio with derived layer terms.
+    pub portfolio: Portfolio,
+}
+
+impl Stage1Bundle {
+    /// The portfolio (cheap: layers share ELTs via `Arc`).
+    pub fn portfolio(&self) -> Portfolio {
+        self.portfolio.clone()
+    }
+
+    /// The pre-simulated year-event table.
+    pub fn year_event_table(&self) -> Arc<YearEventTable> {
+        Arc::clone(&self.output.yet)
+    }
+}
+
+/// Backwards-compatible alias used in examples and docs.
+pub type PipelineConfig = ScenarioConfig;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_builds_everything() {
+        let bundle = ScenarioConfig::small().with_seed(1).build_stage1().unwrap();
+        assert_eq!(bundle.output.books.len(), 4);
+        assert_eq!(bundle.output.yet.trials(), 2_000);
+        assert_eq!(bundle.portfolio().len(), 4);
+        for book in &bundle.output.books {
+            assert!(!book.elt.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ScenarioConfig::small().with_seed(9).build_stage1().unwrap();
+        let b = ScenarioConfig::small().with_seed(9).build_stage1().unwrap();
+        assert_eq!(
+            a.output.books[0].elt.total_mean_loss(),
+            b.output.books[0].elt.total_mean_loss()
+        );
+        assert_eq!(
+            a.output.yet.total_occurrences(),
+            b.output.yet.total_occurrences()
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = ScenarioConfig::small();
+        cfg.trials = 0;
+        assert!(cfg.build_stage1().is_err());
+        let mut cfg = ScenarioConfig::small();
+        cfg.contracts = 0;
+        assert!(cfg.build_stage1().is_err());
+    }
+
+    #[test]
+    fn with_helpers_adjust_fields() {
+        let cfg = ScenarioConfig::small().with_seed(5).with_trials(77);
+        assert_eq!(cfg.seed, 5);
+        assert_eq!(cfg.trials, 77);
+    }
+}

@@ -1,0 +1,228 @@
+//! The paper's elasticity arithmetic (experiment E6): "while in the
+//! first stage less than ten processors may be sufficient to handle
+//! the data, in the second and third stages thousands or even tens of
+//! thousands of processors need to be put together".
+//!
+//! The model is deliberately simple — work ÷ (per-core throughput ×
+//! deadline), assuming the embarrassing parallelism the pipeline
+//! actually has — because that is the arithmetic behind the paper's
+//! burst claim. Throughputs are *measured* on this machine by the bench
+//! harness and fed in; workload sizes come from the paper's example
+//! scale.
+
+use riskpipe_tables::ScaleSpec;
+
+/// Measured single-core throughputs, in work units per second.
+#[derive(Debug, Clone, Copy)]
+pub struct StageThroughput {
+    /// Stage 1: event-exposure pairs evaluated per second (hazard +
+    /// vulnerability + financial per pair).
+    pub stage1_pairs_per_sec: f64,
+    /// Stage 2: trial-occurrence-layer probes per second.
+    pub stage2_probes_per_sec: f64,
+    /// Stage 3: trial-factor evaluations per second.
+    pub stage3_evals_per_sec: f64,
+}
+
+/// A reporting deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deadline {
+    /// The paper's status quo: weekly batch.
+    Weekly,
+    /// Overnight batch.
+    Daily,
+    /// One hour.
+    Hourly,
+    /// Interactive: one minute.
+    Minute,
+}
+
+impl Deadline {
+    /// The deadline in seconds.
+    pub fn seconds(&self) -> f64 {
+        match self {
+            Deadline::Weekly => 7.0 * 24.0 * 3600.0,
+            Deadline::Daily => 24.0 * 3600.0,
+            Deadline::Hourly => 3600.0,
+            Deadline::Minute => 60.0,
+        }
+    }
+
+    /// All deadlines, longest first.
+    pub const ALL: [Deadline; 4] = [
+        Deadline::Weekly,
+        Deadline::Daily,
+        Deadline::Hourly,
+        Deadline::Minute,
+    ];
+}
+
+impl std::fmt::Display for Deadline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Deadline::Weekly => "weekly",
+            Deadline::Daily => "daily",
+            Deadline::Hourly => "hourly",
+            Deadline::Minute => "1-minute",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Processors required per stage for one deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessorPlan {
+    /// The deadline the plan meets.
+    pub deadline_secs: u64,
+    /// Processors for stage 1.
+    pub stage1: u64,
+    /// Processors for stage 2.
+    pub stage2: u64,
+    /// Processors for stage 3.
+    pub stage3: u64,
+}
+
+impl ProcessorPlan {
+    /// Peak processors across stages (stages run serially, so the
+    /// cluster can be re-used — this is the burst size).
+    pub fn peak(&self) -> u64 {
+        self.stage1.max(self.stage2).max(self.stage3)
+    }
+
+    /// Ratio of peak to minimum stage need — the elasticity the paper
+    /// says makes cloud bursting attractive.
+    pub fn burst_ratio(&self) -> f64 {
+        let min = self.stage1.min(self.stage2).min(self.stage3).max(1);
+        self.peak() as f64 / min as f64
+    }
+}
+
+/// The elasticity model for a scale spec.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticModel {
+    /// Workload scale.
+    pub scale: ScaleSpec,
+    /// Measured per-core throughputs.
+    pub throughput: StageThroughput,
+    /// Number of distinct layer ELTs each occurrence probes (layers).
+    pub layers_per_occurrence: f64,
+    /// Locations resolved per (occurrence, layer) in stage 2 — the
+    /// YELLT-level detail the paper says portfolio management needs
+    /// (1 for YLT-only analysis; `scale.locations` for full drill-down).
+    pub locations_per_event: f64,
+    /// Risk-factor evaluations per trial in stage 3.
+    pub factors_per_trial: f64,
+}
+
+impl ElasticModel {
+    /// Total stage-1 work units: event × location pairs per contract.
+    pub fn stage1_work(&self) -> f64 {
+        self.scale.events as f64 * self.scale.locations as f64 * self.scale.contracts as f64
+    }
+
+    /// Total stage-2 work units: trials × occurrences × layers ×
+    /// location detail. At the paper's scale with full location
+    /// resolution this is the YELLT row count — the quantity that
+    /// forces "thousands of processors".
+    pub fn stage2_work(&self) -> f64 {
+        self.scale.trials as f64
+            * self.scale.events_per_year
+            * self.layers_per_occurrence
+            * self.locations_per_event
+    }
+
+    /// Total stage-3 work units: trials × factor evaluations (the YLT
+    /// join is per trial, across the whole enterprise).
+    pub fn stage3_work(&self) -> f64 {
+        self.scale.trials as f64 * self.factors_per_trial
+    }
+
+    /// Processors per stage to meet a deadline.
+    pub fn plan(&self, deadline: Deadline) -> ProcessorPlan {
+        let secs = deadline.seconds();
+        let need = |work: f64, rate: f64| -> u64 {
+            (work / (rate * secs)).ceil().max(1.0) as u64
+        };
+        ProcessorPlan {
+            deadline_secs: secs as u64,
+            stage1: need(self.stage1_work(), self.throughput.stage1_pairs_per_sec),
+            stage2: need(self.stage2_work(), self.throughput.stage2_probes_per_sec),
+            stage3: need(self.stage3_work(), self.throughput.stage3_evals_per_sec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Throughputs in the ballpark a 2012 core achieves in our
+    /// implementation (the bench harness measures the real values).
+    fn throughput() -> StageThroughput {
+        StageThroughput {
+            stage1_pairs_per_sec: 2.0e6,
+            stage2_probes_per_sec: 2.0e7,
+            stage3_evals_per_sec: 1.0e6,
+        }
+    }
+
+    fn model() -> ElasticModel {
+        ElasticModel {
+            scale: ScaleSpec::paper_example(),
+            throughput: throughput(),
+            layers_per_occurrence: 10_000.0, // every contract probed
+            locations_per_event: 1_000.0,    // full YELLT drill-down
+            factors_per_trial: 10_000.0 * 7.0,
+        }
+    }
+
+    #[test]
+    fn weekly_stage1_needs_under_ten_processors() {
+        // The paper's claim: stage 1 fits on < 10 processors at the
+        // weekly cadence.
+        let plan = model().plan(Deadline::Weekly);
+        assert!(plan.stage1 < 10, "stage1 = {}", plan.stage1);
+    }
+
+    #[test]
+    fn tighter_deadlines_need_thousands_downstream() {
+        let m = model();
+        let hourly = m.plan(Deadline::Hourly);
+        assert!(
+            hourly.stage2 > 1_000,
+            "stage2 at hourly = {}",
+            hourly.stage2
+        );
+        let minute = m.plan(Deadline::Minute);
+        assert!(minute.stage2 > hourly.stage2);
+    }
+
+    #[test]
+    fn burst_ratio_is_large() {
+        // The elastic gap between the smallest and largest stage need.
+        let plan = model().plan(Deadline::Daily);
+        assert!(plan.burst_ratio() > 10.0, "ratio {}", plan.burst_ratio());
+        assert_eq!(
+            plan.peak(),
+            plan.stage1.max(plan.stage2).max(plan.stage3)
+        );
+    }
+
+    #[test]
+    fn plans_scale_inversely_with_deadline() {
+        let m = model();
+        let weekly = m.plan(Deadline::Weekly);
+        let daily = m.plan(Deadline::Daily);
+        assert!(daily.stage2 >= weekly.stage2);
+        // 7x tighter deadline → ~7x more processors (within ceil noise).
+        let ratio = daily.stage2 as f64 / weekly.stage2 as f64;
+        assert!((ratio - 7.0).abs() < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deadlines_enumerate() {
+        assert_eq!(Deadline::ALL.len(), 4);
+        assert_eq!(Deadline::Weekly.seconds(), 604_800.0);
+        assert_eq!(Deadline::Minute.to_string(), "1-minute");
+    }
+}

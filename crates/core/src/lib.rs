@@ -1,0 +1,30 @@
+//! # riskpipe-core
+//!
+//! The three-stage risk-analytics pipeline itself — the paper's primary
+//! subject — assembled from the substrate crates:
+//!
+//! 1. **risk modelling** (`riskpipe-catmodel`): catalogue × exposure →
+//!    ELTs, plus the YET pre-simulation;
+//! 2. **portfolio risk management** (`riskpipe-aggregate`): Monte-Carlo
+//!    aggregate analysis → YLT (and optionally a YELT/YELLT spill to
+//!    sharded files);
+//! 3. **dynamic financial analysis** (`riskpipe-dfa`): the cat YLT
+//!    joined with every other enterprise risk.
+//!
+//! [`ScenarioConfig`] sizes a synthetic end-to-end scenario,
+//! [`Pipeline`] runs it with per-stage timings and data-volume
+//! accounting, and [`elastic`] converts measured throughputs into the
+//! paper's processor-burst arithmetic (<10 processors for stage 1,
+//! thousands for stages 2–3).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod elastic;
+pub mod pipeline;
+pub mod report;
+
+pub use config::{PipelineConfig, ScenarioConfig, Stage1Bundle};
+pub use elastic::{Deadline, ElasticModel, ProcessorPlan, StageThroughput};
+pub use pipeline::{DataStrategy, Pipeline, PipelineReport, StageTiming};
+pub use report::TextTable;

@@ -1,0 +1,133 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple ASCII table with a header row.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable cells.
+    pub fn row_display(&mut self, cells: &[&dyn fmt::Display]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+";
+        writeln!(f, "{sep}")?;
+        write!(f, "|")?;
+        for (h, w) in self.headers.iter().zip(&widths) {
+            write!(f, " {h:<w$} |", w = w)?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{sep}")?;
+        for row in &self.rows {
+            write!(f, "|")?;
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, " {cell:>w$} |", w = w)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{sep}")
+    }
+}
+
+/// Format a float with thousands separators and 2 decimals (for loss
+/// amounts in reports).
+pub fn money(v: f64) -> String {
+    let negative = v < 0.0;
+    // Round once at total-cents resolution so 999.999 → 1,000.00 rather
+    // than a 100-cent remainder.
+    let total_cents = (v.abs() * 100.0).round() as u128;
+    let whole = total_cents / 100;
+    let cents = (total_cents % 100) as u32;
+    let mut digits = whole.to_string();
+    let mut grouped = String::new();
+    while digits.len() > 3 {
+        let tail = digits.split_off(digits.len() - 3);
+        grouped = format!(",{tail}{grouped}");
+    }
+    grouped = format!("{digits}{grouped}");
+    format!("{}{grouped}.{cents:02}", if negative { "-" } else { "" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(&["engine", "time (s)"]);
+        t.row(&["sequential".into(), "10.0".into()]);
+        t.row(&["gpu".into(), "0.7".into()]);
+        let s = t.to_string();
+        assert!(s.contains("| engine "));
+        assert!(s.contains("sequential"));
+        // All lines same width.
+        let widths: Vec<usize> = s.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn money_formats_with_separators() {
+        assert_eq!(money(0.0), "0.00");
+        assert_eq!(money(1234.5), "1,234.50");
+        assert_eq!(money(1_000_000.25), "1,000,000.25");
+        assert_eq!(money(-98765.4), "-98,765.40");
+        assert_eq!(money(999.999), "1,000.00");
+    }
+}

@@ -1,0 +1,30 @@
+//! # riskpipe-db
+//!
+//! A small but real relational engine — the *baseline the paper argues
+//! against*. The paper's §II claim is that "traditional database
+//! management techniques do not fit the requirements of this stage as
+//! data needs to be scanned over rather than randomly access\[ed\]". To
+//! demonstrate that claim quantitatively (experiment E4) we need an
+//! actual row-store: slotted 8 KiB pages ([`page`]), heap files with
+//! page-read accounting ([`heap`]), a B+-tree secondary index
+//! ([`btree`]), and iterator-style query operators ([`exec`]).
+//!
+//! [`workload`] phrases aggregate analysis both ways — per-trial
+//! indexed random access vs. one streaming scan — over the same YELT
+//! table, and exposes the page-I/O counters that make the access-
+//! pattern argument measurable.
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod exec;
+pub mod heap;
+pub mod page;
+pub mod value;
+pub mod workload;
+
+pub use btree::BPlusTree;
+pub use heap::{HeapFile, RowId};
+pub use page::{Page, PAGE_SIZE};
+pub use value::{ColumnType, Row, Schema, Value};
+pub use workload::YeltTable;

@@ -1,0 +1,359 @@
+//! Dependence between risk factors: a small dense correlation-matrix
+//! type with Cholesky factorisation, and the Iman–Conover method for
+//! inducing a target rank correlation on independently simulated
+//! marginal samples.
+//!
+//! Iman–Conover is the standard DFA tool because it is
+//! distribution-free: each factor keeps its exact marginal (the values
+//! are only *reordered*), while the reordering imposes the desired
+//! Spearman correlation structure.
+
+use riskpipe_types::rng::{Pcg64, Rng64};
+use riskpipe_types::special::normal_icdf;
+use riskpipe_types::stats::ranks;
+use riskpipe_types::{RiskError, RiskResult};
+
+/// A symmetric positive-definite correlation matrix (dense, small k).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationMatrix {
+    k: usize,
+    /// Row-major k×k entries.
+    data: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// The identity (independence) matrix of dimension `k`.
+    pub fn identity(k: usize) -> Self {
+        let mut data = vec![0.0; k * k];
+        for i in 0..k {
+            data[i * k + i] = 1.0;
+        }
+        Self { k, data }
+    }
+
+    /// Build from row-major entries, validating symmetry, the unit
+    /// diagonal and positive-definiteness (via Cholesky).
+    pub fn new(k: usize, data: Vec<f64>) -> RiskResult<Self> {
+        if data.len() != k * k {
+            return Err(RiskError::invalid("correlation matrix size mismatch"));
+        }
+        let m = Self { k, data };
+        for i in 0..k {
+            if (m.get(i, i) - 1.0).abs() > 1e-12 {
+                return Err(RiskError::invalid("diagonal must be 1"));
+            }
+            for j in 0..i {
+                if (m.get(i, j) - m.get(j, i)).abs() > 1e-12 {
+                    return Err(RiskError::invalid("matrix must be symmetric"));
+                }
+                if m.get(i, j).abs() > 1.0 {
+                    return Err(RiskError::invalid("correlations must be in [-1,1]"));
+                }
+            }
+        }
+        m.cholesky()?; // PD check
+        Ok(m)
+    }
+
+    /// A matrix with a single off-diagonal value everywhere
+    /// (exchangeable correlation).
+    pub fn exchangeable(k: usize, rho: f64) -> RiskResult<Self> {
+        let mut data = vec![rho; k * k];
+        for i in 0..k {
+            data[i * k + i] = 1.0;
+        }
+        Self::new(k, data)
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.k
+    }
+
+    /// Entry (i, j).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.k + j]
+    }
+
+    /// Lower-triangular Cholesky factor `L` with `L Lᵀ = Σ`.
+    pub fn cholesky(&self) -> RiskResult<Vec<f64>> {
+        let k = self.k;
+        let mut l = vec![0.0f64; k * k];
+        for i in 0..k {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for p in 0..j {
+                    sum -= l[i * k + p] * l[j * k + p];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(RiskError::invalid(
+                            "correlation matrix is not positive definite",
+                        ));
+                    }
+                    l[i * k + i] = sum.sqrt();
+                } else {
+                    l[i * k + j] = sum / l[j * k + j];
+                }
+            }
+        }
+        Ok(l)
+    }
+}
+
+/// Invert a lower-triangular matrix (row-major k×k).
+fn invert_lower(l: &[f64], k: usize) -> Vec<f64> {
+    let mut inv = vec![0.0f64; k * k];
+    for i in 0..k {
+        inv[i * k + i] = 1.0 / l[i * k + i];
+        for j in 0..i {
+            let mut sum = 0.0;
+            for p in j..i {
+                sum += l[i * k + p] * inv[p * k + j];
+            }
+            inv[i * k + j] = -sum / l[i * k + i];
+        }
+    }
+    inv
+}
+
+/// Reorder `columns` in place so their Spearman rank correlation
+/// approximates `target`, preserving each column's marginal exactly
+/// (Iman & Conover, 1982).
+///
+/// All columns must share the same length `n ≥ 2`; `columns.len()` must
+/// equal `target.dim()`.
+pub fn iman_conover(
+    columns: &mut [Vec<f64>],
+    target: &CorrelationMatrix,
+    seed: u64,
+) -> RiskResult<()> {
+    let k = columns.len();
+    if k != target.dim() {
+        return Err(RiskError::invalid(format!(
+            "{} columns but target correlation is {}x{}",
+            k,
+            target.dim(),
+            target.dim()
+        )));
+    }
+    if k == 0 {
+        return Ok(());
+    }
+    let n = columns[0].len();
+    if columns.iter().any(|c| c.len() != n) {
+        return Err(RiskError::invalid("columns must have equal length"));
+    }
+    if n < 2 {
+        return Err(RiskError::invalid("need at least 2 rows"));
+    }
+
+    // 1. Score matrix: van der Waerden scores, independently shuffled
+    //    per column (row-major n×k).
+    let mut rng = Pcg64::new(seed);
+    let base_scores: Vec<f64> = (1..=n)
+        .map(|i| normal_icdf(i as f64 / (n + 1) as f64))
+        .collect();
+    let mut m = vec![0.0f64; n * k];
+    for c in 0..k {
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Fisher–Yates.
+        for i in (1..n).rev() {
+            let j = rng.next_below(i as u32 + 1) as usize;
+            perm.swap(i, j);
+        }
+        for r in 0..n {
+            m[r * k + c] = base_scores[perm[r]];
+        }
+    }
+
+    // 2. Current correlation of the scores.
+    let mut cur = vec![0.0f64; k * k];
+    for a in 0..k {
+        for b in 0..k {
+            let mut s = 0.0;
+            for r in 0..n {
+                s += m[r * k + a] * m[r * k + b];
+            }
+            cur[a * k + b] = s / (n as f64 - 1.0);
+        }
+    }
+    // Normalise to a unit diagonal (scores are near-unit variance).
+    let mut cur_norm = CorrelationMatrix::identity(k);
+    for a in 0..k {
+        for b in 0..k {
+            cur_norm.data[a * k + b] =
+                cur[a * k + b] / (cur[a * k + a].sqrt() * cur[b * k + b].sqrt());
+        }
+    }
+
+    // 3. Transform: M* = M (Q⁻¹)ᵀ Tᵀ with Q = chol(cur), T = chol(target).
+    let q = cur_norm.cholesky()?;
+    let t = target.cholesky()?;
+    let q_inv = invert_lower(&q, k);
+    // A = (Q⁻¹)ᵀ Tᵀ, i.e. A[p][c] = Σ_w q_inv[w][p] * t[c][w].
+    let mut a = vec![0.0f64; k * k];
+    for p in 0..k {
+        for c in 0..k {
+            let mut s = 0.0;
+            for w in 0..k {
+                s += q_inv[w * k + p] * t[c * k + w];
+            }
+            a[p * k + c] = s;
+        }
+    }
+    let mut m_star = vec![0.0f64; n * k];
+    for r in 0..n {
+        for c in 0..k {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += m[r * k + p] * a[p * k + c];
+            }
+            m_star[r * k + c] = s;
+        }
+    }
+
+    // 4. Reorder each data column to match the ranks of its score
+    //    column: the smallest data value goes where the smallest score
+    //    sits, and so on.
+    for c in 0..k {
+        let score_col: Vec<f64> = (0..n).map(|r| m_star[r * k + c]).collect();
+        let score_ranks = ranks(&score_col); // 1-based average ranks
+        let mut sorted = columns[c].clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let col = &mut columns[c];
+        for r in 0..n {
+            // rank 1 → smallest.
+            let idx = (score_ranks[r].round() as usize - 1).min(n - 1);
+            col[r] = sorted[idx];
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riskpipe_types::dist::{Distribution, Exponential, LogNormal};
+    use riskpipe_types::stats::spearman;
+
+    #[test]
+    fn identity_and_exchangeable_construct() {
+        let id = CorrelationMatrix::identity(3);
+        assert_eq!(id.get(0, 0), 1.0);
+        assert_eq!(id.get(0, 1), 0.0);
+        let ex = CorrelationMatrix::exchangeable(3, 0.5).unwrap();
+        assert_eq!(ex.get(0, 1), 0.5);
+        assert_eq!(ex.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn invalid_matrices_rejected() {
+        // Asymmetric.
+        assert!(CorrelationMatrix::new(2, vec![1.0, 0.5, 0.4, 1.0]).is_err());
+        // Bad diagonal.
+        assert!(CorrelationMatrix::new(2, vec![2.0, 0.0, 0.0, 1.0]).is_err());
+        // Not PD (rho = -1 exchangeable in 3 dims).
+        assert!(CorrelationMatrix::exchangeable(3, -0.9).is_err());
+        // Out of range.
+        assert!(CorrelationMatrix::new(2, vec![1.0, 1.5, 1.5, 1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let m = CorrelationMatrix::exchangeable(3, 0.4).unwrap();
+        let l = m.cholesky().unwrap();
+        // L Lᵀ = Σ.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for p in 0..3 {
+                    s += l[i * 3 + p] * l[j * 3 + p];
+                }
+                assert!((s - m.get(i, j)).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    fn sample_columns(n: usize) -> Vec<Vec<f64>> {
+        let mut rng = Pcg64::new(77);
+        let ln = LogNormal::from_mean_cv(100.0, 1.0);
+        let ex = Exponential::new(0.01);
+        let c0: Vec<f64> = ln.sample_n(&mut rng, n);
+        let c1: Vec<f64> = ex.sample_n(&mut rng, n);
+        let c2: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0).collect();
+        vec![c0, c1, c2]
+    }
+
+    #[test]
+    fn marginals_preserved_exactly() {
+        let mut cols = sample_columns(2_000);
+        let before: Vec<Vec<f64>> = cols
+            .iter()
+            .map(|c| {
+                let mut s = c.clone();
+                s.sort_unstable_by(f64::total_cmp);
+                s
+            })
+            .collect();
+        let target = CorrelationMatrix::exchangeable(3, 0.6).unwrap();
+        iman_conover(&mut cols, &target, 9).unwrap();
+        for (c, b) in cols.iter().zip(before.iter()) {
+            let mut s = c.clone();
+            s.sort_unstable_by(f64::total_cmp);
+            assert_eq!(&s, b, "marginal changed");
+        }
+    }
+
+    #[test]
+    fn induced_rank_correlation_near_target() {
+        let mut cols = sample_columns(4_000);
+        let target = CorrelationMatrix::exchangeable(3, 0.7).unwrap();
+        iman_conover(&mut cols, &target, 4).unwrap();
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let r = spearman(&cols[a], &cols[b]);
+                assert!(
+                    (r - 0.7).abs() < 0.05,
+                    "spearman({a},{b}) = {r}, want ~0.7"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_correlation_works() {
+        let mut cols = sample_columns(3_000);
+        let target = CorrelationMatrix::new(
+            3,
+            vec![1.0, -0.5, 0.0, -0.5, 1.0, 0.0, 0.0, 0.0, 1.0],
+        )
+        .unwrap();
+        iman_conover(&mut cols, &target, 11).unwrap();
+        let r01 = spearman(&cols[0], &cols[1]);
+        let r02 = spearman(&cols[0], &cols[2]);
+        assert!((r01 + 0.5).abs() < 0.06, "r01={r01}");
+        assert!(r02.abs() < 0.06, "r02={r02}");
+    }
+
+    #[test]
+    fn identity_target_leaves_near_independence() {
+        let mut cols = sample_columns(3_000);
+        iman_conover(&mut cols, &CorrelationMatrix::identity(3), 2).unwrap();
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                assert!(spearman(&cols[a], &cols[b]).abs() < 0.06);
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut cols = sample_columns(100);
+        let target = CorrelationMatrix::identity(2);
+        assert!(iman_conover(&mut cols, &target, 1).is_err());
+        let mut uneven = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(iman_conover(&mut uneven, &CorrelationMatrix::identity(2), 1).is_err());
+    }
+}

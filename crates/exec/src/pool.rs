@@ -1,0 +1,397 @@
+//! The work-stealing thread pool.
+//!
+//! Architecture (after the crossbeam-deque design notes and the parking
+//! patterns in *Rust Atomics and Locks*):
+//!
+//! * every worker owns a LIFO [`Worker`] deque; spawned tasks go to a
+//!   shared [`Injector`];
+//! * a worker looks for work in order: own deque → injector (batch
+//!   steal) → sibling deques;
+//! * with no work anywhere, the worker parks on a condvar; every inject
+//!   notifies one parked worker;
+//! * [`ThreadPool::scope`] lets tasks borrow from the caller's stack: the
+//!   scope blocks until all of its tasks complete, and while blocked it
+//!   *executes queued tasks itself* so nested scopes cannot deadlock the
+//!   pool;
+//! * a panic inside a task is caught, recorded, and re-raised from the
+//!   scope that spawned it.
+
+use crate::stats::ExecStats;
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    stats: ExecStats,
+}
+
+impl PoolShared {
+    /// Try to obtain a job from the injector or any sibling deque.
+    fn find_job(&self, own: Option<&Worker<Job>>) -> Option<Job> {
+        if let Some(w) = own {
+            if let Some(job) = w.pop() {
+                return Some(job);
+            }
+        }
+        loop {
+            // Batch-steal from the injector into our deque when we have
+            // one, otherwise take a single job.
+            let steal = match own {
+                Some(w) => self.injector.steal_batch_and_pop(w),
+                None => self.injector.steal(),
+            };
+            match steal {
+                crossbeam_deque::Steal::Success(job) => return Some(job),
+                crossbeam_deque::Steal::Empty => break,
+                crossbeam_deque::Steal::Retry => continue,
+            }
+        }
+        for st in &self.stealers {
+            loop {
+                match st.steal() {
+                    crossbeam_deque::Steal::Success(job) => {
+                        self.stats.record_stolen();
+                        return Some(job);
+                    }
+                    crossbeam_deque::Steal::Empty => break,
+                    crossbeam_deque::Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A work-stealing thread pool. See the module docs for the design.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` worker threads (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Injector::new(),
+            stealers,
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: ExecStats::new(),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, worker)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("riskpipe-worker-{i}"))
+                    .spawn(move || worker_loop(worker, shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &ExecStats {
+        &self.shared.stats
+    }
+
+    /// Spawn a detached `'static` task.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.inject(Box::new(f));
+    }
+
+    fn inject(&self, job: Job) {
+        self.shared.stats.record_injected();
+        self.shared.injector.push(job);
+        // Wake one parked worker, if any.
+        let _guard = self.shared.sleep_lock.lock();
+        self.shared.wake.notify_one();
+    }
+
+    /// Run `f` with a [`Scope`] that can spawn tasks borrowing from the
+    /// enclosing stack frame. Returns when every spawned task has
+    /// finished. If any task panicked, the panic is re-raised here.
+    pub fn scope<'scope, R>(&'scope self, f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            pending: Arc::new(AtomicUsize::new(0)),
+            panicked: Arc::new(AtomicBool::new(false)),
+            _marker: PhantomData,
+        };
+        let result = f(&scope);
+        // Wait for completion, helping with queued work meanwhile.
+        while scope.pending.load(Ordering::Acquire) != 0 {
+            if let Some(job) = self.shared.find_job(None) {
+                self.shared.stats.record_helper_run();
+                job();
+            } else {
+                let mut guard = self.shared.sleep_lock.lock();
+                if scope.pending.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                // Short timeout: completion is signalled through `wake`,
+                // but the timeout bounds any missed-wakeup window.
+                self.shared
+                    .wake
+                    .wait_for(&mut guard, Duration::from_micros(200));
+            }
+        }
+        if scope.panicked.load(Ordering::Acquire) {
+            panic!("a task spawned in ThreadPool::scope panicked");
+        }
+        result
+    }
+}
+
+impl Default for ThreadPool {
+    /// A pool sized to `std::thread::available_parallelism()`.
+    fn default() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(n)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.sleep_lock.lock();
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("tasks_executed", &self.shared.stats.tasks_executed())
+            .finish()
+    }
+}
+
+fn worker_loop(worker: Worker<Job>, shared: Arc<PoolShared>) {
+    loop {
+        if let Some(job) = shared.find_job(Some(&worker)) {
+            shared.stats.record_executed();
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut guard = shared.sleep_lock.lock();
+        // Re-check under the lock so an inject between our failed
+        // find_job and this park cannot be missed.
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if !shared.injector.is_empty() {
+            continue;
+        }
+        shared.wake.wait_for(&mut guard, Duration::from_millis(50));
+    }
+}
+
+/// A scope handle for spawning borrowed tasks; created by
+/// [`ThreadPool::scope`].
+pub struct Scope<'scope> {
+    pool: &'scope ThreadPool,
+    pending: Arc<AtomicUsize>,
+    panicked: Arc<AtomicBool>,
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that may borrow data outliving the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let pending = Arc::clone(&self.pending);
+        let panicked = Arc::clone(&self.panicked);
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            if result.is_err() {
+                panicked.store(true, Ordering::Release);
+            }
+            pending.fetch_sub(1, Ordering::AcqRel);
+        });
+        // SAFETY: `ThreadPool::scope` does not return until `pending`
+        // reaches zero, i.e. until this closure has run to completion, so
+        // all `'scope` borrows inside the closure remain valid for the
+        // closure's whole execution. Erasing the lifetime to 'static is
+        // therefore sound — the same argument rayon::scope makes.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapped)
+        };
+        self.pool.inject(job);
+    }
+
+    /// The pool this scope runs on.
+    pub fn pool(&self) -> &ThreadPool {
+        self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spawn_executes_detached_tasks() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Drain by scoping on nothing plus polling.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counter.load(Ordering::Relaxed) < 100 {
+            assert!(std::time::Instant::now() < deadline, "tasks did not finish");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let pool = ThreadPool::new(4);
+        let mut results = vec![0u64; 64];
+        pool.scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move || {
+                    *slot = (i * i) as u64;
+                });
+            }
+        });
+        for (i, &v) in results.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(2);
+        let v = pool.scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let total = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&pool);
+        let t2 = Arc::clone(&total);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let p = Arc::clone(&p2);
+                let t = Arc::clone(&t2);
+                s.spawn(move || {
+                    // Inner scope executed on a worker thread.
+                    p.scope(|inner| {
+                        for _ in 0..4 {
+                            let t = Arc::clone(&t);
+                            inner.spawn(move || {
+                                t.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panics_propagate_from_scope() {
+        let pool = ThreadPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives the panic and remains usable.
+        let v = pool.scope(|_| 7);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        pool.scope(|s| {
+            for _ in 0..32 {
+                let c = Arc::clone(&counter);
+                s.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn stats_record_activity() {
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    std::hint::black_box(1 + 1);
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.tasks_injected(), 16);
+        assert!(stats.tasks_executed() + stats.helper_runs() >= 16);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(3);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {});
+            }
+        });
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,81 @@
+//! Execution statistics collected by the pool via relaxed atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing pool activity. All loads/stores are `Relaxed`:
+/// the numbers are diagnostics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    tasks_executed: AtomicU64,
+    tasks_stolen: AtomicU64,
+    tasks_injected: AtomicU64,
+    helper_runs: AtomicU64,
+}
+
+impl ExecStats {
+    /// New zeroed counters.
+    pub const fn new() -> Self {
+        Self {
+            tasks_executed: AtomicU64::new(0),
+            tasks_stolen: AtomicU64::new(0),
+            tasks_injected: AtomicU64::new(0),
+            helper_runs: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_executed(&self) {
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stolen(&self) {
+        self.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_injected(&self) {
+        self.tasks_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_helper_run(&self) {
+        self.helper_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total tasks executed by workers and helpers.
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks_executed.load(Ordering::Relaxed)
+    }
+
+    /// Tasks obtained by stealing from a sibling worker's deque.
+    pub fn tasks_stolen(&self) -> u64 {
+        self.tasks_stolen.load(Ordering::Relaxed)
+    }
+
+    /// Tasks pushed through the shared injector.
+    pub fn tasks_injected(&self) -> u64 {
+        self.tasks_injected.load(Ordering::Relaxed)
+    }
+
+    /// Tasks executed by threads *waiting* on a scope (the "help first"
+    /// policy that makes nested parallelism deadlock-free).
+    pub fn helper_runs(&self) -> u64 {
+        self.helper_runs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ExecStats::new();
+        s.record_executed();
+        s.record_executed();
+        s.record_stolen();
+        s.record_injected();
+        s.record_helper_run();
+        assert_eq!(s.tasks_executed(), 2);
+        assert_eq!(s.tasks_stolen(), 1);
+        assert_eq!(s.tasks_injected(), 1);
+        assert_eq!(s.helper_runs(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Exceedance-probability curves and probable maximum loss.
+//!
+//! An EP curve maps a loss threshold to the annual probability of
+//! exceeding it. The **AEP** curve uses each trial's aggregate annual
+//! loss; the **OEP** curve uses each trial's maximum single-occurrence
+//! loss. PML at return period `T` is the loss with exceedance
+//! probability `1/T` — the `1 − 1/T` quantile of the relevant empirical
+//! distribution.
+
+use riskpipe_tables::Ylt;
+use riskpipe_types::stats::quantile_sorted;
+
+/// Which loss perspective a curve is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpKind {
+    /// Aggregate exceedance probability (annual aggregate losses).
+    Aep,
+    /// Occurrence exceedance probability (maximum occurrence losses).
+    Oep,
+}
+
+/// One point of an EP curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpPoint {
+    /// Return period in years.
+    pub return_period: f64,
+    /// Exceedance probability (= 1 / return period).
+    pub probability: f64,
+    /// Loss at that return period.
+    pub loss: f64,
+}
+
+/// An empirical exceedance-probability curve.
+#[derive(Debug, Clone)]
+pub struct EpCurve {
+    kind: EpKind,
+    /// Losses sorted ascending.
+    sorted: Vec<f64>,
+}
+
+impl EpCurve {
+    /// Build the aggregate (AEP) curve from a YLT.
+    pub fn aggregate(ylt: &Ylt) -> Self {
+        Self {
+            kind: EpKind::Aep,
+            sorted: ylt.sorted_agg_losses(),
+        }
+    }
+
+    /// Build the occurrence (OEP) curve from a YLT.
+    pub fn occurrence(ylt: &Ylt) -> Self {
+        Self {
+            kind: EpKind::Oep,
+            sorted: ylt.sorted_max_occ_losses(),
+        }
+    }
+
+    /// Build from a raw loss sample (sorted internally).
+    pub fn from_losses(kind: EpKind, mut losses: Vec<f64>) -> Self {
+        assert!(!losses.is_empty(), "EP curve needs at least one loss");
+        losses.sort_unstable_by(f64::total_cmp);
+        Self {
+            kind,
+            sorted: losses,
+        }
+    }
+
+    /// The curve's perspective.
+    pub fn kind(&self) -> EpKind {
+        self.kind
+    }
+
+    /// Number of trials behind the curve.
+    pub fn trials(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Empirical probability that the annual loss exceeds `threshold`.
+    pub fn prob_exceed(&self, threshold: f64) -> f64 {
+        // Count losses strictly greater via binary search on the sorted
+        // slice (partition_point gives the first index > threshold).
+        let idx = self.sorted.partition_point(|&l| l <= threshold);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+
+    /// Loss at a return period: the `1 − 1/T` quantile. `T` must exceed
+    /// 1 year and should not exceed the trial count (beyond it, the
+    /// empirical quantile saturates at the sample maximum).
+    pub fn loss_at_return_period(&self, years: f64) -> f64 {
+        assert!(years > 1.0, "return period must exceed 1 year");
+        let q = 1.0 - 1.0 / years;
+        quantile_sorted(&self.sorted, q)
+    }
+
+    /// Probable maximum loss at a return period — the industry name for
+    /// [`EpCurve::loss_at_return_period`].
+    pub fn pml(&self, years: f64) -> f64 {
+        self.loss_at_return_period(years)
+    }
+
+    /// The curve sampled at standard reporting return periods
+    /// (those not exceeding the trial count).
+    pub fn standard_points(&self) -> Vec<EpPoint> {
+        const STANDARD_RPS: [f64; 8] = [2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0];
+        STANDARD_RPS
+            .iter()
+            .filter(|&&rp| rp <= self.sorted.len() as f64)
+            .map(|&rp| EpPoint {
+                return_period: rp,
+                probability: 1.0 / rp,
+                loss: self.loss_at_return_period(rp),
+            })
+            .collect()
+    }
+
+    /// The full curve as `n` evenly spaced quantile points (for
+    /// plotting / figure regeneration).
+    pub fn sample_points(&self, n: usize) -> Vec<EpPoint> {
+        assert!(n >= 2);
+        (1..=n)
+            .map(|i| {
+                let q = i as f64 / (n + 1) as f64;
+                let rp = 1.0 / (1.0 - q);
+                EpPoint {
+                    return_period: rp,
+                    probability: 1.0 - q,
+                    loss: quantile_sorted(&self.sorted, q),
+                }
+            })
+            .collect()
+    }
+
+    /// The sorted losses backing the curve.
+    pub fn sorted_losses(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riskpipe_types::TrialId;
+
+    fn ylt_linear(n: usize) -> Ylt {
+        // Trial t has aggregate loss t and max-occurrence loss t/2.
+        let mut y = Ylt::zeroed(n);
+        for t in 0..n {
+            y.set_trial(
+                TrialId::new(t as u32),
+                t as f64,
+                t as f64 / 2.0,
+                1,
+            );
+        }
+        y
+    }
+
+    #[test]
+    fn prob_exceed_on_known_sample() {
+        let curve = EpCurve::from_losses(EpKind::Aep, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(curve.prob_exceed(0.0), 1.0);
+        assert_eq!(curve.prob_exceed(1.0), 0.75);
+        assert_eq!(curve.prob_exceed(2.5), 0.5);
+        assert_eq!(curve.prob_exceed(4.0), 0.0);
+    }
+
+    #[test]
+    fn pml_is_the_right_quantile() {
+        // Uniform losses 0..999: the 100-year PML is the 0.99 quantile.
+        let curve = EpCurve::aggregate(&ylt_linear(1000));
+        let pml100 = curve.pml(100.0);
+        assert!((pml100 - 0.99 * 999.0).abs() < 1.0, "pml={pml100}");
+        let pml10 = curve.pml(10.0);
+        assert!((pml10 - 0.9 * 999.0).abs() < 1.0);
+        assert!(pml100 > pml10);
+    }
+
+    #[test]
+    fn occurrence_curve_uses_max_losses() {
+        let ylt = ylt_linear(100);
+        let aep = EpCurve::aggregate(&ylt);
+        let oep = EpCurve::occurrence(&ylt);
+        assert_eq!(oep.kind(), EpKind::Oep);
+        // Max-occurrence losses are half the aggregate in this fixture.
+        assert!((oep.pml(50.0) - aep.pml(50.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_points_respect_trial_count() {
+        let small = EpCurve::aggregate(&ylt_linear(30));
+        let rps: Vec<f64> = small.standard_points().iter().map(|p| p.return_period).collect();
+        assert_eq!(rps, vec![2.0, 5.0, 10.0, 25.0]);
+        let big = EpCurve::aggregate(&ylt_linear(1000));
+        assert_eq!(big.standard_points().len(), 8);
+    }
+
+    #[test]
+    fn sample_points_are_monotone() {
+        let curve = EpCurve::aggregate(&ylt_linear(500));
+        let pts = curve.sample_points(50);
+        assert_eq!(pts.len(), 50);
+        for w in pts.windows(2) {
+            assert!(w[1].loss >= w[0].loss);
+            assert!(w[1].return_period > w[0].return_period);
+            assert!(w[1].probability < w[0].probability);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn return_period_below_one_year_panics() {
+        EpCurve::aggregate(&ylt_linear(10)).pml(1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_losses_panic() {
+        EpCurve::from_losses(EpKind::Aep, vec![]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # riskpipe-metrics
+//!
+//! Portfolio risk metrics computed from Year-Loss Tables — the numbers
+//! the paper says reinsurers derive from the YLT "for both internal risk
+//! management and reporting to regulators and rating agencies":
+//!
+//! * **EP curves** ([`EpCurve`]): aggregate (AEP) and occurrence (OEP)
+//!   exceedance-probability curves;
+//! * **PML** ([`EpCurve::pml`]): probable maximum loss at a return
+//!   period (the `1 − 1/T` quantile);
+//! * **VaR / TVaR** ([`var`], [`tvar`], [`RiskMeasures`]): quantile and
+//!   tail-conditional-expectation risk measures, with order-statistic
+//!   and bootstrap confidence intervals;
+//! * **convergence diagnostics** ([`ConvergenceStudy`]): how metric
+//!   estimates stabilise with trial count — the justification for the
+//!   paper's "the more simulation trials you can run, the better".
+
+#![warn(missing_docs)]
+
+mod bootstrap;
+pub mod convergence;
+mod ep;
+mod measures;
+
+pub use bootstrap::{bootstrap_ci, BootstrapConfig};
+pub use convergence::{ConvergenceRow, ConvergenceStudy, Metric};
+pub use ep::{EpCurve, EpKind, EpPoint};
+pub use measures::{tvar, tvar_sorted, var, var_sorted, RiskMeasures};

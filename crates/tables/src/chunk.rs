@@ -1,0 +1,225 @@
+//! Chunked columnar storage.
+//!
+//! A [`ChunkedColumn`] holds a logically contiguous column as a list of
+//! fixed-capacity boxed slices. This is the "chunking" the paper calls
+//! out for managing large data in accumulated memory: chunks are sized
+//! to a memory budget (e.g. the simulated GPU's shared memory, or an L2
+//! slice on CPU), appended without reallocation-and-copy of the whole
+//! column, and streamed chunk-by-chunk during scans.
+
+use std::fmt;
+
+/// Default chunk capacity in elements (1 MiB of f64s).
+pub const DEFAULT_CHUNK_CAP: usize = 128 * 1024;
+
+/// A column of `T` stored as fixed-capacity chunks.
+#[derive(Clone)]
+pub struct ChunkedColumn<T> {
+    chunks: Vec<Vec<T>>,
+    chunk_cap: usize,
+    len: usize,
+}
+
+impl<T: Copy> ChunkedColumn<T> {
+    /// New column with the default chunk capacity.
+    pub fn new() -> Self {
+        Self::with_chunk_capacity(DEFAULT_CHUNK_CAP)
+    }
+
+    /// New column with a specific chunk capacity (elements per chunk).
+    ///
+    /// # Panics
+    /// Panics if `chunk_cap` is zero.
+    pub fn with_chunk_capacity(chunk_cap: usize) -> Self {
+        assert!(chunk_cap > 0, "chunk capacity must be positive");
+        Self {
+            chunks: Vec::new(),
+            chunk_cap,
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Elements per full chunk.
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_cap
+    }
+
+    /// Append one element.
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        if self
+            .chunks
+            .last()
+            .map(|c| c.len() == self.chunk_cap)
+            .unwrap_or(true)
+        {
+            self.chunks.push(Vec::with_capacity(self.chunk_cap));
+        }
+        self.chunks.last_mut().expect("chunk exists").push(v);
+        self.len += 1;
+    }
+
+    /// Append a slice (chunk-aware bulk copy).
+    pub fn extend_from_slice(&mut self, mut vs: &[T]) {
+        while !vs.is_empty() {
+            let need_new = self
+                .chunks
+                .last()
+                .map(|c| c.len() == self.chunk_cap)
+                .unwrap_or(true);
+            if need_new {
+                self.chunks.push(Vec::with_capacity(self.chunk_cap));
+            }
+            let tail = self.chunks.last_mut().expect("chunk exists");
+            let room = self.chunk_cap - tail.len();
+            let take = room.min(vs.len());
+            tail.extend_from_slice(&vs[..take]);
+            self.len += take;
+            vs = &vs[take..];
+        }
+    }
+
+    /// Random access (used in tests; scans should iterate chunks).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<T> {
+        if i >= self.len {
+            return None;
+        }
+        let c = i / self.chunk_cap;
+        let o = i % self.chunk_cap;
+        Some(self.chunks[c][o])
+    }
+
+    /// Iterate over the chunks as slices — the streaming access path.
+    pub fn chunks(&self) -> impl Iterator<Item = &[T]> {
+        self.chunks.iter().map(|c| c.as_slice())
+    }
+
+    /// Iterate over every element in order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.chunks().flat_map(|c| c.iter().copied())
+    }
+
+    /// Copy the column into one contiguous vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in self.chunks() {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes (capacity, not just length —
+    /// this is what a memory budget must account for).
+    pub fn memory_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<T>())
+            .sum::<usize>()
+            + self.chunks.capacity() * std::mem::size_of::<Vec<T>>()
+    }
+}
+
+impl<T: Copy> Default for ChunkedColumn<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> FromIterator<T> for ChunkedColumn<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut c = Self::new();
+        for v in iter {
+            c.push(v);
+        }
+        c
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for ChunkedColumn<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChunkedColumn")
+            .field("len", &self.len)
+            .field("chunks", &self.chunks.len())
+            .field("chunk_cap", &self.chunk_cap)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_across_chunk_boundary() {
+        let mut c = ChunkedColumn::with_chunk_capacity(4);
+        for i in 0..10u32 {
+            c.push(i);
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.chunk_count(), 3);
+        for i in 0..10u32 {
+            assert_eq!(c.get(i as usize), Some(i));
+        }
+        assert_eq!(c.get(10), None);
+    }
+
+    #[test]
+    fn extend_from_slice_spans_chunks() {
+        let mut c = ChunkedColumn::with_chunk_capacity(3);
+        c.push(0u64);
+        c.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.to_vec(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // All chunks except possibly the last are exactly full.
+        let sizes: Vec<usize> = c.chunks().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn iter_matches_to_vec() {
+        let c: ChunkedColumn<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let via_iter: Vec<f64> = c.iter().collect();
+        assert_eq!(via_iter, c.to_vec());
+    }
+
+    #[test]
+    fn empty_column() {
+        let c: ChunkedColumn<u32> = ChunkedColumn::new();
+        assert!(c.is_empty());
+        assert_eq!(c.chunk_count(), 0);
+        assert_eq!(c.to_vec(), Vec::<u32>::new());
+        assert_eq!(c.get(0), None);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_chunks() {
+        let mut c = ChunkedColumn::<f64>::with_chunk_capacity(1024);
+        let empty = c.memory_bytes();
+        for i in 0..2048 {
+            c.push(i as f64);
+        }
+        assert!(c.memory_bytes() >= empty + 2 * 1024 * 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_capacity_panics() {
+        ChunkedColumn::<u32>::with_chunk_capacity(0);
+    }
+}

@@ -1,0 +1,651 @@
+//! Binary encoding of the pipeline's tables: framed, CRC-checked,
+//! little-endian column dumps.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! magic   u32   "RPTB" (0x42545052 LE)
+//! version u16   format version (currently 1)
+//! kind    u8    table kind (see TableKind)
+//! _pad    u8    reserved, zero
+//! len     u64   payload byte length
+//! crc32   u32   IEEE CRC-32 of the payload
+//! payload [u8]  column data: per column, a u64 element count followed
+//!               by the raw little-endian element bytes
+//! ```
+//!
+//! Several frames may be concatenated in one file (the sharded YELLT
+//! spill writes one frame per chunk), so decoding is streaming-friendly:
+//! a reader can skip a frame from its header alone.
+
+use crate::elt::{elt_from_columns, Elt};
+use crate::yellt::YelltChunk;
+use crate::yelt::Yelt;
+use crate::yet::YearEventTable;
+use crate::ylt::Ylt;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use riskpipe_types::{RiskError, RiskResult};
+
+/// Frame magic: "RPTB" little-endian.
+pub const MAGIC: u32 = 0x4254_5052;
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Frame header size in bytes.
+pub const HEADER_BYTES: usize = 4 + 2 + 1 + 1 + 8 + 4;
+
+/// Table kinds carried in frame headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TableKind {
+    /// Event-loss table.
+    Elt = 1,
+    /// Year-event table.
+    Yet = 2,
+    /// Year-event-loss table.
+    Yelt = 3,
+    /// Year-loss table.
+    Ylt = 4,
+    /// A chunk of year-event-location-loss rows.
+    YelltChunk = 5,
+    /// A materialised warehouse cuboid (payload layout owned by
+    /// `riskpipe-warehouse::store`).
+    Cuboid = 6,
+}
+
+impl TableKind {
+    /// Parse from the header byte.
+    pub fn from_u8(v: u8) -> RiskResult<Self> {
+        match v {
+            1 => Ok(TableKind::Elt),
+            2 => Ok(TableKind::Yet),
+            3 => Ok(TableKind::Yelt),
+            4 => Ok(TableKind::Ylt),
+            5 => Ok(TableKind::YelltChunk),
+            6 => Ok(TableKind::Cuboid),
+            _ => Err(RiskError::corrupt(format!("unknown table kind {v}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, computed at compile time.
+// ---------------------------------------------------------------------
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// IEEE CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Column put/get helpers.
+// ---------------------------------------------------------------------
+
+fn put_u16s(buf: &mut BytesMut, xs: &[u16]) {
+    buf.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        buf.put_u16_le(x);
+    }
+}
+
+fn put_u32s(buf: &mut BytesMut, xs: &[u32]) {
+    buf.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        buf.put_u32_le(x);
+    }
+}
+
+fn put_u64s(buf: &mut BytesMut, xs: &[u64]) {
+    buf.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        buf.put_u64_le(x);
+    }
+}
+
+fn put_f64s(buf: &mut BytesMut, xs: &[f64]) {
+    buf.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        buf.put_f64_le(x);
+    }
+}
+
+fn check_remaining(buf: &impl Buf, need: usize, what: &str) -> RiskResult<()> {
+    if buf.remaining() < need {
+        return Err(RiskError::corrupt(format!(
+            "truncated column {what}: need {need} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+fn get_len(buf: &mut impl Buf, what: &str) -> RiskResult<usize> {
+    check_remaining(buf, 8, what)?;
+    let n = buf.get_u64_le();
+    if n > (1 << 40) {
+        return Err(RiskError::corrupt(format!(
+            "implausible column length {n} for {what}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn get_u16s(buf: &mut impl Buf, what: &str) -> RiskResult<Vec<u16>> {
+    let n = get_len(buf, what)?;
+    check_remaining(buf, n * 2, what)?;
+    Ok((0..n).map(|_| buf.get_u16_le()).collect())
+}
+
+fn get_u32s(buf: &mut impl Buf, what: &str) -> RiskResult<Vec<u32>> {
+    let n = get_len(buf, what)?;
+    check_remaining(buf, n * 4, what)?;
+    Ok((0..n).map(|_| buf.get_u32_le()).collect())
+}
+
+fn get_u64s(buf: &mut impl Buf, what: &str) -> RiskResult<Vec<u64>> {
+    let n = get_len(buf, what)?;
+    check_remaining(buf, n * 8, what)?;
+    Ok((0..n).map(|_| buf.get_u64_le()).collect())
+}
+
+fn get_f64s(buf: &mut impl Buf, what: &str) -> RiskResult<Vec<f64>> {
+    let n = get_len(buf, what)?;
+    check_remaining(buf, n * 8, what)?;
+    Ok((0..n).map(|_| buf.get_f64_le()).collect())
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/// Wrap a payload in a checked frame.
+pub fn frame(kind: TableKind, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_BYTES + payload.len());
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(kind as u8);
+    buf.put_u8(0);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_u32_le(crc32(payload));
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Parse the next frame from `data`, returning `(kind, payload,
+/// bytes_consumed)`.
+pub fn unframe(data: &[u8]) -> RiskResult<(TableKind, &[u8], usize)> {
+    if data.len() < HEADER_BYTES {
+        return Err(RiskError::corrupt("frame header truncated"));
+    }
+    let mut h = &data[..HEADER_BYTES];
+    let magic = h.get_u32_le();
+    if magic != MAGIC {
+        return Err(RiskError::corrupt(format!("bad magic {magic:#010x}")));
+    }
+    let version = h.get_u16_le();
+    if version != VERSION {
+        return Err(RiskError::corrupt(format!("unsupported version {version}")));
+    }
+    let kind = TableKind::from_u8(h.get_u8())?;
+    let _pad = h.get_u8();
+    let len = h.get_u64_le() as usize;
+    let crc_expect = h.get_u32_le();
+    let total = HEADER_BYTES + len;
+    if data.len() < total {
+        return Err(RiskError::corrupt(format!(
+            "frame payload truncated: want {len} bytes"
+        )));
+    }
+    let payload = &data[HEADER_BYTES..total];
+    let crc_actual = crc32(payload);
+    if crc_actual != crc_expect {
+        return Err(RiskError::corrupt(format!(
+            "crc mismatch: stored {crc_expect:#010x}, computed {crc_actual:#010x}"
+        )));
+    }
+    Ok((kind, payload, total))
+}
+
+// ---------------------------------------------------------------------
+// Table codecs.
+// ---------------------------------------------------------------------
+
+/// Encode an ELT as one frame.
+pub fn encode_elt(elt: &Elt) -> Bytes {
+    let (ids, mean, si, sc, exp) = elt.columns();
+    let mut p = BytesMut::new();
+    put_u32s(&mut p, ids);
+    put_f64s(&mut p, mean);
+    put_f64s(&mut p, si);
+    put_f64s(&mut p, sc);
+    put_f64s(&mut p, exp);
+    frame(TableKind::Elt, &p)
+}
+
+/// Decode an ELT frame.
+pub fn decode_elt(data: &[u8]) -> RiskResult<Elt> {
+    let (kind, payload, _) = unframe(data)?;
+    if kind != TableKind::Elt {
+        return Err(RiskError::corrupt(format!("expected ELT frame, got {kind:?}")));
+    }
+    let mut p = payload;
+    let ids = get_u32s(&mut p, "elt.event_ids")?;
+    let mean = get_f64s(&mut p, "elt.mean_loss")?;
+    let si = get_f64s(&mut p, "elt.sigma_i")?;
+    let sc = get_f64s(&mut p, "elt.sigma_c")?;
+    let exp = get_f64s(&mut p, "elt.exposure")?;
+    elt_from_columns(ids, mean, si, sc, exp)
+}
+
+/// Encode a YET as one frame.
+pub fn encode_yet(yet: &YearEventTable) -> Bytes {
+    let (off, ids, days, z) = yet.columns();
+    let mut p = BytesMut::new();
+    put_u64s(&mut p, off);
+    put_u32s(&mut p, ids);
+    put_u16s(&mut p, days);
+    put_f64s(&mut p, z);
+    frame(TableKind::Yet, &p)
+}
+
+/// Decode a YET frame.
+pub fn decode_yet(data: &[u8]) -> RiskResult<YearEventTable> {
+    let (kind, payload, _) = unframe(data)?;
+    if kind != TableKind::Yet {
+        return Err(RiskError::corrupt(format!("expected YET frame, got {kind:?}")));
+    }
+    let mut p = payload;
+    let off = get_u64s(&mut p, "yet.offsets")?;
+    let ids = get_u32s(&mut p, "yet.event_ids")?;
+    let days = get_u16s(&mut p, "yet.days")?;
+    let z = get_f64s(&mut p, "yet.z")?;
+    YearEventTable::from_columns(off, ids, days, z)
+}
+
+/// Encode a YELT as one frame.
+pub fn encode_yelt(yelt: &Yelt) -> Bytes {
+    let (off, ids, days, losses) = yelt.columns();
+    let mut p = BytesMut::new();
+    put_u64s(&mut p, off);
+    put_u32s(&mut p, ids);
+    put_u16s(&mut p, days);
+    put_f64s(&mut p, losses);
+    frame(TableKind::Yelt, &p)
+}
+
+/// Decode a YELT frame.
+pub fn decode_yelt(data: &[u8]) -> RiskResult<Yelt> {
+    let (kind, payload, _) = unframe(data)?;
+    if kind != TableKind::Yelt {
+        return Err(RiskError::corrupt(format!(
+            "expected YELT frame, got {kind:?}"
+        )));
+    }
+    let mut p = payload;
+    let off = get_u64s(&mut p, "yelt.offsets")?;
+    let ids = get_u32s(&mut p, "yelt.event_ids")?;
+    let days = get_u16s(&mut p, "yelt.days")?;
+    let losses = get_f64s(&mut p, "yelt.losses")?;
+    // Validate CSR before constructing.
+    if off.first().copied() != Some(0)
+        || off.windows(2).any(|w| w[0] > w[1])
+        || off.last().copied().unwrap_or(1) as usize != ids.len()
+        || ids.len() != days.len()
+        || ids.len() != losses.len()
+    {
+        return Err(RiskError::corrupt("YELT CSR invariants violated"));
+    }
+    Ok(Yelt::from_raw(off, ids, days, losses))
+}
+
+/// Encode a YLT as one frame.
+pub fn encode_ylt(ylt: &Ylt) -> Bytes {
+    let (agg, maxo, cnt) = ylt.columns();
+    let mut p = BytesMut::new();
+    put_f64s(&mut p, agg);
+    put_f64s(&mut p, maxo);
+    put_u32s(&mut p, cnt);
+    frame(TableKind::Ylt, &p)
+}
+
+/// Decode a YLT frame.
+pub fn decode_ylt(data: &[u8]) -> RiskResult<Ylt> {
+    let (kind, payload, _) = unframe(data)?;
+    if kind != TableKind::Ylt {
+        return Err(RiskError::corrupt(format!("expected YLT frame, got {kind:?}")));
+    }
+    let mut p = payload;
+    let agg = get_f64s(&mut p, "ylt.agg")?;
+    let maxo = get_f64s(&mut p, "ylt.max_occ")?;
+    let cnt = get_u32s(&mut p, "ylt.count")?;
+    Ylt::from_columns(agg, maxo, cnt)
+}
+
+/// Encode one YELLT chunk as one frame.
+pub fn encode_yellt_chunk(chunk: &YelltChunk) -> Bytes {
+    let mut p = BytesMut::new();
+    put_u32s(&mut p, &chunk.trials);
+    put_u32s(&mut p, &chunk.events);
+    put_u32s(&mut p, &chunk.locations);
+    put_f64s(&mut p, &chunk.losses);
+    frame(TableKind::YelltChunk, &p)
+}
+
+/// Decode one YELLT chunk frame.
+pub fn decode_yellt_chunk(data: &[u8]) -> RiskResult<(YelltChunk, usize)> {
+    let (kind, payload, consumed) = unframe(data)?;
+    if kind != TableKind::YelltChunk {
+        return Err(RiskError::corrupt(format!(
+            "expected YELLT chunk frame, got {kind:?}"
+        )));
+    }
+    let mut p = payload;
+    let chunk = YelltChunk {
+        trials: get_u32s(&mut p, "yellt.trials")?,
+        events: get_u32s(&mut p, "yellt.events")?,
+        locations: get_u32s(&mut p, "yellt.locations")?,
+        losses: get_f64s(&mut p, "yellt.losses")?,
+    };
+    chunk.validate()?;
+    Ok((chunk, consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elt::{EltBuilder, EltRecord};
+    use crate::yet::{Occurrence, YetBuilder};
+    use riskpipe_types::{EventId, LocationId, TrialId};
+
+    fn sample_elt() -> Elt {
+        let mut b = EltBuilder::new();
+        for i in 1..=50u32 {
+            b.push(EltRecord {
+                event_id: EventId::new(i * 2),
+                mean_loss: i as f64 * 1000.0,
+                sigma_i: i as f64 * 100.0,
+                sigma_c: i as f64 * 50.0,
+                exposure: i as f64 * 10_000.0,
+            })
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn sample_yet() -> YearEventTable {
+        let mut b = YetBuilder::new();
+        for t in 0..20u32 {
+            let occs: Vec<Occurrence> = (0..t % 5)
+                .map(|i| Occurrence {
+                    event_id: EventId::new((t + i) * 2),
+                    day: ((t * 13 + i * 7) % 365) as u16,
+                    z: 0.1 + 0.8 * (i as f64 / 5.0),
+                })
+                .collect();
+            b.push_trial(&occs);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: "123456789" -> 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn elt_round_trip() {
+        let elt = sample_elt();
+        let bytes = encode_elt(&elt);
+        let back = decode_elt(&bytes).unwrap();
+        assert_eq!(back.len(), elt.len());
+        for (a, b) in back.iter().zip(elt.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn yet_round_trip() {
+        let yet = sample_yet();
+        let bytes = encode_yet(&yet);
+        let back = decode_yet(&bytes).unwrap();
+        assert_eq!(back.trials(), yet.trials());
+        assert_eq!(back.total_occurrences(), yet.total_occurrences());
+        for t in 0..yet.trials() {
+            let t = TrialId::new(t as u32);
+            assert_eq!(back.trial_slices(t), yet.trial_slices(t));
+        }
+    }
+
+    #[test]
+    fn yelt_round_trip() {
+        let yelt = Yelt::from_yet_elt(&sample_yet(), &sample_elt());
+        let bytes = encode_yelt(&yelt);
+        let back = decode_yelt(&bytes).unwrap();
+        assert_eq!(back.trials(), yelt.trials());
+        assert_eq!(back.rows(), yelt.rows());
+        let (a, _) = back.scan_aggregate_by_trial();
+        let (b, _) = yelt.scan_aggregate_by_trial();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ylt_round_trip() {
+        let mut ylt = Ylt::zeroed(10);
+        for t in 0..10 {
+            ylt.set_trial(TrialId::new(t), t as f64 * 5.0, t as f64 * 3.0, t);
+        }
+        let back = decode_ylt(&encode_ylt(&ylt)).unwrap();
+        assert_eq!(back, ylt);
+    }
+
+    #[test]
+    fn yellt_chunk_round_trip() {
+        let mut c = YelltChunk::with_capacity(10);
+        for i in 0..10u32 {
+            c.push(i, i * 2, LocationId::new(i % 3), i as f64 * 1.5);
+        }
+        let bytes = encode_yellt_chunk(&c);
+        let (back, consumed) = decode_yellt_chunk(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let elt = sample_elt();
+        let mut bytes = encode_elt(&elt).to_vec();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF; // flip a payload bit
+        let err = decode_elt(&bytes).unwrap_err();
+        assert!(err.to_string().contains("crc"), "got: {err}");
+    }
+
+    #[test]
+    fn corrupted_magic_fails() {
+        let mut bytes = encode_elt(&sample_elt()).to_vec();
+        bytes[0] = 0;
+        assert!(decode_elt(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_fails() {
+        let bytes = encode_elt(&sample_elt());
+        assert!(decode_elt(&bytes[..HEADER_BYTES - 1]).is_err());
+        assert!(decode_elt(&bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let bytes = encode_elt(&sample_elt());
+        assert!(decode_yet(&bytes).is_err());
+        assert!(decode_ylt(&bytes).is_err());
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut c1 = YelltChunk::with_capacity(2);
+        c1.push(0, 1, LocationId::new(0), 1.0);
+        let mut c2 = YelltChunk::with_capacity(2);
+        c2.push(1, 2, LocationId::new(1), 2.0);
+        let mut stream = encode_yellt_chunk(&c1).to_vec();
+        stream.extend_from_slice(&encode_yellt_chunk(&c2));
+        let (back1, used1) = decode_yellt_chunk(&stream).unwrap();
+        let (back2, used2) = decode_yellt_chunk(&stream[used1..]).unwrap();
+        assert_eq!(back1, c1);
+        assert_eq!(back2, c2);
+        assert_eq!(used1 + used2, stream.len());
+    }
+
+    #[test]
+    fn unframe_rejects_future_version() {
+        let mut bytes = encode_elt(&sample_elt()).to_vec();
+        bytes[4] = 99; // version low byte
+        assert!(decode_elt(&bytes).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::elt::{EltBuilder, EltRecord};
+    use crate::yet::YetBuilder;
+    use crate::ylt::Ylt;
+    use proptest::prelude::*;
+    use riskpipe_types::{EventId, LocationId, TrialId};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary valid ELTs survive the frame round trip exactly.
+        #[test]
+        fn elt_round_trips(rows in prop::collection::btree_map(
+            0u32..10_000, (1.0..1e9f64, 0.0..1e8f64, 0.0..1e8f64, 1.0..10.0f64), 1..100)
+        ) {
+            let mut b = EltBuilder::new();
+            for (&id, &(mean, si, sc, exp_factor)) in &rows {
+                b.push(EltRecord {
+                    event_id: EventId::new(id),
+                    mean_loss: mean,
+                    sigma_i: si,
+                    sigma_c: sc,
+                    exposure: mean * exp_factor,
+                }).unwrap();
+            }
+            let elt = b.build().unwrap();
+            let back = decode_elt(&encode_elt(&elt)).unwrap();
+            prop_assert_eq!(back.len(), elt.len());
+            for (a, b) in back.iter().zip(elt.iter()) {
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        /// Arbitrary YETs survive the frame round trip exactly.
+        #[test]
+        fn yet_round_trips(trials in prop::collection::vec(
+            prop::collection::vec((0u32..5_000, 0u16..365, 0.001..0.999f64), 0..8), 1..50)
+        ) {
+            let mut yb = YetBuilder::new();
+            for t in &trials {
+                let occs: Vec<crate::yet::Occurrence> = t.iter().map(|&(e, d, z)| crate::yet::Occurrence {
+                    event_id: EventId::new(e), day: d, z,
+                }).collect();
+                yb.push_trial(&occs);
+            }
+            let yet = yb.build();
+            let back = decode_yet(&encode_yet(&yet)).unwrap();
+            prop_assert_eq!(back.trials(), yet.trials());
+            for t in 0..yet.trials() {
+                let t = TrialId::new(t as u32);
+                prop_assert_eq!(back.trial_slices(t), yet.trial_slices(t));
+            }
+        }
+
+        /// Arbitrary YLTs survive the frame round trip exactly (bitwise,
+        /// including negative values from DFA nets).
+        #[test]
+        fn ylt_round_trips(rows in prop::collection::vec((0.0..1e12f64, 0.0..1e12f64, 0u32..100), 1..200)) {
+            let mut ylt = Ylt::zeroed(rows.len());
+            for (t, &(agg, max, cnt)) in rows.iter().enumerate() {
+                // Keep the invariant max <= agg for realism (not required
+                // by the codec).
+                ylt.set_trial(TrialId::new(t as u32), agg.max(max), max, cnt);
+            }
+            let back = decode_ylt(&encode_ylt(&ylt)).unwrap();
+            prop_assert_eq!(back, ylt);
+        }
+
+        /// Arbitrary YELLT chunks survive the frame round trip; truncating
+        /// the frame anywhere fails loudly rather than misreading.
+        #[test]
+        fn yellt_chunk_round_trips_and_rejects_truncation(
+            rows in prop::collection::vec((0u32..1000, 0u32..1000, 0u32..100, 0.0..1e9f64), 1..100),
+            cut_frac in 0.1..0.95f64,
+        ) {
+            let mut c = YelltChunk::with_capacity(rows.len());
+            for &(t, e, l, loss) in &rows {
+                c.push(t, e, LocationId::new(l), loss);
+            }
+            let bytes = encode_yellt_chunk(&c);
+            let (back, used) = decode_yellt_chunk(&bytes).unwrap();
+            prop_assert_eq!(&back, &c);
+            prop_assert_eq!(used, bytes.len());
+            // Any strict prefix must fail.
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            prop_assert!(decode_yellt_chunk(&bytes[..cut]).is_err());
+        }
+
+        /// Flipping any single byte of an encoded frame is detected (CRC
+        /// or structural validation), never silently accepted as a
+        /// different table.
+        #[test]
+        fn single_byte_corruption_detected(pos_seed in 0usize..10_000) {
+            let mut b = EltBuilder::new();
+            for i in 1..=20u32 {
+                b.push(EltRecord {
+                    event_id: EventId::new(i),
+                    mean_loss: i as f64,
+                    sigma_i: 0.1,
+                    sigma_c: 0.1,
+                    exposure: i as f64 * 2.0,
+                }).unwrap();
+            }
+            let bytes = encode_elt(&b.build().unwrap()).to_vec();
+            let pos = pos_seed % bytes.len();
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            match decode_elt(&bad) {
+                Err(_) => {} // detected
+                Ok(decoded) => {
+                    // The only acceptable "success" is a flip in the
+                    // reserved pad byte (byte 7), which the format
+                    // ignores by design.
+                    prop_assert_eq!(pos, 7, "corruption at byte {} accepted", pos);
+                    prop_assert_eq!(decoded.len(), 20);
+                }
+            }
+        }
+    }
+}

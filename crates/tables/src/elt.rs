@@ -1,0 +1,343 @@
+//! Event-Loss Tables — the output of stage 1 and the core input of
+//! stage 2.
+//!
+//! An ELT row carries, per catalogue event: the mean ground-up loss to
+//! the contract, the independent and correlated standard deviations of
+//! that loss (the industry decomposition of secondary uncertainty), and
+//! the total exposed value. Layout is structure-of-arrays: aggregate
+//! analysis touches `mean_loss` for every probed event but the sigma
+//! columns only when secondary uncertainty is enabled, so splitting the
+//! columns keeps the hot scan dense.
+
+use crate::hash::EventRowMap;
+use riskpipe_types::{EventId, RiskError, RiskResult};
+
+/// One ELT row (the row-oriented view, used at API boundaries).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EltRecord {
+    /// Catalogue event this loss belongs to.
+    pub event_id: EventId,
+    /// Mean loss to the interest being modelled.
+    pub mean_loss: f64,
+    /// Independent standard deviation of the loss.
+    pub sigma_i: f64,
+    /// Correlated standard deviation of the loss.
+    pub sigma_c: f64,
+    /// Total exposed value (the maximum possible loss).
+    pub exposure: f64,
+}
+
+/// A columnar event-loss table with an event→row probe index.
+#[derive(Debug, Clone)]
+pub struct Elt {
+    event_ids: Vec<u32>,
+    mean_loss: Vec<f64>,
+    sigma_i: Vec<f64>,
+    sigma_c: Vec<f64>,
+    exposure: Vec<f64>,
+    index: EventRowMap,
+}
+
+impl Elt {
+    /// Number of rows (distinct events with non-trivial loss).
+    pub fn len(&self) -> usize {
+        self.event_ids.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.event_ids.is_empty()
+    }
+
+    /// Row index for an event, if the event affects this interest.
+    #[inline]
+    pub fn row_of(&self, event: EventId) -> Option<u32> {
+        self.index.get(event)
+    }
+
+    /// Mean loss at a row.
+    #[inline]
+    pub fn mean_loss_at(&self, row: u32) -> f64 {
+        self.mean_loss[row as usize]
+    }
+
+    /// Row view at an index.
+    pub fn record(&self, row: u32) -> EltRecord {
+        let i = row as usize;
+        EltRecord {
+            event_id: EventId::new(self.event_ids[i]),
+            mean_loss: self.mean_loss[i],
+            sigma_i: self.sigma_i[i],
+            sigma_c: self.sigma_c[i],
+            exposure: self.exposure[i],
+        }
+    }
+
+    /// Iterate rows in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = EltRecord> + '_ {
+        (0..self.len() as u32).map(|r| self.record(r))
+    }
+
+    /// Column slices `(event_ids, mean_loss, sigma_i, sigma_c, exposure)`
+    /// — the scan interface used by engines and codecs.
+    pub fn columns(&self) -> (&[u32], &[f64], &[f64], &[f64], &[f64]) {
+        (
+            &self.event_ids,
+            &self.mean_loss,
+            &self.sigma_i,
+            &self.sigma_c,
+            &self.exposure,
+        )
+    }
+
+    /// The probe index (shared with the simulated-GPU kernels).
+    pub fn index(&self) -> &EventRowMap {
+        &self.index
+    }
+
+    /// Sum of mean losses — the contract's expected annual loss given
+    /// one occurrence of each event (diagnostic, not a risk metric).
+    pub fn total_mean_loss(&self) -> f64 {
+        self.mean_loss.iter().sum()
+    }
+
+    /// Heap footprint in bytes, including the probe index.
+    pub fn memory_bytes(&self) -> usize {
+        self.event_ids.len() * 4 + self.mean_loss.len() * 8 * 4 + self.index.memory_bytes()
+    }
+}
+
+/// Builder accumulating ELT rows, validating as it goes.
+#[derive(Debug, Default)]
+pub struct EltBuilder {
+    rows: Vec<EltRecord>,
+}
+
+impl EltBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self { rows: Vec::new() }
+    }
+
+    /// Builder pre-sized for `n` rows.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            rows: Vec::with_capacity(n),
+        }
+    }
+
+    /// Add a row. Rows with non-positive mean loss are rejected (an
+    /// event that causes no loss simply has no row).
+    pub fn push(&mut self, rec: EltRecord) -> RiskResult<()> {
+        if !(rec.mean_loss.is_finite() && rec.mean_loss > 0.0) {
+            return Err(RiskError::invalid(format!(
+                "ELT mean loss must be finite and positive, got {} for {}",
+                rec.mean_loss, rec.event_id
+            )));
+        }
+        if rec.sigma_i < 0.0 || rec.sigma_c < 0.0 {
+            return Err(RiskError::invalid("ELT sigmas must be non-negative"));
+        }
+        if !(rec.exposure.is_finite()) || rec.exposure < rec.mean_loss {
+            return Err(RiskError::invalid(format!(
+                "exposure {} must be finite and at least the mean loss {}",
+                rec.exposure, rec.mean_loss
+            )));
+        }
+        self.rows.push(rec);
+        Ok(())
+    }
+
+    /// Number of accumulated rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the builder has no rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Finalise into a columnar [`Elt`]. Rows are sorted by event id
+    /// (canonical order — makes ELTs comparable and the binary codec
+    /// deterministic); duplicate event ids are rejected.
+    pub fn build(mut self) -> RiskResult<Elt> {
+        self.rows
+            .sort_unstable_by_key(|r| r.event_id.raw());
+        for w in self.rows.windows(2) {
+            if w[0].event_id == w[1].event_id {
+                return Err(RiskError::invalid(format!(
+                    "duplicate ELT row for {}",
+                    w[0].event_id
+                )));
+            }
+        }
+        let n = self.rows.len();
+        let mut elt = Elt {
+            event_ids: Vec::with_capacity(n),
+            mean_loss: Vec::with_capacity(n),
+            sigma_i: Vec::with_capacity(n),
+            sigma_c: Vec::with_capacity(n),
+            exposure: Vec::with_capacity(n),
+            index: EventRowMap::with_capacity(n),
+        };
+        for (row, rec) in self.rows.iter().enumerate() {
+            elt.event_ids.push(rec.event_id.raw());
+            elt.mean_loss.push(rec.mean_loss);
+            elt.sigma_i.push(rec.sigma_i);
+            elt.sigma_c.push(rec.sigma_c);
+            elt.exposure.push(rec.exposure);
+            elt.index.insert(rec.event_id, row as u32);
+        }
+        Ok(elt)
+    }
+}
+
+/// Reassemble an [`Elt`] from raw columns (codec path). Validates column
+/// lengths and rebuilds the probe index.
+pub fn elt_from_columns(
+    event_ids: Vec<u32>,
+    mean_loss: Vec<f64>,
+    sigma_i: Vec<f64>,
+    sigma_c: Vec<f64>,
+    exposure: Vec<f64>,
+) -> RiskResult<Elt> {
+    let n = event_ids.len();
+    if [mean_loss.len(), sigma_i.len(), sigma_c.len(), exposure.len()]
+        .iter()
+        .any(|&l| l != n)
+    {
+        return Err(RiskError::corrupt("ELT column lengths disagree"));
+    }
+    let mut index = EventRowMap::with_capacity(n);
+    for (row, &e) in event_ids.iter().enumerate() {
+        if index.insert(EventId::new(e), row as u32).is_some() {
+            return Err(RiskError::corrupt(format!("duplicate event id {e}")));
+        }
+    }
+    Ok(Elt {
+        event_ids,
+        mean_loss,
+        sigma_i,
+        sigma_c,
+        exposure,
+        index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32, mean: f64) -> EltRecord {
+        EltRecord {
+            event_id: EventId::new(id),
+            mean_loss: mean,
+            sigma_i: mean * 0.3,
+            sigma_c: mean * 0.2,
+            exposure: mean * 10.0,
+        }
+    }
+
+    #[test]
+    fn build_sorts_by_event_id() {
+        let mut b = EltBuilder::new();
+        b.push(rec(30, 3.0)).unwrap();
+        b.push(rec(10, 1.0)).unwrap();
+        b.push(rec(20, 2.0)).unwrap();
+        let elt = b.build().unwrap();
+        let ids: Vec<u32> = elt.iter().map(|r| r.event_id.raw()).collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn lookup_via_index() {
+        let mut b = EltBuilder::new();
+        for i in 0..100 {
+            b.push(rec(i * 3, (i + 1) as f64)).unwrap();
+        }
+        let elt = b.build().unwrap();
+        for i in 0..100u32 {
+            let row = elt.row_of(EventId::new(i * 3)).unwrap();
+            assert_eq!(elt.mean_loss_at(row), (i + 1) as f64);
+        }
+        assert_eq!(elt.row_of(EventId::new(1)), None);
+    }
+
+    #[test]
+    fn rejects_invalid_rows() {
+        let mut b = EltBuilder::new();
+        assert!(b.push(rec(1, 0.0)).is_err());
+        assert!(b.push(rec(1, -5.0)).is_err());
+        assert!(b
+            .push(EltRecord {
+                sigma_i: -1.0,
+                ..rec(1, 1.0)
+            })
+            .is_err());
+        // Exposure below mean loss.
+        assert!(b
+            .push(EltRecord {
+                exposure: 0.5,
+                ..rec(1, 1.0)
+            })
+            .is_err());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicate_events() {
+        let mut b = EltBuilder::new();
+        b.push(rec(7, 1.0)).unwrap();
+        b.push(rec(7, 2.0)).unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn from_columns_round_trip() {
+        let mut b = EltBuilder::new();
+        for i in 1..=10 {
+            b.push(rec(i, i as f64)).unwrap();
+        }
+        let elt = b.build().unwrap();
+        let (ids, mean, si, sc, exp) = elt.columns();
+        let rebuilt = elt_from_columns(
+            ids.to_vec(),
+            mean.to_vec(),
+            si.to_vec(),
+            sc.to_vec(),
+            exp.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.len(), elt.len());
+        for (a, b) in rebuilt.iter().zip(elt.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn from_columns_rejects_mismatched_lengths() {
+        assert!(elt_from_columns(vec![1, 2], vec![1.0], vec![], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn from_columns_rejects_duplicates() {
+        let r = elt_from_columns(
+            vec![5, 5],
+            vec![1.0, 2.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![10.0, 10.0],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn total_mean_loss_sums() {
+        let mut b = EltBuilder::new();
+        b.push(rec(1, 1.5)).unwrap();
+        b.push(rec(2, 2.5)).unwrap();
+        let elt = b.build().unwrap();
+        assert!((elt.total_mean_loss() - 4.0).abs() < 1e-12);
+    }
+}

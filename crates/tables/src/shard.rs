@@ -1,0 +1,479 @@
+//! Sharded flat-file persistence — the "accumulation of large
+//! distributed file space" strategy of the paper, simulated on the local
+//! filesystem.
+//!
+//! A sharded store is a directory holding `shard-NNNN.rpt` files plus a
+//! `MANIFEST.txt`. Rows are routed to shards by `trial % shards`, so a
+//! MapReduce job can assign one map task per shard and know that a
+//! trial's rows never straddle shards. Within a shard file, rows are
+//! framed [`YelltChunk`]s (see [`crate::codec`]), each CRC-checked.
+//!
+//! Single-frame tables (ELT/YET/YELT/YLT) use the simpler
+//! [`write_table_file`]/`read_*_file` helpers.
+
+use crate::codec::{self, TableKind};
+use crate::yellt::YelltChunk;
+use riskpipe_types::{LocationId, RiskError, RiskResult};
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Rows buffered per shard before a frame is flushed.
+pub const DEFAULT_SHARD_CHUNK_ROWS: usize = 32 * 1024;
+
+/// Metadata describing a sharded store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Kind of frames in the shard files.
+    pub kind: TableKind,
+    /// Number of shard files.
+    pub shards: u32,
+    /// Total rows across all shards.
+    pub rows: u64,
+}
+
+impl ShardManifest {
+    fn render(&self) -> String {
+        format!(
+            "riskpipe-shard-manifest v1\nkind={:?}\nshards={}\nrows={}\n",
+            self.kind, self.shards, self.rows
+        )
+    }
+
+    fn parse(text: &str) -> RiskResult<Self> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("riskpipe-shard-manifest v1") => {}
+            other => {
+                return Err(RiskError::corrupt(format!(
+                    "bad manifest header: {other:?}"
+                )))
+            }
+        }
+        let mut kind = None;
+        let mut shards = None;
+        let mut rows = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| RiskError::corrupt(format!("bad manifest line: {line}")))?;
+            match k {
+                "kind" => {
+                    kind = Some(match v {
+                        "Elt" => TableKind::Elt,
+                        "Yet" => TableKind::Yet,
+                        "Yelt" => TableKind::Yelt,
+                        "Ylt" => TableKind::Ylt,
+                        "YelltChunk" => TableKind::YelltChunk,
+                        _ => return Err(RiskError::corrupt(format!("unknown kind {v}"))),
+                    })
+                }
+                "shards" => {
+                    shards = Some(v.parse::<u32>().map_err(|e| {
+                        RiskError::corrupt(format!("bad shards value {v}: {e}"))
+                    })?)
+                }
+                "rows" => {
+                    rows = Some(v.parse::<u64>().map_err(|e| {
+                        RiskError::corrupt(format!("bad rows value {v}: {e}"))
+                    })?)
+                }
+                _ => {} // forward compatible: ignore unknown keys
+            }
+        }
+        Ok(ShardManifest {
+            kind: kind.ok_or_else(|| RiskError::corrupt("manifest missing kind"))?,
+            shards: shards.ok_or_else(|| RiskError::corrupt("manifest missing shards"))?,
+            rows: rows.ok_or_else(|| RiskError::corrupt("manifest missing rows"))?,
+        })
+    }
+}
+
+/// Path of shard `i` in `dir`.
+pub fn shard_path(dir: &Path, i: u32) -> PathBuf {
+    dir.join(format!("shard-{i:04}.rpt"))
+}
+
+/// Streaming writer routing YELLT rows to shard files by trial.
+pub struct ShardedWriter {
+    dir: PathBuf,
+    writers: Vec<BufWriter<fs::File>>,
+    buffers: Vec<YelltChunk>,
+    chunk_rows: usize,
+    rows: u64,
+    finished: bool,
+}
+
+impl ShardedWriter {
+    /// Create a store in `dir` (created if absent; must not already
+    /// contain a manifest) with `shards` shard files.
+    pub fn create(dir: impl Into<PathBuf>, shards: u32) -> RiskResult<Self> {
+        Self::create_with_chunk_rows(dir, shards, DEFAULT_SHARD_CHUNK_ROWS)
+    }
+
+    /// As [`ShardedWriter::create`] with an explicit per-shard buffer.
+    pub fn create_with_chunk_rows(
+        dir: impl Into<PathBuf>,
+        shards: u32,
+        chunk_rows: usize,
+    ) -> RiskResult<Self> {
+        if shards == 0 {
+            return Err(RiskError::invalid("shard count must be positive"));
+        }
+        if chunk_rows == 0 {
+            return Err(RiskError::invalid("chunk rows must be positive"));
+        }
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        if dir.join("MANIFEST.txt").exists() {
+            return Err(RiskError::InvalidState(format!(
+                "shard store already exists at {}",
+                dir.display()
+            )));
+        }
+        let mut writers = Vec::with_capacity(shards as usize);
+        let mut buffers = Vec::with_capacity(shards as usize);
+        for i in 0..shards {
+            let f = fs::File::create(shard_path(&dir, i))?;
+            writers.push(BufWriter::new(f));
+            buffers.push(YelltChunk::with_capacity(chunk_rows));
+        }
+        Ok(Self {
+            dir,
+            writers,
+            buffers,
+            chunk_rows,
+            rows: 0,
+            finished: false,
+        })
+    }
+
+    /// Shard index a trial routes to.
+    #[inline]
+    pub fn shard_of(&self, trial: u32) -> u32 {
+        trial % self.writers.len() as u32
+    }
+
+    /// Append one YELLT row.
+    pub fn push_row(
+        &mut self,
+        trial: u32,
+        event: u32,
+        location: LocationId,
+        loss: f64,
+    ) -> RiskResult<()> {
+        let s = self.shard_of(trial) as usize;
+        self.buffers[s].push(trial, event, location, loss);
+        self.rows += 1;
+        if self.buffers[s].rows() >= self.chunk_rows {
+            self.flush_shard(s)?;
+        }
+        Ok(())
+    }
+
+    /// Append a whole chunk (rows are re-routed individually).
+    pub fn push_chunk(&mut self, chunk: &YelltChunk) -> RiskResult<()> {
+        chunk.validate()?;
+        for i in 0..chunk.rows() {
+            self.push_row(
+                chunk.trials[i],
+                chunk.events[i],
+                LocationId::new(chunk.locations[i]),
+                chunk.losses[i],
+            )?;
+        }
+        Ok(())
+    }
+
+    fn flush_shard(&mut self, s: usize) -> RiskResult<()> {
+        if self.buffers[s].is_empty() {
+            return Ok(());
+        }
+        let bytes = codec::encode_yellt_chunk(&self.buffers[s]);
+        self.writers[s].write_all(&bytes)?;
+        self.buffers[s].clear();
+        Ok(())
+    }
+
+    /// Flush buffers, write the manifest, and return it.
+    pub fn finish(mut self) -> RiskResult<ShardManifest> {
+        for s in 0..self.writers.len() {
+            self.flush_shard(s)?;
+        }
+        for w in &mut self.writers {
+            w.flush()?;
+        }
+        let manifest = ShardManifest {
+            kind: TableKind::YelltChunk,
+            shards: self.writers.len() as u32,
+            rows: self.rows,
+        };
+        fs::write(self.dir.join("MANIFEST.txt"), manifest.render())?;
+        self.finished = true;
+        Ok(manifest)
+    }
+}
+
+impl Drop for ShardedWriter {
+    fn drop(&mut self) {
+        if !self.finished && self.rows > 0 {
+            // Deliberately no panic: an unfinished store simply has no
+            // manifest and will be rejected by readers.
+        }
+    }
+}
+
+/// Reader over a sharded store.
+pub struct ShardedReader {
+    dir: PathBuf,
+    manifest: ShardManifest,
+}
+
+impl ShardedReader {
+    /// Open a store directory, validating its manifest.
+    pub fn open(dir: impl Into<PathBuf>) -> RiskResult<Self> {
+        let dir = dir.into();
+        let text = fs::read_to_string(dir.join("MANIFEST.txt")).map_err(|e| {
+            RiskError::Corrupt(format!(
+                "cannot read manifest in {}: {e}",
+                dir.display()
+            ))
+        })?;
+        let manifest = ShardManifest::parse(&text)?;
+        for i in 0..manifest.shards {
+            if !shard_path(&dir, i).exists() {
+                return Err(RiskError::corrupt(format!("missing shard file {i}")));
+            }
+        }
+        Ok(Self { dir, manifest })
+    }
+
+    /// The store's manifest.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.manifest.shards
+    }
+
+    /// Path of shard `i` (for external processors such as MapReduce map
+    /// tasks).
+    pub fn shard_file(&self, i: u32) -> PathBuf {
+        shard_path(&self.dir, i)
+    }
+
+    /// Read every chunk of shard `i`.
+    pub fn read_shard(&self, i: u32) -> RiskResult<Vec<YelltChunk>> {
+        if i >= self.manifest.shards {
+            return Err(RiskError::NotFound(format!("shard {i}")));
+        }
+        let data = fs::read(self.shard_file(i))?;
+        let mut chunks = Vec::new();
+        let mut off = 0usize;
+        while off < data.len() {
+            let (chunk, used) = codec::decode_yellt_chunk(&data[off..])?;
+            chunks.push(chunk);
+            off += used;
+        }
+        Ok(chunks)
+    }
+
+    /// Total rows claimed by the manifest.
+    pub fn rows(&self) -> u64 {
+        self.manifest.rows
+    }
+}
+
+// ---------------------------------------------------------------------
+// Single-frame table files.
+// ---------------------------------------------------------------------
+
+/// Write a pre-encoded single-frame table to a file.
+pub fn write_table_file(path: &Path, encoded: &[u8]) -> RiskResult<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, encoded)?;
+    Ok(())
+}
+
+/// Read an ELT from a single-frame file.
+pub fn read_elt_file(path: &Path) -> RiskResult<crate::elt::Elt> {
+    codec::decode_elt(&fs::read(path)?)
+}
+
+/// Read a YET from a single-frame file.
+pub fn read_yet_file(path: &Path) -> RiskResult<crate::yet::YearEventTable> {
+    codec::decode_yet(&fs::read(path)?)
+}
+
+/// Read a YELT from a single-frame file.
+pub fn read_yelt_file(path: &Path) -> RiskResult<crate::yelt::Yelt> {
+    codec::decode_yelt(&fs::read(path)?)
+}
+
+/// Read a YLT from a single-frame file.
+pub fn read_ylt_file(path: &Path) -> RiskResult<crate::ylt::Ylt> {
+    codec::decode_ylt(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "riskpipe-shard-test-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut w = ShardedWriter::create_with_chunk_rows(&dir, 4, 8).unwrap();
+        for t in 0..100u32 {
+            for l in 0..3u32 {
+                w.push_row(t, t * 2, LocationId::new(l), (t + l) as f64).unwrap();
+            }
+        }
+        let manifest = w.finish().unwrap();
+        assert_eq!(manifest.rows, 300);
+        assert_eq!(manifest.shards, 4);
+
+        let r = ShardedReader::open(&dir).unwrap();
+        assert_eq!(r.rows(), 300);
+        let mut seen = 0u64;
+        for s in 0..r.shard_count() {
+            for chunk in r.read_shard(s).unwrap() {
+                chunk.validate().unwrap();
+                // Routing invariant: every row in shard s has trial % 4 == s.
+                for &t in &chunk.trials {
+                    assert_eq!(t % 4, s);
+                }
+                seen += chunk.rows() as u64;
+            }
+        }
+        assert_eq!(seen, 300);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trials_never_straddle_shards() {
+        let dir = temp_dir("routing");
+        let mut w = ShardedWriter::create(&dir, 3).unwrap();
+        for t in 0..30u32 {
+            w.push_row(t, 0, LocationId::new(0), 1.0).unwrap();
+            w.push_row(t, 1, LocationId::new(1), 2.0).unwrap();
+        }
+        w.finish().unwrap();
+        let r = ShardedReader::open(&dir).unwrap();
+        for s in 0..3u32 {
+            for chunk in r.read_shard(s).unwrap() {
+                assert!(chunk.trials.iter().all(|&t| t % 3 == s));
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_rejected() {
+        let dir = temp_dir("nomanifest");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(ShardedReader::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_rejected() {
+        let dir = temp_dir("badmanifest");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("MANIFEST.txt"), "not a manifest").unwrap();
+        assert!(ShardedReader::open(&dir).is_err());
+        fs::write(
+            dir.join("MANIFEST.txt"),
+            "riskpipe-shard-manifest v1\nkind=YelltChunk\nshards=2\n",
+        )
+        .unwrap();
+        // Missing rows key.
+        assert!(ShardedReader::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shard_data_rejected_on_read() {
+        let dir = temp_dir("badshard");
+        let mut w = ShardedWriter::create_with_chunk_rows(&dir, 1, 4).unwrap();
+        for t in 0..10u32 {
+            w.push_row(t, 0, LocationId::new(0), 1.0).unwrap();
+        }
+        w.finish().unwrap();
+        // Flip a byte in the shard file payload.
+        let p = shard_path(&dir, 0);
+        let mut data = fs::read(&p).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0x55;
+        fs::write(&p, data).unwrap();
+        let r = ShardedReader::open(&dir).unwrap();
+        assert!(r.read_shard(0).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn existing_store_not_overwritten() {
+        let dir = temp_dir("nooverwrite");
+        let w = ShardedWriter::create(&dir, 2).unwrap();
+        w.finish().unwrap();
+        assert!(ShardedWriter::create(&dir, 2).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        let dir = temp_dir("zeroshards");
+        assert!(ShardedWriter::create(&dir, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_shard_read() {
+        let dir = temp_dir("range");
+        ShardedWriter::create(&dir, 2).unwrap().finish().unwrap();
+        let r = ShardedReader::open(&dir).unwrap();
+        assert!(r.read_shard(2).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn table_file_helpers_round_trip() {
+        use crate::elt::{EltBuilder, EltRecord};
+        use riskpipe_types::EventId;
+        let dir = temp_dir("tablefile");
+        fs::create_dir_all(&dir).unwrap();
+        let mut b = EltBuilder::new();
+        b.push(EltRecord {
+            event_id: EventId::new(3),
+            mean_loss: 10.0,
+            sigma_i: 1.0,
+            sigma_c: 1.0,
+            exposure: 100.0,
+        })
+        .unwrap();
+        let elt = b.build().unwrap();
+        let path = dir.join("t.elt");
+        write_table_file(&path, &codec::encode_elt(&elt)).unwrap();
+        let back = read_elt_file(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

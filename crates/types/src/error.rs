@@ -1,0 +1,115 @@
+//! Unified error type for the `riskpipe` crate family.
+
+use std::fmt;
+
+/// Result alias used across the `riskpipe` crates.
+pub type RiskResult<T> = Result<T, RiskError>;
+
+/// Errors surfaced by the risk-analytics pipeline.
+///
+/// The variants are deliberately coarse: the pipeline's failure modes are
+/// (a) a caller handed us parameters outside the mathematically valid
+/// domain, (b) a capacity constraint of a simulated device or store was
+/// exceeded, (c) persisted data failed an integrity check, or (d) the
+/// operating system refused an I/O request.
+#[derive(Debug)]
+pub enum RiskError {
+    /// A parameter was outside its valid domain (message explains which).
+    InvalidParameter(String),
+    /// A simulated hardware or storage capacity was exceeded.
+    CapacityExceeded {
+        /// What capacity was exceeded (e.g. "shared memory").
+        what: String,
+        /// Bytes (or units) requested.
+        requested: u64,
+        /// Bytes (or units) available.
+        available: u64,
+    },
+    /// Persisted data failed an integrity or format check.
+    Corrupt(String),
+    /// An I/O error from the operating system.
+    Io(std::io::Error),
+    /// A referenced entity (event, layer, table, ...) does not exist.
+    NotFound(String),
+    /// An operation is not valid in the current state.
+    InvalidState(String),
+}
+
+impl fmt::Display for RiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RiskError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            RiskError::CapacityExceeded {
+                what,
+                requested,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded: {what} (requested {requested}, available {available})"
+            ),
+            RiskError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            RiskError::Io(e) => write!(f, "i/o error: {e}"),
+            RiskError::NotFound(m) => write!(f, "not found: {m}"),
+            RiskError::InvalidState(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RiskError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RiskError {
+    fn from(e: std::io::Error) -> Self {
+        RiskError::Io(e)
+    }
+}
+
+impl RiskError {
+    /// Convenience constructor for [`RiskError::InvalidParameter`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        RiskError::InvalidParameter(msg.into())
+    }
+
+    /// Convenience constructor for [`RiskError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        RiskError::Corrupt(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = RiskError::invalid("sd must be positive");
+        assert_eq!(e.to_string(), "invalid parameter: sd must be positive");
+        let e = RiskError::CapacityExceeded {
+            what: "shared memory".into(),
+            requested: 100,
+            available: 48,
+        };
+        assert!(e.to_string().contains("shared memory"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_from() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RiskError = io.into();
+        assert!(matches!(e, RiskError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let e = RiskError::corrupt("bad magic");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Monetary helpers: the `Loss` scalar and compensated summation.
+//!
+//! Losses are plain `f64` — aggregate analysis is Monte-Carlo and the
+//! sampling error dominates representation error by many orders of
+//! magnitude, so a decimal type would cost speed for no statistical
+//! benefit. What *does* matter is summation error when accumulating
+//! millions of per-event losses into year totals, hence [`KahanSum`].
+
+/// A monetary loss amount. Always non-negative in ground-up tables;
+/// net results in DFA may be negative (profit).
+pub type Loss = f64;
+
+/// Kahan–Babuška compensated summation.
+///
+/// Adding `n` doubles naively accrues `O(n·ε)` relative error; Kahan
+/// summation reduces this to `O(ε)` independent of `n`, which keeps the
+/// year-loss tables produced by different engines (sequential, parallel,
+/// simulated-GPU) bit-comparable after reordering-insensitive reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// A new accumulator at zero.
+    #[inline]
+    pub const fn new() -> Self {
+        Self {
+            sum: 0.0,
+            compensation: 0.0,
+        }
+    }
+
+    /// Start from an initial value.
+    #[inline]
+    pub const fn from_value(v: f64) -> Self {
+        Self {
+            sum: v,
+            compensation: 0.0,
+        }
+    }
+
+    /// Add a term (Neumaier's variant, robust when the term exceeds the
+    /// running sum in magnitude).
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+
+    /// Merge another accumulator into this one (used by parallel
+    /// reductions; associative up to the compensation term).
+    #[inline]
+    pub fn merge(&mut self, other: &KahanSum) {
+        self.add(other.sum);
+        self.add(other.compensation);
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut k = KahanSum::new();
+        for v in iter {
+            k.add(v);
+        }
+        k
+    }
+}
+
+/// Sum a slice with compensation. Convenience wrapper over [`KahanSum`].
+#[inline]
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<KahanSum>().total()
+}
+
+/// Round a monetary amount to cents. Used only at reporting boundaries,
+/// never inside simulation loops. Rounding is to the nearest cent of the
+/// IEEE double actually stored (so a literal like `1.005`, stored as
+/// `1.00499…`, rounds down — the standard binary-float behaviour).
+#[inline]
+pub fn round_cents(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_ill_conditioned_sum() {
+        // 1.0 followed by many tiny values that naive f64 summation drops.
+        let tiny = 1e-16;
+        let n = 1_000_000usize;
+        let mut naive = 1.0f64;
+        let mut kahan = KahanSum::from_value(1.0);
+        for _ in 0..n {
+            naive += tiny;
+            kahan.add(tiny);
+        }
+        let exact = 1.0 + tiny * n as f64;
+        let naive_err = (naive - exact).abs();
+        let kahan_err = (kahan.total() - exact).abs();
+        assert!(
+            kahan_err < naive_err / 100.0 || kahan_err < 1e-18,
+            "kahan_err={kahan_err}, naive_err={naive_err}"
+        );
+    }
+
+    #[test]
+    fn neumaier_handles_large_then_small() {
+        // Classic case where plain Kahan fails: big, small, -big.
+        let mut k = KahanSum::new();
+        k.add(1e100);
+        k.add(1.0);
+        k.add(-1e100);
+        assert_eq!(k.total(), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64) * 0.1).collect();
+        let seq: KahanSum = xs.iter().copied().collect();
+        let (a, b) = xs.split_at(500);
+        let mut ka: KahanSum = a.iter().copied().collect();
+        let kb: KahanSum = b.iter().copied().collect();
+        ka.merge(&kb);
+        assert!((ka.total() - seq.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_iterator_and_helper_agree() {
+        let xs = [1.5, 2.5, 3.25];
+        assert_eq!(kahan_sum(&xs), 7.25);
+    }
+
+    #[test]
+    fn round_cents_reporting_cases() {
+        assert_eq!(round_cents(2.344), 2.34);
+        assert_eq!(round_cents(2.346), 2.35);
+        assert_eq!(round_cents(-2.346), -2.35);
+        assert_eq!(round_cents(100.0), 100.0);
+        // 1.005 is stored as 1.00499…, so it rounds down: binary-float
+        // semantics, documented on the function.
+        assert_eq!(round_cents(1.005), 1.0);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().total(), 0.0);
+        assert_eq!(kahan_sum(&[]), 0.0);
+    }
+}

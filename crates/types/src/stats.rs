@@ -1,0 +1,382 @@
+//! Streaming and batch statistics: Welford accumulators (with the
+//! parallel-merge form of Chan et al.), quantiles, ranks and correlation.
+//!
+//! These are the primitives the metrics crate builds exceedance curves
+//! from, and that tests use to validate samplers against analytic moments.
+
+use crate::money::KahanSum;
+
+/// Numerically stable streaming moments (Welford), with min/max tracking
+/// and an exact parallel `merge` (Chan, Golub & LeVeque).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add an observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Fold another accumulator in; the result is identical (up to float
+    /// association) to having pushed both streams into one accumulator.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sd() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coefficient of variation (sd / mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.sd() / m
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// Sort a slice of `f64` with total ordering (NaNs last).
+pub fn sort_f64(xs: &mut [f64]) {
+    xs.sort_unstable_by(f64::total_cmp);
+}
+
+/// Linear-interpolated quantile (R type-7, the numpy default) on an
+/// already-sorted ascending slice. `q` in `[0, 1]`.
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = h - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Mean of the elements at or above the `q`-quantile of a sorted slice —
+/// the discrete tail-conditional expectation used by TVaR.
+pub fn tail_mean_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let n = sorted.len();
+    let start = ((q * n as f64).ceil() as usize).min(n - 1);
+    let tail = &sorted[start..];
+    let k: KahanSum = tail.iter().copied().collect();
+    k.total() / tail.len() as f64
+}
+
+/// Average ranks (1-based; ties get the average of their positions), the
+/// form required by rank-correlation methods such as Iman–Conover.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_unstable_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut r = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Pearson correlation of two equal-length samples.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Spearman rank correlation (Pearson correlation of the rank vectors).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// A compact distribution summary used in reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample (copies and sorts internally).
+    pub fn from_slice(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "summary of empty slice");
+        let mut sorted = xs.to_vec();
+        sort_f64(&mut sorted);
+        let stats: RunningStats = xs.iter().copied().collect();
+        Summary {
+            count: xs.len(),
+            mean: stats.mean(),
+            sd: stats.sd(),
+            min: sorted[0],
+            p50: quantile_sorted(&sorted, 0.5),
+            p90: quantile_sorted(&sorted, 0.9),
+            p99: quantile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let s: RunningStats = xs.iter().copied().collect();
+        assert_eq!(s.count(), 10);
+        assert!((s.mean() - 5.5).abs() < 1e-12);
+        // Var of 1..10 (sample) = 55/6 ≈ 9.1667.
+        assert!((s.variance() - 55.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 10.0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.31).collect();
+        let whole: RunningStats = xs.iter().copied().collect();
+        let mut parts = RunningStats::new();
+        for chunk in xs.chunks(97) {
+            let s: RunningStats = chunk.iter().copied().collect();
+            parts.merge(&s);
+        }
+        assert_eq!(parts.count(), whole.count());
+        assert!((parts.mean() - whole.mean()).abs() < 1e-10);
+        assert!((parts.variance() - whole.variance()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&RunningStats::new());
+        assert_eq!((a.count(), a.mean(), a.variance()), before);
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 3);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 40.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 25.0);
+        // h = 0.25*3 = 0.75 → 10 + 0.75*(20-10) = 17.5
+        assert_eq!(quantile_sorted(&sorted, 0.25), 17.5);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile_sorted(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_empty_panics() {
+        quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn tail_mean_is_tvar_like() {
+        let sorted = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        // q = 0.8 → start index ceil(8) = 8 → mean of {8, 9} = 8.5
+        assert_eq!(tail_mean_sorted(&sorted, 0.8), 8.5);
+        // q = 0 → whole sample mean = 4.5
+        assert_eq!(tail_mean_sorted(&sorted, 0.0), 4.5);
+        // q → 1 clamps to last element.
+        assert_eq!(tail_mean_sorted(&sorted, 1.0), 9.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let r = ranks(&xs);
+        // sorted: 1,1,3,4,5 → the two 1s share rank (1+2)/2 = 1.5.
+        assert_eq!(r, vec![3.0, 1.5, 4.0, 1.5, 5.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_transform_invariant() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reports_consistent_fields() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = Summary::from_slice(&xs);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 99.0);
+        assert!((s.p50 - 49.5).abs() < 1e-12);
+        assert!((s.mean - 49.5).abs() < 1e-12);
+        assert!(s.p90 > s.p50 && s.p99 > s.p90);
+    }
+}

@@ -1,0 +1,618 @@
+//! Cuboids: materialised group-by aggregates over the fact table.
+//!
+//! A *cuboid* is the fact table grouped by one level choice per
+//! dimension — `(region, peril, all, month)` is one cuboid of the
+//! 3×3×3×4 lattice. Building the base cuboid once and answering every
+//! later query from pre-computed cells is the "pre-computation …
+//! parallel data warehousing" technique the paper prescribes for stage
+//! 3's data volumes (experiment E9).
+//!
+//! Builds are chunk-deterministic: facts are partitioned into fixed
+//! ranges, each range is aggregated independently (optionally on the
+//! thread pool), and partials merge in range order — so the sequential
+//! and parallel builds produce bit-identical cells, the same discipline
+//! the aggregate-analysis engines follow.
+
+use crate::dimension::{Schema, NDIMS};
+use crate::fact::FactTable;
+use riskpipe_exec::{par_map_collect, ThreadPool};
+use riskpipe_types::{RiskError, RiskResult};
+use std::collections::HashMap;
+
+/// A choice of hierarchy level per dimension — one node of the cuboid
+/// lattice. `0` is each dimension's finest level; the maximum index is
+/// the dimension's "all" level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LevelSelect(pub [u8; NDIMS]);
+
+impl LevelSelect {
+    /// The base cuboid: every dimension at its finest level.
+    pub const BASE: LevelSelect = LevelSelect([0; NDIMS]);
+
+    /// The apex cuboid selector for `schema`: every dimension at "all".
+    pub fn apex(schema: &Schema) -> Self {
+        let mut s = [0u8; NDIMS];
+        for (d, v) in s.iter_mut().enumerate() {
+            *v = (schema.dim(d).level_count() - 1) as u8;
+        }
+        LevelSelect(s)
+    }
+
+    /// Whether every level index is valid for `schema`.
+    pub fn is_valid(&self, schema: &Schema) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(d, &l)| (l as usize) < schema.dim(d).level_count())
+    }
+
+    /// `self` is finer than or equal to `other` on every dimension —
+    /// i.e. `other` can be computed from `self` by rolling up.
+    pub fn finer_eq(&self, other: &LevelSelect) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// Level index for dimension `d`.
+    #[inline]
+    pub fn level(&self, d: usize) -> usize {
+        self.0[d] as usize
+    }
+
+    /// Render as "location×event×all×month" using `schema` level names.
+    pub fn describe(&self, schema: &Schema) -> String {
+        let mut parts = Vec::with_capacity(NDIMS);
+        for d in 0..NDIMS {
+            parts.push(schema.dim(d).level(self.level(d)).name.clone());
+        }
+        parts.join("×")
+    }
+}
+
+/// Bit-packing codec turning the per-dimension codes of one cuboid cell
+/// into a single `u64` key (and back). Widths are the minimum bits for
+/// each dimension's cardinality at the cuboid's level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyCodec {
+    shift: [u8; NDIMS],
+    width: [u8; NDIMS],
+}
+
+impl KeyCodec {
+    /// Codec for `select` under `schema`. Fails if the packed key would
+    /// exceed 64 bits (not reachable with the standard schema, but the
+    /// capacity check mirrors the simulated-GPU discipline of failing
+    /// loudly instead of silently truncating).
+    pub fn new(schema: &Schema, select: LevelSelect) -> RiskResult<Self> {
+        let mut width = [0u8; NDIMS];
+        let mut total = 0u32;
+        for d in 0..NDIMS {
+            let card = schema.dim(d).cardinality(select.level(d));
+            let bits = if card <= 1 {
+                0
+            } else {
+                32 - (card - 1).leading_zeros()
+            } as u8;
+            width[d] = bits;
+            total += bits as u32;
+        }
+        if total > 64 {
+            return Err(RiskError::CapacityExceeded {
+                what: "cuboid key bits".into(),
+                requested: total as u64,
+                available: 64,
+            });
+        }
+        let mut shift = [0u8; NDIMS];
+        let mut acc = 0u8;
+        // Dimension 0 occupies the most-significant bits so keys sort
+        // by (geo, event, contract, time) lexicographically.
+        for d in (0..NDIMS).rev() {
+            shift[d] = acc;
+            acc += width[d];
+        }
+        Ok(Self { shift, width })
+    }
+
+    /// Pack per-dimension codes into a key.
+    #[inline]
+    pub fn encode(&self, codes: [u32; NDIMS]) -> u64 {
+        let mut k = 0u64;
+        for d in 0..NDIMS {
+            debug_assert!(self.width[d] == 0 || (codes[d] as u64) < (1u64 << self.width[d]));
+            k |= (codes[d] as u64) << self.shift[d];
+        }
+        k
+    }
+
+    /// Unpack a key into per-dimension codes.
+    #[inline]
+    pub fn decode(&self, key: u64) -> [u32; NDIMS] {
+        let mut out = [0u32; NDIMS];
+        for d in 0..NDIMS {
+            let mask = if self.width[d] == 0 {
+                0
+            } else {
+                (1u64 << self.width[d]) - 1
+            };
+            out[d] = ((key >> self.shift[d]) & mask) as u32;
+        }
+        out
+    }
+}
+
+/// The aggregate measures of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Number of facts in the cell.
+    pub count: u64,
+    /// Total loss.
+    pub sum: f64,
+    /// Largest single fact loss.
+    pub max: f64,
+}
+
+impl Cell {
+    /// The additive/semigroup identity.
+    pub const EMPTY: Cell = Cell {
+        count: 0,
+        sum: 0.0,
+        max: 0.0,
+    };
+
+    /// Fold one fact in.
+    #[inline]
+    pub fn absorb(&mut self, loss: f64) {
+        self.count += 1;
+        self.sum += loss;
+        if loss > self.max {
+            self.max = loss;
+        }
+    }
+
+    /// Merge another cell (associative).
+    #[inline]
+    pub fn merge(&mut self, other: &Cell) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+/// A materialised cuboid: sorted keys and their cells, in parallel
+/// columns.
+#[derive(Debug, Clone)]
+pub struct Cuboid {
+    select: LevelSelect,
+    codec: KeyCodec,
+    keys: Vec<u64>,
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+/// Default fact rows per aggregation chunk.
+pub const DEFAULT_BUILD_GRAIN: usize = 64 * 1024;
+
+impl Cuboid {
+    /// Group the fact table by `select`, sequentially or on `pool`.
+    ///
+    /// The chunk structure (and therefore every floating-point addition
+    /// order) is identical in both modes; only *where* chunks run
+    /// differs, so the two modes agree bitwise.
+    pub fn build(
+        schema: &Schema,
+        facts: &FactTable,
+        select: LevelSelect,
+        pool: Option<&ThreadPool>,
+    ) -> RiskResult<Self> {
+        Self::build_with_grain(schema, facts, select, pool, DEFAULT_BUILD_GRAIN)
+    }
+
+    /// [`Cuboid::build`] with an explicit chunk grain (tests use small
+    /// grains to force multi-chunk merges on small inputs).
+    pub fn build_with_grain(
+        schema: &Schema,
+        facts: &FactTable,
+        select: LevelSelect,
+        pool: Option<&ThreadPool>,
+        grain: usize,
+    ) -> RiskResult<Self> {
+        if !select.is_valid(schema) {
+            return Err(RiskError::invalid(format!(
+                "level select {:?} invalid for schema",
+                select.0
+            )));
+        }
+        let grain = grain.max(1);
+        let codec = KeyCodec::new(schema, select)?;
+
+        // Pre-resolve the base→select level walk per dimension into a
+        // flat lookup table; the inner loop then does NDIMS array reads
+        // per fact instead of pointer-chasing the hierarchy.
+        let luts: Vec<Option<Vec<u32>>> = (0..NDIMS)
+            .map(|d| {
+                let lvl = select.level(d);
+                if lvl == 0 {
+                    None // identity: use the fact code directly
+                } else {
+                    let dim = schema.dim(d);
+                    Some((0..dim.cardinality(0)).map(|c| dim.code_at(lvl, c)).collect())
+                }
+            })
+            .collect();
+
+        let rows = facts.rows();
+        let nchunks = rows.div_ceil(grain).max(1);
+        let cols = facts.code_columns();
+        let losses = facts.losses();
+
+        let fold_chunk = |ci: usize| -> HashMap<u64, Cell> {
+            let lo = ci * grain;
+            let hi = ((ci + 1) * grain).min(rows);
+            let mut acc: HashMap<u64, Cell> = HashMap::new();
+            for row in lo..hi {
+                let mut codes = [0u32; NDIMS];
+                for d in 0..NDIMS {
+                    let base = cols[d][row];
+                    codes[d] = match &luts[d] {
+                        None => base,
+                        Some(lut) => lut[base as usize],
+                    };
+                }
+                let key = codec.encode(codes);
+                acc.entry(key).or_insert(Cell::EMPTY).absorb(losses[row]);
+            }
+            acc
+        };
+
+        let partials: Vec<HashMap<u64, Cell>> = match pool {
+            Some(p) if nchunks > 1 => par_map_collect(p, nchunks, 1, fold_chunk),
+            _ => (0..nchunks).map(fold_chunk).collect(),
+        };
+
+        // Merge in chunk order (deterministic), then sort cells by key.
+        let mut merged: HashMap<u64, Cell> = HashMap::new();
+        for part in partials {
+            // Within one partial the iteration order is arbitrary, but
+            // each key occurs at most once per partial, so the per-key
+            // merge order is exactly chunk order.
+            for (k, c) in part {
+                merged.entry(k).or_insert(Cell::EMPTY).merge(&c);
+            }
+        }
+        let mut entries: Vec<(u64, Cell)> = merged.into_iter().collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+
+        let mut keys = Vec::with_capacity(entries.len());
+        let mut counts = Vec::with_capacity(entries.len());
+        let mut sums = Vec::with_capacity(entries.len());
+        let mut maxs = Vec::with_capacity(entries.len());
+        for (k, c) in entries {
+            keys.push(k);
+            counts.push(c.count);
+            sums.push(c.sum);
+            maxs.push(c.max);
+        }
+        Ok(Self {
+            select,
+            codec,
+            keys,
+            counts,
+            sums,
+            maxs,
+        })
+    }
+
+    /// Construct from pre-aggregated sorted cells (rollup path).
+    pub(crate) fn from_cells(
+        select: LevelSelect,
+        codec: KeyCodec,
+        mut entries: Vec<(u64, Cell)>,
+    ) -> Self {
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        let mut keys = Vec::with_capacity(entries.len());
+        let mut counts = Vec::with_capacity(entries.len());
+        let mut sums = Vec::with_capacity(entries.len());
+        let mut maxs = Vec::with_capacity(entries.len());
+        for (k, c) in entries {
+            keys.push(k);
+            counts.push(c.count);
+            sums.push(c.sum);
+            maxs.push(c.max);
+        }
+        Self {
+            select,
+            codec,
+            keys,
+            counts,
+            sums,
+            maxs,
+        }
+    }
+
+    /// The level selection this cuboid is grouped by.
+    pub fn select(&self) -> LevelSelect {
+        self.select
+    }
+
+    /// The key codec (per-dimension bit packing).
+    pub fn codec(&self) -> &KeyCodec {
+        &self.codec
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Sorted cell keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Cell at index `i` as `(codes, cell)`.
+    #[inline]
+    pub fn cell_at(&self, i: usize) -> ([u32; NDIMS], Cell) {
+        (
+            self.codec.decode(self.keys[i]),
+            Cell {
+                count: self.counts[i],
+                sum: self.sums[i],
+                max: self.maxs[i],
+            },
+        )
+    }
+
+    /// Binary-search a cell by its codes. Codes outside the codec's
+    /// packing range cannot name any cell and return `None`.
+    pub fn find(&self, codes: [u32; NDIMS]) -> Option<Cell> {
+        for d in 0..NDIMS {
+            let limit = 1u64 << self.codec.width[d];
+            if codes[d] as u64 >= limit {
+                return None;
+            }
+        }
+        let key = self.codec.encode(codes);
+        self.keys
+            .binary_search(&key)
+            .ok()
+            .map(|i| self.cell_at(i).1)
+    }
+
+    /// Sum of all cell counts (must equal the fact row count).
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all cell sums (must equal the fact total loss up to fp
+    /// association).
+    pub fn total_sum(&self) -> f64 {
+        let k: riskpipe_types::KahanSum = self.sums.iter().copied().collect();
+        k.total()
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.counts.len() * 8 + self.sums.len() * 8 + self.maxs.len() * 8
+    }
+
+    /// Raw cell columns `(keys, counts, sums, maxs)` for codecs.
+    pub fn columns(&self) -> (&[u64], &[u64], &[f64], &[f64]) {
+        (&self.keys, &self.counts, &self.sums, &self.maxs)
+    }
+
+    /// Merge another cuboid of the *same selection* into this one —
+    /// the incremental-maintenance primitive: a delta cuboid built
+    /// from newly arrived facts folds into the materialised view at
+    /// cell cost, no fact rescan. Cells are additive, so the merged
+    /// view equals a full rebuild (up to float association).
+    pub fn merge(&mut self, delta: &Cuboid) -> RiskResult<()> {
+        if delta.select != self.select {
+            return Err(RiskError::invalid(format!(
+                "cannot merge cuboid {:?} into {:?}: selections differ",
+                delta.select.0, self.select.0
+            )));
+        }
+        // Two-pointer merge of sorted key arrays.
+        let n = self.keys.len() + delta.keys.len();
+        let mut keys = Vec::with_capacity(n);
+        let mut counts = Vec::with_capacity(n);
+        let mut sums = Vec::with_capacity(n);
+        let mut maxs = Vec::with_capacity(n);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.keys.len() || j < delta.keys.len() {
+            let take_self = j >= delta.keys.len()
+                || (i < self.keys.len() && self.keys[i] < delta.keys[j]);
+            let take_both =
+                i < self.keys.len() && j < delta.keys.len() && self.keys[i] == delta.keys[j];
+            if take_both {
+                keys.push(self.keys[i]);
+                counts.push(self.counts[i] + delta.counts[j]);
+                sums.push(self.sums[i] + delta.sums[j]);
+                maxs.push(self.maxs[i].max(delta.maxs[j]));
+                i += 1;
+                j += 1;
+            } else if take_self {
+                keys.push(self.keys[i]);
+                counts.push(self.counts[i]);
+                sums.push(self.sums[i]);
+                maxs.push(self.maxs[i]);
+                i += 1;
+            } else {
+                keys.push(delta.keys[j]);
+                counts.push(delta.counts[j]);
+                sums.push(delta.sums[j]);
+                maxs.push(delta.maxs[j]);
+                j += 1;
+            }
+        }
+        self.keys = keys;
+        self.counts = counts;
+        self.sums = sums;
+        self.maxs = maxs;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::{dim, Schema};
+
+    fn schema() -> Schema {
+        Schema::standard(20, 4, 15, 3, 6, 2).unwrap()
+    }
+
+    #[test]
+    fn level_select_ordering_and_validity() {
+        let s = schema();
+        assert!(LevelSelect::BASE.is_valid(&s));
+        let apex = LevelSelect::apex(&s);
+        assert_eq!(apex.0, [2, 2, 2, 3]);
+        assert!(apex.is_valid(&s));
+        assert!(!LevelSelect([3, 0, 0, 0]).is_valid(&s));
+        assert!(LevelSelect::BASE.finer_eq(&apex));
+        assert!(!apex.finer_eq(&LevelSelect::BASE));
+        // Incomparable pair.
+        let a = LevelSelect([1, 0, 0, 0]);
+        let b = LevelSelect([0, 1, 0, 0]);
+        assert!(!a.finer_eq(&b) && !b.finer_eq(&a));
+        assert_eq!(LevelSelect::BASE.describe(&s), "location×event×layer×day");
+    }
+
+    #[test]
+    fn codec_round_trips_all_corners() {
+        let s = schema();
+        for sel in [
+            LevelSelect::BASE,
+            LevelSelect([1, 1, 1, 1]),
+            LevelSelect::apex(&s),
+            LevelSelect([0, 2, 1, 3]),
+        ] {
+            let codec = KeyCodec::new(&s, sel).unwrap();
+            let cards: Vec<u32> = (0..NDIMS)
+                .map(|d| s.dim(d).cardinality(sel.level(d)))
+                .collect();
+            // Corners: all-zero, all-max, mixed.
+            let corners = [
+                [0, 0, 0, 0],
+                [cards[0] - 1, cards[1] - 1, cards[2] - 1, cards[3] - 1],
+                [cards[0] / 2, 0, cards[2] - 1, cards[3] / 3],
+            ];
+            for codes in corners {
+                assert_eq!(codec.decode(codec.encode(codes)), codes, "sel {sel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn codec_keys_sort_lexicographically() {
+        let s = schema();
+        let codec = KeyCodec::new(&s, LevelSelect::BASE).unwrap();
+        // Increasing geo dominates any other dimension.
+        assert!(codec.encode([1, 0, 0, 0]) > codec.encode([0, 14, 5, 364]));
+        assert!(codec.encode([0, 1, 0, 0]) > codec.encode([0, 0, 5, 364]));
+    }
+
+    #[test]
+    fn base_cuboid_conserves_totals() {
+        let s = schema();
+        let facts = FactTable::synthetic(&s, 10_000, 11);
+        let cub = Cuboid::build(&s, &facts, LevelSelect::BASE, None).unwrap();
+        assert_eq!(cub.total_count(), 10_000);
+        let err = (cub.total_sum() - facts.total_loss()).abs() / facts.total_loss();
+        assert!(err < 1e-12, "relative error {err}");
+        // Keys strictly ascending (no duplicate cells).
+        assert!(cub.keys().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn apex_cuboid_is_one_cell() {
+        let s = schema();
+        let facts = FactTable::synthetic(&s, 5_000, 3);
+        let apex = Cuboid::build(&s, &facts, LevelSelect::apex(&s), None).unwrap();
+        assert_eq!(apex.cells(), 1);
+        let (codes, cell) = apex.cell_at(0);
+        assert_eq!(codes, [0, 0, 0, 0]);
+        assert_eq!(cell.count, 5_000);
+    }
+
+    #[test]
+    fn sequential_and_parallel_builds_agree_bitwise() {
+        let s = schema();
+        let facts = FactTable::synthetic(&s, 30_000, 9);
+        let pool = ThreadPool::new(4);
+        for sel in [
+            LevelSelect::BASE,
+            LevelSelect([1, 1, 0, 1]),
+            LevelSelect([2, 1, 1, 2]),
+        ] {
+            let seq = Cuboid::build_with_grain(&s, &facts, sel, None, 1024).unwrap();
+            let par = Cuboid::build_with_grain(&s, &facts, sel, Some(&pool), 1024).unwrap();
+            assert_eq!(seq.keys(), par.keys());
+            assert_eq!(seq.counts, par.counts);
+            // Bitwise float equality: same chunking ⇒ same addition order.
+            let seq_bits: Vec<u64> = seq.sums.iter().map(|f| f.to_bits()).collect();
+            let par_bits: Vec<u64> = par.sums.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "select {sel:?}");
+            assert_eq!(seq.maxs, par.maxs);
+        }
+    }
+
+    #[test]
+    fn grouped_cell_matches_manual_filter() {
+        let s = schema();
+        let facts = FactTable::synthetic(&s, 8_000, 5);
+        let sel = LevelSelect([1, 1, 2, 2]); // region × peril × all × season
+        let cub = Cuboid::build(&s, &facts, sel, None).unwrap();
+        // Manually recompute one cell.
+        let (codes, cell) = cub.cell_at(cub.cells() / 2);
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for row in 0..facts.rows() {
+            let rc = facts.row_codes(row);
+            let region = s.dim(dim::GEO).code_at(1, rc[dim::GEO]);
+            let peril = s.dim(dim::EVENT).code_at(1, rc[dim::EVENT]);
+            let season = s.dim(dim::TIME).code_at(2, rc[dim::TIME]);
+            if [region, peril, 0, season] == codes {
+                count += 1;
+                sum += facts.losses()[row];
+                max = max.max(facts.losses()[row]);
+            }
+        }
+        assert_eq!(cell.count, count);
+        assert!((cell.sum - sum).abs() <= 1e-9 * sum.abs().max(1.0));
+        assert_eq!(cell.max, max);
+    }
+
+    #[test]
+    fn find_locates_cells() {
+        let s = schema();
+        let facts = FactTable::synthetic(&s, 2_000, 8);
+        let cub = Cuboid::build(&s, &facts, LevelSelect([1, 2, 2, 3]), None).unwrap();
+        for i in 0..cub.cells() {
+            let (codes, cell) = cub.cell_at(i);
+            assert_eq!(cub.find(codes), Some(cell));
+        }
+        assert_eq!(cub.find([999, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn empty_fact_table_yields_empty_cuboid() {
+        let s = schema();
+        let facts = crate::fact::FactBuilder::new(&s).build();
+        let cub = Cuboid::build(&s, &facts, LevelSelect::BASE, None).unwrap();
+        assert_eq!(cub.cells(), 0);
+        assert_eq!(cub.total_count(), 0);
+    }
+
+    #[test]
+    fn invalid_select_rejected() {
+        let s = schema();
+        let facts = FactTable::synthetic(&s, 10, 1);
+        assert!(Cuboid::build(&s, &facts, LevelSelect([9, 0, 0, 0]), None).is_err());
+    }
+}

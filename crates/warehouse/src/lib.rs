@@ -1,0 +1,75 @@
+//! # riskpipe-warehouse
+//!
+//! Parallel data warehousing for stage-3 analytics — the paper's §II
+//! prescription for DFA-scale data: "Owing to the large size of data
+//! pre-computation techniques such as in parallel data warehousing can
+//! be applied."
+//!
+//! The warehouse takes the pipeline's location-level loss facts (the
+//! YELLT-shaped output of stage 2) and pre-computes group-by aggregates
+//! so that the ad-hoc analytical queries of stage 3 — regional
+//! drill-downs, peril attribution, seasonality, top-loss rankings —
+//! stop paying a full fact scan each time:
+//!
+//! * [`dimension`] — the star schema: four dimensions (geography,
+//!   event, contract, time), each with an aggregation hierarchy
+//!   (location→region, event→peril, layer→line-of-business,
+//!   day→month→season).
+//! * [`fact`] — the columnar loss fact table, scanned never randomly
+//!   accessed, like every other table in the pipeline.
+//! * [`cube`] — cuboids (materialised group-bys) built with
+//!   chunk-deterministic parallel aggregation on the [`riskpipe_exec`]
+//!   pool: sequential and parallel builds agree bit-for-bit.
+//! * [`mod@rollup`] — deriving coarser cuboids from finer ones at
+//!   cell-count cost instead of fact-scan cost: why pre-computation
+//!   compounds.
+//! * [`lattice`] — the cuboid lattice and Harinarayan–Rajaraman–Ullman
+//!   greedy view selection under a memory budget.
+//! * [`query`] — the planner: each query is served by the smallest
+//!   materialised view that covers it, with per-query cost accounting
+//!   (experiment E9's measured quantity). New facts fold into the
+//!   materialised views incrementally (delta cuboid + merge), no
+//!   rebuild.
+//! * [`store`] — views persist through the same CRC-checked frame
+//!   format as every other riskpipe table; corruption is detected at
+//!   load.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use riskpipe_warehouse::{dim, FactTable, Filter, LevelSelect, Query, Schema, Warehouse};
+//!
+//! // 2 regions of 10 locations, 2 perils of 20 events, 2 LoBs of 4 layers.
+//! let schema = Schema::standard(10, 2, 20, 2, 4, 2)?;
+//! let facts = FactTable::synthetic(&schema, 10_000, 42);
+//!
+//! let mut wh = Warehouse::new(schema, facts);
+//! wh.materialize(LevelSelect::BASE, None)?;
+//!
+//! // Loss by region × peril, sliced to region 1, served from the view.
+//! let query = Query::group_by(LevelSelect([1, 1, 2, 3]))
+//!     .filter(Filter::slice(dim::GEO, 1));
+//! let (rows, cost) = wh.answer(&query)?;
+//! assert!(!rows.is_empty());
+//! assert_eq!(cost.facts_read, 0); // pre-computation: no fact scan
+//! # Ok::<(), riskpipe_types::RiskError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cube;
+pub mod dimension;
+pub mod fact;
+pub mod lattice;
+mod proptests;
+pub mod query;
+pub mod rollup;
+pub mod store;
+
+pub use cube::{Cell, Cuboid, KeyCodec, LevelSelect};
+pub use dimension::{dim, Dimension, Level, Schema, NDIMS};
+pub use fact::{FactBuilder, FactTable};
+pub use lattice::{enumerate, greedy_select, greedy_select_budget, ViewSelection};
+pub use query::{Filter, Query, QueryCost, ResultRow, Source, Warehouse};
+pub use rollup::rollup;
+pub use store::{decode_cuboid, encode_cuboid, load_views, save_views};

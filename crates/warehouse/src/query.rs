@@ -1,0 +1,648 @@
+//! The warehouse itself: materialised views plus a query planner.
+//!
+//! A query names a granularity (one level per dimension), optional
+//! dice filters, and an optional top-k cut. The planner answers it
+//! from the *smallest materialised cuboid that is finer-or-equal on
+//! every dimension*, rolling up and filtering on the fly; only when no
+//! view qualifies does it fall back to scanning the facts. The
+//! returned [`QueryCost`] records which source served the query and
+//! how many cells/facts it touched — the quantities experiment E9
+//! compares.
+
+use crate::cube::{Cell, Cuboid, KeyCodec, LevelSelect};
+use crate::dimension::{Schema, NDIMS};
+use crate::fact::FactTable;
+use crate::rollup::rollup;
+use riskpipe_exec::ThreadPool;
+use riskpipe_types::{RiskError, RiskResult};
+use std::collections::{BTreeMap, HashMap};
+
+/// A dice filter: keep cells whose code for `dim` (at the query's
+/// level for that dimension) is in `codes`.
+#[derive(Debug, Clone)]
+pub struct Filter {
+    /// Dimension index (see [`crate::dimension::dim`]).
+    pub dim: usize,
+    /// Accepted codes at the query's level for that dimension.
+    pub codes: Vec<u32>,
+}
+
+impl Filter {
+    /// A slice: a single accepted code.
+    pub fn slice(dim: usize, code: u32) -> Self {
+        Self {
+            dim,
+            codes: vec![code],
+        }
+    }
+
+    #[inline]
+    fn accepts(&self, codes: &[u32; NDIMS]) -> bool {
+        self.codes.contains(&codes[self.dim])
+    }
+}
+
+/// An analytical query against the warehouse.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Result granularity: one level per dimension.
+    pub select: LevelSelect,
+    /// Dice filters (conjunctive).
+    pub filters: Vec<Filter>,
+    /// Keep only the `k` cells with the largest loss sum.
+    pub top_k: Option<usize>,
+}
+
+impl Query {
+    /// A plain group-by at `select` with no filters.
+    pub fn group_by(select: LevelSelect) -> Self {
+        Self {
+            select,
+            filters: Vec::new(),
+            top_k: None,
+        }
+    }
+
+    /// Add a dice filter.
+    pub fn filter(mut self, f: Filter) -> Self {
+        self.filters.push(f);
+        self
+    }
+
+    /// Keep only the top `k` cells by loss sum.
+    pub fn top(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+}
+
+/// One result row: the cell's codes at the query's levels and its
+/// aggregate measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultRow {
+    /// Cell codes, one per dimension at the query's level.
+    pub codes: [u32; NDIMS],
+    /// Aggregates.
+    pub cell: Cell,
+}
+
+/// Where a query was answered from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// A materialised cuboid at this selection.
+    Materialized(LevelSelect),
+    /// Full scan of the fact table.
+    FactScan,
+}
+
+/// Cost accounting for one answered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCost {
+    /// The source the planner chose.
+    pub source: Source,
+    /// Aggregated cells read (0 for fact scans).
+    pub cells_read: u64,
+    /// Fact rows read (0 when served from a view).
+    pub facts_read: u64,
+    /// Result rows returned.
+    pub rows_out: u64,
+}
+
+impl QueryCost {
+    /// Rows of *any* kind read to answer the query — the scan-cost
+    /// scalar E9 plots.
+    pub fn rows_read(&self) -> u64 {
+        self.cells_read + self.facts_read
+    }
+}
+
+/// Materialised views plus the fact table and planner.
+#[derive(Debug)]
+pub struct Warehouse {
+    schema: Schema,
+    facts: FactTable,
+    views: BTreeMap<LevelSelect, Cuboid>,
+}
+
+impl Warehouse {
+    /// A warehouse with no materialised views (every query scans).
+    pub fn new(schema: Schema, facts: FactTable) -> Self {
+        Self {
+            schema,
+            facts,
+            views: BTreeMap::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The fact table.
+    pub fn facts(&self) -> &FactTable {
+        &self.facts
+    }
+
+    /// Currently materialised selections.
+    pub fn materialized(&self) -> Vec<LevelSelect> {
+        self.views.keys().copied().collect()
+    }
+
+    /// Total bytes held by materialised views.
+    pub fn views_memory_bytes(&self) -> usize {
+        self.views.values().map(|c| c.memory_bytes()).sum()
+    }
+
+    /// Materialise the view at `select`, deriving it from the best
+    /// existing finer view when one exists (rollup) and from the facts
+    /// otherwise. Returns the build cost (rows read).
+    pub fn materialize(
+        &mut self,
+        select: LevelSelect,
+        pool: Option<&ThreadPool>,
+    ) -> RiskResult<u64> {
+        if self.views.contains_key(&select) {
+            return Ok(0);
+        }
+        // Best = fewest cells among materialised views finer_eq select.
+        let best: Option<(&LevelSelect, &Cuboid)> = self
+            .views
+            .iter()
+            .filter(|(s, _)| s.finer_eq(&select) && **s != select)
+            .min_by_key(|(_, c)| c.cells());
+        let (cuboid, cost) = match best {
+            Some((_, src)) if (src.cells() as u64) < self.facts.rows() as u64 => {
+                let cost = src.cells() as u64;
+                (rollup(&self.schema, src, select)?, cost)
+            }
+            _ => (
+                Cuboid::build(&self.schema, &self.facts, select, pool)?,
+                self.facts.rows() as u64,
+            ),
+        };
+        self.views.insert(select, cuboid);
+        Ok(cost)
+    }
+
+    /// Materialise several views, finest first so coarser ones derive
+    /// from finer ones already in place. Returns total build cost.
+    pub fn materialize_all(
+        &mut self,
+        selects: &[LevelSelect],
+        pool: Option<&ThreadPool>,
+    ) -> RiskResult<u64> {
+        let mut order: Vec<LevelSelect> = selects.to_vec();
+        // Finest first: sort by total level (ascending), then key.
+        order.sort_by_key(|s| (s.0.iter().map(|&l| l as u32).sum::<u32>(), *s));
+        let mut total = 0u64;
+        for s in order {
+            total += self.materialize(s, pool)?;
+        }
+        Ok(total)
+    }
+
+    /// Drop a materialised view.
+    pub fn evict(&mut self, select: LevelSelect) -> bool {
+        self.views.remove(&select).is_some()
+    }
+
+    /// Incremental maintenance: absorb a batch of new facts (the next
+    /// simulation run's output) into both the fact table and every
+    /// materialised view. Each view is updated by building a *delta*
+    /// cuboid over the new facts only and merging it in — total cost
+    /// `views × new_rows`, not `views × all_rows`. Returns the rows
+    /// read.
+    pub fn append_facts(
+        &mut self,
+        new_facts: &FactTable,
+        pool: Option<&ThreadPool>,
+    ) -> RiskResult<u64> {
+        // Validate the batch against this schema before touching state.
+        for d in 0..NDIMS {
+            let card = self.schema.dim(d).cardinality(0);
+            if new_facts.code_columns()[d].iter().any(|&c| c >= card) {
+                return Err(RiskError::invalid(format!(
+                    "appended facts have out-of-range codes for dimension {d}"
+                )));
+            }
+        }
+        let mut cost = 0u64;
+        for (sel, view) in self.views.iter_mut() {
+            let delta = Cuboid::build(&self.schema, new_facts, *sel, pool)?;
+            view.merge(&delta)?;
+            cost += new_facts.rows() as u64;
+        }
+        self.facts.extend(new_facts);
+        Ok(cost)
+    }
+
+    /// Answer `query`, returning result rows (sorted by cell key, or
+    /// by descending sum when `top_k` is set) and the cost record.
+    pub fn answer(&self, query: &Query) -> RiskResult<(Vec<ResultRow>, QueryCost)> {
+        if !query.select.is_valid(&self.schema) {
+            return Err(RiskError::invalid(format!(
+                "query select {:?} invalid for schema",
+                query.select.0
+            )));
+        }
+        for f in &query.filters {
+            if f.dim >= NDIMS {
+                return Err(RiskError::invalid(format!(
+                    "filter dimension {} out of range",
+                    f.dim
+                )));
+            }
+            let card = self.schema.dim(f.dim).cardinality(query.select.level(f.dim));
+            if f.codes.iter().any(|&c| c >= card) {
+                return Err(RiskError::invalid(format!(
+                    "filter code out of range for dimension {} at query level",
+                    f.dim
+                )));
+            }
+        }
+
+        // Plan: smallest materialised view that can serve the query.
+        let source = self
+            .views
+            .iter()
+            .filter(|(s, _)| s.finer_eq(&query.select))
+            .min_by_key(|(_, c)| c.cells());
+
+        match source {
+            Some((&vsel, view)) => {
+                let (rows, cells_read) = self.answer_from_view(view, query)?;
+                let rows_out = rows.len() as u64;
+                Ok((
+                    rows,
+                    QueryCost {
+                        source: Source::Materialized(vsel),
+                        cells_read,
+                        facts_read: 0,
+                        rows_out,
+                    },
+                ))
+            }
+            None => {
+                let rows = self.answer_from_facts(query)?;
+                let rows_out = rows.len() as u64;
+                Ok((
+                    rows,
+                    QueryCost {
+                        source: Source::FactScan,
+                        cells_read: 0,
+                        facts_read: self.facts.rows() as u64,
+                        rows_out,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Answer a batch of queries concurrently on `pool` — parallel
+    /// data warehousing's second half: the build parallelises *and* so
+    /// does serving the analyst's query mix (queries only read the
+    /// warehouse). Results are in query order, each as in
+    /// [`Warehouse::answer`].
+    pub fn answer_batch(
+        &self,
+        queries: &[Query],
+        pool: &ThreadPool,
+    ) -> Vec<RiskResult<(Vec<ResultRow>, QueryCost)>> {
+        riskpipe_exec::par_map_collect(pool, queries.len(), 1, |i| self.answer(&queries[i]))
+    }
+
+    fn answer_from_view(
+        &self,
+        view: &Cuboid,
+        query: &Query,
+    ) -> RiskResult<(Vec<ResultRow>, u64)> {
+        let codec = KeyCodec::new(&self.schema, query.select)?;
+        let vsel = view.select();
+        // Lift tables from the view's levels to the query's levels.
+        let lifts: Vec<Option<Vec<u32>>> = (0..NDIMS)
+            .map(|d| {
+                let from = vsel.level(d);
+                let to = query.select.level(d);
+                if from == to {
+                    None
+                } else {
+                    let dim = self.schema.dim(d);
+                    Some(
+                        (0..dim.cardinality(from))
+                            .map(|c| dim.lift(from, to, c))
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        let mut acc: HashMap<u64, Cell> = HashMap::new();
+        let cells_read = view.cells() as u64;
+        for i in 0..view.cells() {
+            let (codes, cell) = view.cell_at(i);
+            let mut out = [0u32; NDIMS];
+            for d in 0..NDIMS {
+                out[d] = match &lifts[d] {
+                    None => codes[d],
+                    Some(lut) => lut[codes[d] as usize],
+                };
+            }
+            if query.filters.iter().all(|f| f.accepts(&out)) {
+                acc.entry(codec.encode(out))
+                    .or_insert(Cell::EMPTY)
+                    .merge(&cell);
+            }
+        }
+        Ok((Self::finish(acc, &codec, query), cells_read))
+    }
+
+    fn answer_from_facts(&self, query: &Query) -> RiskResult<Vec<ResultRow>> {
+        let codec = KeyCodec::new(&self.schema, query.select)?;
+        let luts: Vec<Option<Vec<u32>>> = (0..NDIMS)
+            .map(|d| {
+                let lvl = query.select.level(d);
+                if lvl == 0 {
+                    None
+                } else {
+                    let dim = self.schema.dim(d);
+                    Some(
+                        (0..dim.cardinality(0))
+                            .map(|c| dim.code_at(lvl, c))
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        let cols = self.facts.code_columns();
+        let losses = self.facts.losses();
+        let mut acc: HashMap<u64, Cell> = HashMap::new();
+        for row in 0..self.facts.rows() {
+            let mut out = [0u32; NDIMS];
+            for d in 0..NDIMS {
+                let base = cols[d][row];
+                out[d] = match &luts[d] {
+                    None => base,
+                    Some(lut) => lut[base as usize],
+                };
+            }
+            if query.filters.iter().all(|f| f.accepts(&out)) {
+                acc.entry(codec.encode(out))
+                    .or_insert(Cell::EMPTY)
+                    .absorb(losses[row]);
+            }
+        }
+        Ok(Self::finish(acc, &codec, query))
+    }
+
+    fn finish(acc: HashMap<u64, Cell>, codec: &KeyCodec, query: &Query) -> Vec<ResultRow> {
+        let mut entries: Vec<(u64, Cell)> = acc.into_iter().collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        let mut rows: Vec<ResultRow> = entries
+            .into_iter()
+            .map(|(k, cell)| ResultRow {
+                codes: codec.decode(k),
+                cell,
+            })
+            .collect();
+        if let Some(k) = query.top_k {
+            rows.sort_by(|a, b| {
+                b.cell
+                    .sum
+                    .total_cmp(&a.cell.sum)
+                    .then_with(|| a.codes.cmp(&b.codes))
+            });
+            rows.truncate(k);
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::{dim, Schema};
+
+    fn wh(materialize_base: bool) -> Warehouse {
+        let s = Schema::standard(25, 5, 16, 4, 6, 2).unwrap();
+        let facts = FactTable::synthetic(&s, 15_000, 77);
+        let mut w = Warehouse::new(s, facts);
+        if materialize_base {
+            w.materialize(LevelSelect::BASE, None).unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn scan_and_view_answers_agree() {
+        let cold = wh(false);
+        let warm = wh(true);
+        let queries = [
+            Query::group_by(LevelSelect([1, 1, 2, 2])),
+            Query::group_by(LevelSelect([2, 1, 0, 3])),
+            Query::group_by(LevelSelect([1, 2, 2, 1]))
+                .filter(Filter::slice(dim::GEO, 2)),
+            Query::group_by(LevelSelect([1, 1, 1, 1]))
+                .filter(Filter {
+                    dim: dim::EVENT,
+                    codes: vec![0, 2],
+                })
+                .top(5),
+        ];
+        for q in &queries {
+            let (a, ca) = cold.answer(q).unwrap();
+            let (b, cb) = warm.answer(q).unwrap();
+            assert_eq!(ca.source, Source::FactScan);
+            assert!(matches!(cb.source, Source::Materialized(_)));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.codes, y.codes);
+                assert_eq!(x.cell.count, y.cell.count);
+                assert!((x.cell.sum - y.cell.sum).abs() <= 1e-9 * x.cell.sum.abs().max(1.0));
+                assert_eq!(x.cell.max, y.cell.max);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_prefers_smallest_view() {
+        let mut w = wh(true);
+        w.materialize(LevelSelect([1, 1, 1, 1]), None).unwrap();
+        let q = Query::group_by(LevelSelect([2, 1, 2, 2]));
+        let (_, cost) = w.answer(&q).unwrap();
+        assert_eq!(cost.source, Source::Materialized(LevelSelect([1, 1, 1, 1])));
+        // The mid view is much smaller than base.
+        let base_cells = w.views[&LevelSelect::BASE].cells() as u64;
+        assert!(cost.cells_read < base_cells);
+        assert_eq!(cost.facts_read, 0);
+    }
+
+    #[test]
+    fn view_cannot_serve_finer_query() {
+        let mut w = wh(false);
+        w.materialize(LevelSelect([1, 1, 1, 1]), None).unwrap();
+        // Query at base level: the only view is coarser → fact scan.
+        let (_, cost) = w.answer(&Query::group_by(LevelSelect::BASE)).unwrap();
+        assert_eq!(cost.source, Source::FactScan);
+        assert_eq!(cost.facts_read, 15_000);
+    }
+
+    #[test]
+    fn filters_restrict_rows() {
+        let w = wh(true);
+        let all = Query::group_by(LevelSelect([1, 2, 2, 3]));
+        let one = Query::group_by(LevelSelect([1, 2, 2, 3])).filter(Filter::slice(dim::GEO, 3));
+        let (ra, _) = w.answer(&all).unwrap();
+        let (ro, _) = w.answer(&one).unwrap();
+        assert!(ro.len() < ra.len());
+        assert!(ro.iter().all(|r| r.codes[dim::GEO] == 3));
+        // Filtered total equals the matching subset of the unfiltered.
+        let want: f64 = ra
+            .iter()
+            .filter(|r| r.codes[dim::GEO] == 3)
+            .map(|r| r.cell.sum)
+            .sum();
+        let got: f64 = ro.iter().map(|r| r.cell.sum).sum();
+        assert!((want - got).abs() <= 1e-9 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn top_k_orders_by_sum() {
+        let w = wh(true);
+        let q = Query::group_by(LevelSelect([2, 0, 2, 3])).top(3);
+        let (rows, cost) = w.answer(&q).unwrap();
+        assert!(rows.len() <= 3);
+        assert_eq!(cost.rows_out, rows.len() as u64);
+        for pair in rows.windows(2) {
+            assert!(pair[0].cell.sum >= pair[1].cell.sum);
+        }
+    }
+
+    #[test]
+    fn materialize_all_prefers_derivation() {
+        let mut w = wh(false);
+        let cost = w
+            .materialize_all(
+                &[
+                    LevelSelect([2, 2, 2, 3]), // apex-ish, should derive
+                    LevelSelect::BASE,
+                    LevelSelect([1, 1, 1, 1]),
+                ],
+                None,
+            )
+            .unwrap();
+        // base from facts (15000) + mid from base (cells of base) +
+        // coarse from mid (cells of mid) — derivations beat rescans.
+        let base_cells = w.views[&LevelSelect::BASE].cells() as u64;
+        let mid_cells = w.views[&LevelSelect([1, 1, 1, 1])].cells() as u64;
+        assert_eq!(cost, 15_000 + base_cells + mid_cells);
+        assert_eq!(w.materialized().len(), 3);
+        // Re-materialising is free.
+        assert_eq!(w.materialize(LevelSelect::BASE, None).unwrap(), 0);
+        // Evict works.
+        assert!(w.evict(LevelSelect::BASE));
+        assert!(!w.evict(LevelSelect::BASE));
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let w = wh(true);
+        assert!(w.answer(&Query::group_by(LevelSelect([9, 0, 0, 0]))).is_err());
+        let bad_dim = Query::group_by(LevelSelect::BASE).filter(Filter {
+            dim: 7,
+            codes: vec![0],
+        });
+        assert!(w.answer(&bad_dim).is_err());
+        let bad_code =
+            Query::group_by(LevelSelect([1, 1, 1, 1])).filter(Filter::slice(dim::GEO, 99));
+        assert!(w.answer(&bad_code).is_err());
+    }
+
+    #[test]
+    fn batch_answers_equal_serial_answers() {
+        let w = wh(true);
+        let pool = riskpipe_exec::ThreadPool::new(4);
+        let queries = vec![
+            Query::group_by(LevelSelect([1, 1, 2, 2])),
+            Query::group_by(LevelSelect([2, 1, 0, 3])),
+            Query::group_by(LevelSelect([1, 2, 2, 1])).filter(Filter::slice(dim::GEO, 2)),
+            Query::group_by(LevelSelect([9, 0, 0, 0])), // invalid: stays an error
+            Query::group_by(LevelSelect([1, 1, 1, 1])).top(3),
+        ];
+        let batch = w.answer_batch(&queries, &pool);
+        assert_eq!(batch.len(), queries.len());
+        for (i, (q, b)) in queries.iter().zip(batch.iter()).enumerate() {
+            match (w.answer(q), b) {
+                (Ok((rows, cost)), Ok((brows, bcost))) => {
+                    assert_eq!(&rows, brows, "query {i}");
+                    assert_eq!(&cost, bcost);
+                }
+                (Err(_), Err(_)) => {}
+                other => panic!("query {i}: serial/batch disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn append_facts_equals_full_rebuild() {
+        let s = Schema::standard(25, 5, 16, 4, 6, 2).unwrap();
+        let first = FactTable::synthetic(&s, 8_000, 77);
+        let second = FactTable::synthetic(&s, 5_000, 78);
+
+        // Incremental path.
+        let mut incr = Warehouse::new(s.clone(), first.clone());
+        incr.materialize(LevelSelect::BASE, None).unwrap();
+        incr.materialize(LevelSelect([1, 1, 1, 1]), None).unwrap();
+        let cost = incr.append_facts(&second, None).unwrap();
+        assert_eq!(cost, 2 * 5_000); // two views × new rows only
+
+        // Rebuild path.
+        let mut all = first.clone();
+        all.extend(&second);
+        let mut full = Warehouse::new(s, all);
+        full.materialize(LevelSelect::BASE, None).unwrap();
+        full.materialize(LevelSelect([1, 1, 1, 1]), None).unwrap();
+
+        for q in [
+            Query::group_by(LevelSelect([1, 1, 1, 1])),
+            Query::group_by(LevelSelect([2, 1, 2, 2])).top(7),
+            Query::group_by(LevelSelect::BASE),
+        ] {
+            let (a, _) = incr.answer(&q).unwrap();
+            let (b, _) = full.answer(&q).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.codes, y.codes);
+                assert_eq!(x.cell.count, y.cell.count);
+                let rel = (x.cell.sum - y.cell.sum).abs() / y.cell.sum.abs().max(1.0);
+                assert!(rel < 1e-9);
+                assert_eq!(x.cell.max, y.cell.max);
+            }
+        }
+        // Fact table itself also grew.
+        assert_eq!(incr.facts().rows(), 13_000);
+    }
+
+    #[test]
+    fn append_facts_validates_codes() {
+        let s = Schema::standard(25, 5, 16, 4, 6, 2).unwrap();
+        let mut w = Warehouse::new(s, FactTable::synthetic(&Schema::standard(25, 5, 16, 4, 6, 2).unwrap(), 100, 1));
+        // A batch from a *bigger* schema has codes out of range.
+        let big = Schema::standard(500, 5, 16, 4, 6, 2).unwrap();
+        let bad = FactTable::synthetic(&big, 200, 2);
+        assert!(w.append_facts(&bad, None).is_err());
+        assert_eq!(w.facts().rows(), 100, "failed append must not mutate");
+    }
+
+    #[test]
+    fn costs_record_rows_read() {
+        let w = wh(true);
+        let (_, cost) = w.answer(&Query::group_by(LevelSelect([1, 1, 1, 1]))).unwrap();
+        assert_eq!(cost.rows_read(), cost.cells_read);
+        let cold = wh(false);
+        let (_, cost) = cold
+            .answer(&Query::group_by(LevelSelect([1, 1, 1, 1])))
+            .unwrap();
+        assert_eq!(cost.rows_read(), cost.facts_read);
+        assert!(cold.views_memory_bytes() == 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Rolling a cuboid up the hierarchy without touching the facts.
+//!
+//! This is what makes pre-computation compound: the base cuboid is
+//! built from the facts once, and every coarser view — region totals,
+//! peril × season, the apex — derives from an already-aggregated
+//! cuboid at the cost of its *cells*, not the fact rows. Cell counts
+//! shrink geometrically up the lattice, so derived materialisation is
+//! orders of magnitude cheaper than re-scanning (measured in E9).
+
+use crate::cube::{Cell, Cuboid, KeyCodec, LevelSelect};
+use crate::dimension::{Schema, NDIMS};
+use riskpipe_types::{RiskError, RiskResult};
+use std::collections::HashMap;
+
+/// Re-aggregate `source` at the coarser `target` level selection.
+///
+/// Fails unless `source.select()` is finer-or-equal to `target` on
+/// every dimension (a cuboid can only be rolled *up*).
+///
+/// Determinism: source cells are visited in key order, so repeated
+/// rollups produce bit-identical sums.
+pub fn rollup(schema: &Schema, source: &Cuboid, target: LevelSelect) -> RiskResult<Cuboid> {
+    if !target.is_valid(schema) {
+        return Err(RiskError::invalid(format!(
+            "rollup target {:?} invalid for schema",
+            target.0
+        )));
+    }
+    let src_sel = source.select();
+    if !src_sel.finer_eq(&target) {
+        return Err(RiskError::invalid(format!(
+            "cannot roll up {:?} to {:?}: target must be coarser on every dimension",
+            src_sel.0, target.0
+        )));
+    }
+    let codec = KeyCodec::new(schema, target)?;
+
+    // Per-dimension lift tables from the source level to the target
+    // level (None = levels equal, identity).
+    let lifts: Vec<Option<Vec<u32>>> = (0..NDIMS)
+        .map(|d| {
+            let from = src_sel.level(d);
+            let to = target.level(d);
+            if from == to {
+                None
+            } else {
+                let dim = schema.dim(d);
+                Some(
+                    (0..dim.cardinality(from))
+                        .map(|c| dim.lift(from, to, c))
+                        .collect(),
+                )
+            }
+        })
+        .collect();
+
+    let mut acc: HashMap<u64, Cell> = HashMap::with_capacity(source.cells() / 4 + 1);
+    for i in 0..source.cells() {
+        let (codes, cell) = source.cell_at(i);
+        let mut out = [0u32; NDIMS];
+        for d in 0..NDIMS {
+            out[d] = match &lifts[d] {
+                None => codes[d],
+                Some(lut) => lut[codes[d] as usize],
+            };
+        }
+        acc.entry(codec.encode(out))
+            .or_insert(Cell::EMPTY)
+            .merge(&cell);
+    }
+    Ok(Cuboid::from_cells(target, codec, acc.into_iter().collect()))
+}
+
+/// Number of source cells a rollup to `target` would read — the cost
+/// model used by the view-selection planner (reading an aggregated
+/// cuboid costs its cell count; reading the facts costs the row count).
+pub fn rollup_cost(source: &Cuboid) -> u64 {
+    source.cells() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Schema;
+    use crate::fact::FactTable;
+
+    fn setup() -> (Schema, FactTable, Cuboid) {
+        let s = Schema::standard(24, 4, 18, 3, 6, 3).unwrap();
+        let facts = FactTable::synthetic(&s, 12_000, 21);
+        let base = Cuboid::build(&s, &facts, LevelSelect::BASE, None).unwrap();
+        (s, facts, base)
+    }
+
+    #[test]
+    fn rollup_equals_direct_build() {
+        let (s, facts, base) = setup();
+        for target in [
+            LevelSelect([1, 0, 0, 0]),
+            LevelSelect([1, 1, 1, 1]),
+            LevelSelect([2, 1, 0, 2]),
+            LevelSelect::apex(&s),
+        ] {
+            let via_rollup = rollup(&s, &base, target).unwrap();
+            let direct = Cuboid::build(&s, &facts, target, None).unwrap();
+            assert_eq!(via_rollup.keys(), direct.keys(), "target {target:?}");
+            assert_eq!(via_rollup.cells(), direct.cells());
+            for i in 0..direct.cells() {
+                let (kc, a) = via_rollup.cell_at(i);
+                let (kd, b) = direct.cell_at(i);
+                assert_eq!(kc, kd);
+                assert_eq!(a.count, b.count);
+                // Addition order differs (cells vs facts), so compare
+                // within fp tolerance.
+                assert!((a.sum - b.sum).abs() <= 1e-9 * b.sum.abs().max(1.0));
+                assert_eq!(a.max, b.max);
+            }
+        }
+    }
+
+    #[test]
+    fn rollup_is_transitive() {
+        let (s, _facts, base) = setup();
+        let mid = rollup(&s, &base, LevelSelect([1, 1, 0, 1])).unwrap();
+        let top_direct = rollup(&s, &base, LevelSelect([2, 1, 1, 2])).unwrap();
+        let top_via_mid = rollup(&s, &mid, LevelSelect([2, 1, 1, 2])).unwrap();
+        assert_eq!(top_direct.keys(), top_via_mid.keys());
+        for i in 0..top_direct.cells() {
+            let (_, a) = top_direct.cell_at(i);
+            let (_, b) = top_via_mid.cell_at(i);
+            assert_eq!(a.count, b.count);
+            assert!((a.sum - b.sum).abs() <= 1e-9 * b.sum.abs().max(1.0));
+            assert_eq!(a.max, b.max);
+        }
+    }
+
+    #[test]
+    fn rollup_conserves_totals() {
+        let (s, facts, base) = setup();
+        let apex = rollup(&s, &base, LevelSelect::apex(&s)).unwrap();
+        assert_eq!(apex.cells(), 1);
+        let (_, cell) = apex.cell_at(0);
+        assert_eq!(cell.count, facts.rows() as u64);
+        let rel = (cell.sum - facts.total_loss()).abs() / facts.total_loss();
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn rollup_rejects_downward_moves() {
+        let (s, _facts, base) = setup();
+        let coarse = rollup(&s, &base, LevelSelect([1, 1, 1, 1])).unwrap();
+        // Down on geo.
+        assert!(rollup(&s, &coarse, LevelSelect([0, 1, 1, 1])).is_err());
+        // Incomparable (down on one, up on another).
+        assert!(rollup(&s, &coarse, LevelSelect([0, 2, 2, 2])).is_err());
+        // Invalid level.
+        assert!(rollup(&s, &base, LevelSelect([7, 0, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn identity_rollup_is_a_copy() {
+        let (s, _facts, base) = setup();
+        let same = rollup(&s, &base, LevelSelect::BASE).unwrap();
+        assert_eq!(same.keys(), base.keys());
+        assert_eq!(same.cells(), base.cells());
+    }
+
+    #[test]
+    fn rollup_cost_is_cell_count() {
+        let (_s, _facts, base) = setup();
+        assert_eq!(rollup_cost(&base), base.cells() as u64);
+    }
+
+    #[test]
+    fn cell_counts_shrink_up_the_lattice() {
+        let (s, _facts, base) = setup();
+        let l1 = rollup(&s, &base, LevelSelect([1, 1, 1, 1])).unwrap();
+        let l2 = rollup(&s, &l1, LevelSelect([2, 2, 2, 3])).unwrap();
+        assert!(base.cells() > l1.cells());
+        assert!(l1.cells() > l2.cells());
+        assert_eq!(l2.cells(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! # riskpipe — high-performance reinsurance risk analytics
+//!
+//! `riskpipe` is a Rust implementation of the three-stage risk-analytics
+//! pipeline described in *Data Challenges in High-Performance Risk
+//! Analytics* (Varghese & Rau-Chaplin, SC 2012):
+//!
+//! 1. **Risk modelling** ([`catmodel`]): stochastic event catalogues ×
+//!    exposure databases → hazard, vulnerability and financial modules →
+//!    Event-Loss Tables (ELTs).
+//! 2. **Portfolio risk management** ([`aggregate`]): Monte-Carlo
+//!    aggregate analysis of a portfolio of reinsurance layers against a
+//!    pre-simulated Year-Event Table, on sequential, multi-core and
+//!    simulated-GPU ([`simgpu`]) engines → Year-Loss Tables (YLTs).
+//! 3. **Dynamic financial analysis** ([`dfa`]): catastrophe YLTs combined
+//!    with investment, interest-rate, market-cycle, counterparty,
+//!    reserve and operational risks → enterprise risk metrics
+//!    ([`metrics`]: PML, VaR, TVaR, EP curves).
+//!
+//! Data management follows the paper's thesis: columnar tables that are
+//! *scanned*, never randomly accessed ([`tables`]), held either in large
+//! accumulated memory or in sharded distributed file space processed
+//! MapReduce-style ([`mapreduce`]); a small relational engine ([`db`]) is
+//! included as the baseline the paper argues against. Stage-3 analytics
+//! pre-compute aggregates in a parallel data [`warehouse`], and the
+//! pipeline's bursty processor demand is priced by the elastic-[`cloud`]
+//! provisioning simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use riskpipe::prelude::*;
+//!
+//! // 1. Stage one: build a small catalogue, exposure set and ELTs.
+//! let scenario = ScenarioConfig::small().with_seed(7);
+//! let stage1 = scenario.build_stage1().expect("stage 1");
+//!
+//! // 2. Stage two: aggregate analysis -> year-loss table.
+//! let portfolio = stage1.portfolio();
+//! let ylt = AggregateRunner::new(EngineKind::CpuParallel)
+//!     .run(&portfolio, &stage1.year_event_table())
+//!     .expect("aggregate analysis");
+//!
+//! // 3. Metrics: probable maximum loss at the 100-year return period.
+//! let ep = EpCurve::aggregate(&ylt);
+//! let pml100 = ep.pml(100.0);
+//! assert!(pml100 >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use riskpipe_aggregate as aggregate;
+pub use riskpipe_catmodel as catmodel;
+pub use riskpipe_cloud as cloud;
+pub use riskpipe_core as core;
+pub use riskpipe_db as db;
+pub use riskpipe_dfa as dfa;
+pub use riskpipe_exec as exec;
+pub use riskpipe_mapreduce as mapreduce;
+pub use riskpipe_metrics as metrics;
+pub use riskpipe_simgpu as simgpu;
+pub use riskpipe_tables as tables;
+pub use riskpipe_types as types;
+pub use riskpipe_warehouse as warehouse;
+
+/// Convenience re-exports covering the common end-to-end workflow.
+pub mod prelude {
+    pub use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind, Portfolio};
+    pub use riskpipe_catmodel::Stage1Output;
+    pub use riskpipe_cloud::{pipeline_week, simulate, PipelineWeekSpec, SimConfig};
+    pub use riskpipe_core::{PipelineConfig, ScenarioConfig};
+    pub use riskpipe_dfa::{AllocationMethod, EnterpriseRollup};
+    pub use riskpipe_metrics::EpCurve;
+    pub use riskpipe_tables::{Elt, Ylt};
+    pub use riskpipe_types::{RiskError, RiskResult};
+    pub use riskpipe_warehouse::{LevelSelect, Query, Schema, Warehouse};
+}

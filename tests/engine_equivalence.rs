@@ -1,0 +1,61 @@
+//! Cross-engine equivalence: the sequential, CPU-parallel and both
+//! simulated-GPU engines must produce bit-identical Year-Loss Tables on
+//! the same inputs — the property that makes the speedup comparisons of
+//! experiment E1 meaningful.
+
+use riskpipe::aggregate::{engines_agree, AggregateOptions, QuantileMode};
+use riskpipe::core::ScenarioConfig;
+use riskpipe::exec::ThreadPool;
+use std::sync::Arc;
+
+#[test]
+fn all_engines_agree_on_scenario_with_secondary_uncertainty() {
+    let stage1 = ScenarioConfig::small().with_seed(31).build_stage1().unwrap();
+    let pool = Arc::new(ThreadPool::new(4));
+    let ylt = engines_agree(
+        &stage1.portfolio(),
+        &stage1.year_event_table(),
+        &AggregateOptions::default(),
+        pool,
+    )
+    .expect("engines diverged");
+    assert_eq!(ylt.trials(), 2_000);
+    assert!(ylt.mean_annual_loss() > 0.0);
+}
+
+#[test]
+fn all_engines_agree_without_secondary_uncertainty() {
+    let stage1 = ScenarioConfig::small().with_seed(32).build_stage1().unwrap();
+    let pool = Arc::new(ThreadPool::new(2));
+    engines_agree(
+        &stage1.portfolio(),
+        &stage1.year_event_table(),
+        &AggregateOptions {
+            secondary_uncertainty: false,
+            ..AggregateOptions::default()
+        },
+        pool,
+    )
+    .expect("engines diverged");
+}
+
+#[test]
+fn all_engines_agree_with_exact_quantiles() {
+    // The exact beta-inverse path is slower, so shrink the scenario.
+    let stage1 = ScenarioConfig::small()
+        .with_seed(33)
+        .with_trials(300)
+        .build_stage1()
+        .unwrap();
+    let pool = Arc::new(ThreadPool::new(4));
+    engines_agree(
+        &stage1.portfolio(),
+        &stage1.year_event_table(),
+        &AggregateOptions {
+            secondary_uncertainty: true,
+            quantile_mode: QuantileMode::Exact,
+        },
+        pool,
+    )
+    .expect("engines diverged");
+}

@@ -1,0 +1,66 @@
+//! Metric validation against closed forms: the estimators the pipeline
+//! reports (VaR, TVaR, PML) must converge to analytic values on known
+//! distributions.
+
+use riskpipe::metrics::{tvar, var, EpCurve, EpKind};
+use riskpipe::types::dist::{Distribution, Exponential, LogNormal};
+use riskpipe::types::rng::Pcg64;
+
+#[test]
+fn exponential_var_and_tvar_match_closed_form() {
+    // Exp(rate λ): VaR_α = −ln(1−α)/λ; TVaR_α = VaR_α + 1/λ.
+    let rate = 0.001;
+    let d = Exponential::new(rate);
+    let mut rng = Pcg64::new(81);
+    let losses = d.sample_n(&mut rng, 400_000);
+    for &alpha in &[0.9, 0.99] {
+        let analytic_var = -(1.0 - alpha as f64).ln() / rate;
+        let analytic_tvar = analytic_var + 1.0 / rate;
+        let est_var = var(&losses, alpha);
+        let est_tvar = tvar(&losses, alpha);
+        assert!(
+            (est_var - analytic_var).abs() / analytic_var < 0.02,
+            "VaR {alpha}: {est_var} vs {analytic_var}"
+        );
+        assert!(
+            (est_tvar - analytic_tvar).abs() / analytic_tvar < 0.02,
+            "TVaR {alpha}: {est_tvar} vs {analytic_tvar}"
+        );
+    }
+}
+
+#[test]
+fn lognormal_pml_matches_quantile_formula() {
+    // LN(mu, sigma): q_p = exp(mu + sigma Φ⁻¹(p)).
+    let (mu, sigma) = (10.0, 1.2);
+    let d = LogNormal::new(mu, sigma);
+    let mut rng = Pcg64::new(82);
+    let losses = d.sample_n(&mut rng, 400_000);
+    let curve = EpCurve::from_losses(EpKind::Aep, losses);
+    for &rp in &[10.0, 100.0] {
+        let p = 1.0 - 1.0 / rp;
+        let analytic = (mu + sigma * riskpipe::types::special::normal_icdf(p)).exp();
+        let est = curve.pml(rp);
+        assert!(
+            (est - analytic).abs() / analytic < 0.03,
+            "PML {rp}y: {est} vs {analytic}"
+        );
+    }
+}
+
+#[test]
+fn ep_curve_probabilities_are_consistent_with_pml() {
+    let d = Exponential::new(0.01);
+    let mut rng = Pcg64::new(83);
+    let curve = EpCurve::from_losses(EpKind::Aep, d.sample_n(&mut rng, 100_000));
+    // P(loss > PML(T)) ≈ 1/T by construction.
+    for &rp in &[5.0, 50.0] {
+        let pml = curve.pml(rp);
+        let p = curve.prob_exceed(pml);
+        assert!(
+            (p - 1.0 / rp).abs() < 0.2 / rp,
+            "rp {rp}: prob {p} vs {}",
+            1.0 / rp
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end pipeline integration: stage 1 → 2 → 3 with coherent
+//! numbers at every hand-off.
+
+use riskpipe::core::{Pipeline, ScenarioConfig};
+use riskpipe::exec::ThreadPool;
+use riskpipe::metrics::{EpCurve, RiskMeasures};
+use std::sync::Arc;
+
+#[test]
+fn pipeline_produces_coherent_report() {
+    let report = Pipeline::new(ScenarioConfig::small().with_seed(41))
+        .run(Arc::new(ThreadPool::new(4)))
+        .unwrap();
+
+    // Stage hand-offs are consistent.
+    assert_eq!(report.ylt.trials(), 2_000);
+    assert!(report.elt_rows > 0);
+    assert!(report.yet_occurrences > 0);
+    assert!(report.yelt_rows <= report.yet_occurrences);
+
+    // Risk measures are internally ordered.
+    let m = &report.measures;
+    assert!(m.mean > 0.0);
+    assert!(m.var99 >= m.mean, "99% VaR below the mean is impossible here");
+    assert!(m.tvar99 >= m.var99);
+    assert!(m.var996 >= m.var99);
+
+    // The occurrence PML never exceeds the aggregate PML.
+    let aep = EpCurve::aggregate(&report.ylt);
+    let oep = EpCurve::occurrence(&report.ylt);
+    assert!(oep.pml(100.0) <= aep.pml(100.0) + 1e-9);
+
+    // Stage-3 metrics exist and are sane.
+    assert!(report.prob_ruin >= 0.0 && report.prob_ruin < 0.5);
+    assert!(report.economic_capital > 0.0);
+}
+
+#[test]
+fn trial_count_scales_tail_resolution() {
+    // More trials → deeper return periods become available, and the
+    // measured metrics stay statistically consistent.
+    let small = Pipeline::new(ScenarioConfig::small().with_seed(42).with_trials(500))
+        .run(Arc::new(ThreadPool::new(4)))
+        .unwrap();
+    let large = Pipeline::new(ScenarioConfig::small().with_seed(42).with_trials(4_000))
+        .run(Arc::new(ThreadPool::new(4)))
+        .unwrap();
+    let m_small = RiskMeasures::from_ylt(&small.ylt);
+    let m_large = RiskMeasures::from_ylt(&large.ylt);
+    // The mean is the most stable metric: within 20% across sizes.
+    let rel = (m_small.mean - m_large.mean).abs() / m_large.mean;
+    assert!(rel < 0.2, "means diverged: {rel}");
+    // 500-trial EP curve cannot quote the 500-year point; 4000 can.
+    let ep = EpCurve::aggregate(&large.ylt);
+    assert!(ep.standard_points().len() >= 7);
+}
+
+#[test]
+fn different_seeds_give_different_but_similar_portfolios() {
+    let a = Pipeline::new(ScenarioConfig::small().with_seed(1))
+        .run(Arc::new(ThreadPool::new(2)))
+        .unwrap();
+    let b = Pipeline::new(ScenarioConfig::small().with_seed(2))
+        .run(Arc::new(ThreadPool::new(2)))
+        .unwrap();
+    assert_ne!(a.ylt, b.ylt);
+    // Same generating process: means within a factor of 3.
+    let ratio = a.measures.mean / b.measures.mean;
+    assert!(ratio > 1.0 / 3.0 && ratio < 3.0, "ratio {ratio}");
+}

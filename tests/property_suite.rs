@@ -1,0 +1,144 @@
+//! Cross-crate property tests on the pipeline's core invariants.
+
+use proptest::prelude::*;
+use riskpipe::aggregate::{
+    AggregateEngine, AggregateOptions, CpuParallelEngine, Layer, LayerTerms, Portfolio,
+    SequentialEngine,
+};
+use riskpipe::exec::ThreadPool;
+use riskpipe::metrics::{tvar, var};
+use riskpipe::tables::elt::{EltBuilder, EltRecord};
+use riskpipe::tables::yet::{Occurrence, YetBuilder};
+use riskpipe::types::{EventId, LayerId};
+use std::sync::Arc;
+
+/// Strategy: a small random ELT.
+fn arb_elt(max_events: u32) -> impl Strategy<Value = Vec<(u32, f64)>> {
+    prop::collection::btree_map(0..max_events, 10.0..5_000.0f64, 1..60)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+/// Strategy: a random YET as (trial occurrence lists).
+fn arb_yet(max_events: u32) -> impl Strategy<Value = Vec<Vec<(u32, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..max_events, 0.001..0.999f64), 0..6),
+        1..40,
+    )
+}
+
+fn build_portfolio(rows: &[(u32, f64)], terms: LayerTerms) -> Portfolio {
+    let mut b = EltBuilder::new();
+    for &(e, mean) in rows {
+        b.push(EltRecord {
+            event_id: EventId::new(e),
+            mean_loss: mean,
+            sigma_i: mean * 0.3,
+            sigma_c: mean * 0.1,
+            exposure: mean * 6.0,
+        })
+        .unwrap();
+    }
+    let elt = Arc::new(b.build().unwrap());
+    let mut p = Portfolio::new();
+    p.push(Layer::new(LayerId::new(0), terms, elt).unwrap());
+    p
+}
+
+fn build_yet(trials: &[Vec<(u32, f64)>]) -> riskpipe::tables::YearEventTable {
+    let mut yb = YetBuilder::new();
+    for t in trials {
+        let occs: Vec<Occurrence> = t
+            .iter()
+            .enumerate()
+            .map(|(i, &(e, z))| Occurrence {
+                event_id: EventId::new(e),
+                day: (i * 30 % 365) as u16,
+                z,
+            })
+            .collect();
+        yb.push_trial(&occs);
+    }
+    yb.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The parallel engine equals the sequential engine on arbitrary
+    /// inputs (not just the fixtures unit tests chose).
+    #[test]
+    fn engines_agree_on_arbitrary_inputs(
+        rows in arb_elt(100),
+        trials in arb_yet(120),
+        ret in 0.0..2_000.0f64,
+        lim in 100.0..50_000.0f64,
+    ) {
+        let portfolio = build_portfolio(&rows, LayerTerms::xl(ret, lim));
+        let yet = build_yet(&trials);
+        let opts = AggregateOptions::default();
+        let seq = SequentialEngine.run(&portfolio, &yet, &opts).unwrap();
+        let par = CpuParallelEngine::new(Arc::new(ThreadPool::new(3)))
+            .run(&portfolio, &yet, &opts)
+            .unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Tightening occurrence terms can only reduce losses, trial by
+    /// trial (monotonicity of the financial structure).
+    #[test]
+    fn tighter_terms_never_increase_losses(
+        rows in arb_elt(60),
+        trials in arb_yet(80),
+        ret in 0.0..1_000.0f64,
+    ) {
+        let yet = build_yet(&trials);
+        let loose = build_portfolio(&rows, LayerTerms::xl(ret, f64::INFINITY));
+        let tight = build_portfolio(&rows, LayerTerms::xl(ret + 500.0, f64::INFINITY));
+        let opts = AggregateOptions { secondary_uncertainty: false, ..AggregateOptions::default() };
+        let ylt_loose = SequentialEngine.run(&loose, &yet, &opts).unwrap();
+        let ylt_tight = SequentialEngine.run(&tight, &yet, &opts).unwrap();
+        for t in 0..ylt_loose.trials() {
+            prop_assert!(ylt_tight.agg_losses()[t] <= ylt_loose.agg_losses()[t] + 1e-9);
+            prop_assert!(ylt_tight.max_occ_losses()[t] <= ylt_loose.max_occ_losses()[t] + 1e-9);
+        }
+    }
+
+    /// YLT structural invariants hold on arbitrary inputs: the max
+    /// occurrence loss never exceeds the aggregate, and zero-count
+    /// trials have zero losses.
+    #[test]
+    fn ylt_invariants(rows in arb_elt(60), trials in arb_yet(80)) {
+        let portfolio = build_portfolio(&rows, LayerTerms::pass_through());
+        let yet = build_yet(&trials);
+        let opts = AggregateOptions { secondary_uncertainty: false, ..AggregateOptions::default() };
+        let ylt = SequentialEngine.run(&portfolio, &yet, &opts).unwrap();
+        for t in 0..ylt.trials() {
+            let agg = ylt.agg_losses()[t];
+            let max = ylt.max_occ_losses()[t];
+            let n = ylt.occ_counts()[t];
+            prop_assert!(max <= agg + 1e-9, "max {max} > agg {agg}");
+            if n == 0 {
+                prop_assert_eq!(agg, 0.0);
+                prop_assert_eq!(max, 0.0);
+            } else {
+                prop_assert!(agg > 0.0);
+                // Aggregate is at most count × max.
+                prop_assert!(agg <= n as f64 * max + 1e-9);
+            }
+        }
+    }
+
+    /// VaR/TVaR sanity on arbitrary samples: TVaR dominates VaR and both
+    /// are monotone in alpha.
+    #[test]
+    fn risk_measures_ordering(
+        losses in prop::collection::vec(0.0..1e6f64, 10..500),
+        a1 in 0.5..0.8f64,
+        a2 in 0.8..0.99f64,
+    ) {
+        prop_assert!(tvar(&losses, a1) >= var(&losses, a1) - 1e-9);
+        prop_assert!(tvar(&losses, a2) >= var(&losses, a2) - 1e-9);
+        prop_assert!(var(&losses, a2) >= var(&losses, a1) - 1e-9);
+        prop_assert!(tvar(&losses, a2) >= tvar(&losses, a1) - 1e-9);
+    }
+}

@@ -178,8 +178,7 @@ impl Kernel for AggKernel<'_> {
         if self.chunking == GpuChunking::SharedTiles {
             // Per-thread tile rows that fit the block's shared arena;
             // every resident thread needs its slice simultaneously.
-            let per_thread =
-                ctx.shared.capacity() / (TILE_ROW_BYTES * ctx.block_threads as u64);
+            let per_thread = ctx.shared.capacity() / (TILE_ROW_BYTES * ctx.block_threads as u64);
             if per_thread == 0 {
                 return Err(RiskError::CapacityExceeded {
                     what: format!(
@@ -216,22 +215,12 @@ impl Kernel for AggKernel<'_> {
             }
             let (events, _days, zs) = self.yet.trial_slices(TrialId::new(g as u32));
             let (agg, max_occ, count) = match (&global_meter, &tiled_meter) {
-                (Some(m), _) => compute_trial(
-                    self.portfolio,
-                    self.secondary,
-                    events,
-                    zs,
-                    &mut scratch,
-                    m,
-                ),
-                (_, Some(m)) => compute_trial(
-                    self.portfolio,
-                    self.secondary,
-                    events,
-                    zs,
-                    &mut scratch,
-                    m,
-                ),
+                (Some(m), _) => {
+                    compute_trial(self.portfolio, self.secondary, events, zs, &mut scratch, m)
+                }
+                (_, Some(m)) => {
+                    compute_trial(self.portfolio, self.secondary, events, zs, &mut scratch, m)
+                }
                 _ => unreachable!("one meter is always constructed"),
             };
             // Output writes batched with the block's other traffic.
@@ -353,7 +342,8 @@ impl AggregateEngine for GpuEngine {
         yet: &YearEventTable,
         opts: &AggregateOptions,
     ) -> RiskResult<Ylt> {
-        self.run_with_stats(portfolio, yet, opts).map(|(ylt, _)| ylt)
+        self.run_with_stats(portfolio, yet, opts)
+            .map(|(ylt, _)| ylt)
     }
 }
 
@@ -436,11 +426,7 @@ mod tests {
             GpuChunking::GlobalOnly,
             Arc::clone(&pool),
         );
-        let chunked = GpuEngine::new(
-            DeviceSpec::fermi_like(),
-            GpuChunking::SharedTiles,
-            pool,
-        );
+        let chunked = GpuEngine::new(DeviceSpec::fermi_like(), GpuChunking::SharedTiles, pool);
         let (_, s_naive) = naive.run_with_stats(&p, &yet, &opts).unwrap();
         let (_, s_chunked) = chunked.run_with_stats(&p, &yet, &opts).unwrap();
         assert!(
@@ -519,10 +505,12 @@ mod tests {
             shared_mem_per_block: 64, // too small for a 128-thread tile
             ..DeviceSpec::fermi_like()
         };
-        let eng = GpuEngine::new(device, GpuChunking::SharedTiles, Arc::new(ThreadPool::new(2)));
-        let err = eng
-            .run(&p, &yet, &AggregateOptions::default())
-            .unwrap_err();
+        let eng = GpuEngine::new(
+            device,
+            GpuChunking::SharedTiles,
+            Arc::new(ThreadPool::new(2)),
+        );
+        let err = eng.run(&p, &yet, &AggregateOptions::default()).unwrap_err();
         assert!(matches!(err, RiskError::CapacityExceeded { .. }));
     }
 
@@ -533,7 +521,14 @@ mod tests {
         let elt = Arc::clone(&p1.layers()[0].elt);
         let mut p = Portfolio::new();
         for l in 0..1_700u32 {
-            p.push(Layer::new(LayerId::new(l), LayerTerms::pass_through(), Arc::clone(&elt)).unwrap());
+            p.push(
+                Layer::new(
+                    LayerId::new(l),
+                    LayerTerms::pass_through(),
+                    Arc::clone(&elt),
+                )
+                .unwrap(),
+            );
         }
         let eng = GpuEngine::on_global_pool(GpuChunking::GlobalOnly);
         let err = eng.run(&p, &yet, &AggregateOptions::default()).unwrap_err();

@@ -258,20 +258,35 @@ pub enum EngineKind {
     GpuChunked,
 }
 
-/// Convenience front end selecting an engine by kind, using the global
-/// thread pool.
+impl EngineKind {
+    /// Every engine, for equivalence sweeps.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Sequential,
+        EngineKind::CpuParallel,
+        EngineKind::GpuGlobal,
+        EngineKind::GpuChunked,
+    ];
+}
+
+/// Convenience front end selecting an engine by kind — the single
+/// engine-dispatch point for everything above this crate (the
+/// `RiskSession` facade included). Uses the global thread pool unless
+/// one is attached with [`AggregateRunner::with_pool`].
 #[derive(Debug, Clone)]
 pub struct AggregateRunner {
     kind: EngineKind,
     opts: AggregateOptions,
+    pool: Option<Arc<riskpipe_exec::ThreadPool>>,
 }
 
 impl AggregateRunner {
-    /// A runner for the given engine with default options.
+    /// A runner for the given engine with default options on the
+    /// global pool.
     pub fn new(kind: EngineKind) -> Self {
         Self {
             kind,
             opts: AggregateOptions::default(),
+            pool: None,
         }
     }
 
@@ -281,18 +296,51 @@ impl AggregateRunner {
         self
     }
 
-    /// Run the analysis on the global pool.
+    /// Attach an explicit pool; parallel engines retain it (hence the
+    /// `Arc` — everywhere the pool merely crosses a call boundary, use
+    /// `&ThreadPool`).
+    pub fn with_pool(mut self, pool: Arc<riskpipe_exec::ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The engine this runner dispatches to.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The options every run uses.
+    pub fn options(&self) -> &AggregateOptions {
+        &self.opts
+    }
+
+    /// Run the analysis on the attached pool (or the global pool).
     pub fn run(&self, portfolio: &Portfolio, yet: &YearEventTable) -> RiskResult<Ylt> {
-        let pool = riskpipe_exec::global_pool();
-        match self.kind {
-            EngineKind::Sequential => SequentialEngine.run(portfolio, yet, &self.opts),
-            EngineKind::CpuParallel => {
-                CpuParallelEngine::with_pool_ref(pool).run(portfolio, yet, &self.opts)
+        match (&self.pool, self.kind) {
+            (_, EngineKind::Sequential) => SequentialEngine.run(portfolio, yet, &self.opts),
+            (Some(pool), EngineKind::CpuParallel) => {
+                CpuParallelEngine::new(Arc::clone(pool)).run(portfolio, yet, &self.opts)
             }
-            EngineKind::GpuGlobal => {
+            (Some(pool), EngineKind::GpuGlobal) => GpuEngine::new(
+                riskpipe_simgpu::DeviceSpec::host_native(pool.thread_count()),
+                GpuChunking::GlobalOnly,
+                Arc::clone(pool),
+            )
+            .run(portfolio, yet, &self.opts),
+            (Some(pool), EngineKind::GpuChunked) => GpuEngine::new(
+                riskpipe_simgpu::DeviceSpec::host_native(pool.thread_count()),
+                GpuChunking::SharedTiles,
+                Arc::clone(pool),
+            )
+            .run(portfolio, yet, &self.opts),
+            (None, EngineKind::CpuParallel) => {
+                CpuParallelEngine::with_pool_ref(riskpipe_exec::global_pool())
+                    .run(portfolio, yet, &self.opts)
+            }
+            (None, EngineKind::GpuGlobal) => {
                 GpuEngine::on_global_pool(GpuChunking::GlobalOnly).run(portfolio, yet, &self.opts)
             }
-            EngineKind::GpuChunked => {
+            (None, EngineKind::GpuChunked) => {
                 GpuEngine::on_global_pool(GpuChunking::SharedTiles).run(portfolio, yet, &self.opts)
             }
         }
@@ -357,8 +405,12 @@ mod per_layer_tests {
         let elt = std::sync::Arc::new(b.build().unwrap());
         let mut p = Portfolio::new();
         p.push(
-            Layer::new(LayerId::new(0), LayerTerms::xl(50.0, 3_000.0), std::sync::Arc::clone(&elt))
-                .unwrap(),
+            Layer::new(
+                LayerId::new(0),
+                LayerTerms::xl(50.0, 3_000.0),
+                std::sync::Arc::clone(&elt),
+            )
+            .unwrap(),
         );
         p.push(
             Layer::new(
@@ -422,10 +474,10 @@ mod per_layer_tests {
         }
         // Per-layer max occurrence never exceeds that layer's aggregate
         // pre-limit... at least counts are consistent.
-        for li in 0..2 {
-            for t in 0..per_layer[li].trials() {
-                if per_layer[li].occ_counts()[t] == 0 {
-                    assert_eq!(per_layer[li].max_occ_losses()[t], 0.0);
+        for layer_ylt in &per_layer {
+            for t in 0..layer_ylt.trials() {
+                if layer_ylt.occ_counts()[t] == 0 {
+                    assert_eq!(layer_ylt.max_occ_losses()[t], 0.0);
                 }
             }
         }

@@ -2,7 +2,9 @@
 //! pool — the paper's "accumulation of large memory" strategy on a
 //! many-core host.
 
-use super::{build_secondary, check_inputs, compute_trial, AggregateEngine, AggregateOptions, NoMeter};
+use super::{
+    build_secondary, check_inputs, compute_trial, AggregateEngine, AggregateOptions, NoMeter,
+};
 use crate::portfolio::Portfolio;
 use riskpipe_exec::{par_chunks_mut, suggest_grain, ThreadPool};
 use riskpipe_tables::yet::YearEventTable;
@@ -96,8 +98,8 @@ mod tests {
     use crate::terms::LayerTerms;
     use riskpipe_tables::elt::{EltBuilder, EltRecord};
     use riskpipe_tables::yet::{Occurrence, YetBuilder};
-    use riskpipe_types::{EventId, LayerId};
     use riskpipe_types::rng::{Rng64, SplitMix64};
+    use riskpipe_types::{EventId, LayerId};
 
     /// A randomised portfolio/YET pair large enough to exercise
     /// multi-chunk scheduling.
@@ -117,7 +119,14 @@ mod tests {
         }
         let elt = std::sync::Arc::new(b.build().unwrap());
         let mut p = Portfolio::new();
-        p.push(Layer::new(LayerId::new(0), LayerTerms::xl(50.0, 5_000.0), std::sync::Arc::clone(&elt)).unwrap());
+        p.push(
+            Layer::new(
+                LayerId::new(0),
+                LayerTerms::xl(50.0, 5_000.0),
+                std::sync::Arc::clone(&elt),
+            )
+            .unwrap(),
+        );
         p.push(
             Layer::new(
                 LayerId::new(1),

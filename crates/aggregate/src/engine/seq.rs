@@ -1,7 +1,9 @@
 //! The sequential reference engine — the baseline of the paper's "15×
 //! faster than the sequential counterpart" comparison.
 
-use super::{build_secondary, check_inputs, compute_trial, AggregateEngine, AggregateOptions, NoMeter};
+use super::{
+    build_secondary, check_inputs, compute_trial, AggregateEngine, AggregateOptions, NoMeter,
+};
 use crate::portfolio::Portfolio;
 use riskpipe_tables::yet::YearEventTable;
 use riskpipe_tables::Ylt;
@@ -100,7 +102,9 @@ mod tests {
     #[test]
     fn hand_computed_losses() {
         let (p, yet) = fixture();
-        let ylt = SequentialEngine.run(&p, &yet, &opts_no_secondary()).unwrap();
+        let ylt = SequentialEngine
+            .run(&p, &yet, &opts_no_secondary())
+            .unwrap();
         assert_eq!(ylt.trials(), 3);
         assert_eq!(ylt.agg_losses(), &[350.0, 0.0, 500.0]);
         assert_eq!(ylt.max_occ_losses(), &[250.0, 0.0, 250.0]);
@@ -115,7 +119,9 @@ mod tests {
         let elt = Arc::clone(&p.layers()[0].elt);
         p = Portfolio::new();
         p.push(Layer::new(LayerId::new(0), LayerTerms::xl(150.0, 1_000.0), elt).unwrap());
-        let ylt = SequentialEngine.run(&p, &yet, &opts_no_secondary()).unwrap();
+        let ylt = SequentialEngine
+            .run(&p, &yet, &opts_no_secondary())
+            .unwrap();
         assert_eq!(ylt.agg_losses(), &[100.0, 0.0, 200.0]);
         assert_eq!(ylt.occ_counts(), &[1, 0, 2]);
     }
@@ -139,7 +145,9 @@ mod tests {
             )
             .unwrap(),
         );
-        let ylt = SequentialEngine.run(&p, &yet, &opts_no_secondary()).unwrap();
+        let ylt = SequentialEngine
+            .run(&p, &yet, &opts_no_secondary())
+            .unwrap();
         // Trial 0: annual 350 → (350-300) = 50. Trial 2: 500 → 150 (cap).
         assert_eq!(ylt.agg_losses(), &[50.0, 0.0, 150.0]);
     }
@@ -147,7 +155,9 @@ mod tests {
     #[test]
     fn secondary_uncertainty_changes_losses_but_not_structure() {
         let (p, yet) = fixture();
-        let det = SequentialEngine.run(&p, &yet, &opts_no_secondary()).unwrap();
+        let det = SequentialEngine
+            .run(&p, &yet, &opts_no_secondary())
+            .unwrap();
         let stoch = SequentialEngine
             .run(&p, &yet, &AggregateOptions::default())
             .unwrap();
@@ -201,7 +211,9 @@ mod tests {
             )
             .unwrap(),
         );
-        let ylt = SequentialEngine.run(&p, &yet, &opts_no_secondary()).unwrap();
+        let ylt = SequentialEngine
+            .run(&p, &yet, &opts_no_secondary())
+            .unwrap();
         // Shares sum to 1.0 → same as single full-share layer.
         assert_eq!(ylt.agg_losses(), &[350.0, 0.0, 500.0]);
     }

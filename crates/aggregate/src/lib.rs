@@ -45,6 +45,6 @@ pub use engine::{
 pub use marginal::{marginal_impact, MarginalImpact};
 pub use portfolio::{Layer, Portfolio};
 pub use reinstate::{price_with_reinstatements, ReinstatementPricing, ReinstatementTerms};
-pub use rt::{RealTimePricer, PricingResult};
+pub use rt::{PricingResult, RealTimePricer};
 pub use secondary::{QuantileMode, SecondaryTable};
 pub use terms::LayerTerms;

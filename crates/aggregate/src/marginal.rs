@@ -159,7 +159,12 @@ mod tests {
         let independent = elt_over(100..200, 2);
         let mut portfolio = Portfolio::new();
         portfolio.push(
-            Layer::new(LayerId::new(0), LayerTerms::pass_through(), Arc::clone(&book)).unwrap(),
+            Layer::new(
+                LayerId::new(0),
+                LayerTerms::pass_through(),
+                Arc::clone(&book),
+            )
+            .unwrap(),
         );
         let y = yet(4_000);
         let pool = Arc::new(ThreadPool::new(2));

@@ -22,9 +22,7 @@ impl Layer {
     pub fn new(id: LayerId, terms: LayerTerms, elt: Arc<Elt>) -> RiskResult<Self> {
         terms.validate()?;
         if elt.is_empty() {
-            return Err(RiskError::invalid(format!(
-                "layer {id} has an empty ELT"
-            )));
+            return Err(RiskError::invalid(format!("layer {id} has an empty ELT")));
         }
         Ok(Self { id, terms, elt })
     }

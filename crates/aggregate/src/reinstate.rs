@@ -50,7 +50,11 @@ impl ReinstatementTerms {
 
     /// Validate the provisions.
     pub fn validate(&self) -> RiskResult<()> {
-        if self.premium_pcts.iter().any(|&p| !(0.0..=10.0).contains(&p)) {
+        if self
+            .premium_pcts
+            .iter()
+            .any(|&p| !(0.0..=10.0).contains(&p))
+        {
             return Err(RiskError::invalid(
                 "reinstatement rates must be finite, non-negative and sane (≤ 1000%)",
             ));
@@ -196,7 +200,7 @@ mod tests {
         assert_eq!(r.premium_fraction(100.0, l), 1.0); // 1st full
         assert_eq!(r.premium_fraction(150.0, l), 1.5); // 1st + half 2nd
         assert_eq!(r.premium_fraction(200.0, l), 2.0); // both full
-        // The 3rd limit (the last cover) triggers nothing.
+                                                       // The 3rd limit (the last cover) triggers nothing.
         assert_eq!(r.premium_fraction(300.0, l), 2.0);
         assert_eq!(r.premium_fraction(1e9, l), 2.0);
     }
@@ -221,9 +225,7 @@ mod tests {
         let p = price_with_reinstatements(&terms, &r, &ylt_of(&[50.0, 150.0])).unwrap();
         assert!((p.expected_recovery - 100.0).abs() < 1e-12);
         assert!((p.base_premium - 100.0 / 1.75).abs() < 1e-9);
-        assert!(
-            (p.expected_reinstatement_premium - p.base_premium * 0.75).abs() < 1e-9
-        );
+        assert!((p.expected_reinstatement_premium - p.base_premium * 0.75).abs() < 1e-9);
         // Income balances the expected loss.
         let income = p.base_premium + p.expected_reinstatement_premium;
         assert!((income - p.expected_recovery).abs() < 1e-9);
@@ -266,9 +268,10 @@ mod tests {
         let half = LayerTerms { share: 0.5, ..full };
         let r = ReinstatementTerms::flat(1, 1.0);
         let p_full = price_with_reinstatements(&full, &r, &ylt_of(&[50.0, 150.0])).unwrap();
-        let p_half =
-            price_with_reinstatements(&half, &r, &ylt_of(&[25.0, 75.0])).unwrap();
-        assert!((p_half.expected_premium_fraction - p_full.expected_premium_fraction).abs() < 1e-12);
+        let p_half = price_with_reinstatements(&half, &r, &ylt_of(&[25.0, 75.0])).unwrap();
+        assert!(
+            (p_half.expected_premium_fraction - p_full.expected_premium_fraction).abs() < 1e-12
+        );
         assert!((p_half.base_premium - p_full.base_premium / 2.0).abs() < 1e-9);
         assert!((p_half.rate_on_line - p_full.rate_on_line).abs() < 1e-12);
     }
@@ -296,19 +299,14 @@ mod tests {
             agg_limit: 500.0,
             ..xl(100.0, 1)
         };
-        assert!(price_with_reinstatements(
-            &too_wide,
-            &ReinstatementTerms::flat(1, 1.0),
-            &ylt
-        )
-        .is_err());
+        assert!(
+            price_with_reinstatements(&too_wide, &ReinstatementTerms::flat(1, 1.0), &ylt).is_err()
+        );
         // Empty YLT.
-        assert!(price_with_reinstatements(
-            &terms,
-            &ReinstatementTerms::flat(1, 1.0),
-            &ylt_of(&[])
-        )
-        .is_err());
+        assert!(
+            price_with_reinstatements(&terms, &ReinstatementTerms::flat(1, 1.0), &ylt_of(&[]))
+                .is_err()
+        );
         // Infinite occurrence limit.
         assert!(price_with_reinstatements(
             &LayerTerms::pass_through(),

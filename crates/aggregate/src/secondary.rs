@@ -71,19 +71,18 @@ impl SecondaryTable {
                 // every engine's output, deterministic).
                 let pool = riskpipe_exec::global_pool();
                 let grain = riskpipe_exec::suggest_grain(n, pool.thread_count(), 8);
-                let rows: Vec<Vec<f64>> =
-                    riskpipe_exec::par_map_collect(pool, n, grain, |i| {
-                        let beta = &betas[i];
-                        (0..g)
-                            .map(|k| {
-                                // Grid over (0,1) excluding the exact
-                                // endpoints: u_k = (k + 0.5) / g keeps
-                                // quantiles finite.
-                                let u = (k as f64 + 0.5) / g as f64;
-                                beta.quantile(u)
-                            })
-                            .collect()
-                    });
+                let rows: Vec<Vec<f64>> = riskpipe_exec::par_map_collect(pool, n, grain, |i| {
+                    let beta = &betas[i];
+                    (0..g)
+                        .map(|k| {
+                            // Grid over (0,1) excluding the exact
+                            // endpoints: u_k = (k + 0.5) / g keeps
+                            // quantiles finite.
+                            let u = (k as f64 + 0.5) / g as f64;
+                            beta.quantile(u)
+                        })
+                        .collect()
+                });
                 let mut grid = Vec::with_capacity(n * g);
                 for row in rows {
                     grid.extend_from_slice(&row);

@@ -48,6 +48,9 @@ impl LayerTerms {
     }
 
     /// Validate the terms.
+    // The negated comparisons are deliberate: `!(x > 0.0)` also
+    // rejects NaN, which `x <= 0.0` would let through.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> RiskResult<()> {
         if self.occ_retention < 0.0 || self.agg_retention < 0.0 {
             return Err(RiskError::invalid("retentions must be non-negative"));

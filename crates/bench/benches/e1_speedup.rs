@@ -8,8 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use riskpipe_aggregate::{
-    AggregateEngine, AggregateOptions, CpuParallelEngine, GpuChunking, GpuEngine,
-    SequentialEngine,
+    AggregateEngine, AggregateOptions, CpuParallelEngine, GpuChunking, GpuEngine, SequentialEngine,
 };
 use riskpipe_bench::{build_fixture, FixtureSize};
 use riskpipe_exec::ThreadPool;
@@ -37,13 +36,7 @@ fn bench_engines(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("cpu_parallel", threads),
             &threads,
-            |b, _| {
-                b.iter(|| {
-                    engine
-                        .run(&fixture.portfolio, &fixture.yet, &opts)
-                        .unwrap()
-                })
-            },
+            |b, _| b.iter(|| engine.run(&fixture.portfolio, &fixture.yet, &opts).unwrap()),
         );
     }
 
@@ -54,11 +47,7 @@ fn bench_engines(c: &mut Criterion) {
         let pool = Arc::new(ThreadPool::default());
         let engine = GpuEngine::new(DeviceSpec::host_native(pool.thread_count()), chunking, pool);
         group.bench_function(name, |b| {
-            b.iter(|| {
-                engine
-                    .run(&fixture.portfolio, &fixture.yet, &opts)
-                    .unwrap()
-            })
+            b.iter(|| engine.run(&fixture.portfolio, &fixture.yet, &opts).unwrap())
         });
     }
     group.finish();

@@ -33,8 +33,12 @@ fn bench_pricing(c: &mut Criterion) {
         group.throughput(Throughput::Elements(trials as u64));
         group.bench_with_input(BenchmarkId::new("price", trials), &trials, |b, _| {
             b.iter(|| {
-                let l = Layer::new(LayerId::new(0), LayerTerms::xl(0.0, f64::INFINITY), layer.elt.clone())
-                    .unwrap();
+                let l = Layer::new(
+                    LayerId::new(0),
+                    LayerTerms::xl(0.0, f64::INFINITY),
+                    layer.elt.clone(),
+                )
+                .unwrap();
                 pricer.price(l, &fixture.yet).unwrap()
             })
         });

@@ -34,16 +34,12 @@ fn bench_metrics(c: &mut Criterion) {
             &trials,
             |b, _| b.iter(|| RiskMeasures::from_ylt(&ylt)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("ep_curve_pml", trials),
-            &trials,
-            |b, _| {
-                b.iter(|| {
-                    let ep = EpCurve::aggregate(&ylt);
-                    (ep.pml(100.0), ep.pml(250.0))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ep_curve_pml", trials), &trials, |b, _| {
+            b.iter(|| {
+                let ep = EpCurve::aggregate(&ylt);
+                (ep.pml(100.0), ep.pml(250.0))
+            })
+        });
     }
     group.finish();
 }

@@ -36,17 +36,17 @@ fn bench_chunking(c: &mut Criterion) {
             let pool = Arc::new(ThreadPool::default());
             let engine =
                 GpuEngine::new(DeviceSpec::host_native(pool.thread_count()), chunking, pool);
-            group.bench_with_input(
-                BenchmarkId::new(name, layers),
-                &layers,
-                |b, _| {
-                    b.iter(|| {
-                        engine
-                            .run(&fixture.portfolio, &fixture.yet, &AggregateOptions::default())
-                            .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, layers), &layers, |b, _| {
+                b.iter(|| {
+                    engine
+                        .run(
+                            &fixture.portfolio,
+                            &fixture.yet,
+                            &AggregateOptions::default(),
+                        )
+                        .unwrap()
+                })
+            });
         }
     }
     group.finish();

@@ -40,14 +40,16 @@ fn bench_warehouse(c: &mut Criterion) {
     warm.materialize(LevelSelect([1, 1, 1, 1]), Some(&pool))
         .expect("materialise");
 
-    group.bench_function("query_fact_scan", |b| b.iter(|| cold.answer(&query).unwrap()));
-    group.bench_function("query_from_view", |b| b.iter(|| warm.answer(&query).unwrap()));
+    group.bench_function("query_fact_scan", |b| {
+        b.iter(|| cold.answer(&query).unwrap())
+    });
+    group.bench_function("query_from_view", |b| {
+        b.iter(|| warm.answer(&query).unwrap())
+    });
 
     // A batch of eight distinct drill-downs, serial vs on the pool.
     let batch: Vec<Query> = (0..8u32)
-        .map(|i| {
-            Query::group_by(LevelSelect([1, 1, 2, 2])).filter(Filter::slice(dim::GEO, i % 16))
-        })
+        .map(|i| Query::group_by(LevelSelect([1, 1, 2, 2])).filter(Filter::slice(dim::GEO, i % 16)))
         .collect();
     group.bench_function("query_batch_serial", |b| {
         b.iter(|| {

@@ -14,8 +14,7 @@
 //! block-parallel efficiency.
 
 use riskpipe_aggregate::{
-    AggregateEngine, AggregateOptions, CpuParallelEngine, GpuChunking, GpuEngine,
-    SequentialEngine,
+    AggregateEngine, AggregateOptions, CpuParallelEngine, GpuChunking, GpuEngine, SequentialEngine,
 };
 use riskpipe_bench::{build_fixture, FixtureSize};
 use riskpipe_core::TextTable;
@@ -91,11 +90,7 @@ fn main() {
         ("sim-gpu chunked", GpuChunking::SharedTiles),
     ] {
         let pool = Arc::new(ThreadPool::default());
-        let engine = GpuEngine::new(
-            DeviceSpec::host_native(pool.thread_count()),
-            chunking,
-            pool,
-        );
+        let engine = GpuEngine::new(DeviceSpec::host_native(pool.thread_count()), chunking, pool);
         let t = time(&|| engine.run(&fixture.portfolio, &fixture.yet, &opts).unwrap());
         if chunking == GpuChunking::SharedTiles {
             gpu_chunked_t = t;
@@ -119,9 +114,7 @@ fn main() {
         "\nmeasured block-parallel efficiency at {host_threads} workers: {:.0}%",
         efficiency * 100.0
     );
-    println!(
-        "per-SM throughput (chunked kernel): {per_sm_throughput:.0} trials/s"
-    );
+    println!("per-SM throughput (chunked kernel): {per_sm_throughput:.0} trials/s");
     println!(
         "linear-scaling projection to a 14-SM Fermi-class device: {projected:.0} trials/s \
          ≈ {projected_speedup:.1}x vs 1 host core"

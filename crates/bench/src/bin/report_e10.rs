@@ -14,8 +14,8 @@
 
 use riskpipe_cloud::{
     peak_deadline_demand, pipeline_week, simulate, total_work_core_ms, FixedPolicy,
-    PipelineWeekSpec, Policy, ReactivePolicy, ScheduledPolicy, SimConfig, SimResult, Stage,
-    DAY_MS, HOUR_MS, WEEK_MS,
+    PipelineWeekSpec, Policy, ReactivePolicy, ScheduledPolicy, SimConfig, SimResult, Stage, DAY_MS,
+    HOUR_MS, WEEK_MS,
 };
 use riskpipe_core::TextTable;
 
@@ -29,16 +29,14 @@ fn main() {
     // core rate needed to land every job inside its window — with 25%
     // headroom for scheduling slack and boot lag.
     let peak_cores = peak_deadline_demand(&jobs, WEEK_MS);
-    let peak_nodes =
-        ((peak_cores as f64 * 1.25) as u64).div_ceil(cfg.node.cores as u64) as u32;
+    let peak_nodes = ((peak_cores as f64 * 1.25) as u64).div_ceil(cfg.node.cores as u64) as u32;
     // A "fixed-average" cluster sized so the week's work fits exactly
     // if spread uniformly — the capacity-planning answer without
     // elasticity.
-    let avg_nodes = ((total_work_core_ms(&jobs) as f64
-        / cfg.horizon_ms as f64
-        / cfg.node.cores as f64)
-        .ceil() as u32)
-        .max(1);
+    let avg_nodes =
+        ((total_work_core_ms(&jobs) as f64 / cfg.horizon_ms as f64 / cfg.node.cores as f64).ceil()
+            as u32)
+            .max(1);
 
     println!("E10 — provisioning the burst (one simulated pipeline week)\n");
     println!(
@@ -82,7 +80,11 @@ fn main() {
     for r in &results {
         table.row(&[
             r.policy.clone(),
-            if r.all_complete() { "all".into() } else { "NO".into() },
+            if r.all_complete() {
+                "all".into()
+            } else {
+                "NO".into()
+            },
             format!("{:.1}%", r.deadline_attainment() * 100.0),
             format!("{:.0}", r.core_hours()),
             format!("{:.0}%", 100.0 * r.core_hours() / fixed_peak_cost),
@@ -94,7 +96,12 @@ fn main() {
     println!("{table}");
 
     // The burst job in detail.
-    let mut burst = TextTable::new(&["policy", "roll-up wait (min)", "roll-up span (h)", "met 8h deadline"]);
+    let mut burst = TextTable::new(&[
+        "policy",
+        "roll-up wait (min)",
+        "roll-up span (h)",
+        "met 8h deadline",
+    ]);
     for r in &results {
         let j = r
             .jobs

@@ -7,11 +7,11 @@
 //! cargo run --release -p riskpipe-bench --bin report_e3
 //! ```
 
+use riskpipe_bench::{build_fixture, FixtureSize};
 use riskpipe_core::TextTable;
 use riskpipe_exec::ThreadPool;
 use riskpipe_tables::sizing::human_bytes;
-use riskpipe_tables::{ScaleSpec, Yelt, Yellt};
-use riskpipe_bench::{build_fixture, FixtureSize};
+use riskpipe_tables::{ScaleSpec, Yellt, Yelt};
 use riskpipe_types::{LocationId, TrialId};
 
 fn main() {

@@ -36,12 +36,7 @@ fn main() {
         table_db.pages()
     );
 
-    let mut table = TextTable::new(&[
-        "plan",
-        "time (s)",
-        "heap pages read",
-        "index nodes read",
-    ]);
+    let mut table = TextTable::new(&["plan", "time (s)", "heap pages read", "index nodes read"]);
 
     let t0 = Instant::now();
     let (col, col_stats) = yelt.scan_aggregate_by_trial();
@@ -75,14 +70,12 @@ fn main() {
     println!("{table}");
 
     // Sanity: all plans agree.
-    let agree = col
-        .iter()
-        .zip(&scanned)
-        .zip(&indexed)
-        .all(|((a, b), c)| (a - b).abs() < 1e-6 * a.abs().max(1.0) && (a - c).abs() < 1e-6 * a.abs().max(1.0));
+    let agree = col.iter().zip(&scanned).zip(&indexed).all(|((a, b), c)| {
+        (a - b).abs() < 1e-6 * a.abs().max(1.0) && (a - c).abs() < 1e-6 * a.abs().max(1.0)
+    });
     println!("\nall plans agree on results: {agree}");
-    let io_ratio = (idx_cost.heap_pages + idx_cost.index_nodes) as f64
-        / scan_cost.heap_pages.max(1) as f64;
+    let io_ratio =
+        (idx_cost.heap_pages + idx_cost.index_nodes) as f64 / scan_cost.heap_pages.max(1) as f64;
     println!(
         "random-access I/O amplification vs scan: {io_ratio:.1}x \
          (paper: this is why RDBMS-style access does not fit the pipeline)"

@@ -64,8 +64,7 @@ fn main() {
 
         let agree = rows.iter().all(|r| {
             let mem_total = mem.get(&r.location.raw()).copied().unwrap_or(0.0);
-            (r.mean_annual_loss * trials as f64 - mem_total).abs()
-                < 1e-6 * mem_total.max(1.0)
+            (r.mean_annual_loss * trials as f64 - mem_total).abs() < 1e-6 * mem_total.max(1.0)
         });
         table.row(&[
             yellt.rows().to_string(),

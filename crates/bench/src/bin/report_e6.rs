@@ -11,7 +11,9 @@
 
 use riskpipe_aggregate::{AggregateEngine, AggregateOptions, SequentialEngine};
 use riskpipe_bench::{build_fixture, FixtureSize};
-use riskpipe_catmodel::{CatalogConfig, EltGenConfig, EventCatalog, ExposureConfig, ExposurePortfolio, GroundUpModel};
+use riskpipe_catmodel::{
+    CatalogConfig, EltGenConfig, EventCatalog, ExposureConfig, ExposurePortfolio, GroundUpModel,
+};
 use riskpipe_core::{Deadline, ElasticModel, StageThroughput, TextTable};
 use riskpipe_dfa::{CompanyConfig, DfaEngine};
 use riskpipe_exec::ThreadPool;
@@ -48,7 +50,11 @@ fn measure_stage2() -> f64 {
     let fixture = build_fixture(size, 0xE6, &pool).unwrap();
     let t0 = Instant::now();
     let _ = SequentialEngine
-        .run(&fixture.portfolio, &fixture.yet, &AggregateOptions::default())
+        .run(
+            &fixture.portfolio,
+            &fixture.yet,
+            &AggregateOptions::default(),
+        )
         .unwrap();
     let dt = t0.elapsed().as_secs_f64();
     (fixture.yet.total_occurrences() as f64 * size.layers as f64) / dt

@@ -10,10 +10,8 @@ use riskpipe_aggregate::{AggregateEngine, AggregateOptions, CpuParallelEngine};
 use riskpipe_bench::{build_fixture, FixtureSize};
 use riskpipe_core::TextTable;
 use riskpipe_exec::ThreadPool;
-use riskpipe_metrics::{
-    bootstrap_ci, BootstrapConfig, ConvergenceStudy, EpCurve, RiskMeasures,
-};
 use riskpipe_metrics::tvar;
+use riskpipe_metrics::{bootstrap_ci, BootstrapConfig, ConvergenceStudy, EpCurve, RiskMeasures};
 use std::sync::Arc;
 
 fn main() {
@@ -26,7 +24,11 @@ fn main() {
     let fixture = build_fixture(size, 0xE7, &pool).expect("fixture");
     let engine = CpuParallelEngine::new(Arc::clone(&pool));
     let ylt = engine
-        .run(&fixture.portfolio, &fixture.yet, &AggregateOptions::default())
+        .run(
+            &fixture.portfolio,
+            &fixture.yet,
+            &AggregateOptions::default(),
+        )
         .expect("ylt");
 
     println!("E7 — portfolio risk metrics from the YLT\n");

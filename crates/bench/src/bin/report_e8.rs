@@ -47,7 +47,11 @@ fn main() {
             let engine = GpuEngine::new(DeviceSpec::fermi_like(), chunking, pool);
             let t0 = std::time::Instant::now();
             let (_ylt, stats) = engine
-                .run_with_stats(&fixture.portfolio, &fixture.yet, &AggregateOptions::default())
+                .run_with_stats(
+                    &fixture.portfolio,
+                    &fixture.yet,
+                    &AggregateOptions::default(),
+                )
                 .expect("run");
             let dt = t0.elapsed().as_secs_f64();
             if chunking == GpuChunking::GlobalOnly {

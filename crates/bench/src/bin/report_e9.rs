@@ -91,10 +91,7 @@ fn main() {
                 .filter(Filter::slice(dim::GEO, 0))
                 .top(10),
         ),
-        (
-            "lob × season",
-            Query::group_by(LevelSelect([2, 2, 1, 2])),
-        ),
+        ("lob × season", Query::group_by(LevelSelect([2, 2, 1, 2]))),
     ];
 
     let cold = Warehouse::new(schema.clone(), facts.clone());
@@ -138,7 +135,10 @@ fn main() {
             format!("{:.2}", cold_s * 1e3),
             cb.rows_read().to_string(),
             format!("{:.2}", warm_s * 1e3),
-            format!("{:.0}x", ca.rows_read() as f64 / cb.rows_read().max(1) as f64),
+            format!(
+                "{:.0}x",
+                ca.rows_read() as f64 / cb.rows_read().max(1) as f64
+            ),
         ]);
     }
     println!("{qt}");
@@ -253,8 +253,8 @@ fn main() {
     .expect("job");
     let mr_s = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let mem_cub = Cuboid::build(&schema, &facts, LevelSelect([1, 1, 2, 3]), Some(&pool))
-        .expect("build");
+    let mem_cub =
+        Cuboid::build(&schema, &facts, LevelSelect([1, 1, 2, 3]), Some(&pool)).expect("build");
     let mem_s = t0.elapsed().as_secs_f64();
     assert_eq!(cells.len(), mem_cub.cells(), "strategies must agree");
     std::fs::remove_dir_all(&dir).ok();

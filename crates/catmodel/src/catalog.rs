@@ -80,6 +80,8 @@ impl EventCatalog {
             return Err(RiskError::invalid("total annual rate must be positive"));
         }
         let (m_lo, m_hi) = cfg.magnitude_range;
+        // Negated on purpose: `!(lo < hi)` also rejects NaN bounds.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(m_lo < m_hi) {
             return Err(RiskError::invalid("magnitude range must be increasing"));
         }
@@ -205,7 +207,11 @@ mod tests {
         sorted.sort_by(|a, b| a.magnitude.total_cmp(&b.magnitude));
         let q = sorted.len() / 4;
         let small_mean: f64 = sorted[..q].iter().map(|e| e.rate).sum::<f64>() / q as f64;
-        let large_mean: f64 = sorted[sorted.len() - q..].iter().map(|e| e.rate).sum::<f64>() / q as f64;
+        let large_mean: f64 = sorted[sorted.len() - q..]
+            .iter()
+            .map(|e| e.rate)
+            .sum::<f64>()
+            / q as f64;
         // Quartiles of a GR catalogue: the bottom quartile sits in a
         // narrow magnitude band near m_min, the top spans the long tail,
         // so a ~5x mean-rate gap is the expected qualitative signature.
@@ -230,11 +236,7 @@ mod tests {
         let a = EventCatalog::generate(&cfg).unwrap();
         let b = EventCatalog::generate(&cfg).unwrap();
         assert_eq!(a.events()[17], b.events()[17]);
-        let c = EventCatalog::generate(&CatalogConfig {
-            seed: 99,
-            ..cfg
-        })
-        .unwrap();
+        let c = EventCatalog::generate(&CatalogConfig { seed: 99, ..cfg }).unwrap();
         assert_ne!(a.events()[17], c.events()[17]);
     }
 
@@ -251,11 +253,7 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let base = CatalogConfig::default();
-        assert!(EventCatalog::generate(&CatalogConfig {
-            events: 0,
-            ..base
-        })
-        .is_err());
+        assert!(EventCatalog::generate(&CatalogConfig { events: 0, ..base }).is_err());
         assert!(EventCatalog::generate(&CatalogConfig {
             total_annual_rate: 0.0,
             ..base

@@ -65,11 +65,7 @@ impl<'a> GroundUpModel<'a> {
 
     /// Stream the mean insured loss of every affected location for one
     /// event. This is the YELLT emission path: nothing is materialised.
-    pub fn for_each_location_loss(
-        &self,
-        event_index: usize,
-        mut f: impl FnMut(LocationId, f64),
-    ) {
+    pub fn for_each_location_loss(&self, event_index: usize, mut f: impl FnMut(LocationId, f64)) {
         let event = &self.catalog.events()[event_index];
         for loc in self.exposure.locations() {
             let intensity = site_intensity(event, &loc.position);

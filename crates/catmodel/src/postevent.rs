@@ -148,8 +148,8 @@ mod tests {
     fn top_locations_sorted_and_bounded() {
         let exp = exposure();
         let c = exp.locations()[0].position;
-        let est = rapid_estimate(&event_at(c.x, c.y, 8.0), &exp, &EltGenConfig::default(), 10)
-            .unwrap();
+        let est =
+            rapid_estimate(&event_at(c.x, c.y, 8.0), &exp, &EltGenConfig::default(), 10).unwrap();
         assert!(est.top_locations.len() <= 10);
         for w in est.top_locations.windows(2) {
             assert!(w[0].1 >= w[1].1);
@@ -172,12 +172,8 @@ mod tests {
     #[test]
     fn invalid_magnitude_rejected() {
         let exp = exposure();
-        assert!(rapid_estimate(
-            &event_at(0.0, 0.0, -1.0),
-            &exp,
-            &EltGenConfig::default(),
-            0
-        )
-        .is_err());
+        assert!(
+            rapid_estimate(&event_at(0.0, 0.0, -1.0), &exp, &EltGenConfig::default(), 0).is_err()
+        );
     }
 }

@@ -30,7 +30,7 @@ impl Default for YetConfig {
     fn default() -> Self {
         Self {
             trials: 10_000,
-            seed: 0x5EED_0F_E4,
+            seed: 0x5EED_0FE4,
         }
     }
 }
@@ -224,11 +224,8 @@ mod tests {
     #[test]
     fn zero_trials_rejected() {
         let cat = catalog(5.0);
-        assert!(simulate_yet(
-            &cat,
-            &YetConfig { trials: 0, seed: 0 },
-            &ThreadPool::new(1)
-        )
-        .is_err());
+        assert!(
+            simulate_yet(&cat, &YetConfig { trials: 0, seed: 0 }, &ThreadPool::new(1)).is_err()
+        );
     }
 }

@@ -155,8 +155,7 @@ impl Policy for ReactivePolicy {
         if backlog > threshold && cooled {
             // Size the step to the backlog: enough nodes that the queue
             // per core falls to the target.
-            let want_cores =
-                (backlog as f64 / self.queue_per_core).ceil() as u64;
+            let want_cores = (backlog as f64 / self.queue_per_core).ceil() as u64;
             let want_nodes = want_cores.div_ceil(obs.cores_per_node as u64) as u32;
             let target = want_nodes.clamp(self.min_nodes, self.max_nodes);
             let grow = target.saturating_sub(provisioned + action.boot);
@@ -265,8 +264,8 @@ mod tests {
     fn reactive_scales_with_backlog() {
         let mut p = ReactivePolicy::new(1, 1000);
         p.act(&obs(0, 0, 0, 0)); // floor boot
-        // Huge backlog: 8000 queued on 1 node × 4 cores at target 2/core
-        // wants 1000 cores → 250 nodes.
+                                 // Huge backlog: 8000 queued on 1 node × 4 cores at target 2/core
+                                 // wants 1000 cores → 250 nodes.
         let a = p.act(&obs(1, 8_000, 1, 0));
         assert_eq!(a.boot, 999); // 1000 target − 1 provisioned
     }
@@ -277,7 +276,7 @@ mod tests {
         p.act(&obs(0, 0, 0, 0));
         let a = p.act(&obs(1, 100_000, 1, 0));
         assert_eq!(a.boot, 9); // capped at max_nodes
-        // Immediately after: cooldown blocks further scale-up.
+                               // Immediately after: cooldown blocks further scale-up.
         let a = p.act(&obs(2, 100_000, 10, 0));
         assert_eq!(a.boot, 0);
         // After the cooldown it may fire again (but already at max).

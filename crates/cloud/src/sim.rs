@@ -213,7 +213,13 @@ pub fn simulate(
         .collect();
 
     for (i, j) in jobs.iter().enumerate() {
-        push(&mut heap, &mut events, &mut seq, j.arrival_ms, EventKind::Arrival(i));
+        push(
+            &mut heap,
+            &mut events,
+            &mut seq,
+            j.arrival_ms,
+            EventKind::Arrival(i),
+        );
     }
     push(&mut heap, &mut events, &mut seq, 0, EventKind::Tick);
 
@@ -348,7 +354,13 @@ pub fn simulate(
             let Action { boot, retire_idle } = policy.act(&obs);
             if boot > 0 {
                 let ready_at = cluster.boot(boot);
-                push(&mut heap, &mut events, &mut seq, ready_at, EventKind::NodeReady);
+                push(
+                    &mut heap,
+                    &mut events,
+                    &mut seq,
+                    ready_at,
+                    EventKind::NodeReady,
+                );
             }
             if retire_idle > 0 {
                 cluster.retire_idle(retire_idle);
@@ -536,11 +548,9 @@ mod tests {
     fn reactive_beats_fixed_peak_on_cost() {
         let jobs = crate::workload::pipeline_week(&Default::default()).unwrap();
         let cfg = SimConfig::default();
-        let peak_cores =
-            crate::workload::peak_deadline_demand(&jobs, crate::workload::WEEK_MS);
+        let peak_cores = crate::workload::peak_deadline_demand(&jobs, crate::workload::WEEK_MS);
         // Headroom so the fixed-peak baseline actually meets deadlines.
-        let peak_nodes = ((peak_cores as f64 * 1.25) as u64)
-            .div_ceil(cfg.node.cores as u64) as u32;
+        let peak_nodes = ((peak_cores as f64 * 1.25) as u64).div_ceil(cfg.node.cores as u64) as u32;
         let mut fixed = FixedPolicy::new(peak_nodes);
         let rf = simulate(&jobs, &mut fixed, &cfg).unwrap();
         let mut reactive = ReactivePolicy::new(2, peak_nodes);
@@ -604,7 +614,10 @@ mod tests {
             .map(|&(_, n, _)| n)
             .max()
             .unwrap();
-        assert!(peak >= 4 * before_burst, "peak {peak} vs pre-burst {before_burst}");
+        assert!(
+            peak >= 4 * before_burst,
+            "peak {peak} vs pre-burst {before_burst}"
+        );
     }
 
     #[test]

@@ -162,7 +162,9 @@ pub fn pipeline_week(spec: &PipelineWeekSpec) -> RiskResult<Vec<JobSpec>> {
     }
     let mut jobs = Vec::new();
     let tasks_for = |core_hours: f64| -> u32 {
-        ((core_hours * HOUR_MS as f64) / spec.task_ms as f64).ceil().max(1.0) as u32
+        ((core_hours * HOUR_MS as f64) / spec.task_ms as f64)
+            .ceil()
+            .max(1.0) as u32
     };
 
     // Stage 1: daily refresh at 02:00.
@@ -207,8 +209,9 @@ pub fn pipeline_week(spec: &PipelineWeekSpec) -> RiskResult<Vec<JobSpec>> {
 
     // Ad-hoc queries: business hours Monday–Friday.
     let mut rng = SplitMix64::new(spec.seed);
-    let adhoc_tasks =
-        ((spec.adhoc_core_minutes * 60_000.0) / spec.task_ms as f64).ceil().max(1.0) as u32;
+    let adhoc_tasks = ((spec.adhoc_core_minutes * 60_000.0) / spec.task_ms as f64)
+        .ceil()
+        .max(1.0) as u32;
     for day in 0..5u64 {
         for q in 0..spec.adhoc_per_day {
             let offset_ms = 9 * HOUR_MS + rng.next_u64() % (8 * HOUR_MS);
@@ -301,8 +304,14 @@ mod tests {
     #[test]
     fn default_week_shape() {
         let jobs = pipeline_week(&PipelineWeekSpec::default()).unwrap();
-        let s1 = jobs.iter().filter(|j| j.stage == Stage::RiskModelling).count();
-        let s2 = jobs.iter().filter(|j| j.stage == Stage::PortfolioRollup).count();
+        let s1 = jobs
+            .iter()
+            .filter(|j| j.stage == Stage::RiskModelling)
+            .count();
+        let s2 = jobs
+            .iter()
+            .filter(|j| j.stage == Stage::PortfolioRollup)
+            .count();
         let s3 = jobs.iter().filter(|j| j.stage == Stage::Dfa).count();
         let adhoc = jobs.iter().filter(|j| j.stage == Stage::AdHoc).count();
         assert_eq!(s1, 7);

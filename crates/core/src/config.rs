@@ -99,7 +99,7 @@ impl ScenarioConfig {
         let catalog = EventCatalog::generate(&CatalogConfig {
             events: self.events,
             total_annual_rate: self.annual_rate,
-            seed: self.seed ^ 0xCA7A_06,
+            seed: self.seed ^ 0xCA_7A_06,
             ..CatalogConfig::default()
         })?;
         let exposures: Vec<ExposurePortfolio> = (0..self.contracts)

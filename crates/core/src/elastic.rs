@@ -140,9 +140,7 @@ impl ElasticModel {
     /// Processors per stage to meet a deadline.
     pub fn plan(&self, deadline: Deadline) -> ProcessorPlan {
         let secs = deadline.seconds();
-        let need = |work: f64, rate: f64| -> u64 {
-            (work / (rate * secs)).ceil().max(1.0) as u64
-        };
+        let need = |work: f64, rate: f64| -> u64 { (work / (rate * secs)).ceil().max(1.0) as u64 };
         ProcessorPlan {
             deadline_secs: secs as u64,
             stage1: need(self.stage1_work(), self.throughput.stage1_pairs_per_sec),
@@ -202,10 +200,7 @@ mod tests {
         // The elastic gap between the smallest and largest stage need.
         let plan = model().plan(Deadline::Daily);
         assert!(plan.burst_ratio() > 10.0, "ratio {}", plan.burst_ratio());
-        assert_eq!(
-            plan.peak(),
-            plan.stage1.max(plan.stage2).max(plan.stage3)
-        );
+        assert_eq!(plan.peak(), plan.stage1.max(plan.stage2).max(plan.stage3));
     }
 
     #[test]

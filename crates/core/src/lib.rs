@@ -7,15 +7,18 @@
 //!    ELTs, plus the YET pre-simulation;
 //! 2. **portfolio risk management** (`riskpipe-aggregate`): Monte-Carlo
 //!    aggregate analysis → YLT (and optionally a YELT/YELLT spill to
-//!    sharded files);
+//!    an [`session::IntermediateStore`]);
 //! 3. **dynamic financial analysis** (`riskpipe-dfa`): the cat YLT
 //!    joined with every other enterprise risk.
 //!
-//! [`ScenarioConfig`] sizes a synthetic end-to-end scenario,
-//! [`Pipeline`] runs it with per-stage timings and data-volume
-//! accounting, and [`elastic`] converts measured throughputs into the
-//! paper's processor-burst arithmetic (<10 processors for stage 1,
-//! thousands for stages 2–3).
+//! [`ScenarioConfig`] sizes a synthetic end-to-end scenario;
+//! [`RiskSession`] is the execution facade — built once (engine, pool,
+//! intermediate store, company), then serving any number of scenarios
+//! via [`RiskSession::run`] and the concurrent
+//! [`RiskSession::run_batch`]. [`elastic`] converts measured
+//! throughputs into the paper's processor-burst arithmetic (<10
+//! processors for stage 1, thousands for stages 2–3). The pre-facade
+//! [`Pipeline`] remains as a deprecated shim.
 
 #![warn(missing_docs)]
 
@@ -23,8 +26,14 @@ pub mod config;
 pub mod elastic;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 
 pub use config::{PipelineConfig, ScenarioConfig, Stage1Bundle};
 pub use elastic::{Deadline, ElasticModel, ProcessorPlan, StageThroughput};
-pub use pipeline::{DataStrategy, Pipeline, PipelineReport, StageTiming};
+#[allow(deprecated)]
+pub use pipeline::Pipeline;
 pub use report::TextTable;
+pub use session::{
+    DataStrategy, InMemoryStore, IntermediateStore, PipelineReport, RiskSession,
+    RiskSessionBuilder, RunLabel, ShardedFilesStore, StageTiming,
+};

@@ -1,47 +1,24 @@
-//! End-to-end pipeline execution with per-stage timing and data-volume
-//! accounting.
+//! The deprecated ad-hoc pipeline runner, kept as a thin shim over
+//! [`RiskSession`](crate::session::RiskSession) so pre-facade callers
+//! keep working unchanged. New code configures a session once and runs
+//! scenarios through it; see [`crate::session`].
 
-use crate::config::{ScenarioConfig, Stage1Bundle};
-use crate::report::{money, TextTable};
-use riskpipe_aggregate::{
-    AggregateEngine, AggregateOptions, CpuParallelEngine, GpuChunking, GpuEngine,
-    SequentialEngine,
-};
-use riskpipe_dfa::{CompanyConfig, DfaEngine};
+pub use crate::session::{DataStrategy, PipelineReport, StageTiming};
+
+use crate::config::ScenarioConfig;
+use crate::session::RiskSession;
+use riskpipe_dfa::CompanyConfig;
 use riskpipe_exec::ThreadPool;
-use riskpipe_metrics::{EpCurve, RiskMeasures};
-use riskpipe_tables::{codec, shard, ScaleSpec, Yelt, Ylt};
-use riskpipe_types::{RiskResult, TrialId};
+use riskpipe_types::RiskResult;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-/// Where stage-2 intermediates live — the paper's two data-management
-/// strategies.
-#[derive(Debug, Clone)]
-pub enum DataStrategy {
-    /// Accumulate everything in (large) memory.
-    InMemory,
-    /// Spill the YELT to sharded files (distributed-file-space mode);
-    /// the directory must not already hold a store.
-    ShardedFiles {
-        /// Store directory.
-        dir: PathBuf,
-        /// Number of shards.
-        shards: u32,
-    },
-}
-
-/// Wall-clock timing of one stage.
-#[derive(Debug, Clone, Copy)]
-pub struct StageTiming {
-    /// Stage label index (1..=3).
-    pub stage: u8,
-    /// Elapsed wall time.
-    pub elapsed: Duration,
-}
-
-/// The pipeline runner.
+/// The pre-facade pipeline runner: one scenario per struct, pool
+/// threaded through every call.
+#[deprecated(
+    since = "0.1.0",
+    note = "configure a RiskSession once (`RiskSession::builder()`) and run scenarios through it"
+)]
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     /// Scenario sizing.
@@ -54,6 +31,7 @@ pub struct Pipeline {
     pub engine: riskpipe_aggregate::EngineKind,
 }
 
+#[allow(deprecated)]
 impl Pipeline {
     /// A pipeline for a scenario with in-memory data management on the
     /// CPU-parallel engine.
@@ -78,187 +56,21 @@ impl Pipeline {
         self
     }
 
-    /// Run all three stages on the given pool.
+    /// Run all three stages on the given pool (delegates to a one-shot
+    /// [`RiskSession`]).
     pub fn run(&self, pool: Arc<ThreadPool>) -> RiskResult<PipelineReport> {
-        // ---------------- stage 1: risk modelling ----------------
-        let t0 = Instant::now();
-        let bundle: Stage1Bundle = self.scenario.build_stage1_on(&pool)?;
-        let stage1 = StageTiming {
-            stage: 1,
-            elapsed: t0.elapsed(),
-        };
-
-        // ---------------- stage 2: aggregate analysis ----------------
-        let t0 = Instant::now();
-        let portfolio = bundle.portfolio();
-        let yet = bundle.year_event_table();
-        let opts = AggregateOptions::default();
-        let ylt = match self.engine {
-            riskpipe_aggregate::EngineKind::Sequential => {
-                SequentialEngine.run(&portfolio, &yet, &opts)?
-            }
-            riskpipe_aggregate::EngineKind::CpuParallel => {
-                CpuParallelEngine::new(Arc::clone(&pool)).run(&portfolio, &yet, &opts)?
-            }
-            riskpipe_aggregate::EngineKind::GpuGlobal => GpuEngine::new(
-                riskpipe_simgpu::DeviceSpec::host_native(pool.thread_count()),
-                GpuChunking::GlobalOnly,
-                Arc::clone(&pool),
-            )
-            .run(&portfolio, &yet, &opts)?,
-            riskpipe_aggregate::EngineKind::GpuChunked => GpuEngine::new(
-                riskpipe_simgpu::DeviceSpec::host_native(pool.thread_count()),
-                GpuChunking::SharedTiles,
-                Arc::clone(&pool),
-            )
-            .run(&portfolio, &yet, &opts)?,
-        };
-
-        // Materialise the YELT for the first book under the configured
-        // data strategy (the drill-down table; at scale this is the
-        // artifact that decides memory vs files).
-        let yelt = Yelt::from_yet_elt(&yet, &bundle.output.books[0].elt);
-        let mut yelt_file_bytes = 0u64;
-        match &self.strategy {
-            DataStrategy::InMemory => {}
-            DataStrategy::ShardedFiles { dir, shards } => {
-                let mut writer = shard::ShardedWriter::create(dir, *shards)?;
-                for t in 0..yelt.trials() {
-                    let (events, _days, losses) = yelt.trial_slices(TrialId::new(t as u32));
-                    for (i, &e) in events.iter().enumerate() {
-                        // Location detail is book-level here; location 0
-                        // marks "whole book" rows.
-                        writer.push_row(
-                            t as u32,
-                            e,
-                            riskpipe_types::LocationId::new(0),
-                            losses[i],
-                        )?;
-                    }
-                }
-                let manifest = writer.finish()?;
-                yelt_file_bytes =
-                    manifest.rows * riskpipe_tables::yellt::YELLT_BYTES_PER_ROW as u64;
-            }
-        }
-        let stage2 = StageTiming {
-            stage: 2,
-            elapsed: t0.elapsed(),
-        };
-
-        // ---------------- stage 3: DFA ----------------
-        let t0 = Instant::now();
-        let dfa = DfaEngine::typical(self.company);
-        let dfa_result = dfa.run(&ylt, self.scenario.seed ^ 0xDFA)?;
-        let stage3 = StageTiming {
-            stage: 3,
-            elapsed: t0.elapsed(),
-        };
-
-        let measures = RiskMeasures::from_ylt(&ylt);
-        let ep = EpCurve::aggregate(&ylt);
-        Ok(PipelineReport {
-            scenario_name: self.scenario.name.clone(),
-            timings: [stage1, stage2, stage3],
-            elt_rows: portfolio.total_elt_rows(),
-            yet_occurrences: yet.total_occurrences(),
-            yelt_rows: yelt.rows(),
-            yelt_memory_bytes: yelt.memory_bytes() as u64,
-            yelt_file_bytes,
-            ylt_encoded_bytes: codec::encode_ylt(&ylt).len() as u64,
-            measures,
-            pml_100: if ylt.trials() >= 100 {
-                Some(ep.pml(100.0))
-            } else {
-                None
-            },
-            prob_ruin: dfa_result.prob_ruin(),
-            mean_net_income: dfa_result.mean_net_income(),
-            economic_capital: dfa_result.economic_capital(),
-            ylt,
-        })
-    }
-}
-
-/// Everything a pipeline run produced, plus a rendered summary.
-#[derive(Debug, Clone)]
-pub struct PipelineReport {
-    /// Scenario name.
-    pub scenario_name: String,
-    /// Per-stage wall timings.
-    pub timings: [StageTiming; 3],
-    /// Total ELT rows across the portfolio.
-    pub elt_rows: usize,
-    /// YET occurrences.
-    pub yet_occurrences: usize,
-    /// YELT rows (book 0).
-    pub yelt_rows: usize,
-    /// YELT in-memory footprint.
-    pub yelt_memory_bytes: u64,
-    /// YELT bytes written to shard files (0 for in-memory runs).
-    pub yelt_file_bytes: u64,
-    /// Encoded YLT size.
-    pub ylt_encoded_bytes: u64,
-    /// Portfolio risk measures.
-    pub measures: RiskMeasures,
-    /// 100-year aggregate PML (when trials allow).
-    pub pml_100: Option<f64>,
-    /// DFA probability of ruin.
-    pub prob_ruin: f64,
-    /// DFA mean net income.
-    pub mean_net_income: f64,
-    /// DFA economic capital.
-    pub economic_capital: f64,
-    /// The portfolio YLT (for downstream analysis).
-    pub ylt: Ylt,
-}
-
-impl std::fmt::Display for PipelineReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "pipeline report: {}", self.scenario_name)?;
-        let mut timing = TextTable::new(&["stage", "elapsed (ms)"]);
-        for t in &self.timings {
-            timing.row(&[
-                format!("stage {}", t.stage),
-                format!("{:.1}", t.elapsed.as_secs_f64() * 1e3),
-            ]);
-        }
-        writeln!(f, "{timing}")?;
-        let mut data = TextTable::new(&["table", "size"]);
-        data.row(&["ELT rows (portfolio)".into(), self.elt_rows.to_string()]);
-        data.row(&["YET occurrences".into(), self.yet_occurrences.to_string()]);
-        data.row(&["YELT rows (book 0)".into(), self.yelt_rows.to_string()]);
-        data.row(&[
-            "YELT memory".into(),
-            riskpipe_tables::sizing::human_bytes(self.yelt_memory_bytes as u128),
-        ]);
-        data.row(&[
-            "YLT encoded".into(),
-            riskpipe_tables::sizing::human_bytes(self.ylt_encoded_bytes as u128),
-        ]);
-        writeln!(f, "{data}")?;
-        writeln!(f, "{}", self.measures)?;
-        if let Some(pml) = self.pml_100 {
-            writeln!(f, "AEP PML 100y     : {:>16}", money(pml))?;
-        }
-        writeln!(f, "P(ruin)          : {:>16.4}", self.prob_ruin)?;
-        writeln!(f, "mean net income  : {:>16}", money(self.mean_net_income))?;
-        write!(
-            f,
-            "economic capital : {:>16}",
-            money(self.economic_capital)
-        )
-    }
-}
-
-impl PipelineReport {
-    /// The paper-scale sizing block for context in reports.
-    pub fn paper_scale_context() -> ScaleSpec {
-        ScaleSpec::paper_example()
+        RiskSession::builder()
+            .engine(self.engine)
+            .strategy(self.strategy.clone())
+            .company(self.company)
+            .pool(pool)
+            .build()?
+            .run(&self.scenario)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -306,9 +118,22 @@ mod tests {
         assert_eq!(a.ylt, b.ylt);
         assert_eq!(a.measures, b.measures);
     }
+
+    #[test]
+    fn shim_matches_session_exactly() {
+        let scenario = ScenarioConfig::small().with_seed(12).with_trials(400);
+        let shim = Pipeline::new(scenario.clone())
+            .run(Arc::new(ThreadPool::new(2)))
+            .unwrap();
+        let session = RiskSession::builder().pool_threads(2).build().unwrap();
+        let facade = session.run(&scenario).unwrap();
+        assert_eq!(shim.ylt, facade.ylt);
+        assert_eq!(shim.measures, facade.measures);
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod engine_choice_tests {
     use super::*;
     use riskpipe_aggregate::EngineKind;

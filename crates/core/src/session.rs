@@ -1,0 +1,700 @@
+//! The `RiskSession` facade — one configured entry point for running
+//! scenarios end-to-end.
+//!
+//! A session owns the thread pool, the stage-2 engine choice (dispatched
+//! through [`AggregateRunner`], the same front end every other consumer
+//! uses), the DFA company configuration, and an [`IntermediateStore`]
+//! deciding where stage-2 YELT intermediates live. Where the old
+//! `Pipeline` struct hardwired a per-engine `match` and threaded
+//! `Arc<ThreadPool>` through every call, a session is built once and
+//! then serves any number of scenarios — sequentially via
+//! [`RiskSession::run`] or concurrently via [`RiskSession::run_batch`],
+//! which fans scenarios out across the shared pool (the paper's
+//! many-scenarios-per-day production shape).
+//!
+//! ```
+//! use riskpipe_core::{RiskSession, ScenarioConfig};
+//! use riskpipe_aggregate::EngineKind;
+//!
+//! let session = RiskSession::builder()
+//!     .engine(EngineKind::CpuParallel)
+//!     .pool_threads(2)
+//!     .build()
+//!     .unwrap();
+//! let report = session.run(&ScenarioConfig::small().with_trials(200)).unwrap();
+//! assert_eq!(report.ylt.trials(), 200);
+//! ```
+
+use crate::config::{ScenarioConfig, Stage1Bundle};
+use crate::report::{money, TextTable};
+use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind};
+use riskpipe_dfa::{CompanyConfig, DfaEngine};
+use riskpipe_exec::ThreadPool;
+use riskpipe_metrics::{EpCurve, RiskMeasures};
+use riskpipe_tables::{codec, shard, ScaleSpec, Yelt, Ylt};
+use riskpipe_types::{LocationId, RiskError, RiskResult, TrialId};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Intermediate stores.
+// ---------------------------------------------------------------------
+
+/// Where stage-2 intermediates live — the paper's two data-management
+/// strategies, as builder-friendly configuration. Each variant maps to
+/// an [`IntermediateStore`] implementation; custom backends skip the
+/// enum and hand the builder a store directly.
+#[derive(Debug, Clone)]
+pub enum DataStrategy {
+    /// Accumulate everything in (large) memory.
+    InMemory,
+    /// Spill the YELT to sharded files (distributed-file-space mode);
+    /// the directory must not already hold a store.
+    ShardedFiles {
+        /// Store directory (batch runs write one subdirectory per
+        /// scenario slot).
+        dir: PathBuf,
+        /// Number of shards.
+        shards: u32,
+    },
+}
+
+/// Identifies one run within a session, so stores can keep concurrent
+/// batch scenarios — and successive runs of one long-lived session —
+/// from clobbering each other.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLabel<'a> {
+    /// Scenario name.
+    pub scenario: &'a str,
+    /// Position within a `run_batch` call; `None` for single runs.
+    pub slot: Option<usize>,
+    /// Which `run`/`run_batch` call on the session this is (0-based;
+    /// one batch counts as one run).
+    pub run: u64,
+}
+
+/// A backend for stage-2 YELT intermediates. Implementations must be
+/// callable from multiple scenarios at once (`run_batch` persists
+/// concurrently). New backends — a MapReduce spill, a warehouse loader
+/// — implement this and plug into [`RiskSessionBuilder::store`] without
+/// the session or the engines changing.
+pub trait IntermediateStore: Send + Sync {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Persist one scenario's YELT; returns the bytes written to
+    /// durable storage (0 for purely in-memory backends).
+    fn persist_yelt(&self, label: RunLabel<'_>, yelt: &Yelt) -> RiskResult<u64>;
+}
+
+/// The accumulate-in-large-memory strategy: the YELT already lives in
+/// the report; nothing to persist.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InMemoryStore;
+
+impl IntermediateStore for InMemoryStore {
+    fn name(&self) -> &'static str {
+        "in-memory"
+    }
+
+    fn persist_yelt(&self, _label: RunLabel<'_>, _yelt: &Yelt) -> RiskResult<u64> {
+        Ok(0)
+    }
+}
+
+/// The distributed-file-space strategy: spill the YELT to a sharded
+/// store under `dir`, one whole trial per [`shard::ShardedWriter::push_trial`]
+/// call.
+///
+/// Layout: the session's **first** single run writes `dir` itself (so
+/// a reader opens the directory the caller configured, and the
+/// deprecated `Pipeline` shim keeps its historical layout); the first
+/// batch writes `dir/batch-NNN` per slot. Later runs of the same
+/// session get a `run-NNN` level so a long-lived session never
+/// collides with its own earlier spills.
+#[derive(Debug, Clone)]
+pub struct ShardedFilesStore {
+    dir: PathBuf,
+    shards: u32,
+}
+
+impl ShardedFilesStore {
+    /// A store writing `shards` shard files under `dir`.
+    pub fn new(dir: impl Into<PathBuf>, shards: u32) -> RiskResult<Self> {
+        if shards == 0 {
+            return Err(RiskError::invalid("shard count must be positive"));
+        }
+        Ok(Self {
+            dir: dir.into(),
+            shards,
+        })
+    }
+
+    /// The directory a given run writes to (see the type docs for the
+    /// layout).
+    pub fn run_dir(&self, label: RunLabel<'_>) -> PathBuf {
+        let base = if label.run == 0 {
+            self.dir.clone()
+        } else {
+            self.dir.join(format!("run-{:03}", label.run))
+        };
+        match label.slot {
+            None => base,
+            Some(i) => base.join(format!("batch-{i:03}")),
+        }
+    }
+}
+
+impl IntermediateStore for ShardedFilesStore {
+    fn name(&self) -> &'static str {
+        "sharded-files"
+    }
+
+    fn persist_yelt(&self, label: RunLabel<'_>, yelt: &Yelt) -> RiskResult<u64> {
+        let mut writer = shard::ShardedWriter::create(self.run_dir(label), self.shards)?;
+        for t in 0..yelt.trials() {
+            let (events, _days, losses) = yelt.trial_slices(TrialId::new(t as u32));
+            // Location detail is book-level here; location 0 marks
+            // "whole book" rows.
+            writer.push_trial(t as u32, events, LocationId::new(0), losses)?;
+        }
+        let manifest = writer.finish()?;
+        Ok(manifest.rows * riskpipe_tables::yellt::YELLT_BYTES_PER_ROW as u64)
+    }
+}
+
+impl DataStrategy {
+    fn into_store(self) -> RiskResult<Arc<dyn IntermediateStore>> {
+        Ok(match self {
+            DataStrategy::InMemory => Arc::new(InMemoryStore),
+            DataStrategy::ShardedFiles { dir, shards } => {
+                Arc::new(ShardedFilesStore::new(dir, shards)?)
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The session.
+// ---------------------------------------------------------------------
+
+enum PoolChoice {
+    Sized(usize),
+    Shared(Arc<ThreadPool>),
+    Default,
+}
+
+/// Configures and builds a [`RiskSession`].
+pub struct RiskSessionBuilder {
+    engine: EngineKind,
+    options: AggregateOptions,
+    strategy: Option<DataStrategy>,
+    store: Option<Arc<dyn IntermediateStore>>,
+    pool: PoolChoice,
+    company: CompanyConfig,
+}
+
+impl Default for RiskSessionBuilder {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::CpuParallel,
+            options: AggregateOptions::default(),
+            strategy: None,
+            store: None,
+            pool: PoolChoice::Default,
+            company: CompanyConfig::typical(),
+        }
+    }
+}
+
+impl RiskSessionBuilder {
+    /// Select the stage-2 engine (default: CPU-parallel).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replace the stage-2 options (secondary uncertainty on by
+    /// default).
+    pub fn options(mut self, options: AggregateOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Select a built-in data-management strategy (default: in-memory).
+    /// Last call wins between `strategy` and
+    /// [`RiskSessionBuilder::store`].
+    pub fn strategy(mut self, strategy: DataStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self.store = None;
+        self
+    }
+
+    /// Attach a custom intermediate-store backend. Last call wins
+    /// between `store` and [`RiskSessionBuilder::strategy`].
+    pub fn store(mut self, store: Arc<dyn IntermediateStore>) -> Self {
+        self.store = Some(store);
+        self.strategy = None;
+        self
+    }
+
+    /// Size the session's own thread pool (default: machine
+    /// parallelism).
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.pool = PoolChoice::Sized(threads);
+        self
+    }
+
+    /// Share an existing pool instead of creating one.
+    pub fn pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = PoolChoice::Shared(pool);
+        self
+    }
+
+    /// Replace the DFA company configuration (default:
+    /// [`CompanyConfig::typical`]).
+    pub fn company(mut self, company: CompanyConfig) -> Self {
+        self.company = company;
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> RiskResult<RiskSession> {
+        let pool = match self.pool {
+            PoolChoice::Sized(n) => Arc::new(ThreadPool::new(n)),
+            PoolChoice::Shared(pool) => pool,
+            PoolChoice::Default => Arc::new(ThreadPool::default()),
+        };
+        let store = match (self.store, self.strategy) {
+            (Some(store), _) => store,
+            (None, Some(strategy)) => strategy.into_store()?,
+            (None, None) => Arc::new(InMemoryStore),
+        };
+        Ok(RiskSession {
+            runner: AggregateRunner::new(self.engine)
+                .with_options(self.options)
+                .with_pool(Arc::clone(&pool)),
+            pool,
+            store,
+            company: self.company,
+            runs: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+}
+
+/// A configured pipeline-execution facade: engine + pool + intermediate
+/// store + DFA company, ready to run any number of scenarios. See the
+/// module docs for the design.
+pub struct RiskSession {
+    pool: Arc<ThreadPool>,
+    runner: AggregateRunner,
+    store: Arc<dyn IntermediateStore>,
+    company: CompanyConfig,
+    /// Completed `run`/`run_batch` calls — sequences [`RunLabel::run`]
+    /// so a long-lived session's spills never collide.
+    runs: std::sync::atomic::AtomicU64,
+}
+
+impl RiskSession {
+    /// Start configuring a session.
+    pub fn builder() -> RiskSessionBuilder {
+        RiskSessionBuilder::default()
+    }
+
+    /// A session with all defaults (CPU-parallel engine, in-memory
+    /// store, machine-sized pool).
+    pub fn with_defaults() -> RiskResult<Self> {
+        Self::builder().build()
+    }
+
+    /// The session's pool.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// The stage-2 engine scenarios run on.
+    pub fn engine(&self) -> EngineKind {
+        self.runner.kind()
+    }
+
+    /// The intermediate-store backend's name.
+    pub fn store_name(&self) -> &'static str {
+        self.store.name()
+    }
+
+    /// Run one scenario through all three stages.
+    pub fn run(&self, scenario: &ScenarioConfig) -> RiskResult<PipelineReport> {
+        let run = self.next_run_id();
+        self.execute(scenario, None, run)
+    }
+
+    /// Run many scenarios concurrently on the shared pool. Results come
+    /// back in input order and are bitwise identical to running each
+    /// scenario alone — every stage is seeded from the scenario, so
+    /// scheduling cannot leak between slots. The first failing scenario's
+    /// error is returned.
+    ///
+    /// In-flight scenarios are capped at the pool width: pool-width
+    /// worker tasks each claim the next unstarted slot, so at most
+    /// ~pool-width `Stage1Bundle`s are being built at once rather than
+    /// the whole batch's. Completed [`PipelineReport`]s (each owning
+    /// its YLT) do accumulate for the full batch — the returned `Vec`
+    /// is O(scenarios); see ROADMAP for the streaming variant.
+    pub fn run_batch(&self, scenarios: &[ScenarioConfig]) -> RiskResult<Vec<PipelineReport>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let run = self.next_run_id();
+        let n = scenarios.len();
+        let slots: Vec<std::sync::Mutex<Option<RiskResult<PipelineReport>>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.pool.thread_count().min(n);
+        self.pool.scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = self.execute(&scenarios[i], Some(i), run);
+                    *slots[i].lock().expect("slot lock") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("scope waits for every batch slot")
+            })
+            .collect()
+    }
+
+    fn next_run_id(&self) -> u64 {
+        self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The three stages for one scenario.
+    fn execute(
+        &self,
+        scenario: &ScenarioConfig,
+        slot: Option<usize>,
+        run: u64,
+    ) -> RiskResult<PipelineReport> {
+        // ---------------- stage 1: risk modelling ----------------
+        let t0 = Instant::now();
+        let bundle: Stage1Bundle = scenario.build_stage1_on(&self.pool)?;
+        let stage1 = StageTiming {
+            stage: 1,
+            elapsed: t0.elapsed(),
+        };
+
+        // ---------------- stage 2: aggregate analysis ----------------
+        let t0 = Instant::now();
+        let portfolio = bundle.portfolio();
+        let yet = bundle.year_event_table();
+        let ylt = self.runner.run(&portfolio, &yet)?;
+
+        // Materialise the YELT for the first book under the configured
+        // store (the drill-down table; at scale this is the artifact
+        // that decides memory vs files).
+        let yelt = Yelt::from_yet_elt(&yet, &bundle.output.books[0].elt);
+        let yelt_file_bytes = self.store.persist_yelt(
+            RunLabel {
+                scenario: &scenario.name,
+                slot,
+                run,
+            },
+            &yelt,
+        )?;
+        let stage2 = StageTiming {
+            stage: 2,
+            elapsed: t0.elapsed(),
+        };
+
+        // ---------------- stage 3: DFA ----------------
+        let t0 = Instant::now();
+        let dfa = DfaEngine::typical(self.company);
+        let dfa_result = dfa.run(&ylt, scenario.seed ^ 0xDFA)?;
+        let stage3 = StageTiming {
+            stage: 3,
+            elapsed: t0.elapsed(),
+        };
+
+        let measures = RiskMeasures::from_ylt(&ylt);
+        let ep = EpCurve::aggregate(&ylt);
+        Ok(PipelineReport {
+            scenario_name: scenario.name.clone(),
+            timings: [stage1, stage2, stage3],
+            elt_rows: portfolio.total_elt_rows(),
+            yet_occurrences: yet.total_occurrences(),
+            yelt_rows: yelt.rows(),
+            yelt_memory_bytes: yelt.memory_bytes() as u64,
+            yelt_file_bytes,
+            ylt_encoded_bytes: codec::encode_ylt(&ylt).len() as u64,
+            measures,
+            pml_100: if ylt.trials() >= 100 {
+                Some(ep.pml(100.0))
+            } else {
+                None
+            },
+            prob_ruin: dfa_result.prob_ruin(),
+            mean_net_income: dfa_result.mean_net_income(),
+            economic_capital: dfa_result.economic_capital(),
+            ylt,
+        })
+    }
+}
+
+impl std::fmt::Debug for RiskSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RiskSession")
+            .field("engine", &self.engine())
+            .field("store", &self.store_name())
+            .field("pool_threads", &self.pool.thread_count())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reports.
+// ---------------------------------------------------------------------
+
+/// Wall-clock timing of one stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTiming {
+    /// Stage label index (1..=3).
+    pub stage: u8,
+    /// Elapsed wall time.
+    pub elapsed: Duration,
+}
+
+/// Everything a scenario run produced, plus a rendered summary.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Scenario name.
+    pub scenario_name: String,
+    /// Per-stage wall timings.
+    pub timings: [StageTiming; 3],
+    /// Total ELT rows across the portfolio.
+    pub elt_rows: usize,
+    /// YET occurrences.
+    pub yet_occurrences: usize,
+    /// YELT rows (book 0).
+    pub yelt_rows: usize,
+    /// YELT in-memory footprint.
+    pub yelt_memory_bytes: u64,
+    /// YELT bytes written to shard files (0 for in-memory runs).
+    pub yelt_file_bytes: u64,
+    /// Encoded YLT size.
+    pub ylt_encoded_bytes: u64,
+    /// Portfolio risk measures.
+    pub measures: RiskMeasures,
+    /// 100-year aggregate PML (when trials allow).
+    pub pml_100: Option<f64>,
+    /// DFA probability of ruin.
+    pub prob_ruin: f64,
+    /// DFA mean net income.
+    pub mean_net_income: f64,
+    /// DFA economic capital.
+    pub economic_capital: f64,
+    /// The portfolio YLT (for downstream analysis).
+    pub ylt: Ylt,
+}
+
+impl std::fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "pipeline report: {}", self.scenario_name)?;
+        let mut timing = TextTable::new(&["stage", "elapsed (ms)"]);
+        for t in &self.timings {
+            timing.row(&[
+                format!("stage {}", t.stage),
+                format!("{:.1}", t.elapsed.as_secs_f64() * 1e3),
+            ]);
+        }
+        writeln!(f, "{timing}")?;
+        let mut data = TextTable::new(&["table", "size"]);
+        data.row(&["ELT rows (portfolio)".into(), self.elt_rows.to_string()]);
+        data.row(&["YET occurrences".into(), self.yet_occurrences.to_string()]);
+        data.row(&["YELT rows (book 0)".into(), self.yelt_rows.to_string()]);
+        data.row(&[
+            "YELT memory".into(),
+            riskpipe_tables::sizing::human_bytes(self.yelt_memory_bytes as u128),
+        ]);
+        data.row(&[
+            "YLT encoded".into(),
+            riskpipe_tables::sizing::human_bytes(self.ylt_encoded_bytes as u128),
+        ]);
+        writeln!(f, "{data}")?;
+        writeln!(f, "{}", self.measures)?;
+        if let Some(pml) = self.pml_100 {
+            writeln!(f, "AEP PML 100y     : {:>16}", money(pml))?;
+        }
+        writeln!(f, "P(ruin)          : {:>16.4}", self.prob_ruin)?;
+        writeln!(f, "mean net income  : {:>16}", money(self.mean_net_income))?;
+        write!(f, "economic capital : {:>16}", money(self.economic_capital))
+    }
+}
+
+impl PipelineReport {
+    /// The paper-scale sizing block for context in reports.
+    pub fn paper_scale_context() -> ScaleSpec {
+        ScaleSpec::paper_example()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("riskpipe-sess-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let session = RiskSession::with_defaults().unwrap();
+        assert_eq!(session.engine(), EngineKind::CpuParallel);
+        assert_eq!(session.store_name(), "in-memory");
+        assert!(session.pool().thread_count() >= 1);
+    }
+
+    #[test]
+    fn session_runs_a_scenario_end_to_end() {
+        let session = RiskSession::builder().pool_threads(4).build().unwrap();
+        let report = session.run(&ScenarioConfig::small().with_seed(3)).unwrap();
+        assert_eq!(report.ylt.trials(), 2_000);
+        assert!(report.elt_rows > 0);
+        assert!(report.measures.tvar99 >= report.measures.var99);
+        assert_eq!(report.yelt_file_bytes, 0);
+    }
+
+    #[test]
+    fn sharded_store_writes_and_is_readable() {
+        let dir = temp("shards");
+        let session = RiskSession::builder()
+            .strategy(DataStrategy::ShardedFiles {
+                dir: dir.clone(),
+                shards: 4,
+            })
+            .pool_threads(2)
+            .build()
+            .unwrap();
+        let report = session.run(&ScenarioConfig::small().with_seed(4)).unwrap();
+        assert!(report.yelt_file_bytes > 0);
+        let reader = riskpipe_tables::ShardedReader::open(&dir).unwrap();
+        assert_eq!(reader.rows() as usize, report.yelt_rows);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_session_is_reusable_across_runs() {
+        let dir = temp("reuse");
+        let session = RiskSession::builder()
+            .strategy(DataStrategy::ShardedFiles {
+                dir: dir.clone(),
+                shards: 2,
+            })
+            .pool_threads(2)
+            .build()
+            .unwrap();
+        let scenario = ScenarioConfig::small().with_seed(5).with_trials(300);
+        // First run spills to the configured directory itself…
+        let first = session.run(&scenario).unwrap();
+        assert!(first.yelt_file_bytes > 0);
+        // …and the session stays usable: later runs and batches get
+        // their own run-NNN level instead of colliding.
+        let second = session.run(&scenario).unwrap();
+        assert_eq!(second.ylt, first.ylt);
+        let batch = session.run_batch(std::slice::from_ref(&scenario)).unwrap();
+        assert_eq!(batch[0].ylt, first.ylt);
+        for sub in [
+            dir.clone(),
+            dir.join("run-001"),
+            dir.join("run-002").join("batch-000"),
+        ] {
+            let reader = riskpipe_tables::ShardedReader::open(&sub).unwrap();
+            assert_eq!(reader.rows() as usize, first.yelt_rows, "{}", sub.display());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_shards_rejected_at_build_time() {
+        let err = RiskSession::builder()
+            .strategy(DataStrategy::ShardedFiles {
+                dir: temp("zero"),
+                shards: 0,
+            })
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn batch_slots_get_own_directories() {
+        let dir = temp("batchdirs");
+        let session = RiskSession::builder()
+            .strategy(DataStrategy::ShardedFiles {
+                dir: dir.clone(),
+                shards: 2,
+            })
+            .pool_threads(2)
+            .build()
+            .unwrap();
+        let scenarios = [
+            ScenarioConfig::small().with_seed(61).with_trials(300),
+            ScenarioConfig::small().with_seed(62).with_trials(300),
+        ];
+        let reports = session.run_batch(&scenarios).unwrap();
+        assert_eq!(reports.len(), 2);
+        for (i, report) in reports.iter().enumerate() {
+            let sub = dir.join(format!("batch-{i:03}"));
+            let reader = riskpipe_tables::ShardedReader::open(&sub).unwrap();
+            assert_eq!(reader.rows() as usize, report.yelt_rows);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_propagates_scenario_errors() {
+        let session = RiskSession::builder().pool_threads(2).build().unwrap();
+        let mut bad = ScenarioConfig::small();
+        bad.trials = 0;
+        let result = session.run_batch(&[ScenarioConfig::small().with_trials(200), bad]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn custom_store_backend_plugs_in() {
+        #[derive(Debug)]
+        struct CountingStore {
+            rows: AtomicU64,
+        }
+        impl IntermediateStore for CountingStore {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn persist_yelt(&self, _label: RunLabel<'_>, yelt: &Yelt) -> RiskResult<u64> {
+                self.rows.fetch_add(yelt.rows() as u64, Ordering::Relaxed);
+                Ok(0)
+            }
+        }
+        let store = Arc::new(CountingStore {
+            rows: AtomicU64::new(0),
+        });
+        let session = RiskSession::builder()
+            .store(Arc::clone(&store) as Arc<dyn IntermediateStore>)
+            .pool_threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(session.store_name(), "counting");
+        let report = session
+            .run(&ScenarioConfig::small().with_seed(7).with_trials(300))
+            .unwrap();
+        assert_eq!(store.rows.load(Ordering::Relaxed), report.yelt_rows as u64);
+    }
+}

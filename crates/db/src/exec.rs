@@ -122,11 +122,8 @@ mod tests {
     #[test]
     fn filter_and_project_compose() {
         let (heap, _) = loaded_heap();
-        let out: Vec<Row> = project(
-            filter(seq_scan(&heap), col_eq_u32(1, 2)),
-            vec![0, 2],
-        )
-        .collect();
+        let out: Vec<Row> =
+            project(filter(seq_scan(&heap), col_eq_u32(1, 2)), vec![0, 2]).collect();
         assert_eq!(out.len(), 50); // one event-2 row per trial
         assert_eq!(out[0].len(), 2);
         assert_eq!(out[10][0].as_u32(), 10);
@@ -148,9 +145,7 @@ mod tests {
     fn scalar_aggregates() {
         let (heap, _) = loaded_heap();
         let total = sum(seq_scan(&heap), 2);
-        let expect: f64 = (0..50u32)
-            .map(|t| (40 * t + 6) as f64)
-            .sum();
+        let expect: f64 = (0..50u32).map(|t| (40 * t + 6) as f64).sum();
         assert_eq!(total, expect);
     }
 }

@@ -136,10 +136,7 @@ mod tests {
     use crate::value::{ColumnType, Value};
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            ("trial", ColumnType::U32),
-            ("loss", ColumnType::F64),
-        ])
+        Schema::new(vec![("trial", ColumnType::U32), ("loss", ColumnType::F64)])
     }
 
     fn row(t: u32, l: f64) -> Row {
@@ -208,12 +205,7 @@ mod tests {
     #[test]
     fn fetch_invalid_address_errors() {
         let h = HeapFile::new(schema());
-        assert!(h
-            .fetch(RowId {
-                page: 99,
-                slot: 0
-            })
-            .is_err());
+        assert!(h.fetch(RowId { page: 99, slot: 0 }).is_err());
         assert!(h.fetch(RowId { page: 0, slot: 9 }).is_err());
     }
 }

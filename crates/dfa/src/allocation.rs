@@ -123,9 +123,7 @@ pub fn allocate(
         return Err(RiskError::invalid("unit columns must share a trial count"));
     }
     if !(0.0..1.0).contains(&alpha) {
-        return Err(RiskError::invalid(format!(
-            "alpha {alpha} outside [0, 1)"
-        )));
+        return Err(RiskError::invalid(format!("alpha {alpha} outside [0, 1)")));
     }
 
     // Enterprise per-trial losses.
@@ -139,11 +137,7 @@ pub fn allocate(
     // Tail trial set: mirror tail_mean_sorted's convention exactly so
     // the co-TVaR shares sum to the reported TVaR.
     let mut idx: Vec<usize> = (0..trials).collect();
-    idx.sort_unstable_by(|&a, &b| {
-        enterprise[a]
-            .total_cmp(&enterprise[b])
-            .then(a.cmp(&b))
-    });
+    idx.sort_unstable_by(|&a, &b| enterprise[a].total_cmp(&enterprise[b]).then(a.cmp(&b)));
     let start = ((alpha * trials as f64).ceil() as usize).min(trials - 1);
     let tail = &idx[start..];
 
@@ -365,8 +359,7 @@ mod tests {
         let units = vec![heavy, thin];
         let co = allocate(&names(2), &units, 0.99, AllocationMethod::CoTvar).unwrap();
         let prop = allocate(&names(2), &units, 0.99, AllocationMethod::Proportional).unwrap();
-        let rel =
-            (co.total_allocated() - prop.total_allocated()).abs() / co.total_allocated();
+        let rel = (co.total_allocated() - prop.total_allocated()).abs() / co.total_allocated();
         assert!(rel < 1e-9);
         // co-TVaR sees the tail concentration that proportional dilutes.
         assert!(co.units[0].allocated > prop.units[0].allocated);

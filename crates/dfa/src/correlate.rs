@@ -314,10 +314,7 @@ mod tests {
         for a in 0..3 {
             for b in (a + 1)..3 {
                 let r = spearman(&cols[a], &cols[b]);
-                assert!(
-                    (r - 0.7).abs() < 0.05,
-                    "spearman({a},{b}) = {r}, want ~0.7"
-                );
+                assert!((r - 0.7).abs() < 0.05, "spearman({a},{b}) = {r}, want ~0.7");
             }
         }
     }
@@ -325,11 +322,8 @@ mod tests {
     #[test]
     fn negative_correlation_works() {
         let mut cols = sample_columns(3_000);
-        let target = CorrelationMatrix::new(
-            3,
-            vec![1.0, -0.5, 0.0, -0.5, 1.0, 0.0, 0.0, 0.0, 1.0],
-        )
-        .unwrap();
+        let target =
+            CorrelationMatrix::new(3, vec![1.0, -0.5, 0.0, -0.5, 1.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
         iman_conover(&mut cols, &target, 11).unwrap();
         let r01 = spearman(&cols[0], &cols[1]);
         let r02 = spearman(&cols[0], &cols[2]);

@@ -140,7 +140,11 @@ mod tests {
 
     #[test]
     fn independence_diversifies_more_than_comonotonicity() {
-        let units = vec![unit("na", 8_000, 1), unit("eu", 8_000, 2), unit("jp", 8_000, 3)];
+        let units = vec![
+            unit("na", 8_000, 1),
+            unit("eu", 8_000, 2),
+            unit("jp", 8_000, 3),
+        ];
         let indep = EnterpriseRollup {
             units: units.clone(),
             correlation: CorrelationMatrix::identity(3),
@@ -169,10 +173,7 @@ mod tests {
     #[test]
     fn consolidated_losses_preserve_totals() {
         let units = vec![unit("a", 2_000, 1), unit("b", 2_000, 2)];
-        let total_mean: f64 = units
-            .iter()
-            .map(|u| u.ylt.mean_annual_loss())
-            .sum();
+        let total_mean: f64 = units.iter().map(|u| u.ylt.mean_annual_loss()).sum();
         let result = EnterpriseRollup {
             units,
             correlation: CorrelationMatrix::identity(2),

@@ -204,7 +204,9 @@ impl AttritionalModel {
     /// Validate and simulate per-trial attritional losses.
     pub fn simulate(&self, trials: usize, streams: &SeedStream) -> RiskResult<Vec<f64>> {
         if self.expected <= 0.0 || self.cv <= 0.0 {
-            return Err(RiskError::invalid("attritional parameters must be positive"));
+            return Err(RiskError::invalid(
+                "attritional parameters must be positive",
+            ));
         }
         let d = LogNormal::from_mean_cv(self.expected, self.cv);
         Ok((0..trials)
@@ -255,7 +257,11 @@ mod tests {
         let col = m.simulate(20_000, &SeedStream::new(2));
         let stats: RunningStats = col.iter().copied().collect();
         // Strong reversion pulls the average rate well below r0 toward θ.
-        assert!(stats.mean() < 0.07 && stats.mean() > 0.02, "mean {}", stats.mean());
+        assert!(
+            stats.mean() < 0.07 && stats.mean() > 0.02,
+            "mean {}",
+            stats.mean()
+        );
     }
 
     #[test]

@@ -256,9 +256,8 @@ impl<'scope> Scope<'scope> {
         // all `'scope` borrows inside the closure remain valid for the
         // closure's whole execution. Erasing the lifetime to 'static is
         // therefore sound — the same argument rayon::scope makes.
-        let job: Job = unsafe {
-            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapped)
-        };
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapped) };
         self.pool.inject(job);
     }
 

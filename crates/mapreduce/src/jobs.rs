@@ -425,7 +425,7 @@ mod tests {
         let pool = ThreadPool::new(2);
         let (rows, _) = EventContributionJob.run(&reader, 3, &pool).unwrap();
         assert_eq!(rows.len(), 5); // events 0..5
-        // Every event occurs in 20 trials × 3 locations × avg loss 20.
+                                   // Every event occurs in 20 trials × 3 locations × avg loss 20.
         let total: f64 = rows.iter().map(|(_, l)| l).sum();
         assert!((total - 100.0 * 3.0 * 20.0).abs() < 1e-9);
         // Descending by loss.

@@ -8,6 +8,9 @@
 use bytes::{Buf, BufMut};
 use riskpipe_types::{RiskError, RiskResult};
 
+/// One shuffle record: `(key bytes, value bytes)`.
+pub type KvPair = (Vec<u8>, Vec<u8>);
+
 /// Encode a `u32` key (big-endian: lexicographic = numeric order).
 pub fn key_u32(k: u32) -> Vec<u8> {
     k.to_be_bytes().to_vec()
@@ -61,7 +64,7 @@ pub fn write_record(buf: &mut Vec<u8>, key: &[u8], val: &[u8]) {
 }
 
 /// Read every record from a spill buffer.
-pub fn read_records(mut data: &[u8]) -> RiskResult<Vec<(Vec<u8>, Vec<u8>)>> {
+pub fn read_records(mut data: &[u8]) -> RiskResult<Vec<KvPair>> {
     let mut out = Vec::new();
     while data.has_remaining() {
         if data.remaining() < 8 {
@@ -111,10 +114,7 @@ mod tests {
     #[test]
     fn value_round_trips() {
         assert_eq!(parse_val_f64(&val_f64(3.25)).unwrap(), 3.25);
-        assert_eq!(
-            parse_val_u32_f64(&val_u32_f64(7, -1.5)).unwrap(),
-            (7, -1.5)
-        );
+        assert_eq!(parse_val_u32_f64(&val_u32_f64(7, -1.5)).unwrap(), (7, -1.5));
     }
 
     #[test]

@@ -29,4 +29,5 @@ pub mod kv;
 pub mod runtime;
 
 pub use jobs::{CubeBuildJob, CubeCell, EventContributionJob, LocationRiskJob};
+pub use kv::KvPair;
 pub use runtime::{run_job, JobConfig, JobStats, Mapper, Reducer};

@@ -1,7 +1,7 @@
 //! The MapReduce runtime: map over shard files, spill partitioned
 //! intermediate data to disk, sort-group-reduce.
 
-use crate::kv::{partition_hash, read_records, write_record};
+use crate::kv::{partition_hash, read_records, write_record, KvPair};
 use parking_lot::Mutex;
 use riskpipe_exec::{par_map_collect, ThreadPool};
 use riskpipe_tables::yellt::YelltChunk;
@@ -20,12 +20,7 @@ pub trait Mapper: Sync {
 /// A reduce function over a key's grouped values.
 pub trait Reducer: Sync {
     /// Process one key group, emitting output key/value pairs.
-    fn reduce(
-        &self,
-        key: &[u8],
-        values: &[Vec<u8>],
-        emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
-    );
+    fn reduce(&self, key: &[u8], values: &[Vec<u8>], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>));
 }
 
 /// Job configuration.
@@ -44,10 +39,7 @@ impl JobConfig {
         let n = NONCE.fetch_add(1, Ordering::Relaxed);
         Self {
             reduce_tasks,
-            work_dir: std::env::temp_dir().join(format!(
-                "riskpipe-mr-{}-{n}",
-                std::process::id()
-            )),
+            work_dir: std::env::temp_dir().join(format!("riskpipe-mr-{}-{n}", std::process::id())),
         }
     }
 }
@@ -81,7 +73,7 @@ pub fn run_job<M: Mapper, R: Reducer>(
     reducer: &R,
     config: &JobConfig,
     pool: &ThreadPool,
-) -> RiskResult<(Vec<(Vec<u8>, Vec<u8>)>, JobStats)> {
+) -> RiskResult<(Vec<KvPair>, JobStats)> {
     if config.reduce_tasks == 0 {
         return Err(RiskError::invalid("need at least one reduce task"));
     }
@@ -135,47 +127,43 @@ pub fn run_job<M: Mapper, R: Reducer>(
 
     // ---------------- reduce phase ----------------
     let reduce_errors: Mutex<Option<RiskError>> = Mutex::new(None);
-    let partition_outputs: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
-        par_map_collect(pool, r, 1, |p| {
-            let task = || -> RiskResult<Vec<(Vec<u8>, Vec<u8>)>> {
-                // Gather this partition's spills from every map task.
-                let mut records: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-                for m in 0..shards {
-                    let path = config
-                        .work_dir
-                        .join(format!("map-{:04}-part-{p:04}.kv", m));
-                    if path.exists() {
-                        records.extend(read_records(&fs::read(path)?)?);
-                    }
-                }
-                // Sort by key, group runs, reduce.
-                records.sort_by(|a, b| a.0.cmp(&b.0));
-                let mut out = Vec::new();
-                let mut emit = |k: Vec<u8>, v: Vec<u8>| out.push((k, v));
-                let mut i = 0;
-                while i < records.len() {
-                    let mut j = i + 1;
-                    while j < records.len() && records[j].0 == records[i].0 {
-                        j += 1;
-                    }
-                    let values: Vec<Vec<u8>> =
-                        records[i..j].iter().map(|(_, v)| v.clone()).collect();
-                    reducer.reduce(&records[i].0, &values, &mut emit);
-                    i = j;
-                }
-                Ok(out)
-            };
-            match task() {
-                Ok(v) => v,
-                Err(e) => {
-                    let mut slot = reduce_errors.lock();
-                    if slot.is_none() {
-                        *slot = Some(e);
-                    }
-                    Vec::new()
+    let partition_outputs: Vec<Vec<(Vec<u8>, Vec<u8>)>> = par_map_collect(pool, r, 1, |p| {
+        let task = || -> RiskResult<Vec<(Vec<u8>, Vec<u8>)>> {
+            // Gather this partition's spills from every map task.
+            let mut records: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            for m in 0..shards {
+                let path = config.work_dir.join(format!("map-{:04}-part-{p:04}.kv", m));
+                if path.exists() {
+                    records.extend(read_records(&fs::read(path)?)?);
                 }
             }
-        });
+            // Sort by key, group runs, reduce.
+            records.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut out = Vec::new();
+            let mut emit = |k: Vec<u8>, v: Vec<u8>| out.push((k, v));
+            let mut i = 0;
+            while i < records.len() {
+                let mut j = i + 1;
+                while j < records.len() && records[j].0 == records[i].0 {
+                    j += 1;
+                }
+                let values: Vec<Vec<u8>> = records[i..j].iter().map(|(_, v)| v.clone()).collect();
+                reducer.reduce(&records[i].0, &values, &mut emit);
+                i = j;
+            }
+            Ok(out)
+        };
+        match task() {
+            Ok(v) => v,
+            Err(e) => {
+                let mut slot = reduce_errors.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                Vec::new()
+            }
+        }
+    });
     if let Some(e) = reduce_errors.into_inner() {
         let _ = fs::remove_dir_all(&config.work_dir);
         return Err(e);
@@ -231,12 +219,7 @@ mod tests {
     }
     struct SumReducer;
     impl Reducer for SumReducer {
-        fn reduce(
-            &self,
-            key: &[u8],
-            values: &[Vec<u8>],
-            emit: &mut dyn FnMut(Vec<u8>, Vec<u8>),
-        ) {
+        fn reduce(&self, key: &[u8], values: &[Vec<u8>], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
             let total: f64 = values.iter().map(|v| parse_val_f64(v).unwrap()).sum();
             emit(key.to_vec(), val_f64(total));
         }

@@ -122,11 +122,7 @@ mod tests {
     #[test]
     fn mean_converges_with_trials() {
         let losses = lognormal_sample(100_000);
-        let study = ConvergenceStudy::run(
-            &losses,
-            Metric::Mean,
-            &[100, 1_000, 10_000, 100_000],
-        );
+        let study = ConvergenceStudy::run(&losses, Metric::Mean, &[100, 1_000, 10_000, 100_000]);
         let rows = study.rows();
         assert_eq!(rows.len(), 4);
         // Last checkpoint is the full sample: zero error by definition.
@@ -139,10 +135,8 @@ mod tests {
     #[test]
     fn tvar_needs_more_trials_than_mean() {
         let losses = lognormal_sample(100_000);
-        let mean_study =
-            ConvergenceStudy::run(&losses, Metric::Mean, &[1_000]);
-        let tvar_study =
-            ConvergenceStudy::run(&losses, Metric::TvarPermille(990), &[1_000]);
+        let mean_study = ConvergenceStudy::run(&losses, Metric::Mean, &[1_000]);
+        let tvar_study = ConvergenceStudy::run(&losses, Metric::TvarPermille(990), &[1_000]);
         // Tail metrics are noisier at equal sample size.
         assert!(
             tvar_study.rows()[0].rel_error >= mean_study.rows()[0].rel_error * 0.5,
@@ -155,11 +149,7 @@ mod tests {
     #[test]
     fn converged_at_finds_stable_prefix() {
         let losses = lognormal_sample(50_000);
-        let study = ConvergenceStudy::run(
-            &losses,
-            Metric::Mean,
-            &[10, 100, 1_000, 10_000, 50_000],
-        );
+        let study = ConvergenceStudy::run(&losses, Metric::Mean, &[10, 100, 1_000, 10_000, 50_000]);
         let at = study.converged_at(0.05);
         assert!(at.is_some());
         assert!(at.unwrap() <= 50_000);

@@ -145,12 +145,7 @@ mod tests {
         // Trial t has aggregate loss t and max-occurrence loss t/2.
         let mut y = Ylt::zeroed(n);
         for t in 0..n {
-            y.set_trial(
-                TrialId::new(t as u32),
-                t as f64,
-                t as f64 / 2.0,
-                1,
-            );
+            y.set_trial(TrialId::new(t as u32), t as f64, t as f64 / 2.0, 1);
         }
         y
     }
@@ -188,7 +183,11 @@ mod tests {
     #[test]
     fn standard_points_respect_trial_count() {
         let small = EpCurve::aggregate(&ylt_linear(30));
-        let rps: Vec<f64> = small.standard_points().iter().map(|p| p.return_period).collect();
+        let rps: Vec<f64> = small
+            .standard_points()
+            .iter()
+            .map(|p| p.return_period)
+            .collect();
         assert_eq!(rps, vec![2.0, 5.0, 10.0, 25.0]);
         let big = EpCurve::aggregate(&ylt_linear(1000));
         assert_eq!(big.standard_points().len(), 8);

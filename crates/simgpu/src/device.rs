@@ -69,13 +69,11 @@ impl DeviceSpec {
     /// Coarse occupancy estimate given the peak shared-memory use of a
     /// block: how full the SMs can run with that footprint.
     pub fn occupancy(&self, cfg: &LaunchConfig, peak_shared: u64) -> f64 {
-        let by_shared = if peak_shared == 0 {
-            8
-        } else {
-            (self.shared_mem_per_block / peak_shared).clamp(1, 8)
-        };
-        let resident = (by_shared as u64 * cfg.block_threads as u64)
-            .min(self.max_threads_per_sm as u64);
+        let by_shared = self
+            .shared_mem_per_block
+            .checked_div(peak_shared)
+            .map_or(8, |d| d.clamp(1, 8));
+        let resident = (by_shared * cfg.block_threads as u64).min(self.max_threads_per_sm as u64);
         resident as f64 / self.max_threads_per_sm as f64
     }
 
@@ -258,7 +256,9 @@ mod tests {
                 out: GlobalBuf::new(n),
                 n,
             };
-            device.launch(&k, LaunchConfig::cover(n, 64), &pool).unwrap();
+            device
+                .launch(&k, LaunchConfig::cover(n, 64), &pool)
+                .unwrap();
             k.out.into_vec()
         };
         assert_eq!(run(), run());

@@ -111,7 +111,7 @@ mod tests {
             shared: SharedMem::new(0),
             counters: &counters,
         };
-        let mut seen = vec![false; 37];
+        let mut seen = [false; 37];
         ctx.for_each_thread(|t| seen[t as usize] = true);
         assert!(seen.iter().all(|&s| s));
     }

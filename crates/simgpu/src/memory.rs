@@ -186,11 +186,7 @@ impl ConstMem {
     pub fn read_f64(&self, i: usize, counters: &MemCounters) -> f64 {
         counters.const_read(8);
         let off = i * 8;
-        f64::from_le_bytes(
-            self.data[off..off + 8]
-                .try_into()
-                .expect("8-byte slice"),
-        )
+        f64::from_le_bytes(self.data[off..off + 8].try_into().expect("8-byte slice"))
     }
 
     /// Number of f64 slots.

@@ -78,7 +78,11 @@ const fn build_crc_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -247,7 +251,9 @@ pub fn encode_elt(elt: &Elt) -> Bytes {
 pub fn decode_elt(data: &[u8]) -> RiskResult<Elt> {
     let (kind, payload, _) = unframe(data)?;
     if kind != TableKind::Elt {
-        return Err(RiskError::corrupt(format!("expected ELT frame, got {kind:?}")));
+        return Err(RiskError::corrupt(format!(
+            "expected ELT frame, got {kind:?}"
+        )));
     }
     let mut p = payload;
     let ids = get_u32s(&mut p, "elt.event_ids")?;
@@ -273,7 +279,9 @@ pub fn encode_yet(yet: &YearEventTable) -> Bytes {
 pub fn decode_yet(data: &[u8]) -> RiskResult<YearEventTable> {
     let (kind, payload, _) = unframe(data)?;
     if kind != TableKind::Yet {
-        return Err(RiskError::corrupt(format!("expected YET frame, got {kind:?}")));
+        return Err(RiskError::corrupt(format!(
+            "expected YET frame, got {kind:?}"
+        )));
     }
     let mut p = payload;
     let off = get_u64s(&mut p, "yet.offsets")?;
@@ -333,7 +341,9 @@ pub fn encode_ylt(ylt: &Ylt) -> Bytes {
 pub fn decode_ylt(data: &[u8]) -> RiskResult<Ylt> {
     let (kind, payload, _) = unframe(data)?;
     if kind != TableKind::Ylt {
-        return Err(RiskError::corrupt(format!("expected YLT frame, got {kind:?}")));
+        return Err(RiskError::corrupt(format!(
+            "expected YLT frame, got {kind:?}"
+        )));
     }
     let mut p = payload;
     let agg = get_f64s(&mut p, "ylt.agg")?;

@@ -62,7 +62,10 @@ pub fn compress_u32s(values: &[u32]) -> Vec<u8> {
 /// bytes_consumed)`.
 pub fn decompress_u32s(data: &[u8]) -> RiskResult<(Vec<u32>, usize)> {
     let (n, mut off) = get_varint(data)?;
-    if n > (1 << 40) {
+    // Every element takes at least one byte, so a valid count can never
+    // exceed the remaining payload — reject (rather than pre-allocate
+    // for) corrupt length fields.
+    if n > (data.len() - off) as u64 {
         return Err(RiskError::corrupt("implausible compressed column length"));
     }
     let mut out = Vec::with_capacity(n as usize);
@@ -81,10 +84,10 @@ pub fn decompress_u32s(data: &[u8]) -> RiskResult<(Vec<u32>, usize)> {
     Ok((out, off))
 }
 
-/// Compress a strictly-or-weakly ascending u64 column with plain delta
-/// + varint coding (no zigzag: monotone input means non-negative
-/// deltas). Sorted cuboid keys and CSR offsets are the target — dense
-/// keys become 1-byte deltas.
+/// Compress a strictly-or-weakly ascending u64 column with plain
+/// delta-then-varint coding (no zigzag: monotone input means
+/// non-negative deltas). Sorted cuboid keys and CSR offsets are the
+/// target — dense keys become 1-byte deltas.
 ///
 /// Fails fast at encode time if the input is not ascending.
 pub fn compress_u64s_sorted(values: &[u64]) -> RiskResult<Vec<u8>> {
@@ -107,7 +110,7 @@ pub fn compress_u64s_sorted(values: &[u64]) -> RiskResult<Vec<u8>> {
 /// bytes_consumed)`.
 pub fn decompress_u64s_sorted(data: &[u8]) -> RiskResult<(Vec<u64>, usize)> {
     let (n, mut off) = get_varint(data)?;
-    if n > (1 << 40) {
+    if n > (data.len() - off) as u64 {
         return Err(RiskError::corrupt("implausible compressed column length"));
     }
     let mut out = Vec::with_capacity(n as usize);
@@ -142,7 +145,7 @@ pub fn compress_u64s(values: &[u64]) -> Vec<u8> {
 /// bytes_consumed)`.
 pub fn decompress_u64s(data: &[u8]) -> RiskResult<(Vec<u64>, usize)> {
     let (n, mut off) = get_varint(data)?;
-    if n > (1 << 40) {
+    if n > (data.len() - off) as u64 {
         return Err(RiskError::corrupt("implausible compressed column length"));
     }
     let mut out = Vec::with_capacity(n as usize);
@@ -225,7 +228,11 @@ mod tests {
         let values: Vec<u64> = (0..20_000u64).map(|i| i * 7 + 3).collect();
         let compressed = compress_u64s_sorted(&values).unwrap();
         // Dense deltas: ~1 byte each vs 8 raw.
-        assert!(compressed.len() < values.len() * 2, "{} bytes", compressed.len());
+        assert!(
+            compressed.len() < values.len() * 2,
+            "{} bytes",
+            compressed.len()
+        );
         let (back, used) = decompress_u64s_sorted(&compressed).unwrap();
         assert_eq!(back, values);
         assert_eq!(used, compressed.len());

@@ -27,6 +27,10 @@ pub struct EltRecord {
     pub exposure: f64,
 }
 
+/// The ELT's column slices: `(event_ids, mean_loss, sigma_i, sigma_c,
+/// exposure)`.
+pub type EltColumns<'a> = (&'a [u32], &'a [f64], &'a [f64], &'a [f64], &'a [f64]);
+
 /// A columnar event-loss table with an event→row probe index.
 #[derive(Debug, Clone)]
 pub struct Elt {
@@ -80,7 +84,7 @@ impl Elt {
 
     /// Column slices `(event_ids, mean_loss, sigma_i, sigma_c, exposure)`
     /// — the scan interface used by engines and codecs.
-    pub fn columns(&self) -> (&[u32], &[f64], &[f64], &[f64], &[f64]) {
+    pub fn columns(&self) -> EltColumns<'_> {
         (
             &self.event_ids,
             &self.mean_loss,
@@ -162,8 +166,7 @@ impl EltBuilder {
     /// (canonical order — makes ELTs comparable and the binary codec
     /// deterministic); duplicate event ids are rejected.
     pub fn build(mut self) -> RiskResult<Elt> {
-        self.rows
-            .sort_unstable_by_key(|r| r.event_id.raw());
+        self.rows.sort_unstable_by_key(|r| r.event_id.raw());
         for w in self.rows.windows(2) {
             if w[0].event_id == w[1].event_id {
                 return Err(RiskError::invalid(format!(
@@ -203,9 +206,14 @@ pub fn elt_from_columns(
     exposure: Vec<f64>,
 ) -> RiskResult<Elt> {
     let n = event_ids.len();
-    if [mean_loss.len(), sigma_i.len(), sigma_c.len(), exposure.len()]
-        .iter()
-        .any(|&l| l != n)
+    if [
+        mean_loss.len(),
+        sigma_i.len(),
+        sigma_c.len(),
+        exposure.len(),
+    ]
+    .iter()
+    .any(|&l| l != n)
     {
         return Err(RiskError::corrupt("ELT column lengths disagree"));
     }

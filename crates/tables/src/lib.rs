@@ -70,8 +70,17 @@ mod tests {
 
     #[test]
     fn scan_stats_merge() {
-        let mut a = ScanStats { rows: 10, bytes: 80 };
+        let mut a = ScanStats {
+            rows: 10,
+            bytes: 80,
+        };
         a.merge(ScanStats { rows: 5, bytes: 40 });
-        assert_eq!(a, ScanStats { rows: 15, bytes: 120 });
+        assert_eq!(
+            a,
+            ScanStats {
+                rows: 15,
+                bytes: 120
+            }
+        );
     }
 }

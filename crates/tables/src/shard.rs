@@ -73,14 +73,16 @@ impl ShardManifest {
                     })
                 }
                 "shards" => {
-                    shards = Some(v.parse::<u32>().map_err(|e| {
-                        RiskError::corrupt(format!("bad shards value {v}: {e}"))
-                    })?)
+                    shards =
+                        Some(v.parse::<u32>().map_err(|e| {
+                            RiskError::corrupt(format!("bad shards value {v}: {e}"))
+                        })?)
                 }
                 "rows" => {
-                    rows = Some(v.parse::<u64>().map_err(|e| {
-                        RiskError::corrupt(format!("bad rows value {v}: {e}"))
-                    })?)
+                    rows = Some(
+                        v.parse::<u64>()
+                            .map_err(|e| RiskError::corrupt(format!("bad rows value {v}: {e}")))?,
+                    )
                 }
                 _ => {} // forward compatible: ignore unknown keys
             }
@@ -175,6 +177,29 @@ impl ShardedWriter {
         Ok(())
     }
 
+    /// Append a whole trial's YELLT rows in one call: `events[i]` pairs
+    /// with `losses[i]`, all at `location`. Because rows route to
+    /// shards by `trial % shards`, an entire trial lands in a single
+    /// shard — so the route is computed once and the columns extended
+    /// in bulk, instead of paying the route + bounds-check + capacity
+    /// dance per row as [`ShardedWriter::push_row`] does. This is the
+    /// hot path of the stage-2 YELT spill.
+    pub fn push_trial(
+        &mut self,
+        trial: u32,
+        events: &[u32],
+        location: LocationId,
+        losses: &[f64],
+    ) -> RiskResult<()> {
+        let s = self.shard_of(trial) as usize;
+        self.buffers[s].extend_trial(trial, events, location, losses)?;
+        self.rows += events.len() as u64;
+        if self.buffers[s].rows() >= self.chunk_rows {
+            self.flush_shard(s)?;
+        }
+        Ok(())
+    }
+
     /// Append a whole chunk (rows are re-routed individually).
     pub fn push_chunk(&mut self, chunk: &YelltChunk) -> RiskResult<()> {
         chunk.validate()?;
@@ -238,10 +263,7 @@ impl ShardedReader {
     pub fn open(dir: impl Into<PathBuf>) -> RiskResult<Self> {
         let dir = dir.into();
         let text = fs::read_to_string(dir.join("MANIFEST.txt")).map_err(|e| {
-            RiskError::Corrupt(format!(
-                "cannot read manifest in {}: {e}",
-                dir.display()
-            ))
+            RiskError::Corrupt(format!("cannot read manifest in {}: {e}", dir.display()))
         })?;
         let manifest = ShardManifest::parse(&text)?;
         for i in 0..manifest.shards {
@@ -345,7 +367,8 @@ mod tests {
         let mut w = ShardedWriter::create_with_chunk_rows(&dir, 4, 8).unwrap();
         for t in 0..100u32 {
             for l in 0..3u32 {
-                w.push_row(t, t * 2, LocationId::new(l), (t + l) as f64).unwrap();
+                w.push_row(t, t * 2, LocationId::new(l), (t + l) as f64)
+                    .unwrap();
             }
         }
         let manifest = w.finish().unwrap();
@@ -366,6 +389,55 @@ mod tests {
             }
         }
         assert_eq!(seen, 300);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn push_trial_equals_per_row_pushes() {
+        let dir_rows = temp_dir("perrow");
+        let dir_trial = temp_dir("pertrial");
+        let mut by_row = ShardedWriter::create_with_chunk_rows(&dir_rows, 3, 16).unwrap();
+        let mut by_trial = ShardedWriter::create_with_chunk_rows(&dir_trial, 3, 16).unwrap();
+        for t in 0..50u32 {
+            let events: Vec<u32> = (0..(t % 7)).map(|k| t * 10 + k).collect();
+            let losses: Vec<f64> = events.iter().map(|&e| e as f64 * 1.5).collect();
+            for (i, &e) in events.iter().enumerate() {
+                by_row
+                    .push_row(t, e, LocationId::new(9), losses[i])
+                    .unwrap();
+            }
+            by_trial
+                .push_trial(t, &events, LocationId::new(9), &losses)
+                .unwrap();
+        }
+        let m_rows = by_row.finish().unwrap();
+        let m_trial = by_trial.finish().unwrap();
+        assert_eq!(m_rows, m_trial);
+        // Chunk framing may differ (per-row vs per-trial flush points);
+        // the row streams must not.
+        let flatten = |dir: &PathBuf| {
+            let r = ShardedReader::open(dir).unwrap();
+            (0..3u32)
+                .flat_map(|s| {
+                    r.read_shard(s).unwrap().into_iter().flat_map(|c| {
+                        (0..c.rows())
+                            .map(|i| (c.trials[i], c.events[i], c.locations[i], c.losses[i]))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flatten(&dir_rows), flatten(&dir_trial));
+        fs::remove_dir_all(&dir_rows).unwrap();
+        fs::remove_dir_all(&dir_trial).unwrap();
+    }
+
+    #[test]
+    fn push_trial_rejects_mismatched_slices() {
+        let dir = temp_dir("mismatch");
+        let mut w = ShardedWriter::create(&dir, 2).unwrap();
+        let err = w.push_trial(0, &[1, 2], LocationId::new(0), &[1.0]);
+        assert!(err.is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 

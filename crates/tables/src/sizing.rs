@@ -220,7 +220,10 @@ mod tests {
     #[test]
     fn reduced_example_is_laptop_scale() {
         let r = ScaleSpec::reduced_example();
-        assert!(r.yellt_bytes_expected() < (4u128 << 30), "should be < 4 GiB");
+        assert!(
+            r.yellt_bytes_expected() < (4u128 << 30),
+            "should be < 4 GiB"
+        );
     }
 
     #[test]

@@ -57,6 +57,32 @@ impl YelltChunk {
         self.losses.push(loss);
     }
 
+    /// Append a whole trial's rows in one call: `events[i]` pairs with
+    /// `losses[i]`, all at `location`, all under `trial`. One capacity
+    /// check per column instead of one per row.
+    pub fn extend_trial(
+        &mut self,
+        trial: u32,
+        events: &[u32],
+        location: LocationId,
+        losses: &[f64],
+    ) -> RiskResult<()> {
+        if events.len() != losses.len() {
+            return Err(RiskError::invalid(format!(
+                "trial slice lengths disagree: {} events vs {} losses",
+                events.len(),
+                losses.len()
+            )));
+        }
+        let n = events.len();
+        self.trials.extend(std::iter::repeat_n(trial, n));
+        self.events.extend_from_slice(events);
+        self.locations
+            .extend(std::iter::repeat_n(location.raw(), n));
+        self.losses.extend_from_slice(losses);
+        Ok(())
+    }
+
     /// Validate parallel-column invariants (codec path).
     pub fn validate(&self) -> RiskResult<()> {
         let n = self.trials.len();

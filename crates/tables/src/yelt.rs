@@ -125,10 +125,8 @@ impl Yelt {
         }
         stats.rows = self.event_ids.len() as u64;
         stats.bytes = (self.event_ids.len() * (4 + 8)) as u64;
-        let mut v: Vec<(EventId, f64)> = acc
-            .into_iter()
-            .map(|(e, l)| (EventId::new(e), l))
-            .collect();
+        let mut v: Vec<(EventId, f64)> =
+            acc.into_iter().map(|(e, l)| (EventId::new(e), l)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
         (v, stats)
     }

@@ -229,8 +229,9 @@ mod tests {
     fn from_columns_round_trip() {
         let mut b = YetBuilder::new();
         for t in 0..10u32 {
-            let occs: Vec<Occurrence> =
-                (0..t % 4).map(|i| occ(t * 10 + i, (i * 30) as u16, 0.5)).collect();
+            let occs: Vec<Occurrence> = (0..t % 4)
+                .map(|i| occ(t * 10 + i, (i * 30) as u16, 0.5))
+                .collect();
             b.push_trial(&occs);
         }
         let yet = b.build();
@@ -246,17 +247,19 @@ mod tests {
         // Bad start.
         assert!(YearEventTable::from_columns(vec![1, 2], vec![1], vec![0], vec![0.5]).is_err());
         // Decreasing offsets.
-        assert!(
-            YearEventTable::from_columns(vec![0, 2, 1], vec![1, 2], vec![0, 0], vec![0.5, 0.5])
-                .is_err()
-        );
+        assert!(YearEventTable::from_columns(
+            vec![0, 2, 1],
+            vec![1, 2],
+            vec![0, 0],
+            vec![0.5, 0.5]
+        )
+        .is_err());
         // Length mismatch.
-        assert!(YearEventTable::from_columns(vec![0, 2], vec![1], vec![0, 0], vec![0.5, 0.5])
-            .is_err());
-        // Day out of range.
         assert!(
-            YearEventTable::from_columns(vec![0, 1], vec![1], vec![365], vec![0.5]).is_err()
+            YearEventTable::from_columns(vec![0, 2], vec![1], vec![0, 0], vec![0.5, 0.5]).is_err()
         );
+        // Day out of range.
+        assert!(YearEventTable::from_columns(vec![0, 1], vec![1], vec![365], vec![0.5]).is_err());
         // z at boundary.
         assert!(YearEventTable::from_columns(vec![0, 1], vec![1], vec![0], vec![0.0]).is_err());
         // Empty offsets.

@@ -238,7 +238,11 @@ impl Cuboid {
                     None // identity: use the fact code directly
                 } else {
                     let dim = schema.dim(d);
-                    Some((0..dim.cardinality(0)).map(|c| dim.code_at(lvl, c)).collect())
+                    Some(
+                        (0..dim.cardinality(0))
+                            .map(|c| dim.code_at(lvl, c))
+                            .collect(),
+                    )
                 }
             })
             .collect();
@@ -423,8 +427,8 @@ impl Cuboid {
         let mut maxs = Vec::with_capacity(n);
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.keys.len() || j < delta.keys.len() {
-            let take_self = j >= delta.keys.len()
-                || (i < self.keys.len() && self.keys[i] < delta.keys[j]);
+            let take_self =
+                j >= delta.keys.len() || (i < self.keys.len() && self.keys[i] < delta.keys[j]);
             let take_both =
                 i < self.keys.len() && j < delta.keys.len() && self.keys[i] == delta.keys[j];
             if take_both {

@@ -225,7 +225,9 @@ impl Schema {
         let block = |n: u32, groups: u32| -> Vec<u32> {
             // Contiguous blocks: codes [0, n/groups) → group 0, etc.
             let per = (n as u64).div_ceil(groups as u64).max(1);
-            (0..n).map(|c| ((c as u64 / per) as u32).min(groups - 1)).collect()
+            (0..n)
+                .map(|c| ((c as u64 / per) as u32).min(groups - 1))
+                .collect()
         };
         let geo = Dimension::new(
             "geography",
@@ -409,8 +411,7 @@ mod tests {
         assert_eq!(s.dim(dim::TIME).cardinality(2), 4);
         // Block mapping covers every group.
         let geo = s.dim(dim::GEO);
-        let regions: std::collections::HashSet<u32> =
-            (0..100).map(|c| geo.code_at(1, c)).collect();
+        let regions: std::collections::HashSet<u32> = (0..100).map(|c| geo.code_at(1, c)).collect();
         assert_eq!(regions.len(), 5);
         // Stripe mapping covers every peril.
         let ev = s.dim(dim::EVENT);
@@ -426,7 +427,7 @@ mod tests {
         assert_eq!(t.code_at(1, 364), 11); // Dec 31 → month 11
         assert_eq!(t.code_at(2, 364), 3); // → season 3
         assert_eq!(t.code_at(3, 200), 0); // all
-        // Months partition the year monotonically.
+                                          // Months partition the year monotonically.
         let mut prev = 0;
         for d in 0..365 {
             let m = t.code_at(1, d);

@@ -87,10 +87,7 @@ pub struct ViewSelection {
 /// cuboid is always materialised. Each greedy round picks the view
 /// maximising the total cost reduction across the lattice; ties break
 /// toward the lexicographically smaller select (deterministic).
-pub fn greedy_select(
-    sizes: &[(LevelSelect, u64)],
-    k: usize,
-) -> ViewSelection {
+pub fn greedy_select(sizes: &[(LevelSelect, u64)], k: usize) -> ViewSelection {
     // Cost of answering each node from the current materialised set.
     // Initially: everything from base.
     let base_size = sizes
@@ -157,10 +154,7 @@ pub fn greedy_select(
 /// budget is spent. Use when the constraint is memory, not view count —
 /// a small view with modest benefit can beat a huge view with slightly
 /// more.
-pub fn greedy_select_budget(
-    sizes: &[(LevelSelect, u64)],
-    budget_cells: u64,
-) -> ViewSelection {
+pub fn greedy_select_budget(sizes: &[(LevelSelect, u64)], budget_cells: u64) -> ViewSelection {
     let base_size = sizes
         .iter()
         .find(|(s, _)| *s == LevelSelect([0; NDIMS]))

@@ -56,6 +56,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Dimension loops (`for d in 0..NDIMS`) index several parallel
+// fixed-size arrays at once; iterator rewrites obscure them.
+#![allow(clippy::needless_range_loop)]
 
 pub mod cube;
 pub mod dimension;

@@ -253,7 +253,10 @@ impl Warehouse {
                     f.dim
                 )));
             }
-            let card = self.schema.dim(f.dim).cardinality(query.select.level(f.dim));
+            let card = self
+                .schema
+                .dim(f.dim)
+                .cardinality(query.select.level(f.dim));
             if f.codes.iter().any(|&c| c >= card) {
                 return Err(RiskError::invalid(format!(
                     "filter code out of range for dimension {} at query level",
@@ -312,11 +315,7 @@ impl Warehouse {
         riskpipe_exec::par_map_collect(pool, queries.len(), 1, |i| self.answer(&queries[i]))
     }
 
-    fn answer_from_view(
-        &self,
-        view: &Cuboid,
-        query: &Query,
-    ) -> RiskResult<(Vec<ResultRow>, u64)> {
+    fn answer_from_view(&self, view: &Cuboid, query: &Query) -> RiskResult<(Vec<ResultRow>, u64)> {
         let codec = KeyCodec::new(&self.schema, query.select)?;
         let vsel = view.select();
         // Lift tables from the view's levels to the query's levels.
@@ -439,8 +438,7 @@ mod tests {
         let queries = [
             Query::group_by(LevelSelect([1, 1, 2, 2])),
             Query::group_by(LevelSelect([2, 1, 0, 3])),
-            Query::group_by(LevelSelect([1, 2, 2, 1]))
-                .filter(Filter::slice(dim::GEO, 2)),
+            Query::group_by(LevelSelect([1, 2, 2, 1])).filter(Filter::slice(dim::GEO, 2)),
             Query::group_by(LevelSelect([1, 1, 1, 1]))
                 .filter(Filter {
                     dim: dim::EVENT,
@@ -546,7 +544,9 @@ mod tests {
     #[test]
     fn invalid_queries_rejected() {
         let w = wh(true);
-        assert!(w.answer(&Query::group_by(LevelSelect([9, 0, 0, 0]))).is_err());
+        assert!(w
+            .answer(&Query::group_by(LevelSelect([9, 0, 0, 0])))
+            .is_err());
         let bad_dim = Query::group_by(LevelSelect::BASE).filter(Filter {
             dim: 7,
             codes: vec![0],
@@ -625,7 +625,10 @@ mod tests {
     #[test]
     fn append_facts_validates_codes() {
         let s = Schema::standard(25, 5, 16, 4, 6, 2).unwrap();
-        let mut w = Warehouse::new(s, FactTable::synthetic(&Schema::standard(25, 5, 16, 4, 6, 2).unwrap(), 100, 1));
+        let mut w = Warehouse::new(
+            s,
+            FactTable::synthetic(&Schema::standard(25, 5, 16, 4, 6, 2).unwrap(), 100, 1),
+        );
         // A batch from a *bigger* schema has codes out of range.
         let big = Schema::standard(500, 5, 16, 4, 6, 2).unwrap();
         let bad = FactTable::synthetic(&big, 200, 2);
@@ -636,7 +639,9 @@ mod tests {
     #[test]
     fn costs_record_rows_read() {
         let w = wh(true);
-        let (_, cost) = w.answer(&Query::group_by(LevelSelect([1, 1, 1, 1]))).unwrap();
+        let (_, cost) = w
+            .answer(&Query::group_by(LevelSelect([1, 1, 1, 1])))
+            .unwrap();
         assert_eq!(cost.rows_read(), cost.cells_read);
         let cold = wh(false);
         let (_, cost) = cold

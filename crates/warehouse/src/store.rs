@@ -28,9 +28,8 @@ pub fn encode_cuboid(cuboid: &Cuboid) -> Bytes {
     let (keys, counts, sums, maxs) = cuboid.columns();
     let packed_keys = compress_u64s_sorted(keys).expect("cuboid keys are sorted by construction");
     let packed_counts = compress_u64s(counts);
-    let mut p = BytesMut::with_capacity(
-        16 + packed_keys.len() + packed_counts.len() + keys.len() * 16,
-    );
+    let mut p =
+        BytesMut::with_capacity(16 + packed_keys.len() + packed_counts.len() + keys.len() * 16);
     for d in 0..NDIMS {
         p.put_u8(cuboid.select().0[d]);
     }
@@ -220,9 +219,9 @@ mod tests {
     fn every_flipped_byte_is_detected() {
         let (s, views) = setup();
         let bytes = encode_cuboid(&views[2]); // apex: small frame
-        // Flip each byte in turn; every corruption must surface as an
-        // error (CRC for payload bytes, header checks otherwise) —
-        // never a silently different cuboid.
+                                              // Flip each byte in turn; every corruption must surface as an
+                                              // error (CRC for payload bytes, header checks otherwise) —
+                                              // never a silently different cuboid.
         for i in 0..bytes.len() {
             let mut bad = bytes.to_vec();
             bad[i] ^= 0x40;
@@ -232,7 +231,11 @@ mod tests {
                     // The flipped bit landed in the header padding or
                     // produced an identical logical value — accept only
                     // if the decoded cuboid is exactly the original.
-                    assert_eq!(back.keys(), views[2].keys(), "byte {i} silently changed data");
+                    assert_eq!(
+                        back.keys(),
+                        views[2].keys(),
+                        "byte {i} silently changed data"
+                    );
                     let (_, c0, s0, _) = views[2].columns();
                     let (_, c1, s1, _) = back.columns();
                     assert_eq!(c0, c1, "byte {i}");
@@ -258,7 +261,7 @@ mod tests {
     fn wrong_schema_is_rejected() {
         let (s, views) = setup();
         let bytes = encode_cuboid(&views[0]); // base cuboid, location codes up to 29
-        // A schema with fewer locations cannot hold these codes.
+                                              // A schema with fewer locations cannot hold these codes.
         let smaller = Schema::standard(10, 5, 25, 3, 8, 2).unwrap();
         let r = decode_cuboid(&bytes, &smaller);
         assert!(r.is_err(), "foreign schema accepted");

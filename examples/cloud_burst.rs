@@ -19,8 +19,7 @@ fn main() -> RiskResult<()> {
 
     let work_ch = total_work_core_ms(&jobs) as f64 / 3_600_000.0;
     let peak_cores = peak_deadline_demand(&jobs, WEEK_MS);
-    let peak_nodes =
-        ((peak_cores as f64 * 1.25) as u64).div_ceil(cfg.node.cores as u64) as u32;
+    let peak_nodes = ((peak_cores as f64 * 1.25) as u64).div_ceil(cfg.node.cores as u64) as u32;
     println!(
         "one pipeline week: {} jobs, {:.0} core-hours; deadline-peak {} cores\n",
         jobs.len(),

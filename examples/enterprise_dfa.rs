@@ -7,8 +7,8 @@
 //! cargo run --release --example enterprise_dfa
 //! ```
 
-use riskpipe_aggregate::{AggregateRunner, EngineKind};
-use riskpipe_core::ScenarioConfig;
+use riskpipe_aggregate::EngineKind;
+use riskpipe_core::{RiskSession, ScenarioConfig};
 use riskpipe_dfa::{
     run_horizon, AllocationMethod, BusinessUnit, CompanyConfig, CorrelationMatrix, DfaEngine,
     EnterpriseRollup, HorizonConfig,
@@ -17,24 +17,29 @@ use riskpipe_types::RiskResult;
 
 fn main() -> RiskResult<()> {
     // Three regional business units, each its own stage-1/2 run on a
-    // shared trial count.
+    // shared trial count — one session, one concurrent batch.
     let trials = 5_000;
+    let names = ["north-america", "europe", "japan"];
+    let session = RiskSession::builder()
+        .engine(EngineKind::CpuParallel)
+        .build()?;
+    let scenarios: Vec<ScenarioConfig> = (0..names.len())
+        .map(|i| {
+            ScenarioConfig::small()
+                .with_seed(100 + i as u64)
+                .with_trials(trials)
+        })
+        .collect();
+    let reports = session.run_batch(&scenarios)?;
     let mut units = Vec::new();
-    for (i, name) in ["north-america", "europe", "japan"].iter().enumerate() {
-        let stage1 = ScenarioConfig::small()
-            .with_seed(100 + i as u64)
-            .with_trials(trials)
-            .build_stage1()?;
-        let portfolio = stage1.portfolio();
-        let ylt = AggregateRunner::new(EngineKind::CpuParallel)
-            .run(&portfolio, &stage1.year_event_table())?;
+    for (name, report) in names.iter().zip(reports) {
         println!(
             "{name:>14}: mean annual cat loss {:>14.0}",
-            ylt.mean_annual_loss()
+            report.ylt.mean_annual_loss()
         );
         units.push(BusinessUnit {
             name: name.to_string(),
-            ylt,
+            ylt: report.ylt,
         });
     }
 
@@ -62,7 +67,10 @@ fn main() -> RiskResult<()> {
     // units (Euler/co-TVaR vs the naive proportional split).
     let co = rollup.allocate(0.99, AllocationMethod::CoTvar)?;
     let prop = rollup.allocate(0.99, AllocationMethod::Proportional)?;
-    println!("\ncapital allocation of enterprise TVaR99 ({:.0}):", co.enterprise_tvar);
+    println!(
+        "\ncapital allocation of enterprise TVaR99 ({:.0}):",
+        co.enterprise_tvar
+    );
     println!(
         "{:>16} {:>16} {:>16} {:>16}",
         "unit", "standalone", "co-TVaR share", "proportional"
@@ -86,18 +94,26 @@ fn main() -> RiskResult<()> {
 
     let dfa = DfaEngine::typical(company);
     let result = dfa.run(&consolidated, 2026)?;
-    println!("\nDFA (catastrophe + investment + rates + cycle + counterparty + operational + reserve):");
+    println!(
+        "\nDFA (catastrophe + investment + rates + cycle + counterparty + operational + reserve):"
+    );
     println!("  mean net income  : {:>16.0}", result.mean_net_income());
     println!("  VaR99 net loss   : {:>16.0}", result.var_net_loss(0.99));
     println!("  TVaR99 net loss  : {:>16.0}", result.tvar_net_loss(0.99));
     println!("  economic capital : {:>16.0}", result.economic_capital());
-    println!("  return on capital: {:>15.1}%", result.return_on_capital() * 100.0);
+    println!(
+        "  return on capital: {:>15.1}%",
+        result.return_on_capital() * 100.0
+    );
     println!("  P(ruin)          : {:>16.5}", result.prob_ruin());
 
     // Multi-year capital projection: the "dynamic" in DFA.
     let horizon = run_horizon(&dfa, &consolidated, &HorizonConfig::default())?;
     println!("\n5-year capital projection (serial underwriting cycle):");
-    println!("{:>6} {:>20} {:>14}", "year", "mean capital", "cum. P(ruin)");
+    println!(
+        "{:>6} {:>20} {:>14}",
+        "year", "mean capital", "cum. P(ruin)"
+    );
     for (y, (cap, ruin)) in horizon
         .mean_capital_by_year
         .iter()

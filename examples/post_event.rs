@@ -46,7 +46,10 @@ fn main() -> RiskResult<()> {
     println!("\nrapid estimate ({:.1} ms):", elapsed.as_secs_f64() * 1e3);
     println!("  expected insured loss : {:>16.0}", estimate.mean_loss);
     println!("  loss std deviation    : {:>16.0}", estimate.sigma);
-    println!("  affected locations    : {:>16}", estimate.affected_locations);
+    println!(
+        "  affected locations    : {:>16}",
+        estimate.affected_locations
+    );
     println!("\nclaims-team deployment list (top locations by expected loss):");
     println!("{:>10} {:>16}", "location", "expected loss");
     for (loc, loss) in &estimate.top_locations {

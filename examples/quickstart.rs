@@ -1,40 +1,42 @@
-//! Quickstart: the three-stage pipeline on a small synthetic scenario.
+//! Quickstart: the three-stage pipeline on a small synthetic scenario,
+//! through the `RiskSession` facade.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds a catalogue + exposure books (stage 1), runs aggregate
-//! analysis on the CPU-parallel engine (stage 2), and prints the risk
-//! metrics and the aggregate exceedance-probability curve a reinsurer
-//! would report from the YLT.
+//! Configures a session once (engine + pool), runs one scenario through
+//! risk modelling (stage 1), aggregate analysis (stage 2) and DFA
+//! (stage 3), and prints the risk metrics and the aggregate
+//! exceedance-probability curve a reinsurer would report from the YLT.
 
 use riskpipe::prelude::*;
-use riskpipe_metrics::RiskMeasures;
 
 fn main() -> RiskResult<()> {
-    // Stage 1: risk modelling.
-    let scenario = ScenarioConfig::small().with_seed(2026);
-    println!("building stage 1 (catalogue, exposures, ELTs, YET)...");
-    let stage1 = scenario.build_stage1()?;
+    let session = RiskSession::builder()
+        .engine(EngineKind::CpuParallel)
+        .build()?;
     println!(
-        "  {} contracts, {} YET trials, {} portfolio ELT rows",
-        stage1.portfolio().len(),
-        stage1.year_event_table().trials(),
-        stage1.portfolio().total_elt_rows(),
+        "session: {:?} engine, {} threads, {} store",
+        session.engine(),
+        session.pool().thread_count(),
+        session.store_name()
     );
 
-    // Stage 2: aggregate analysis.
-    println!("running aggregate analysis (CPU-parallel engine)...");
-    let portfolio = stage1.portfolio();
-    let ylt = AggregateRunner::new(EngineKind::CpuParallel)
-        .run(&portfolio, &stage1.year_event_table())?;
+    let scenario = ScenarioConfig::small().with_seed(2026);
+    println!("running scenario '{}'...", scenario.name);
+    let report = session.run(&scenario)?;
+    println!(
+        "  {} portfolio ELT rows, {} YET occurrences, {} trials",
+        report.elt_rows,
+        report.yet_occurrences,
+        report.ylt.trials(),
+    );
 
     // Metrics from the YLT.
-    let measures = RiskMeasures::from_ylt(&ylt);
-    println!("\nportfolio risk measures:\n{measures}\n");
+    println!("\nportfolio risk measures:\n{}\n", report.measures);
 
-    let ep = EpCurve::aggregate(&ylt);
+    let ep = EpCurve::aggregate(&report.ylt);
     println!("aggregate EP curve:");
     println!("{:>12} {:>12} {:>16}", "return (y)", "prob", "loss");
     for p in ep.standard_points() {
@@ -44,5 +46,9 @@ fn main() -> RiskResult<()> {
         );
     }
     println!("\n100-year PML: {:.0}", ep.pml(100.0));
+    println!(
+        "\nstage 3 (DFA): P(ruin) {:.4}, economic capital {:.0}",
+        report.prob_ruin, report.economic_capital
+    );
     Ok(())
 }

@@ -57,11 +57,7 @@ fn main() -> RiskResult<()> {
     );
 
     let t0 = Instant::now();
-    let yet = simulate_yet(
-        &catalog,
-        &YetConfig { trials, seed: 99 },
-        &pool,
-    )?;
+    let yet = simulate_yet(&catalog, &YetConfig { trials, seed: 99 }, &pool)?;
     println!(
         "  YET: {} occurrences over {} trials (pre-simulated in {:.2}s)",
         yet.total_occurrences(),
@@ -111,7 +107,10 @@ fn main() -> RiskResult<()> {
         "  E[reinst premium] : {:>16.2}  (fraction {:.4})",
         quote.expected_reinstatement_premium, quote.expected_premium_fraction
     );
-    println!("  rate on line      : {:>15.2}%", quote.rate_on_line * 100.0);
+    println!(
+        "  rate on line      : {:>15.2}%",
+        quote.rate_on_line * 100.0
+    );
     println!("  (per-layer YLT pass: {:.2}s)", t0.elapsed().as_secs_f64());
     Ok(())
 }

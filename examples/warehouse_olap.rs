@@ -12,9 +12,7 @@ use riskpipe::catmodel::{
 };
 use riskpipe::exec::ThreadPool;
 use riskpipe::types::{EventId, RiskResult, TrialId};
-use riskpipe::warehouse::{
-    dim, FactBuilder, Filter, LevelSelect, Query, Schema, Warehouse,
-};
+use riskpipe::warehouse::{dim, FactBuilder, Filter, LevelSelect, Query, Schema, Warehouse};
 
 fn main() -> RiskResult<()> {
     let pool = ThreadPool::default();
@@ -29,14 +27,7 @@ fn main() -> RiskResult<()> {
         seed: 71,
         ..CatalogConfig::default()
     })?;
-    let yet = simulate_yet(
-        &catalog,
-        &YetConfig {
-            trials,
-            seed: 72,
-        },
-        &pool,
-    )?;
+    let yet = simulate_yet(&catalog, &YetConfig { trials, seed: 72 }, &pool)?;
     let schema = Schema::standard(locations, 8, events, 4, books, 2)?;
     let mut builder = FactBuilder::new(&schema);
     builder.set_trials(trials as u32);
@@ -56,7 +47,9 @@ fn main() -> RiskResult<()> {
                 }
                 let day = days[k].min(364) as u32;
                 model.for_each_location_loss(e as usize, |loc, loss| {
-                    builder.push([loc.raw(), e, book, day], loss).expect("codes");
+                    builder
+                        .push([loc.raw(), e, book, day], loss)
+                        .expect("codes");
                 });
             }
         }
@@ -67,10 +60,7 @@ fn main() -> RiskResult<()> {
     // Materialise: base plus the mid-level view the query mix lives on.
     let mut wh = Warehouse::new(schema.clone(), facts);
     println!("materialising views (parallel build)...");
-    let cost = wh.materialize_all(
-        &[LevelSelect::BASE, LevelSelect([1, 1, 1, 1])],
-        Some(&pool),
-    )?;
+    let cost = wh.materialize_all(&[LevelSelect::BASE, LevelSelect([1, 1, 1, 1])], Some(&pool))?;
     println!(
         "  build read {cost} rows; views: {:?}\n",
         wh.materialized()
@@ -83,7 +73,11 @@ fn main() -> RiskResult<()> {
     let trials_f = trials as f64;
     println!("expected annual loss by region × peril (top cells):");
     let (rows, qc) = wh.answer(&Query::group_by(LevelSelect([1, 1, 2, 3])).top(8))?;
-    println!("  served from {:?} ({} rows read)", qc.source, qc.rows_read());
+    println!(
+        "  served from {:?} ({} rows read)",
+        qc.source,
+        qc.rows_read()
+    );
     for r in &rows {
         println!(
             "  region {:>2}  peril {:>2}  EAL {:>14.0}  max single loss {:>12.0}",

@@ -37,14 +37,7 @@ fn main() -> RiskResult<()> {
         ..ExposureConfig::default()
     })?;
     let model = GroundUpModel::new(&catalog, &exposure, EltGenConfig::default());
-    let yet = simulate_yet(
-        &catalog,
-        &YetConfig {
-            trials,
-            seed: 23,
-        },
-        &pool,
-    )?;
+    let yet = simulate_yet(&catalog, &YetConfig { trials, seed: 23 }, &pool)?;
 
     // Stream the YELLT into a sharded store, row by row.
     let dir = std::env::temp_dir().join(format!("riskpipe-yellt-{}", std::process::id()));

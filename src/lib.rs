@@ -27,23 +27,28 @@
 //!
 //! ## Quickstart
 //!
+//! A [`RiskSession`](riskpipe_core::RiskSession) is the facade: built
+//! once (engine, thread pool, intermediate store), then run against any
+//! number of scenarios — concurrently, via `run_batch`, when there are
+//! many.
+//!
 //! ```
 //! use riskpipe::prelude::*;
 //!
-//! // 1. Stage one: build a small catalogue, exposure set and ELTs.
-//! let scenario = ScenarioConfig::small().with_seed(7);
-//! let stage1 = scenario.build_stage1().expect("stage 1");
+//! let session = RiskSession::builder()
+//!     .engine(EngineKind::CpuParallel)
+//!     .pool_threads(2)
+//!     .build()
+//!     .expect("session");
 //!
-//! // 2. Stage two: aggregate analysis -> year-loss table.
-//! let portfolio = stage1.portfolio();
-//! let ylt = AggregateRunner::new(EngineKind::CpuParallel)
-//!     .run(&portfolio, &stage1.year_event_table())
-//!     .expect("aggregate analysis");
+//! let report = session
+//!     .run(&ScenarioConfig::small().with_seed(7).with_trials(500))
+//!     .expect("pipeline");
+//! assert_eq!(report.ylt.trials(), 500);
 //!
-//! // 3. Metrics: probable maximum loss at the 100-year return period.
-//! let ep = EpCurve::aggregate(&ylt);
-//! let pml100 = ep.pml(100.0);
-//! assert!(pml100 >= 0.0);
+//! // Metrics: probable maximum loss at the 100-year return period.
+//! let ep = EpCurve::aggregate(&report.ylt);
+//! assert!(ep.pml(100.0) >= 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -67,7 +72,10 @@ pub mod prelude {
     pub use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind, Portfolio};
     pub use riskpipe_catmodel::Stage1Output;
     pub use riskpipe_cloud::{pipeline_week, simulate, PipelineWeekSpec, SimConfig};
-    pub use riskpipe_core::{PipelineConfig, ScenarioConfig};
+    pub use riskpipe_core::{
+        DataStrategy, IntermediateStore, PipelineConfig, PipelineReport, RiskSession,
+        RiskSessionBuilder, ScenarioConfig,
+    };
     pub use riskpipe_dfa::{AllocationMethod, EnterpriseRollup};
     pub use riskpipe_metrics::EpCurve;
     pub use riskpipe_tables::{Elt, Ylt};

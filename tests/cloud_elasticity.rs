@@ -9,19 +9,18 @@ use riskpipe::cloud::{
 use riskpipe::cloud::{JobSpec, NodeSpec};
 
 fn peak_nodes(jobs: &[JobSpec], cfg: &SimConfig) -> u32 {
-    ((peak_deadline_demand(jobs, WEEK_MS) as f64 * 1.25) as u64)
-        .div_ceil(cfg.node.cores as u64) as u32
+    ((peak_deadline_demand(jobs, WEEK_MS) as f64 * 1.25) as u64).div_ceil(cfg.node.cores as u64)
+        as u32
 }
 
 #[test]
 fn fixed_average_misses_the_reporting_deadline() {
     let jobs = pipeline_week(&PipelineWeekSpec::default()).unwrap();
     let cfg = SimConfig::default();
-    let avg_nodes = ((total_work_core_ms(&jobs) as f64
-        / cfg.horizon_ms as f64
-        / cfg.node.cores as f64)
-        .ceil() as u32)
-        .max(1);
+    let avg_nodes =
+        ((total_work_core_ms(&jobs) as f64 / cfg.horizon_ms as f64 / cfg.node.cores as f64).ceil()
+            as u32)
+            .max(1);
     let mut p = FixedPolicy::new(avg_nodes);
     let r = simulate(&jobs, &mut p, &cfg).unwrap();
     let rollup = r
@@ -50,7 +49,11 @@ fn elastic_policies_match_peak_attainment_at_fraction_of_cost() {
     let mut reactive = ReactivePolicy::new(2, peak);
     let rr = simulate(&jobs, &mut reactive, &cfg).unwrap();
     assert!(rr.all_complete());
-    assert!(rr.deadline_attainment() > 0.99, "reactive attainment {}", rr.deadline_attainment());
+    assert!(
+        rr.deadline_attainment() > 0.99,
+        "reactive attainment {}",
+        rr.deadline_attainment()
+    );
 
     let burst = 4 * DAY_MS + 17 * HOUR_MS;
     let mut sched = ScheduledPolicy {

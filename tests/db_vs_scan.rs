@@ -9,11 +9,11 @@ use riskpipe::tables::Yelt;
 
 #[test]
 fn relational_and_columnar_agree_and_costs_diverge() {
-    let stage1 = ScenarioConfig::small().with_seed(71).build_stage1().unwrap();
-    let yelt = Yelt::from_yet_elt(
-        &stage1.year_event_table(),
-        &stage1.output.books[0].elt,
-    );
+    let stage1 = ScenarioConfig::small()
+        .with_seed(71)
+        .build_stage1()
+        .unwrap();
+    let yelt = Yelt::from_yet_elt(&stage1.year_event_table(), &stage1.output.books[0].elt);
 
     // Columnar streaming reference.
     let (columnar, col_stats) = yelt.scan_aggregate_by_trial();

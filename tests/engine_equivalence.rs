@@ -10,7 +10,10 @@ use std::sync::Arc;
 
 #[test]
 fn all_engines_agree_on_scenario_with_secondary_uncertainty() {
-    let stage1 = ScenarioConfig::small().with_seed(31).build_stage1().unwrap();
+    let stage1 = ScenarioConfig::small()
+        .with_seed(31)
+        .build_stage1()
+        .unwrap();
     let pool = Arc::new(ThreadPool::new(4));
     let ylt = engines_agree(
         &stage1.portfolio(),
@@ -25,7 +28,10 @@ fn all_engines_agree_on_scenario_with_secondary_uncertainty() {
 
 #[test]
 fn all_engines_agree_without_secondary_uncertainty() {
-    let stage1 = ScenarioConfig::small().with_seed(32).build_stage1().unwrap();
+    let stage1 = ScenarioConfig::small()
+        .with_seed(32)
+        .build_stage1()
+        .unwrap();
     let pool = Arc::new(ThreadPool::new(2));
     engines_agree(
         &stage1.portfolio(),

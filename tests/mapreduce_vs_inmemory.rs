@@ -37,7 +37,10 @@ fn build_fixture(seed: u64) -> RiskResult<Fixture> {
     let model = GroundUpModel::new(&catalog, &exposure, EltGenConfig::default());
     let yet = simulate_yet(
         &catalog,
-        &YetConfig { trials, seed: seed ^ 2 },
+        &YetConfig {
+            trials,
+            seed: seed ^ 2,
+        },
         &pool,
     )?;
 

@@ -13,8 +13,8 @@ fn exponential_var_and_tvar_match_closed_form() {
     let d = Exponential::new(rate);
     let mut rng = Pcg64::new(81);
     let losses = d.sample_n(&mut rng, 400_000);
-    for &alpha in &[0.9, 0.99] {
-        let analytic_var = -(1.0 - alpha as f64).ln() / rate;
+    for &alpha in &[0.9f64, 0.99] {
+        let analytic_var = -(1.0 - alpha).ln() / rate;
         let analytic_tvar = analytic_var + 1.0 / rate;
         let est_var = var(&losses, alpha);
         let est_tvar = tvar(&losses, alpha);

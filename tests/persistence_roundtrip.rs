@@ -1,10 +1,10 @@
 //! Persistence integration: every table survives the encode → file →
 //! decode round trip, and corruption is detected, end to end.
 
-use riskpipe::core::ScenarioConfig;
-use riskpipe::tables::{codec, shard};
 use riskpipe::aggregate::{AggregateRunner, EngineKind};
+use riskpipe::core::ScenarioConfig;
 use riskpipe::tables::Yelt;
+use riskpipe::tables::{codec, shard};
 use std::fs;
 use std::path::PathBuf;
 
@@ -14,7 +14,10 @@ fn temp(tag: &str) -> PathBuf {
 
 #[test]
 fn full_scenario_tables_round_trip_through_files() {
-    let stage1 = ScenarioConfig::small().with_seed(51).build_stage1().unwrap();
+    let stage1 = ScenarioConfig::small()
+        .with_seed(51)
+        .build_stage1()
+        .unwrap();
     let dir = temp("tables");
     fs::create_dir_all(&dir).unwrap();
 

@@ -1,15 +1,20 @@
 //! End-to-end pipeline integration: stage 1 → 2 → 3 with coherent
-//! numbers at every hand-off.
+//! numbers at every hand-off, through the `RiskSession` facade.
 
-use riskpipe::core::{Pipeline, ScenarioConfig};
-use riskpipe::exec::ThreadPool;
+use riskpipe::core::{RiskSession, ScenarioConfig};
 use riskpipe::metrics::{EpCurve, RiskMeasures};
-use std::sync::Arc;
+
+fn session(threads: usize) -> RiskSession {
+    RiskSession::builder()
+        .pool_threads(threads)
+        .build()
+        .expect("session builds")
+}
 
 #[test]
 fn pipeline_produces_coherent_report() {
-    let report = Pipeline::new(ScenarioConfig::small().with_seed(41))
-        .run(Arc::new(ThreadPool::new(4)))
+    let report = session(4)
+        .run(&ScenarioConfig::small().with_seed(41))
         .unwrap();
 
     // Stage hand-offs are consistent.
@@ -21,7 +26,10 @@ fn pipeline_produces_coherent_report() {
     // Risk measures are internally ordered.
     let m = &report.measures;
     assert!(m.mean > 0.0);
-    assert!(m.var99 >= m.mean, "99% VaR below the mean is impossible here");
+    assert!(
+        m.var99 >= m.mean,
+        "99% VaR below the mean is impossible here"
+    );
     assert!(m.tvar99 >= m.var99);
     assert!(m.var996 >= m.var99);
 
@@ -38,12 +46,14 @@ fn pipeline_produces_coherent_report() {
 #[test]
 fn trial_count_scales_tail_resolution() {
     // More trials → deeper return periods become available, and the
-    // measured metrics stay statistically consistent.
-    let small = Pipeline::new(ScenarioConfig::small().with_seed(42).with_trials(500))
-        .run(Arc::new(ThreadPool::new(4)))
+    // measured metrics stay statistically consistent. One session
+    // serves both runs.
+    let session = session(4);
+    let small = session
+        .run(&ScenarioConfig::small().with_seed(42).with_trials(500))
         .unwrap();
-    let large = Pipeline::new(ScenarioConfig::small().with_seed(42).with_trials(4_000))
-        .run(Arc::new(ThreadPool::new(4)))
+    let large = session
+        .run(&ScenarioConfig::small().with_seed(42).with_trials(4_000))
         .unwrap();
     let m_small = RiskMeasures::from_ylt(&small.ylt);
     let m_large = RiskMeasures::from_ylt(&large.ylt);
@@ -57,12 +67,9 @@ fn trial_count_scales_tail_resolution() {
 
 #[test]
 fn different_seeds_give_different_but_similar_portfolios() {
-    let a = Pipeline::new(ScenarioConfig::small().with_seed(1))
-        .run(Arc::new(ThreadPool::new(2)))
-        .unwrap();
-    let b = Pipeline::new(ScenarioConfig::small().with_seed(2))
-        .run(Arc::new(ThreadPool::new(2)))
-        .unwrap();
+    let session = session(2);
+    let a = session.run(&ScenarioConfig::small().with_seed(1)).unwrap();
+    let b = session.run(&ScenarioConfig::small().with_seed(2)).unwrap();
     assert_ne!(a.ylt, b.ylt);
     // Same generating process: means within a factor of 3.
     let ratio = a.measures.mean / b.measures.mean;

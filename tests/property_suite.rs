@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use riskpipe::aggregate::{
-    AggregateEngine, AggregateOptions, CpuParallelEngine, Layer, LayerTerms, Portfolio,
-    SequentialEngine,
+    engines_agree, AggregateOptions, AggregateRunner, EngineKind, Layer, LayerTerms, Portfolio,
 };
 use riskpipe::exec::ThreadPool;
 use riskpipe::metrics::{tvar, var};
@@ -11,6 +10,12 @@ use riskpipe::tables::elt::{EltBuilder, EltRecord};
 use riskpipe::tables::yet::{Occurrence, YetBuilder};
 use riskpipe::types::{EventId, LayerId};
 use std::sync::Arc;
+
+/// The stage-2 front end on the reference engine — integration tests go
+/// through runners, never engine structs.
+fn sequential(opts: &AggregateOptions) -> AggregateRunner {
+    AggregateRunner::new(EngineKind::Sequential).with_options(*opts)
+}
 
 /// Strategy: a small random ELT.
 fn arb_elt(max_events: u32) -> impl Strategy<Value = Vec<(u32, f64)>> {
@@ -64,7 +69,7 @@ fn build_yet(trials: &[Vec<(u32, f64)>]) -> riskpipe::tables::YearEventTable {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The parallel engine equals the sequential engine on arbitrary
+    /// Every engine equals the sequential reference on arbitrary
     /// inputs (not just the fixtures unit tests chose).
     #[test]
     fn engines_agree_on_arbitrary_inputs(
@@ -76,11 +81,8 @@ proptest! {
         let portfolio = build_portfolio(&rows, LayerTerms::xl(ret, lim));
         let yet = build_yet(&trials);
         let opts = AggregateOptions::default();
-        let seq = SequentialEngine.run(&portfolio, &yet, &opts).unwrap();
-        let par = CpuParallelEngine::new(Arc::new(ThreadPool::new(3)))
-            .run(&portfolio, &yet, &opts)
-            .unwrap();
-        prop_assert_eq!(seq, par);
+        let agreed = engines_agree(&portfolio, &yet, &opts, Arc::new(ThreadPool::new(3)));
+        prop_assert!(agreed.is_ok(), "engines diverged: {:?}", agreed.err());
     }
 
     /// Tightening occurrence terms can only reduce losses, trial by
@@ -95,8 +97,8 @@ proptest! {
         let loose = build_portfolio(&rows, LayerTerms::xl(ret, f64::INFINITY));
         let tight = build_portfolio(&rows, LayerTerms::xl(ret + 500.0, f64::INFINITY));
         let opts = AggregateOptions { secondary_uncertainty: false, ..AggregateOptions::default() };
-        let ylt_loose = SequentialEngine.run(&loose, &yet, &opts).unwrap();
-        let ylt_tight = SequentialEngine.run(&tight, &yet, &opts).unwrap();
+        let ylt_loose = sequential(&opts).run(&loose, &yet).unwrap();
+        let ylt_tight = sequential(&opts).run(&tight, &yet).unwrap();
         for t in 0..ylt_loose.trials() {
             prop_assert!(ylt_tight.agg_losses()[t] <= ylt_loose.agg_losses()[t] + 1e-9);
             prop_assert!(ylt_tight.max_occ_losses()[t] <= ylt_loose.max_occ_losses()[t] + 1e-9);
@@ -111,7 +113,7 @@ proptest! {
         let portfolio = build_portfolio(&rows, LayerTerms::pass_through());
         let yet = build_yet(&trials);
         let opts = AggregateOptions { secondary_uncertainty: false, ..AggregateOptions::default() };
-        let ylt = SequentialEngine.run(&portfolio, &yet, &opts).unwrap();
+        let ylt = sequential(&opts).run(&portfolio, &yet).unwrap();
         for t in 0..ylt.trials() {
             let agg = ylt.agg_losses()[t];
             let max = ylt.max_occ_losses()[t];

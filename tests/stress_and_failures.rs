@@ -8,7 +8,6 @@ use riskpipe::tables::{shard, ShardedReader, ShardedWriter};
 use riskpipe::types::{LocationId, RiskResult};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 fn temp(tag: &str) -> PathBuf {
     static N: AtomicU64 = AtomicU64::new(0);
@@ -45,7 +44,8 @@ impl Kernel for BigLaunchKernel {
         ctx.for_each_thread(|t| {
             let g = ctx.global_thread(t) as usize;
             if g < self.n {
-                self.out.write_uncounted(g, (g as u64).wrapping_mul(0x9E3779B9));
+                self.out
+                    .write_uncounted(g, (g as u64).wrapping_mul(0x9E3779B9));
             }
         });
         Ok(())
@@ -125,25 +125,19 @@ fn mapreduce_fails_loudly_on_corrupted_shard() {
 
 #[test]
 fn concurrent_pipelines_do_not_interfere() {
-    use riskpipe::core::{Pipeline, ScenarioConfig};
-    // Two pipelines with different seeds on one shared pool, run from
-    // two threads: results must equal their single-threaded runs.
-    let pool = Arc::new(ThreadPool::new(4));
-    let (pa, pb) = (
-        Pipeline::new(ScenarioConfig::small().with_seed(91).with_trials(400)),
-        Pipeline::new(ScenarioConfig::small().with_seed(92).with_trials(400)),
+    use riskpipe::core::{RiskSession, ScenarioConfig};
+    // Two scenarios with different seeds on one session's shared pool,
+    // batched: results must equal their single-run references.
+    let session = RiskSession::builder().pool_threads(4).build().unwrap();
+    let (sa, sb) = (
+        ScenarioConfig::small().with_seed(91).with_trials(400),
+        ScenarioConfig::small().with_seed(92).with_trials(400),
     );
-    let ra_ref = pa.run(Arc::clone(&pool)).unwrap();
-    let rb_ref = pb.run(Arc::clone(&pool)).unwrap();
-    let (ra, rb) = std::thread::scope(|s| {
-        let pool_a = Arc::clone(&pool);
-        let pool_b = Arc::clone(&pool);
-        let ha = s.spawn(move || pa.run(pool_a).unwrap());
-        let hb = s.spawn(move || pb.run(pool_b).unwrap());
-        (ha.join().unwrap(), hb.join().unwrap())
-    });
-    assert_eq!(ra.ylt, ra_ref.ylt);
-    assert_eq!(rb.ylt, rb_ref.ylt);
+    let ra_ref = session.run(&sa).unwrap();
+    let rb_ref = session.run(&sb).unwrap();
+    let batch = session.run_batch(&[sa, sb]).unwrap();
+    assert_eq!(batch[0].ylt, ra_ref.ylt);
+    assert_eq!(batch[1].ylt, rb_ref.ylt);
 }
 
 #[test]
@@ -203,9 +197,7 @@ fn warehouse_key_packing_capacity_is_enforced() {
 
 #[test]
 fn cloud_simulator_handles_degenerate_and_hostile_configs() {
-    use riskpipe::cloud::{
-        simulate, FixedPolicy, JobSpec, NodeSpec, Policy, SimConfig, Stage,
-    };
+    use riskpipe::cloud::{simulate, FixedPolicy, JobSpec, NodeSpec, Policy, SimConfig, Stage};
     let job = |tasks: u32| JobSpec {
         name: "j".into(),
         stage: Stage::AdHoc,
@@ -253,9 +245,6 @@ fn cloud_simulator_handles_degenerate_and_hostile_configs() {
     assert_eq!(r.deadline_attainment(), 0.0);
 
     // Zero-task validation still guards the entry point.
-    let bad = JobSpec {
-        tasks: 0,
-        ..job(1)
-    };
+    let bad = JobSpec { tasks: 0, ..job(1) };
     assert!(simulate(&[bad], &mut FixedPolicy::new(1), &cfg).is_err());
 }

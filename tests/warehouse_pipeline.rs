@@ -89,7 +89,12 @@ fn warehouse_totals_match_yelt_joins() {
         .flatten()
         .sum();
     let rel = (cell.sum - want).abs() / want;
-    assert!(rel < 1e-6, "apex {} vs yelt-join {} (rel {rel})", cell.sum, want);
+    assert!(
+        rel < 1e-6,
+        "apex {} vs yelt-join {} (rel {rel})",
+        cell.sum,
+        want
+    );
 }
 
 #[test]
@@ -236,11 +241,8 @@ fn materialized_pipeline_warehouse_serves_all_query_shapes() {
     let pool = ThreadPool::new(2);
     let cold = Warehouse::new(schema.clone(), facts.clone());
     let mut warm = Warehouse::new(schema, facts);
-    warm.materialize_all(
-        &[LevelSelect::BASE, LevelSelect([1, 1, 1, 1])],
-        Some(&pool),
-    )
-    .unwrap();
+    warm.materialize_all(&[LevelSelect::BASE, LevelSelect([1, 1, 1, 1])], Some(&pool))
+        .unwrap();
     let queries = [
         Query::group_by(LevelSelect([1, 1, 2, 2])),
         Query::group_by(LevelSelect([1, 2, 1, 3])).filter(Filter::slice(dim::GEO, 1)),

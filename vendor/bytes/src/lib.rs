@@ -1,0 +1,330 @@
+//! Minimal offline shim for the `bytes` crate API surface this
+//! workspace uses: [`Bytes`], [`BytesMut`], and the little-endian
+//! read/write subset of [`Buf`]/[`BufMut`]. `Bytes` is a cheap-to-clone
+//! `Arc<[u8]>` view; `BytesMut` is a growable buffer that freezes into
+//! one.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read access to a contiguous (or logically contiguous) byte buffer,
+/// consumed front-to-back.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The current unconsumed contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy `dst.len()` bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian u16.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian u32.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian f64.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian u16.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian f64.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    /// Consumed prefix (for the `Buf` impl).
+    offset: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            data: data.into(),
+            offset: 0,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.offset
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out to a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.offset..].to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.offset..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.offset..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self {
+            data: v.into(),
+            offset: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.offset += cnt;
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Consumed prefix (for the `Buf` impl).
+    offset: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+            offset: 0,
+        }
+    }
+
+    /// Length of the unconsumed contents.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.offset
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        let v = if self.offset == 0 {
+            self.data
+        } else {
+            self.data[self.offset..].to_vec()
+        };
+        Bytes::from(v)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.offset..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.offset..]
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.offset += cnt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(300);
+        b.put_u32_le(70_000);
+        b.put_u64_le(1 << 40);
+        b.put_f64_le(1.5);
+        b.put_slice(b"abc");
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r, b"abc");
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let data = [1u8, 2, 3, 4];
+        let mut b: &[u8] = &data;
+        assert!(b.has_remaining());
+        assert_eq!(b.get_u8(), 1);
+        b.advance(1);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u16_le(), u16::from_le_bytes([3, 4]));
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn bytes_clone_is_shallow_and_deref_works() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&*b, &*c);
+        assert_eq!(b.len(), 3);
+    }
+}

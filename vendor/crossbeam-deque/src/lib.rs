@@ -1,0 +1,222 @@
+//! Minimal offline shim for the `crossbeam-deque` API surface this
+//! workspace uses. Semantics match the real crate — per-worker LIFO
+//! deques whose owner pops from one end while stealers take from the
+//! other, plus a FIFO injector with batch stealing — but the
+//! implementation is a mutexed `VecDeque` rather than a lock-free
+//! Chase-Lev deque. Correctness over peak throughput; the pool's
+//! batching keeps the lock off the hot path.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// How many injector jobs a batch steal moves into the worker's deque
+/// (beyond the one returned).
+const BATCH: usize = 16;
+
+/// Outcome of a steal attempt.
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// A race was lost; retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Whether this is `Success`.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Extract the stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    match q.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// A deque owned by a single worker thread.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a LIFO worker deque (owner pops most-recent first).
+    pub fn new_lifo() -> Self {
+        Self {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Create a FIFO worker deque.
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// Push onto the owner's end.
+    pub fn push(&self, item: T) {
+        locked(&self.queue).push_back(item);
+    }
+
+    /// Pop from the owner's end (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// A handle other threads use to steal from this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// Steals from the opposite end of a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A shared FIFO injector queue.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task for any worker to take.
+    pub fn push(&self, item: T) {
+        locked(&self.queue).push_back(item);
+    }
+
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch into `dest`, returning one task directly.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = locked(&self.queue);
+        let first = match q.pop_front() {
+            Some(v) => v,
+            None => return Steal::Empty,
+        };
+        if !q.is_empty() {
+            let mut d = locked(&dest.queue);
+            for _ in 0..BATCH {
+                match q.pop_front() {
+                    Some(v) => d.push_back(v),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Whether the injector is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert!(matches!(s.steal(), Steal::Success(1)));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_work() {
+        let inj = Injector::new();
+        for i in 0..40 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let got = inj.steal_batch_and_pop(&w);
+        assert!(matches!(got, Steal::Success(0)));
+        assert!(!w.is_empty());
+        let mut drained = 0;
+        while w.pop().is_some() {
+            drained += 1;
+        }
+        assert!(drained > 0 && drained <= super::BATCH);
+        assert!(!inj.is_empty());
+    }
+
+    #[test]
+    fn empty_steals_report_empty() {
+        let inj: Injector<u32> = Injector::new();
+        assert!(matches!(inj.steal(), Steal::Empty));
+        let w: Worker<u32> = Worker::new_lifo();
+        assert!(matches!(w.stealer().steal(), Steal::Empty));
+        assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Empty));
+    }
+}

@@ -1,0 +1,629 @@
+//! Minimal offline shim for the `proptest` API surface this workspace
+//! uses: the [`proptest!`] macro over `pat in strategy` arguments,
+//! range/tuple/vec strategies, `any::<T>()`, `prop_map`/`prop_flat_map`
+//! adapters, and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is **no shrinking** — a failing case
+//! reports its inputs (via `Debug` where available in the assertion
+//! message) and panics immediately. Case generation is fully
+//! deterministic: every test function derives its RNG seed from its own
+//! name, so failures reproduce exactly across runs and machines.
+
+pub mod test_runner {
+    //! The deterministic case runner.
+
+    /// SplitMix64 — small, fast, and deterministic across platforms.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded explicitly.
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Runner configuration (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// FNV-1a over a test name — the per-test seed.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived
+        /// from it.
+        fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            U: Strategy,
+            F: Fn(Self::Value) -> U,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        U: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U::Value;
+        fn generate(&self, rng: &mut TestRng) -> U::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    // `$u` is `$t`'s unsigned twin: the span is computed with a
+    // wrapping subtraction in the native width and reinterpreted
+    // unsigned, so signed ranges (negative starts included) never
+    // underflow.
+    macro_rules! int_range_strategy {
+        ($($t:ty => $u:ty),+ $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as $u as u128;
+                    let r = ((rng.next_u64() as u128) % span) as $u;
+                    self.start.wrapping_add(r as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi.wrapping_sub(lo) as $u as u128) + 1;
+                    let r = ((rng.next_u64() as u128) % span) as $u;
+                    lo.wrapping_add(r as $t)
+                }
+            }
+        )+};
+    }
+    int_range_strategy!(
+        u8 => u8,
+        u16 => u16,
+        u32 => u32,
+        u64 => u64,
+        usize => usize,
+        i8 => u8,
+        i16 => u16,
+        i32 => u32,
+        i64 => u64,
+        isize => usize,
+    );
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.next_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $i:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A 0),
+        (A 0, B 1),
+        (A 0, B 1, C 2),
+        (A 0, B 1, C 2, D 3),
+        (A 0, B 1, C 2, D 3, E 4),
+        (A 0, B 1, C 2, D 3, E 4, F 5),
+    );
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, broad-magnitude values (no NaN/inf surprises).
+            (rng.next_f64() - 0.5) * 2e12
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy generating any `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A collection-size specification: a half-open `[lo, hi)` pair
+    /// accepting `usize`, `Range<usize>` and `RangeInclusive<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            if self.lo >= self.hi {
+                self.lo
+            } else {
+                self.lo + (rng.next_u64() as usize) % (self.hi - self.lo)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: SizeRange,
+    }
+
+    /// A map whose target size is drawn from `len`. Key collisions are
+    /// retried a bounded number of times, so maps may come up slightly
+    /// short when the key domain is small.
+    pub fn btree_map<K, V>(key: K, value: V, len: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            len: len.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.draw(rng);
+            let mut map = std::collections::BTreeMap::new();
+            let mut attempts = 0usize;
+            while map.len() < n && attempts < n * 10 + 16 {
+                attempts += 1;
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod option {
+    //! `Option<T>` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` half the time, `Some(inner)` the other half.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    /// `prop::collection::vec(...)` etc. resolve through this alias.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in 0u32..10) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(pat in strategy, ..) { body }`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let seed = $crate::test_runner::seed_from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::new(
+                    seed ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+                );
+                $(let $p = $crate::strategy::Strategy::generate(&($s), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}",
+                        case + 1, config.cases, stringify!($name), msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__pa, __pb) => {
+                if !(*__pa == *__pb) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                        stringify!($a), stringify!($b), __pa, __pb
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__pa, __pb) => {
+                if !(*__pa == *__pb) {
+                    return ::std::result::Result::Err(::std::format!($($fmt)+));
+                }
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__pa, __pb) => {
+                if *__pa == *__pb {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{}` != `{}`\n  both: {:?}",
+                        stringify!($a),
+                        stringify!($b),
+                        __pa
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current case when an assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in 0.25..0.75f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_honoured(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            pair in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b),
+            nested in prop::collection::vec((0u16..4, 0.0..1.0f64), 0..5),
+        ) {
+            prop_assert!(pair < 20);
+            for (a, f) in nested {
+                prop_assert!(a < 4, "a was {}", a);
+                prop_assert!((0.0..1.0).contains(&f));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_respected(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn signed_ranges_with_negative_bounds(
+            x in -5i64..5,
+            y in -128i8..=127,
+            z in isize::MIN..0,
+        ) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((-128..=127).contains(&y));
+            prop_assert!(z < 0);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        let s = (0u32..1000, 0.0..1.0f64);
+        let mut r1 = crate::test_runner::TestRng::new(42);
+        let mut r2 = crate::test_runner::TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    fn flat_map_derives_dependent_strategies() {
+        use crate::strategy::Strategy;
+        let s = (2usize..5).prop_flat_map(|n| crate::collection::vec(0u8..10, n..(n + 1)));
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 5);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! E11 — streaming scenario sweeps and the shared stage-1 cache.
+//!
+//! The paper's production shape is many scenario runs per day over one
+//! modelled book; rebuilding stage 1 (catalogue, ELTs, YET) per
+//! scenario dominates such sweeps. This bench times an
+//! attachment-factor pricing sweep through `run_batch` with the
+//! session's stage-1 cache on vs off, plus the `run_stream` path to
+//! show streaming delivery costs nothing over collecting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riskpipe_core::{RiskSession, ScenarioConfig};
+
+/// A sweep sharing one stage-1 key: only the attachment factor varies.
+/// Sized model-heavy (big catalogue × exposure, modest trials) — the
+/// production shape where the per-scenario cost a cache can remove is
+/// the event-loss model run, not the Monte-Carlo pass.
+fn pricing_sweep(points: usize) -> Vec<ScenarioConfig> {
+    (0..points)
+        .map(|i| {
+            let mut s = ScenarioConfig::small()
+                .with_seed(0xE11)
+                .with_trials(200)
+                .with_name(format!("attach-{i}"))
+                .with_attachment_factor(0.25 + 0.2 * i as f64);
+            s.events = 4_000;
+            s.locations_per_contract = 400;
+            s
+        })
+        .collect()
+}
+
+fn bench_sweep_cache(c: &mut Criterion) {
+    let sweep = pricing_sweep(8);
+    let mut group = c.benchmark_group("e11_sweep_cache");
+    group.sample_size(10);
+
+    for (name, cache) in [("cache_on", true), ("cache_off", false)] {
+        group.bench_with_input(BenchmarkId::new("run_batch", name), &cache, |b, &cache| {
+            b.iter(|| {
+                // A session per iteration so every timing includes the
+                // first (cold) build; with the cache on, the other 7
+                // scenarios reuse it.
+                let session = RiskSession::builder()
+                    .pool_threads(4)
+                    .stage1_cache(cache)
+                    .build()
+                    .unwrap();
+                session.run_batch(&sweep).unwrap().len()
+            })
+        });
+    }
+
+    group.bench_function("run_stream/cache_on", |b| {
+        b.iter(|| {
+            let session = RiskSession::builder().pool_threads(4).build().unwrap();
+            let mut tvar_sum = 0.0;
+            session
+                .run_stream(&sweep, |_, report| {
+                    tvar_sum += report.measures.tvar99;
+                    Ok(())
+                })
+                .unwrap();
+            tvar_sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_cache);
+criterion_main!(benches);

@@ -63,6 +63,28 @@ impl Default for CatalogConfig {
     }
 }
 
+impl CatalogConfig {
+    /// A stable 64-bit key over every field that influences generation.
+    /// Two configs with equal fingerprints produce bit-identical
+    /// catalogues, so the fingerprint is safe to use as a
+    /// cross-scenario cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = riskpipe_types::Fingerprint::new("catmodel::CatalogConfig");
+        fp.push_usize(self.events)
+            .push_f64(self.total_annual_rate)
+            .push_f64(self.peril_mix[0])
+            .push_f64(self.peril_mix[1])
+            .push_f64(self.peril_mix[2])
+            .push_f64(self.b_value)
+            .push_f64(self.magnitude_range.0)
+            .push_f64(self.magnitude_range.1)
+            .push_f64(self.region.width_km)
+            .push_f64(self.region.height_km)
+            .push_u64(self.seed);
+        fp.finish()
+    }
+}
+
 /// The generated catalogue.
 #[derive(Debug, Clone)]
 pub struct EventCatalog {

@@ -41,6 +41,17 @@ impl Default for EltGenConfig {
     }
 }
 
+impl EltGenConfig {
+    /// A stable 64-bit key over every field that influences ELT
+    /// generation (see [`crate::CatalogConfig::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = riskpipe_types::Fingerprint::new("catmodel::EltGenConfig");
+        fp.push_f64(self.min_mean_loss)
+            .push_f64(self.correlation_weight);
+        fp.finish()
+    }
+}
+
 /// The hazard-vulnerability-financial composition for one (catalogue,
 /// exposure) pair: computes per-location and per-event loss statistics.
 pub struct GroundUpModel<'a> {

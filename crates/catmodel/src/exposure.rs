@@ -67,6 +67,25 @@ impl Default for ExposureConfig {
     }
 }
 
+impl ExposureConfig {
+    /// A stable 64-bit key over every field that influences generation
+    /// (see [`crate::CatalogConfig::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = riskpipe_types::Fingerprint::new("catmodel::ExposureConfig");
+        fp.push_usize(self.locations)
+            .push_usize(self.clusters)
+            .push_f64(self.cluster_radius_km)
+            .push_f64(self.mean_tiv)
+            .push_f64(self.tiv_cv)
+            .push_f64(self.deductible_fraction)
+            .push_f64(self.limit_fraction)
+            .push_f64(self.region.width_km)
+            .push_f64(self.region.height_km)
+            .push_u64(self.seed);
+        fp.finish()
+    }
+}
+
 /// A generated portfolio of insured locations.
 #[derive(Debug, Clone)]
 pub struct ExposurePortfolio {

@@ -35,6 +35,16 @@ impl Default for YetConfig {
     }
 }
 
+impl YetConfig {
+    /// A stable 64-bit key over every field that influences simulation
+    /// (see [`crate::CatalogConfig::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = riskpipe_types::Fingerprint::new("catmodel::YetConfig");
+        fp.push_usize(self.trials).push_u64(self.seed);
+        fp.finish()
+    }
+}
+
 /// Simulate one trial's occurrences (deterministic in `(seed, trial)`).
 fn simulate_trial(
     streams: &SeedStream,

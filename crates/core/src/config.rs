@@ -7,7 +7,7 @@ use riskpipe_catmodel::{
 };
 use riskpipe_exec::ThreadPool;
 use riskpipe_tables::yet::YearEventTable;
-use riskpipe_types::{RiskError, RiskResult};
+use riskpipe_types::{Fingerprint, RiskError, RiskResult};
 use std::sync::Arc;
 
 /// Sizing and seeding of a synthetic end-to-end scenario.
@@ -73,6 +73,20 @@ impl ScenarioConfig {
         self
     }
 
+    /// Replace the name (reports are labelled with it; it never enters
+    /// the stage-1 cache key).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Replace the attachment factor — the pricing knob: scenarios that
+    /// differ only here share one cached stage-1 model run.
+    pub fn with_attachment_factor(mut self, factor: f64) -> Self {
+        self.attachment_factor = factor;
+        self
+    }
+
     fn validate(&self) -> RiskResult<()> {
         if self.events == 0 || self.contracts == 0 || self.trials == 0 {
             return Err(RiskError::invalid(
@@ -85,45 +99,90 @@ impl ScenarioConfig {
         Ok(())
     }
 
-    /// Run stage 1 for this scenario: generate the catalogue, one
-    /// exposure portfolio and ELT per contract, the YET, and a
-    /// ready-to-run portfolio with layer terms derived from each book's
-    /// loss profile.
+    /// The derived catalogue-generation config.
+    fn catalog_config(&self) -> CatalogConfig {
+        CatalogConfig {
+            events: self.events,
+            total_annual_rate: self.annual_rate,
+            seed: self.seed ^ 0xCA_7A_06,
+            ..CatalogConfig::default()
+        }
+    }
+
+    /// The derived exposure config for contract `c`.
+    fn exposure_config(&self, c: usize) -> ExposureConfig {
+        ExposureConfig {
+            locations: self.locations_per_contract,
+            seed: self.seed ^ (0xE4905 + c as u64 * 7919),
+            ..ExposureConfig::default()
+        }
+    }
+
+    /// The derived YET pre-simulation config.
+    fn yet_config(&self) -> YetConfig {
+        YetConfig {
+            trials: self.trials,
+            seed: self.seed ^ 0x7E7,
+        }
+    }
+
+    /// The stage-1 cache key: a stable fingerprint of every derived
+    /// config that feeds [`Stage1Output`] — catalogue, per-contract
+    /// exposures, ELT generation, and the YET pre-simulation. The
+    /// scenario `name` and `attachment_factor` are deliberately
+    /// excluded: they label reports and derive layer terms, neither of
+    /// which touches the model run, so an attachment-factor sweep over
+    /// one catalogue shares a single cached stage-1 build.
+    pub fn stage1_key(&self) -> u64 {
+        let mut fp = Fingerprint::new("core::Stage1Output");
+        fp.push_fingerprint(self.catalog_config().fingerprint());
+        fp.push_usize(self.contracts);
+        for c in 0..self.contracts {
+            fp.push_fingerprint(self.exposure_config(c).fingerprint());
+        }
+        fp.push_fingerprint(EltGenConfig::default().fingerprint());
+        fp.push_fingerprint(self.yet_config().fingerprint());
+        fp.finish()
+    }
+
+    /// Run the cacheable part of stage 1: generate the catalogue, one
+    /// exposure portfolio and ELT per contract, and the YET. Everything
+    /// here is a pure function of [`ScenarioConfig::stage1_key`].
+    pub fn build_stage1_output_on(&self, pool: &ThreadPool) -> RiskResult<Stage1Output> {
+        self.validate()?;
+        let catalog = EventCatalog::generate(&self.catalog_config())?;
+        let exposures: Vec<ExposurePortfolio> = (0..self.contracts)
+            .map(|c| ExposurePortfolio::generate(&self.exposure_config(c)))
+            .collect::<RiskResult<_>>()?;
+        Stage1Output::build(
+            catalog,
+            exposures,
+            EltGenConfig::default(),
+            self.yet_config(),
+            pool,
+        )
+    }
+
+    /// Run stage 1 for this scenario: the model run
+    /// ([`ScenarioConfig::build_stage1_output_on`]) plus the derived
+    /// portfolio with layer terms from each book's loss profile.
     pub fn build_stage1(&self) -> RiskResult<Stage1Bundle> {
         self.build_stage1_on(riskpipe_exec::global_pool())
     }
 
     /// As [`ScenarioConfig::build_stage1`] on an explicit pool.
     pub fn build_stage1_on(&self, pool: &ThreadPool) -> RiskResult<Stage1Bundle> {
-        self.validate()?;
-        let catalog = EventCatalog::generate(&CatalogConfig {
-            events: self.events,
-            total_annual_rate: self.annual_rate,
-            seed: self.seed ^ 0xCA_7A_06,
-            ..CatalogConfig::default()
-        })?;
-        let exposures: Vec<ExposurePortfolio> = (0..self.contracts)
-            .map(|c| {
-                ExposurePortfolio::generate(&ExposureConfig {
-                    locations: self.locations_per_contract,
-                    seed: self.seed ^ (0xE4905 + c as u64 * 7919),
-                    ..ExposureConfig::default()
-                })
-            })
-            .collect::<RiskResult<_>>()?;
-        let output = Stage1Output::build(
-            catalog,
-            exposures,
-            EltGenConfig::default(),
-            YetConfig {
-                trials: self.trials,
-                seed: self.seed ^ 0x7E7,
-            },
-            pool,
-        )?;
+        let output = Arc::new(self.build_stage1_output_on(pool)?);
+        self.bundle_from_output(output)
+    }
 
-        // Layer terms: attach above `attachment_factor` × the book's
-        // mean event loss, with a limit an order of magnitude wider.
+    /// Derive the ready-to-run bundle from an already-built (possibly
+    /// cached and shared) stage-1 output. Cheap: layer terms are a few
+    /// scalars per book and the portfolio shares ELTs via `Arc`.
+    ///
+    /// Layer terms: attach above `attachment_factor` × the book's mean
+    /// event loss, with a limit an order of magnitude wider.
+    pub fn bundle_from_output(&self, output: Arc<Stage1Output>) -> RiskResult<Stage1Bundle> {
         let mut parts = Vec::with_capacity(output.books.len());
         for book in &output.books {
             let mean_event_loss = book.elt.total_mean_loss() / book.elt.len().max(1) as f64;
@@ -137,11 +196,12 @@ impl ScenarioConfig {
 }
 
 /// Stage-1 outputs plus the derived portfolio — everything stage 2
-/// consumes.
+/// consumes. The output is `Arc`-shared so scenarios hitting the
+/// stage-1 cache reuse one model run.
 #[derive(Debug, Clone)]
 pub struct Stage1Bundle {
     /// Raw stage-1 output (catalogue, books, YET).
-    pub output: Stage1Output,
+    pub output: Arc<Stage1Output>,
     /// The portfolio with derived layer terms.
     pub portfolio: Portfolio,
 }
@@ -202,8 +262,55 @@ mod tests {
 
     #[test]
     fn with_helpers_adjust_fields() {
-        let cfg = ScenarioConfig::small().with_seed(5).with_trials(77);
+        let cfg = ScenarioConfig::small()
+            .with_seed(5)
+            .with_trials(77)
+            .with_name("renamed")
+            .with_attachment_factor(0.75);
         assert_eq!(cfg.seed, 5);
         assert_eq!(cfg.trials, 77);
+        assert_eq!(cfg.name, "renamed");
+        assert_eq!(cfg.attachment_factor, 0.75);
+    }
+
+    #[test]
+    fn stage1_key_ignores_name_and_attachment_only() {
+        let base = ScenarioConfig::small().with_seed(3);
+        let renamed = base.clone().with_name("other");
+        let repriced = base.clone().with_attachment_factor(1.5);
+        assert_eq!(base.stage1_key(), renamed.stage1_key());
+        assert_eq!(base.stage1_key(), repriced.stage1_key());
+        // Every model-shaping knob changes the key.
+        assert_ne!(base.stage1_key(), base.clone().with_seed(4).stage1_key());
+        assert_ne!(base.stage1_key(), base.clone().with_trials(99).stage1_key());
+        let mut more_events = base.clone();
+        more_events.events += 1;
+        assert_ne!(base.stage1_key(), more_events.stage1_key());
+        let mut more_contracts = base.clone();
+        more_contracts.contracts += 1;
+        assert_ne!(base.stage1_key(), more_contracts.stage1_key());
+        let mut denser = base.clone();
+        denser.locations_per_contract += 1;
+        assert_ne!(base.stage1_key(), denser.stage1_key());
+        let mut rainier = base.clone();
+        rainier.annual_rate += 1.0;
+        assert_ne!(base.stage1_key(), rainier.stage1_key());
+    }
+
+    #[test]
+    fn bundle_from_shared_output_matches_direct_build() {
+        let pool = ThreadPool::new(2);
+        let scenario = ScenarioConfig::small().with_seed(6).with_trials(300);
+        let direct = scenario.build_stage1_on(&pool).unwrap();
+        let output = Arc::new(scenario.build_stage1_output_on(&pool).unwrap());
+        let derived = scenario.bundle_from_output(Arc::clone(&output)).unwrap();
+        assert_eq!(direct.portfolio().len(), derived.portfolio().len());
+        // Re-derivation at a different attachment shares the same output.
+        let repriced = scenario
+            .clone()
+            .with_attachment_factor(1.0)
+            .bundle_from_output(output)
+            .unwrap();
+        assert_eq!(repriced.portfolio().len(), direct.portfolio().len());
     }
 }

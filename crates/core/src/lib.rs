@@ -13,9 +13,13 @@
 //!
 //! [`ScenarioConfig`] sizes a synthetic end-to-end scenario;
 //! [`RiskSession`] is the execution facade — built once (engine, pool,
-//! intermediate store, company), then serving any number of scenarios
-//! via [`RiskSession::run`] and the concurrent
-//! [`RiskSession::run_batch`]. [`elastic`] converts measured
+//! intermediate store, stage-1 cache, company), then serving any number
+//! of scenarios via [`RiskSession::run`], the streaming
+//! [`RiskSession::run_stream`] / [`RiskSession::stream`] (input-order
+//! delivery at O(pool width) peak memory), and the collecting
+//! [`RiskSession::run_batch`]. Scenarios sharing a catalogue
+//! seed/config fingerprint ([`ScenarioConfig::stage1_key`]) reuse one
+//! cached stage-1 model run. [`elastic`] converts measured
 //! throughputs into the paper's processor-burst arithmetic (<10
 //! processors for stage 1, thousands for stages 2–3). The pre-facade
 //! [`Pipeline`] remains as a deprecated shim.
@@ -32,8 +36,8 @@ pub use config::{PipelineConfig, ScenarioConfig, Stage1Bundle};
 pub use elastic::{Deadline, ElasticModel, ProcessorPlan, StageThroughput};
 #[allow(deprecated)]
 pub use pipeline::Pipeline;
-pub use report::TextTable;
+pub use report::{SweepSummary, TextTable};
 pub use session::{
-    DataStrategy, InMemoryStore, IntermediateStore, PipelineReport, RiskSession,
-    RiskSessionBuilder, RunLabel, ShardedFilesStore, StageTiming,
+    DataStrategy, InMemoryStore, IntermediateStore, PipelineReport, ReportStream, RiskSession,
+    RiskSessionBuilder, RunLabel, ShardedFilesStore, Stage1CacheStats, StageTiming,
 };

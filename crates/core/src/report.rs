@@ -97,6 +97,93 @@ pub fn money(v: f64) -> String {
     format!("{}{grouped}.{cents:02}", if negative { "-" } else { "" })
 }
 
+/// An online accumulator over a streaming sweep's reports: folds each
+/// [`PipelineReport`](crate::PipelineReport) into headline aggregates
+/// and lets the report drop — the sink-side half of the
+/// O(pool-width)-memory contract of
+/// [`RiskSession::run_stream`](crate::RiskSession::run_stream).
+#[derive(Debug, Clone, Default)]
+pub struct SweepSummary {
+    scenarios: usize,
+    trials: u64,
+    yelt_rows: u64,
+    yelt_file_bytes: u64,
+    tvar99_sum: f64,
+    tvar99_max: f64,
+    worst_scenario: Option<String>,
+}
+
+impl SweepSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one report in (the report can be dropped afterwards).
+    pub fn push(&mut self, report: &crate::PipelineReport) {
+        self.scenarios += 1;
+        self.trials += report.ylt.trials() as u64;
+        self.yelt_rows += report.yelt_rows as u64;
+        self.yelt_file_bytes += report.yelt_file_bytes;
+        self.tvar99_sum += report.measures.tvar99;
+        if report.measures.tvar99 >= self.tvar99_max || self.worst_scenario.is_none() {
+            self.tvar99_max = report.measures.tvar99;
+            self.worst_scenario = Some(report.scenario_name.clone());
+        }
+    }
+
+    /// Scenarios folded in so far.
+    pub fn scenarios(&self) -> usize {
+        self.scenarios
+    }
+
+    /// Total simulated trials across the sweep.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Total YELT rows the sweep produced (book 0).
+    pub fn yelt_rows(&self) -> u64 {
+        self.yelt_rows
+    }
+
+    /// Total YELT bytes spilled to durable storage.
+    pub fn yelt_file_bytes(&self) -> u64 {
+        self.yelt_file_bytes
+    }
+
+    /// Mean TVaR99 across scenarios (0 when empty).
+    pub fn mean_tvar99(&self) -> f64 {
+        if self.scenarios == 0 {
+            0.0
+        } else {
+            self.tvar99_sum / self.scenarios as f64
+        }
+    }
+
+    /// The largest TVaR99 seen, with its scenario name.
+    pub fn worst(&self) -> Option<(&str, f64)> {
+        self.worst_scenario
+            .as_deref()
+            .map(|name| (name, self.tvar99_max))
+    }
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(&["sweep", "value"]);
+        t.row(&["scenarios".into(), self.scenarios.to_string()]);
+        t.row(&["trials".into(), self.trials.to_string()]);
+        t.row(&["YELT rows".into(), self.yelt_rows.to_string()]);
+        t.row(&["YELT file bytes".into(), self.yelt_file_bytes.to_string()]);
+        t.row(&["mean TVaR99".into(), money(self.mean_tvar99())]);
+        if let Some((name, tvar)) = self.worst() {
+            t.row(&[format!("worst ({name})"), money(tvar)]);
+        }
+        write!(f, "{t}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,14 +3,23 @@
 //!
 //! A session owns the thread pool, the stage-2 engine choice (dispatched
 //! through [`AggregateRunner`], the same front end every other consumer
-//! uses), the DFA company configuration, and an [`IntermediateStore`]
-//! deciding where stage-2 YELT intermediates live. Where the old
-//! `Pipeline` struct hardwired a per-engine `match` and threaded
-//! `Arc<ThreadPool>` through every call, a session is built once and
-//! then serves any number of scenarios — sequentially via
-//! [`RiskSession::run`] or concurrently via [`RiskSession::run_batch`],
-//! which fans scenarios out across the shared pool (the paper's
-//! many-scenarios-per-day production shape).
+//! uses), the DFA company configuration, an [`IntermediateStore`]
+//! deciding where stage-2 YELT intermediates live, and a keyed stage-1
+//! cache ([`Stage1CacheStats`]) so scenarios sharing a catalogue
+//! seed/config fingerprint reuse one model run instead of regenerating
+//! the catalogue, event set and ELTs per scenario.
+//!
+//! Execution comes in three shapes, all bit-identical per scenario:
+//!
+//! * [`RiskSession::run`] — one scenario, synchronously;
+//! * [`RiskSession::run_stream`] — the streaming core: scenarios
+//!   execute concurrently on the shared pool (in-flight capped at pool
+//!   width) and each [`PipelineReport`] is handed to a sink *in input
+//!   order* as it completes, then dropped — peak memory is O(pool
+//!   width) reports, the shape the paper's thousands-of-scenarios
+//!   sweeps need; [`RiskSession::stream`] is the iterator adapter;
+//! * [`RiskSession::run_batch`] — `run_stream` collecting into a `Vec`
+//!   for small batches where materialising every report is fine.
 //!
 //! ```
 //! use riskpipe_core::{RiskSession, ScenarioConfig};
@@ -27,13 +36,17 @@
 
 use crate::config::{ScenarioConfig, Stage1Bundle};
 use crate::report::{money, TextTable};
+use parking_lot::{Condvar, Mutex};
 use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind};
+use riskpipe_catmodel::Stage1Output;
 use riskpipe_dfa::{CompanyConfig, DfaEngine};
 use riskpipe_exec::ThreadPool;
 use riskpipe_metrics::{EpCurve, RiskMeasures};
 use riskpipe_tables::{codec, shard, ScaleSpec, Yelt, Ylt};
 use riskpipe_types::{LocationId, RiskError, RiskResult, TrialId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -67,10 +80,11 @@ pub enum DataStrategy {
 pub struct RunLabel<'a> {
     /// Scenario name.
     pub scenario: &'a str,
-    /// Position within a `run_batch` call; `None` for single runs.
+    /// Position within a `run_batch`/`run_stream` call; `None` for
+    /// single runs.
     pub slot: Option<usize>,
-    /// Which `run`/`run_batch` call on the session this is (0-based;
-    /// one batch counts as one run).
+    /// Which `run`/`run_batch`/`run_stream` call on the session this is
+    /// (0-based; one batch counts as one run).
     pub run: u64,
 }
 
@@ -86,6 +100,15 @@ pub trait IntermediateStore: Send + Sync {
     /// Persist one scenario's YELT; returns the bytes written to
     /// durable storage (0 for purely in-memory backends).
     fn persist_yelt(&self, label: RunLabel<'_>, yelt: &Yelt) -> RiskResult<u64>;
+
+    /// Remove everything this store persisted — all runs' artifacts —
+    /// so long-lived sessions (whose successive runs each get their own
+    /// per-run directory) can reclaim the space instead of leaking
+    /// stale directories indefinitely. In-memory backends hold nothing
+    /// durable; the default is a no-op.
+    fn clear_runs(&self) -> RiskResult<()> {
+        Ok(())
+    }
 }
 
 /// The accumulate-in-large-memory strategy: the YELT already lives in
@@ -112,7 +135,8 @@ impl IntermediateStore for InMemoryStore {
 /// deprecated `Pipeline` shim keeps its historical layout); the first
 /// batch writes `dir/batch-NNN` per slot. Later runs of the same
 /// session get a `run-NNN` level so a long-lived session never
-/// collides with its own earlier spills.
+/// collides with its own earlier spills. Stale spills are reclaimed
+/// with [`ShardedFilesStore::clear_runs`].
 #[derive(Debug, Clone)]
 pub struct ShardedFilesStore {
     dir: PathBuf,
@@ -144,6 +168,36 @@ impl ShardedFilesStore {
             Some(i) => base.join(format!("batch-{i:03}")),
         }
     }
+
+    /// Remove every spill this store has written under its directory:
+    /// the base store (manifest + shard files), per-slot `batch-NNN`
+    /// directories, and per-run `run-NNN` directories. Only recognised
+    /// store artifacts are touched — unrelated files a caller may keep
+    /// in the same directory survive. Missing directories are fine
+    /// (nothing was ever spilled).
+    pub fn clear_runs(&self) -> RiskResult<()> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let path = entry.path();
+            if path.is_dir() {
+                if name.starts_with("run-") || name.starts_with("batch-") {
+                    std::fs::remove_dir_all(&path)?;
+                }
+            } else if name == "MANIFEST.txt"
+                || (name.starts_with("shard-") && name.ends_with(".rpt"))
+            {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl IntermediateStore for ShardedFilesStore {
@@ -162,6 +216,10 @@ impl IntermediateStore for ShardedFilesStore {
         let manifest = writer.finish()?;
         Ok(manifest.rows * riskpipe_tables::yellt::YELLT_BYTES_PER_ROW as u64)
     }
+
+    fn clear_runs(&self) -> RiskResult<()> {
+        ShardedFilesStore::clear_runs(self)
+    }
 }
 
 impl DataStrategy {
@@ -172,6 +230,182 @@ impl DataStrategy {
                 Arc::new(ShardedFilesStore::new(dir, shards)?)
             }
         })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The stage-1 cache.
+// ---------------------------------------------------------------------
+
+/// Hit/miss counters for a session's stage-1 cache — exposed for
+/// observability (how much model-run work a sweep actually shared) and
+/// for tests pinning "stage 1 built exactly once per distinct key".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stage1CacheStats {
+    /// Lookups served from a cached [`Stage1Output`].
+    pub hits: u64,
+    /// Lookups that had to build stage 1 (including every lookup when
+    /// the cache is disabled).
+    pub misses: u64,
+    /// Entries displaced by the FIFO capacity bound.
+    pub evictions: u64,
+    /// Distinct keys currently retained.
+    pub entries: usize,
+}
+
+/// One key's cache entry. `Building` marks an in-progress build so
+/// concurrent requesters know not to expect a value yet; they build
+/// redundantly rather than wait (see [`Stage1Cache::get_or_build`]).
+#[derive(Default)]
+enum SlotState {
+    #[default]
+    Empty,
+    Building,
+    Ready(Arc<Stage1Output>),
+}
+
+#[derive(Default)]
+struct CacheSlot {
+    state: Mutex<SlotState>,
+}
+
+struct CacheIndex {
+    map: HashMap<u64, Arc<CacheSlot>>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<u64>,
+}
+
+/// A keyed cache of stage-1 model runs ([`Stage1Output`]: catalogue,
+/// per-contract books, YET), shared across every scenario a session
+/// executes. Keys come from [`ScenarioConfig::stage1_key`] — a stable
+/// fingerprint of the generating configs — so a sweep that varies only
+/// pricing terms (or report names) regenerates nothing.
+struct Stage1Cache {
+    capacity: usize,
+    index: Mutex<CacheIndex>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Stage1Cache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            index: Mutex::new(CacheIndex {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether caching is on at all (capacity above zero).
+    fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Whether `key` has a completed build ready to serve.
+    fn is_ready(&self, key: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let slot = match self.index.lock().map.get(&key) {
+            Some(slot) => Arc::clone(slot),
+            None => return false,
+        };
+        let state = slot.state.lock();
+        matches!(*state, SlotState::Ready(_))
+    }
+
+    /// Look up `key`, building (and retaining) on a miss.
+    ///
+    /// This NEVER blocks on another request's build. Pipeline tasks run
+    /// on pool workers whose nested scopes *steal and inline other
+    /// pipeline tasks while they wait*; if a request could park on a
+    /// "someone is building" lock, a builder that inlined a same-key
+    /// task would block on its own stack (and two builders could
+    /// deadlock on each other's keys). Instead a request that finds the
+    /// slot `Building` performs its own redundant build — correct
+    /// because builds are pure functions of the key — and whichever
+    /// finishes first publishes. [`RiskSession::run_stream`] holds back
+    /// same-key followers until the key's first scenario deposits, so
+    /// within one streaming/batch call the redundant path never fires
+    /// and stage 1 builds exactly once per distinct key.
+    fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> RiskResult<Stage1Output>,
+    ) -> RiskResult<Arc<Stage1Output>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return build().map(Arc::new);
+        }
+        let slot = {
+            let mut index = self.index.lock();
+            if let Some(slot) = index.map.get(&key) {
+                Arc::clone(slot)
+            } else {
+                while index.order.len() >= self.capacity {
+                    if let Some(old) = index.order.pop_front() {
+                        index.map.remove(&old);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let slot = Arc::new(CacheSlot::default());
+                index.map.insert(key, Arc::clone(&slot));
+                index.order.push_back(key);
+                slot
+            }
+        };
+        {
+            let mut state = slot.state.lock();
+            match &*state {
+                SlotState::Ready(output) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(output));
+                }
+                SlotState::Building => {} // redundant build below
+                SlotState::Empty => *state = SlotState::Building,
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match build() {
+            Ok(output) => {
+                let output = Arc::new(output);
+                let mut state = slot.state.lock();
+                if !matches!(*state, SlotState::Ready(_)) {
+                    *state = SlotState::Ready(Arc::clone(&output));
+                }
+                Ok(output)
+            }
+            Err(e) => {
+                // Re-open the slot so a later request retries, unless a
+                // concurrent build already published.
+                let mut state = slot.state.lock();
+                if matches!(*state, SlotState::Building) {
+                    *state = SlotState::Empty;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn stats(&self) -> Stage1CacheStats {
+        Stage1CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.index.lock().map.len(),
+        }
+    }
+
+    fn clear(&self) {
+        let mut index = self.index.lock();
+        index.map.clear();
+        index.order.clear();
     }
 }
 
@@ -193,6 +427,7 @@ pub struct RiskSessionBuilder {
     store: Option<Arc<dyn IntermediateStore>>,
     pool: PoolChoice,
     company: CompanyConfig,
+    stage1_capacity: usize,
 }
 
 impl Default for RiskSessionBuilder {
@@ -204,6 +439,7 @@ impl Default for RiskSessionBuilder {
             store: None,
             pool: PoolChoice::Default,
             company: CompanyConfig::typical(),
+            stage1_capacity: RiskSession::DEFAULT_STAGE1_CACHE_CAPACITY,
         }
     }
 }
@@ -259,6 +495,28 @@ impl RiskSessionBuilder {
         self
     }
 
+    /// Enable or disable the stage-1 cache (enabled by default, at
+    /// [`RiskSession::DEFAULT_STAGE1_CACHE_CAPACITY`]). Caching never
+    /// changes results — stage 1 is a pure function of its key — only
+    /// whether shared model runs are rebuilt.
+    pub fn stage1_cache(mut self, enabled: bool) -> Self {
+        self.stage1_capacity = if enabled {
+            RiskSession::DEFAULT_STAGE1_CACHE_CAPACITY
+        } else {
+            0
+        };
+        self
+    }
+
+    /// Retain at most `capacity` distinct stage-1 model runs (FIFO
+    /// eviction; 0 disables the cache). Size this to the number of
+    /// distinct catalogues a sweep revisits — each retained entry holds
+    /// a full catalogue + books + YET.
+    pub fn stage1_cache_capacity(mut self, capacity: usize) -> Self {
+        self.stage1_capacity = capacity;
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> RiskResult<RiskSession> {
         let pool = match self.pool {
@@ -278,25 +536,31 @@ impl RiskSessionBuilder {
             pool,
             store,
             company: self.company,
-            runs: std::sync::atomic::AtomicU64::new(0),
+            stage1: Stage1Cache::new(self.stage1_capacity),
+            runs: AtomicU64::new(0),
         })
     }
 }
 
 /// A configured pipeline-execution facade: engine + pool + intermediate
-/// store + DFA company, ready to run any number of scenarios. See the
-/// module docs for the design.
+/// store + stage-1 cache + DFA company, ready to run any number of
+/// scenarios. See the module docs for the design.
 pub struct RiskSession {
     pool: Arc<ThreadPool>,
     runner: AggregateRunner,
     store: Arc<dyn IntermediateStore>,
     company: CompanyConfig,
-    /// Completed `run`/`run_batch` calls — sequences [`RunLabel::run`]
-    /// so a long-lived session's spills never collide.
-    runs: std::sync::atomic::AtomicU64,
+    stage1: Stage1Cache,
+    /// Completed `run`/`run_batch`/`run_stream` calls — sequences
+    /// [`RunLabel::run`] so a long-lived session's spills never collide.
+    runs: AtomicU64,
 }
 
 impl RiskSession {
+    /// Default number of distinct stage-1 model runs a session retains
+    /// (see [`RiskSessionBuilder::stage1_cache_capacity`]).
+    pub const DEFAULT_STAGE1_CACHE_CAPACITY: usize = 8;
+
     /// Start configuring a session.
     pub fn builder() -> RiskSessionBuilder {
         RiskSessionBuilder::default()
@@ -323,56 +587,254 @@ impl RiskSession {
         self.store.name()
     }
 
+    /// The stage-1 cache's hit/miss counters.
+    pub fn stage1_cache_stats(&self) -> Stage1CacheStats {
+        self.stage1.stats()
+    }
+
+    /// Drop every retained stage-1 model run (counters survive; they
+    /// are cumulative observability, not cache contents).
+    pub fn clear_stage1_cache(&self) {
+        self.stage1.clear();
+    }
+
+    /// Remove everything the intermediate store persisted across this
+    /// session's runs (no-op for in-memory backends). Later runs spill
+    /// fresh per-run directories as usual.
+    ///
+    /// Not synchronised with executing scenarios: call it only while no
+    /// `run`/`run_batch`/`run_stream` is in flight on this session, or
+    /// an active spill's directory can be deleted mid-write and that
+    /// run fails.
+    pub fn clear_store(&self) -> RiskResult<()> {
+        self.store.clear_runs()
+    }
+
     /// Run one scenario through all three stages.
     pub fn run(&self, scenario: &ScenarioConfig) -> RiskResult<PipelineReport> {
         let run = self.next_run_id();
         self.execute(scenario, None, run)
     }
 
-    /// Run many scenarios concurrently on the shared pool. Results come
-    /// back in input order and are bitwise identical to running each
-    /// scenario alone — every stage is seeded from the scenario, so
-    /// scheduling cannot leak between slots. The first failing scenario's
-    /// error is returned.
+    /// The streaming execution core: run many scenarios concurrently on
+    /// the shared pool, delivering each completed [`PipelineReport`] to
+    /// `sink` **in input order** and dropping it afterwards.
     ///
-    /// In-flight scenarios are capped at the pool width: pool-width
-    /// worker tasks each claim the next unstarted slot, so at most
-    /// ~pool-width `Stage1Bundle`s are being built at once rather than
-    /// the whole batch's. Completed [`PipelineReport`]s (each owning
-    /// its YLT) do accumulate for the full batch — the returned `Vec`
-    /// is O(scenarios); see ROADMAP for the streaming variant.
-    pub fn run_batch(&self, scenarios: &[ScenarioConfig]) -> RiskResult<Vec<PipelineReport>> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let run = self.next_run_id();
+    /// In-flight scenarios are capped at the pool width, and a report
+    /// that finishes ahead of a slower earlier slot waits in a reorder
+    /// buffer no larger than that cap — so peak memory is O(pool width)
+    /// reports regardless of how many scenarios the sweep spans,
+    /// instead of the O(batch) a collected `Vec` costs. Results are
+    /// bitwise identical to running each scenario alone on any thread
+    /// count: every stage is seeded from the scenario, so scheduling
+    /// cannot leak between slots.
+    ///
+    /// Delivery happens on the calling thread (the sink needs neither
+    /// `Send` nor `Sync`). The first failing scenario's error — or the
+    /// first error the sink returns — aborts the sweep: no further
+    /// scenarios start, in-flight ones drain, and the error is
+    /// returned. On success, returns the number of reports delivered.
+    pub fn run_stream<S>(&self, scenarios: &[ScenarioConfig], mut sink: S) -> RiskResult<usize>
+    where
+        S: FnMut(usize, PipelineReport) -> RiskResult<()>,
+    {
         let n = scenarios.len();
-        let slots: Vec<std::sync::Mutex<Option<RiskResult<PipelineReport>>>> =
-            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.pool.thread_count().min(n);
+        if n == 0 {
+            return Ok(0);
+        }
+        let run = self.next_run_id();
+        let width = self.pool.thread_count().min(n);
+        let keys: Vec<u64> = scenarios.iter().map(|s| s.stage1_key()).collect();
+
+        struct StreamState {
+            /// Deposited, undelivered results, by slot.
+            ready: BTreeMap<usize, RiskResult<PipelineReport>>,
+            /// Slots deposited since the control loop last looked.
+            arrivals: Vec<usize>,
+            /// A stage-1 build published since the control loop last
+            /// looked — gated same-key followers may now be eligible.
+            stage1_published: bool,
+        }
+        let state = Mutex::new(StreamState {
+            ready: BTreeMap::new(),
+            arrivals: Vec::new(),
+            stage1_published: false,
+        });
+        let completed = Condvar::new();
+        let mut delivered = 0usize;
+        let mut failure: Option<RiskError> = None;
+
         self.pool.scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+            // Per-scenario tasks never block (acquire stage 1 →
+            // publish → finish → deposit → notify), so one being stolen
+            // into another task's nested stage scope just finishes
+            // inline — all window and cache bookkeeping lives on this
+            // calling thread.
+            let spawn_slot = |i: usize| {
+                let scenario = &scenarios[i];
+                let key = keys[i];
+                let state = &state;
+                let completed = &completed;
+                scope.spawn(move || {
+                    let result = self
+                        .acquire_stage1(key, scenario)
+                        .and_then(|(output, stage1)| {
+                            // The key's cache entry is ready: wake the
+                            // control loop so same-key followers start
+                            // now instead of after this scenario's
+                            // stages 2–3.
+                            state.lock().stage1_published = true;
+                            completed.notify_all();
+                            self.finish_pipeline(scenario, Some(i), run, output, stage1)
+                        });
+                    let mut st = state.lock();
+                    st.ready.insert(i, result);
+                    st.arrivals.push(i);
+                    completed.notify_all();
+                });
+            };
+
+            // Slots not yet started, in input order.
+            let mut pending: VecDeque<usize> = (0..n).collect();
+            // Started minus delivered — the O(pool width) memory bound.
+            let mut in_window = 0usize;
+            // With the cache on: keys whose first scenario (the
+            // "leader") is in flight and has not yet deposited.
+            // Followers of a leader hold back until the leader's
+            // stage-1 build publishes (or, if it fails, until its
+            // deposit clears the entry so the next same-key slot can
+            // retry as leader), so each distinct key's stage-1 model
+            // builds exactly once per sweep and no task ever contends
+            // on a cache slot another task is filling. With the cache
+            // off there is nothing to share or contend on, so no
+            // gating.
+            let gating = self.stage1.enabled();
+            let mut leaders: HashMap<u64, usize> = HashMap::new();
+            let spawn_eligible =
+                |pending: &mut VecDeque<usize>,
+                 in_window: &mut usize,
+                 leaders: &mut HashMap<u64, usize>| {
+                    let mut held = VecDeque::with_capacity(pending.len());
+                    while let Some(i) = pending.pop_front() {
+                        if *in_window >= width {
+                            held.push_back(i);
+                            break;
+                        }
+                        let key = keys[i];
+                        let gated = gating && !self.stage1.is_ready(key);
+                        if gated && leaders.contains_key(&key) {
+                            held.push_back(i);
+                            continue;
+                        }
+                        if gated {
+                            leaders.insert(key, i);
+                        }
+                        spawn_slot(i);
+                        *in_window += 1;
+                    }
+                    // Whatever could not start keeps its input order.
+                    held.append(pending);
+                    *pending = held;
+                };
+
+            spawn_eligible(&mut pending, &mut in_window, &mut leaders);
+            while delivered < n {
+                let (arrivals, deliverable) = {
+                    let mut st = state.lock();
+                    while st.arrivals.is_empty() && !st.stage1_published {
+                        completed.wait(&mut st);
+                    }
+                    st.stage1_published = false;
+                    let arrivals = std::mem::take(&mut st.arrivals);
+                    let mut deliverable = Vec::new();
+                    let mut cursor = delivered;
+                    while let Some(result) = st.ready.remove(&cursor) {
+                        deliverable.push(result);
+                        cursor += 1;
+                    }
+                    (arrivals, deliverable)
+                };
+                for slot in arrivals {
+                    if leaders.get(&keys[slot]) == Some(&slot) {
+                        leaders.remove(&keys[slot]);
+                    }
+                }
+                for result in deliverable {
+                    match result {
+                        Ok(report) => {
+                            if let Err(e) = sink(delivered, report) {
+                                failure = Some(e);
+                            }
+                        }
+                        Err(e) => failure = Some(e),
+                    }
+                    delivered += 1;
+                    in_window -= 1;
+                    if failure.is_some() {
                         break;
                     }
-                    let result = self.execute(&scenarios[i], Some(i), run);
-                    *slots[i].lock().expect("slot lock") = Some(result);
-                });
+                }
+                if failure.is_some() {
+                    // Stop opening the window; the scope drains what is
+                    // already in flight before `scope` returns.
+                    break;
+                }
+                spawn_eligible(&mut pending, &mut in_window, &mut leaders);
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("scope waits for every batch slot")
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(delivered),
+        }
+    }
+
+    /// The iterator adapter over [`RiskSession::run_stream`]: reports
+    /// arrive in input order as they complete, through a channel
+    /// bounded at pool width. Requires `Arc<RiskSession>` because the
+    /// sweep runs on a background thread that must co-own the session.
+    ///
+    /// Dropping the iterator early cancels the sweep: no further
+    /// scenarios start, and the drop blocks only until in-flight ones
+    /// drain.
+    pub fn stream(self: &Arc<Self>, scenarios: Vec<ScenarioConfig>) -> ReportStream {
+        let session = Arc::clone(self);
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.pool.thread_count().max(1));
+        let worker = std::thread::Builder::new()
+            .name("riskpipe-stream".into())
+            .spawn(move || {
+                let outcome = session.run_stream(&scenarios, |_, report| {
+                    tx.send(Ok(report))
+                        .map_err(|_| RiskError::invalid("report stream receiver dropped"))
+                });
+                if let Err(e) = outcome {
+                    // Surface sweep errors in-band; a send failure just
+                    // means the consumer is gone.
+                    let _ = tx.send(Err(e));
+                }
             })
-            .collect()
+            .expect("failed to spawn stream worker thread");
+        ReportStream {
+            rx: Some(rx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Run many scenarios concurrently on the shared pool and collect
+    /// every report. Built on [`RiskSession::run_stream`], so ordering,
+    /// bit-identity and error semantics match it — the only difference
+    /// is that the returned `Vec` is O(scenarios); sweeps that don't
+    /// need every report retained should use `run_stream`/`stream`.
+    pub fn run_batch(&self, scenarios: &[ScenarioConfig]) -> RiskResult<Vec<PipelineReport>> {
+        let mut reports = Vec::with_capacity(scenarios.len());
+        self.run_stream(scenarios, |_, report| {
+            reports.push(report);
+            Ok(())
+        })?;
+        Ok(reports)
     }
 
     fn next_run_id(&self) -> u64 {
-        self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        self.runs.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The three stages for one scenario.
@@ -382,13 +844,41 @@ impl RiskSession {
         slot: Option<usize>,
         run: u64,
     ) -> RiskResult<PipelineReport> {
-        // ---------------- stage 1: risk modelling ----------------
+        let (output, stage1) = self.acquire_stage1(scenario.stage1_key(), scenario)?;
+        self.finish_pipeline(scenario, slot, run, output, stage1)
+    }
+
+    /// Stage 1 for one scenario, through the keyed cache: the model run
+    /// (catalogue, books, YET) is built or reused under `key` — the
+    /// caller's precomputed [`ScenarioConfig::stage1_key`]. On a hit
+    /// this is microseconds.
+    fn acquire_stage1(
+        &self,
+        key: u64,
+        scenario: &ScenarioConfig,
+    ) -> RiskResult<(Arc<Stage1Output>, StageTiming)> {
         let t0 = Instant::now();
-        let bundle: Stage1Bundle = scenario.build_stage1_on(&self.pool)?;
+        let output = self
+            .stage1
+            .get_or_build(key, || scenario.build_stage1_output_on(&self.pool))?;
         let stage1 = StageTiming {
             stage: 1,
             elapsed: t0.elapsed(),
         };
+        Ok((output, stage1))
+    }
+
+    /// Stages 2 and 3 on an already-acquired stage-1 output; only the
+    /// portfolio's layer terms are derived per scenario.
+    fn finish_pipeline(
+        &self,
+        scenario: &ScenarioConfig,
+        slot: Option<usize>,
+        run: u64,
+        output: Arc<Stage1Output>,
+        stage1: StageTiming,
+    ) -> RiskResult<PipelineReport> {
+        let bundle: Stage1Bundle = scenario.bundle_from_output(output)?;
 
         // ---------------- stage 2: aggregate analysis ----------------
         let t0 = Instant::now();
@@ -453,7 +943,36 @@ impl std::fmt::Debug for RiskSession {
             .field("engine", &self.engine())
             .field("store", &self.store_name())
             .field("pool_threads", &self.pool.thread_count())
+            .field("stage1_cache", &self.stage1.stats())
             .finish()
+    }
+}
+
+/// The blocking iterator returned by [`RiskSession::stream`]: yields
+/// `Ok(report)` per scenario in input order, or one final `Err` if the
+/// sweep aborted. Dropping it early cancels the rest of the sweep.
+#[derive(Debug)]
+pub struct ReportStream {
+    rx: Option<std::sync::mpsc::Receiver<RiskResult<PipelineReport>>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Iterator for ReportStream {
+    type Item = RiskResult<PipelineReport>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.rx.as_ref().and_then(|rx| rx.recv().ok())
+    }
+}
+
+impl Drop for ReportStream {
+    fn drop(&mut self) {
+        // Closing the channel makes the producer's next send fail,
+        // which aborts the sweep; then reap the worker thread.
+        self.rx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
     }
 }
 
@@ -547,7 +1066,6 @@ impl PipelineReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn temp(tag: &str) -> PathBuf {
         static N: AtomicU64 = AtomicU64::new(0);
@@ -561,6 +1079,7 @@ mod tests {
         assert_eq!(session.engine(), EngineKind::CpuParallel);
         assert_eq!(session.store_name(), "in-memory");
         assert!(session.pool().thread_count() >= 1);
+        assert_eq!(session.stage1_cache_stats(), Stage1CacheStats::default());
     }
 
     #[test]
@@ -571,6 +1090,60 @@ mod tests {
         assert!(report.elt_rows > 0);
         assert!(report.measures.tvar99 >= report.measures.var99);
         assert_eq!(report.yelt_file_bytes, 0);
+    }
+
+    #[test]
+    fn repeated_runs_hit_the_stage1_cache() {
+        let session = RiskSession::builder().pool_threads(2).build().unwrap();
+        let scenario = ScenarioConfig::small().with_seed(40).with_trials(300);
+        let a = session.run(&scenario).unwrap();
+        let b = session.run(&scenario).unwrap();
+        assert_eq!(a.ylt, b.ylt);
+        let stats = session.stage1_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        // Clearing drops contents but keeps cumulative counters.
+        session.clear_stage1_cache();
+        assert_eq!(session.stage1_cache_stats().entries, 0);
+        let c = session.run(&scenario).unwrap();
+        assert_eq!(c.ylt, a.ylt);
+        assert_eq!(session.stage1_cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn cache_capacity_bounds_entries_fifo() {
+        let session = RiskSession::builder()
+            .pool_threads(2)
+            .stage1_cache_capacity(2)
+            .build()
+            .unwrap();
+        for seed in 50..54 {
+            session
+                .run(&ScenarioConfig::small().with_seed(seed).with_trials(200))
+                .unwrap();
+        }
+        let stats = session.stage1_cache_stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 2);
+    }
+
+    #[test]
+    fn disabled_cache_rebuilds_every_time() {
+        let session = RiskSession::builder()
+            .pool_threads(2)
+            .stage1_cache(false)
+            .build()
+            .unwrap();
+        let scenario = ScenarioConfig::small().with_seed(41).with_trials(300);
+        let a = session.run(&scenario).unwrap();
+        let b = session.run(&scenario).unwrap();
+        assert_eq!(a.ylt, b.ylt);
+        let stats = session.stage1_cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
     }
 
     #[test]
@@ -620,7 +1193,47 @@ mod tests {
             let reader = riskpipe_tables::ShardedReader::open(&sub).unwrap();
             assert_eq!(reader.rows() as usize, first.yelt_rows, "{}", sub.display());
         }
+        // clear_store reclaims every run's spill…
+        session.clear_store().unwrap();
+        assert!(riskpipe_tables::ShardedReader::open(&dir).is_err());
+        assert!(!dir.join("run-001").exists());
+        // …and the session keeps working afterwards.
+        let third = session.run(&scenario).unwrap();
+        assert_eq!(third.ylt, first.ylt);
+        assert!(riskpipe_tables::ShardedReader::open(dir.join("run-003")).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_runs_spares_unrelated_files() {
+        let dir = temp("spare");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("notes.txt"), "keep me").unwrap();
+        let store = ShardedFilesStore::new(&dir, 2).unwrap();
+        // Nothing spilled yet: clearing is a no-op either way.
+        store.clear_runs().unwrap();
+        let session = RiskSession::builder()
+            .store(Arc::new(store.clone()))
+            .pool_threads(2)
+            .build()
+            .unwrap();
+        session
+            .run(&ScenarioConfig::small().with_seed(44).with_trials(200))
+            .unwrap();
+        assert!(dir.join("MANIFEST.txt").exists());
+        store.clear_runs().unwrap();
+        assert!(!dir.join("MANIFEST.txt").exists());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("notes.txt")).unwrap(),
+            "keep me"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_runs_on_missing_dir_is_ok() {
+        let store = ShardedFilesStore::new(temp("never-created"), 2).unwrap();
+        store.clear_runs().unwrap();
     }
 
     #[test]
@@ -669,6 +1282,32 @@ mod tests {
     }
 
     #[test]
+    fn stream_on_empty_input_is_empty() {
+        let session = RiskSession::builder().pool_threads(2).build().unwrap();
+        let delivered = session.run_stream(&[], |_, _| Ok(())).unwrap();
+        assert_eq!(delivered, 0);
+    }
+
+    #[test]
+    fn sink_errors_abort_the_sweep() {
+        let session = RiskSession::builder().pool_threads(2).build().unwrap();
+        let scenarios: Vec<ScenarioConfig> = (0..5)
+            .map(|i| ScenarioConfig::small().with_seed(70 + i).with_trials(200))
+            .collect();
+        let mut seen = 0usize;
+        let err = session.run_stream(&scenarios, |i, _| {
+            seen += 1;
+            if i == 1 {
+                Err(RiskError::invalid("sink says stop"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(err.is_err());
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
     fn custom_store_backend_plugs_in() {
         #[derive(Debug)]
         struct CountingStore {
@@ -696,5 +1335,7 @@ mod tests {
             .run(&ScenarioConfig::small().with_seed(7).with_trials(300))
             .unwrap();
         assert_eq!(store.rows.load(Ordering::Relaxed), report.yelt_rows as u64);
+        // The default clear_runs is a harmless no-op for custom stores.
+        session.clear_store().unwrap();
     }
 }

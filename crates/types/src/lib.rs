@@ -27,6 +27,7 @@
 
 pub mod dist;
 pub mod error;
+pub mod fingerprint;
 pub mod ids;
 pub mod money;
 pub mod rng;
@@ -34,6 +35,7 @@ pub mod special;
 pub mod stats;
 
 pub use error::{RiskError, RiskResult};
+pub use fingerprint::Fingerprint;
 pub use ids::{EventId, LayerId, LocationId, NodeId, TrialId};
 pub use money::{KahanSum, Loss};
 pub use rng::{Pcg64, Philox4x32, Rng64, SeedStream, SplitMix64};

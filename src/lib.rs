@@ -28,9 +28,10 @@
 //! ## Quickstart
 //!
 //! A [`RiskSession`](riskpipe_core::RiskSession) is the facade: built
-//! once (engine, thread pool, intermediate store), then run against any
-//! number of scenarios — concurrently, via `run_batch`, when there are
-//! many.
+//! once (engine, thread pool, intermediate store, stage-1 cache), then
+//! run against any number of scenarios — concurrently via `run_batch`,
+//! or streamed in input order at O(pool width) peak memory via
+//! `run_stream`/`stream` when the sweep is large.
 //!
 //! ```
 //! use riskpipe::prelude::*;
@@ -73,8 +74,8 @@ pub mod prelude {
     pub use riskpipe_catmodel::Stage1Output;
     pub use riskpipe_cloud::{pipeline_week, simulate, PipelineWeekSpec, SimConfig};
     pub use riskpipe_core::{
-        DataStrategy, IntermediateStore, PipelineConfig, PipelineReport, RiskSession,
-        RiskSessionBuilder, ScenarioConfig,
+        DataStrategy, IntermediateStore, PipelineConfig, PipelineReport, ReportStream, RiskSession,
+        RiskSessionBuilder, ScenarioConfig, Stage1CacheStats, SweepSummary,
     };
     pub use riskpipe_dfa::{AllocationMethod, EnterpriseRollup};
     pub use riskpipe_metrics::EpCurve;

@@ -1,0 +1,102 @@
+//! The deprecated `Pipeline` shim's compatibility contract, enforced at
+//! the integration level: every configuration knob must delegate to the
+//! session and produce results bit-identical to the facade it fronts.
+
+#![allow(deprecated)]
+
+use riskpipe::aggregate::EngineKind;
+use riskpipe::core::{Pipeline, PipelineConfig, RiskSession, ScenarioConfig};
+use riskpipe::exec::ThreadPool;
+use riskpipe::types::RiskResult;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("riskpipe-shim-{tag}-{}-{n}", std::process::id()))
+}
+
+fn scenario(seed: u64) -> ScenarioConfig {
+    ScenarioConfig::small().with_seed(seed).with_trials(300)
+}
+
+#[test]
+fn shim_defaults_match_a_default_session() -> RiskResult<()> {
+    let pool = Arc::new(ThreadPool::new(2));
+    let shim = Pipeline::new(scenario(201)).run(Arc::clone(&pool))?;
+    let facade = RiskSession::builder()
+        .pool(pool)
+        .build()?
+        .run(&scenario(201))?;
+    assert_eq!(shim.ylt, facade.ylt);
+    assert_eq!(shim.measures, facade.measures);
+    assert_eq!(shim.scenario_name, facade.scenario_name);
+    assert_eq!(shim.yelt_file_bytes, 0, "default shim stays in memory");
+    Ok(())
+}
+
+#[test]
+fn shim_engine_choice_delegates_per_engine() -> RiskResult<()> {
+    let pool = Arc::new(ThreadPool::new(2));
+    for kind in EngineKind::ALL {
+        let shim = Pipeline::new(scenario(202))
+            .with_engine(kind)
+            .run(Arc::clone(&pool))?;
+        let facade = RiskSession::builder()
+            .engine(kind)
+            .pool(Arc::clone(&pool))
+            .build()?
+            .run(&scenario(202))?;
+        assert_eq!(shim.ylt, facade.ylt, "{kind:?} diverged through the shim");
+    }
+    Ok(())
+}
+
+#[test]
+fn shim_sharded_files_keeps_its_historical_layout() -> RiskResult<()> {
+    // Pre-facade callers read the spill from the exact directory they
+    // configured — the session's run-0 layout preserves that.
+    let dir = temp("layout");
+    let report = Pipeline::new(scenario(203))
+        .with_sharded_files(dir.clone(), 3)
+        .run(Arc::new(ThreadPool::new(2)))?;
+    assert!(report.yelt_file_bytes > 0);
+    let reader = riskpipe::tables::ShardedReader::open(&dir)?;
+    assert_eq!(reader.rows() as usize, report.yelt_rows);
+    assert_eq!(reader.shard_count(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+#[test]
+fn shim_is_reusable_and_deterministic() -> RiskResult<()> {
+    // Each run() builds a fresh one-shot session, so repeated runs (and
+    // different pool widths) must agree bit-for-bit.
+    let pipeline = Pipeline::new(scenario(204));
+    let a = pipeline.run(Arc::new(ThreadPool::new(1)))?;
+    let b = pipeline.run(Arc::new(ThreadPool::new(4)))?;
+    assert_eq!(a.ylt, b.ylt);
+    assert_eq!(a.measures, b.measures);
+    Ok(())
+}
+
+#[test]
+fn pipeline_config_alias_still_compiles_and_runs() -> RiskResult<()> {
+    // The pre-facade name for ScenarioConfig remains usable.
+    let cfg: PipelineConfig = PipelineConfig::small().with_seed(205).with_trials(200);
+    let report = Pipeline::new(cfg).run(Arc::new(ThreadPool::new(2)))?;
+    assert_eq!(report.ylt.trials(), 200);
+    Ok(())
+}
+
+#[test]
+fn shim_rejects_invalid_scenarios_like_the_session() {
+    let mut bad = scenario(206);
+    bad.events = 0;
+    let shim = Pipeline::new(bad.clone()).run(Arc::new(ThreadPool::new(2)));
+    assert!(shim.is_err());
+    let facade = RiskSession::builder().pool_threads(2).build().unwrap();
+    assert!(facade.run(&bad).is_err());
+}

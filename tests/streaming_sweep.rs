@@ -1,0 +1,217 @@
+//! The streaming execution contract: `run_stream` (and the iterator
+//! adapter) deliver input-ordered reports bit-identical to `run_batch`
+//! and to solo `run` calls on any thread count, and the shared stage-1
+//! cache rebuilds the model run exactly once per distinct key.
+
+use riskpipe::core::{ReportStream, RiskSession, ScenarioConfig, SweepSummary};
+use riskpipe::types::{RiskError, RiskResult};
+use std::sync::Arc;
+
+fn scenario(seed: u64) -> ScenarioConfig {
+    ScenarioConfig::small().with_seed(seed).with_trials(300)
+}
+
+/// An attachment-factor sweep: every scenario shares one stage-1 key.
+fn pricing_sweep(seed: u64, points: usize) -> Vec<ScenarioConfig> {
+    (0..points)
+        .map(|i| {
+            ScenarioConfig::small()
+                .with_seed(seed)
+                .with_trials(300)
+                .with_name(format!("attach-{i}"))
+                .with_attachment_factor(0.25 + 0.25 * i as f64)
+        })
+        .collect()
+}
+
+#[test]
+fn run_stream_is_bit_identical_to_batch_and_solo_on_any_thread_count() -> RiskResult<()> {
+    let scenarios = [scenario(81), scenario(82), scenario(83), scenario(84)];
+
+    // Reference: each scenario alone on a single-threaded,
+    // cache-disabled session (the most conservative configuration).
+    let single = RiskSession::builder()
+        .pool_threads(1)
+        .stage1_cache(false)
+        .build()?;
+    let reference: Vec<_> = scenarios
+        .iter()
+        .map(|s| single.run(s))
+        .collect::<RiskResult<_>>()?;
+
+    for threads in [1, 2, 8] {
+        let session = RiskSession::builder().pool_threads(threads).build()?;
+        let batch = session.run_batch(&scenarios)?;
+
+        let mut streamed = Vec::new();
+        let delivered = session.run_stream(&scenarios, |i, report| {
+            streamed.push((i, report));
+            Ok(())
+        })?;
+        assert_eq!(delivered, scenarios.len());
+        assert_eq!(streamed.len(), scenarios.len());
+
+        for (i, want) in reference.iter().enumerate() {
+            let (slot, got) = &streamed[i];
+            assert_eq!(*slot, i, "stream delivered out of input order");
+            assert_eq!(got.scenario_name, scenarios[i].name);
+            assert_eq!(got.ylt, want.ylt, "stream slot {i} on {threads} threads");
+            assert_eq!(got.measures, want.measures);
+            assert_eq!(
+                batch[i].ylt, want.ylt,
+                "batch slot {i} on {threads} threads"
+            );
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn caching_never_changes_results() -> RiskResult<()> {
+    let scenarios = pricing_sweep(91, 4);
+    let cached = RiskSession::builder().pool_threads(4).build()?;
+    let uncached = RiskSession::builder()
+        .pool_threads(4)
+        .stage1_cache(false)
+        .build()?;
+    let a = cached.run_batch(&scenarios)?;
+    let b = uncached.run_batch(&scenarios)?;
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.ylt, y.ylt);
+        assert_eq!(x.measures, y.measures);
+    }
+    assert!(cached.stage1_cache_stats().hits > 0);
+    assert_eq!(uncached.stage1_cache_stats().hits, 0);
+    Ok(())
+}
+
+#[test]
+fn shared_key_sweep_builds_stage1_exactly_once() -> RiskResult<()> {
+    // 6 scenarios, one catalogue, 4 workers racing on the same key: the
+    // per-key lock must still serialise to a single build.
+    let scenarios = pricing_sweep(92, 6);
+    let key = scenarios[0].stage1_key();
+    for s in &scenarios {
+        assert_eq!(s.stage1_key(), key, "sweep must share one stage-1 key");
+    }
+    let session = RiskSession::builder().pool_threads(4).build()?;
+    let reports = session.run_batch(&scenarios)?;
+    assert_eq!(reports.len(), 6);
+    let stats = session.stage1_cache_stats();
+    assert_eq!(stats.misses, 1, "stage 1 must build exactly once per key");
+    assert_eq!(stats.hits, 5);
+    assert_eq!(stats.entries, 1);
+    // Distinct attachments genuinely price differently.
+    assert_ne!(reports[0].ylt, reports[5].ylt);
+    Ok(())
+}
+
+#[test]
+fn distinct_keys_each_build_once() -> RiskResult<()> {
+    let mut scenarios = Vec::new();
+    for seed in [101, 102] {
+        scenarios.extend(pricing_sweep(seed, 3));
+    }
+    let session = RiskSession::builder().pool_threads(4).build()?;
+    session.run_batch(&scenarios)?;
+    let stats = session.stage1_cache_stats();
+    assert_eq!(stats.misses, 2, "one build per distinct key");
+    assert_eq!(stats.hits, 4);
+    assert_eq!(stats.entries, 2);
+    Ok(())
+}
+
+#[test]
+fn iterator_adapter_matches_run_stream() -> RiskResult<()> {
+    let scenarios = [scenario(111), scenario(112), scenario(113)];
+    let session = Arc::new(RiskSession::builder().pool_threads(2).build()?);
+    let reference = session.run_batch(&scenarios)?;
+
+    let stream: ReportStream = session.stream(scenarios.to_vec());
+    let collected: Vec<_> = stream.collect::<RiskResult<Vec<_>>>()?;
+    assert_eq!(collected.len(), reference.len());
+    for (got, want) in collected.iter().zip(&reference) {
+        assert_eq!(got.scenario_name, want.scenario_name);
+        assert_eq!(got.ylt, want.ylt);
+    }
+    Ok(())
+}
+
+#[test]
+fn dropping_the_iterator_early_cancels_cleanly() -> RiskResult<()> {
+    let session = Arc::new(RiskSession::builder().pool_threads(2).build()?);
+    let scenarios: Vec<ScenarioConfig> = (0..8).map(|i| scenario(120 + i)).collect();
+    let mut stream = session.stream(scenarios);
+    let first = stream.next().expect("at least one report")?;
+    assert_eq!(first.ylt.trials(), 300);
+    drop(stream); // must neither hang nor panic
+                  // The session stays fully usable afterwards.
+    let report = session.run(&scenario(120))?;
+    assert_eq!(report.ylt, first.ylt);
+    Ok(())
+}
+
+#[test]
+fn stream_propagates_scenario_errors_in_input_order() -> RiskResult<()> {
+    let session = RiskSession::builder().pool_threads(4).build()?;
+    let mut bad = scenario(130);
+    bad.trials = 0;
+    let scenarios = [scenario(131), bad, scenario(132)];
+    let mut delivered = Vec::new();
+    let err = session.run_stream(&scenarios, |i, _| {
+        delivered.push(i);
+        Ok(())
+    });
+    assert!(err.is_err());
+    // Only the slot before the failure was delivered.
+    assert_eq!(delivered, vec![0]);
+    Ok(())
+}
+
+#[test]
+fn iterator_surfaces_errors_in_band() -> RiskResult<()> {
+    let session = Arc::new(RiskSession::builder().pool_threads(2).build()?);
+    let mut bad = scenario(140);
+    bad.trials = 0;
+    let results: Vec<Result<_, RiskError>> = session.stream(vec![scenario(141), bad]).collect();
+    assert_eq!(results.len(), 2);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+    Ok(())
+}
+
+#[test]
+fn sweep_summary_accumulates_without_retaining_reports() -> RiskResult<()> {
+    let scenarios = pricing_sweep(150, 5);
+    let session = RiskSession::builder().pool_threads(2).build()?;
+    let mut summary = SweepSummary::new();
+    session.run_stream(&scenarios, |_, report| {
+        summary.push(&report);
+        Ok(())
+    })?;
+    assert_eq!(summary.scenarios(), 5);
+    assert_eq!(summary.trials(), 5 * 300);
+    assert!(summary.mean_tvar99() > 0.0);
+    let (worst, tvar) = summary.worst().expect("non-empty sweep");
+    // Lower attachments retain more loss: attach-0 is the worst book.
+    assert_eq!(worst, "attach-0");
+    assert!(tvar >= summary.mean_tvar99());
+    let text = summary.to_string();
+    assert!(text.contains("scenarios"), "{text}");
+    Ok(())
+}
+
+#[test]
+fn run_after_stream_reuses_the_cache() -> RiskResult<()> {
+    let scenarios = pricing_sweep(160, 3);
+    let session = RiskSession::builder().pool_threads(2).build()?;
+    session.run_stream(&scenarios, |_, _| Ok(()))?;
+    let misses_after_sweep = session.stage1_cache_stats().misses;
+    assert_eq!(misses_after_sweep, 1);
+    // A solo run over the same catalogue is a pure hit.
+    session.run(&scenarios[0])?;
+    let stats = session.stage1_cache_stats();
+    assert_eq!(stats.misses, misses_after_sweep);
+    assert!(stats.hits >= 3);
+    Ok(())
+}

@@ -248,3 +248,110 @@ fn cloud_simulator_handles_degenerate_and_hostile_configs() {
     let bad = JobSpec { tasks: 0, ..job(1) };
     assert!(simulate(&[bad], &mut FixedPolicy::new(1), &cfg).is_err());
 }
+
+// ---------------------------------------------------------------------
+// Sharded-store concurrency: sessions spilling at once must not collide,
+// and clear_runs must reclaim every per-run directory afterwards.
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_sessions_spill_to_disjoint_stores_and_clean_up() {
+    use riskpipe::core::{DataStrategy, RiskSession, ScenarioConfig};
+
+    let parent = temp("concurrent-sessions");
+    std::fs::create_dir_all(&parent).unwrap();
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let dir = parent.join(format!("session-{t}"));
+            std::thread::spawn(move || -> RiskResult<PathBuf> {
+                let session = RiskSession::builder()
+                    .strategy(DataStrategy::ShardedFiles {
+                        dir: dir.clone(),
+                        shards: 2,
+                    })
+                    .pool_threads(2)
+                    .build()?;
+                let scenarios = [
+                    ScenarioConfig::small().with_seed(500 + t).with_trials(200),
+                    ScenarioConfig::small().with_seed(600 + t).with_trials(200),
+                ];
+                // A batch (run 0: batch-NNN under the base) then a solo
+                // run (run 1: run-001), all while three sibling
+                // sessions hammer their own directories.
+                let reports = session.run_batch(&scenarios)?;
+                let solo = session.run(&scenarios[0])?;
+                assert_eq!(solo.ylt, reports[0].ylt);
+                for (i, r) in reports.iter().enumerate() {
+                    let sub = dir.join(format!("batch-{i:03}"));
+                    let reader = ShardedReader::open(&sub)?;
+                    assert_eq!(reader.rows() as usize, r.yelt_rows, "{}", sub.display());
+                }
+                let reader = ShardedReader::open(dir.join("run-001"))?;
+                assert_eq!(reader.rows() as usize, solo.yelt_rows);
+                // Reclaim this session's spills; the session stays
+                // usable and spills fresh directories afterwards.
+                session.clear_store()?;
+                assert!(ShardedReader::open(dir.join("run-001")).is_err());
+                let again = session.run(&scenarios[1])?;
+                assert_eq!(again.ylt, reports[1].ylt);
+                assert!(ShardedReader::open(dir.join("run-002")).is_ok());
+                Ok(dir)
+            })
+        })
+        .collect();
+    for h in handles {
+        let dir = h.join().expect("session thread panicked").unwrap();
+        assert!(dir.exists());
+    }
+    std::fs::remove_dir_all(&parent).unwrap();
+}
+
+#[test]
+fn one_session_shared_across_threads_never_collides() {
+    use riskpipe::core::{DataStrategy, RiskSession, ScenarioConfig};
+    use std::sync::Arc;
+
+    let dir = temp("shared-session");
+    let session = Arc::new(
+        RiskSession::builder()
+            .strategy(DataStrategy::ShardedFiles {
+                dir: dir.clone(),
+                shards: 2,
+            })
+            .pool_threads(2)
+            .build()
+            .unwrap(),
+    );
+    // Eight concurrent run() calls on one session: the atomic run
+    // counter gives each its own spill directory (run 0 takes the base
+    // directory itself), so every spill stays readable.
+    let handles: Vec<_> = (0..8u64)
+        .map(|t| {
+            let session = Arc::clone(&session);
+            std::thread::spawn(move || {
+                session
+                    .run(&ScenarioConfig::small().with_seed(700 + t).with_trials(200))
+                    .unwrap()
+                    .yelt_rows
+            })
+        })
+        .collect();
+    let rows: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut dirs = vec![dir.clone()];
+    dirs.extend((1..8).map(|r| dir.join(format!("run-{r:03}"))));
+    let mut read_rows: Vec<usize> = dirs
+        .iter()
+        .map(|d| ShardedReader::open(d).unwrap().rows() as usize)
+        .collect();
+    // Run ids are claim-ordered, not input-ordered: compare as multisets.
+    read_rows.sort_unstable();
+    let mut want = rows.clone();
+    want.sort_unstable();
+    assert_eq!(read_rows, want);
+    // clear_store wipes all eight spills in one call.
+    session.clear_store().unwrap();
+    for d in &dirs {
+        assert!(ShardedReader::open(d).is_err(), "{}", d.display());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

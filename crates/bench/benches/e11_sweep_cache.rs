@@ -8,29 +8,14 @@
 //! show streaming delivery costs nothing over collecting.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use riskpipe_core::{RiskSession, ScenarioConfig};
-
-/// A sweep sharing one stage-1 key: only the attachment factor varies.
-/// Sized model-heavy (big catalogue × exposure, modest trials) — the
-/// production shape where the per-scenario cost a cache can remove is
-/// the event-loss model run, not the Monte-Carlo pass.
-fn pricing_sweep(points: usize) -> Vec<ScenarioConfig> {
-    (0..points)
-        .map(|i| {
-            let mut s = ScenarioConfig::small()
-                .with_seed(0xE11)
-                .with_trials(200)
-                .with_name(format!("attach-{i}"))
-                .with_attachment_factor(0.25 + 0.2 * i as f64);
-            s.events = 4_000;
-            s.locations_per_contract = 400;
-            s
-        })
-        .collect()
-}
+use riskpipe_bench::{model_heavy_small, pricing_sweep};
+use riskpipe_core::RiskSession;
 
 fn bench_sweep_cache(c: &mut Criterion) {
-    let sweep = pricing_sweep(8);
+    // Model-heavy same-key sweep (shared with the nightly perf gate):
+    // the per-scenario cost the cache removes is the event-loss model
+    // run, not the Monte-Carlo pass.
+    let sweep = pricing_sweep(model_heavy_small(0xE11, 200), 8);
     let mut group = c.benchmark_group("e11_sweep_cache");
     group.sample_size(10);
 
@@ -55,7 +40,7 @@ fn bench_sweep_cache(c: &mut Criterion) {
             let session = RiskSession::builder().pool_threads(4).build().unwrap();
             let mut tvar_sum = 0.0;
             session
-                .run_stream(&sweep, |_, report| {
+                .run_stream(&sweep, |_, report: riskpipe_core::PipelineReport| {
                     tvar_sum += report.measures.tvar99;
                     Ok(())
                 })

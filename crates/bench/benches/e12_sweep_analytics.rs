@@ -1,0 +1,126 @@
+//! E12 — pooled sweep analytics through streaming sinks.
+//!
+//! The MapReduce follow-up's point (and our ROADMAP's): portfolio
+//! analytics over a sweep must come from mergeable aggregates, not
+//! from materialising every scenario's YLT. This bench measures what
+//! the sink actually costs on top of the sweep itself:
+//!
+//! * `summary_sink` — `run_stream` into a `SweepSummary` (headline
+//!   scalars + pooled AEP/OEP quantile sketches), reports dropped;
+//! * `collect_then_pool` — the shape the sink replaces: `run_batch`
+//!   retaining every YLT, then pooling + sorting the concatenated
+//!   losses exactly;
+//! * `persisting_sink` — `PersistingSink` writing each report's YLT +
+//!   measures to a sharded-files store as it arrives.
+//!
+//! The `medium` group runs the paper-scale configuration
+//! (`ScenarioConfig::medium()`, 20k trials per scenario) that the
+//! nightly perf job tracks; it is deliberately few-sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riskpipe_bench::{model_heavy_small, pricing_sweep};
+use riskpipe_core::{PersistingSink, RiskSession, ScenarioConfig, ShardedFilesStore, SweepSummary};
+use riskpipe_metrics::QuantileSketch;
+use riskpipe_types::stats::{quantile_sorted, sort_f64, tail_mean_sorted};
+use std::sync::Arc;
+
+fn small_sweep() -> Vec<ScenarioConfig> {
+    pricing_sweep(model_heavy_small(0xE12, 500), 8)
+}
+
+fn bench_sinks_small(c: &mut Criterion) {
+    let sweep = small_sweep();
+    let mut group = c.benchmark_group("e12_sweep_analytics");
+    group.sample_size(10);
+
+    group.bench_function("summary_sink", |b| {
+        b.iter(|| {
+            let session = RiskSession::builder().pool_threads(4).build().unwrap();
+            let mut summary = SweepSummary::new();
+            session.run_stream(&sweep, &mut summary).unwrap();
+            summary.pooled_tvar99().unwrap()
+        })
+    });
+
+    group.bench_function("collect_then_pool", |b| {
+        b.iter(|| {
+            let session = RiskSession::builder().pool_threads(4).build().unwrap();
+            let reports = session.run_batch(&sweep).unwrap();
+            let mut pooled: Vec<f64> = reports
+                .iter()
+                .flat_map(|r| r.ylt.agg_losses().iter().copied())
+                .collect();
+            sort_f64(&mut pooled);
+            let var = quantile_sorted(&pooled, 0.99);
+            tail_mean_sorted(&pooled, 0.99) + var
+        })
+    });
+
+    group.bench_function("persisting_sink", |b| {
+        b.iter(|| {
+            let dir = std::env::temp_dir().join(format!(
+                "riskpipe-e12-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Arc::new(ShardedFilesStore::new(&dir, 2).unwrap());
+            let session = RiskSession::builder().pool_threads(4).build().unwrap();
+            let mut sink = PersistingSink::new(store.clone());
+            session.run_stream(&sweep, &mut sink).unwrap();
+            let bytes = sink.bytes_persisted();
+            store.clear_runs().unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            bytes
+        })
+    });
+    group.finish();
+}
+
+fn bench_sketch_fold(c: &mut Criterion) {
+    // The sketch in isolation: folding a 20k-trial loss column — the
+    // per-report cost `SweepSummary::push` adds to a sweep.
+    let losses: Vec<f64> = (0..20_000)
+        .map(|i| (((i * 104729) % 99991) as f64).powf(1.3))
+        .collect();
+    let mut group = c.benchmark_group("e12_sketch_fold");
+    group.sample_size(20);
+    for k in [256usize, 4096] {
+        group.bench_function(format!("fold_20k/k{k}"), |b| {
+            b.iter(|| {
+                let mut sk = QuantileSketch::new(k);
+                sk.extend(&losses);
+                sk.quantile(0.99)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_medium_sweep(c: &mut Criterion) {
+    // Paper-scale nightly configuration: full medium() scenarios
+    // (20k-trial YLTs) pooled across a 4-point pricing sweep — the
+    // pooled sample (80k trials) leaves the sketch's exact path, so
+    // this also times the compacting regime the nightly job guards.
+    let sweep = pricing_sweep(ScenarioConfig::medium().with_seed(0xE12), 4);
+    let mut group = c.benchmark_group("e12_sweep_analytics_medium");
+    group.sample_size(2);
+    group.bench_function("summary_sink", |b| {
+        b.iter(|| {
+            let session = RiskSession::builder().build().unwrap();
+            let mut summary = SweepSummary::new();
+            session.run_stream(&sweep, &mut summary).unwrap();
+            assert!(!summary.analytics_exact());
+            summary.pooled_tvar99().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sinks_small,
+    bench_sketch_fold,
+    bench_medium_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Nightly perf gate: runs the two sweep workloads the scheduled CI
+//! job tracks and **fails** (non-zero exit) when either regresses past
+//! its wall-clock budget.
+//!
+//! ```text
+//! cargo run --release -p riskpipe-bench --bin perf_gate
+//! ```
+//!
+//! Budgets are deliberately generous (several times the reference
+//! machine's time) so the gate trips on real regressions — an
+//! accidentally quadratic sink, a cache that stopped sharing stage 1 —
+//! not on runner noise. Override per check with
+//! `PERF_GATE_SWEEP_CACHE_BUDGET_S` / `PERF_GATE_ANALYTICS_BUDGET_S`,
+//! or scale both with `PERF_GATE_SCALE` (a float multiplier, e.g. `2`
+//! on slow runners).
+
+use riskpipe_bench::{model_heavy_small, pricing_sweep};
+use riskpipe_core::{RiskSession, ScenarioConfig, SweepSummary};
+use std::time::Instant;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// E11's shape (same fixture builders): a model-heavy same-key sweep
+/// where the stage-1 cache must keep the per-scenario cost to the
+/// Monte-Carlo pass.
+fn check_sweep_cache() -> f64 {
+    let sweep = pricing_sweep(model_heavy_small(0xE11, 200), 8);
+    let session = RiskSession::builder().pool_threads(4).build().unwrap();
+    let t0 = Instant::now();
+    let mut summary = SweepSummary::new();
+    session.run_stream(&sweep, &mut summary).unwrap();
+    assert_eq!(summary.scenarios(), 8);
+    assert_eq!(
+        session.stage1_cache_stats().misses,
+        1,
+        "stage-1 cache stopped sharing the model run"
+    );
+    t0.elapsed().as_secs_f64()
+}
+
+/// E12's nightly shape: a paper-scale (`medium()`) pricing sweep
+/// streamed into pooled sweep analytics, exercising the sketched
+/// (compacting) path.
+fn check_sweep_analytics() -> f64 {
+    let sweep = pricing_sweep(ScenarioConfig::medium().with_seed(0xE12), 4);
+    let session = RiskSession::builder().build().unwrap();
+    let t0 = Instant::now();
+    let mut summary = SweepSummary::new();
+    session.run_stream(&sweep, &mut summary).unwrap();
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(summary.trials(), 4 * 20_000);
+    assert!(
+        !summary.analytics_exact(),
+        "80k pooled trials must exercise the sketched path"
+    );
+    assert!(summary.pooled_tvar99().unwrap() > 0.0);
+    assert!(
+        summary.rank_error_bound() < 0.05,
+        "sketch error bound degraded: {}",
+        summary.rank_error_bound()
+    );
+    elapsed
+}
+
+type Check = (&'static str, fn() -> f64, f64);
+
+fn main() {
+    let scale = env_f64("PERF_GATE_SCALE", 1.0);
+    let checks: [Check; 2] = [
+        (
+            "sweep_cache (e11 shape)",
+            check_sweep_cache,
+            env_f64("PERF_GATE_SWEEP_CACHE_BUDGET_S", 30.0),
+        ),
+        (
+            "sweep_analytics (e12 medium)",
+            check_sweep_analytics,
+            env_f64("PERF_GATE_ANALYTICS_BUDGET_S", 300.0),
+        ),
+    ];
+    let mut failed = false;
+    println!("perf gate (scale x{scale}):");
+    for (name, run, budget) in checks {
+        let budget = budget * scale;
+        let elapsed = run();
+        let verdict = if elapsed <= budget { "ok" } else { "FAIL" };
+        println!("  {name:<32} {elapsed:>8.2}s  budget {budget:>8.2}s  {verdict}");
+        failed |= elapsed > budget;
+    }
+    if failed {
+        eprintln!("perf gate FAILED: a tracked workload exceeded its budget");
+        std::process::exit(1);
+    }
+}

@@ -56,6 +56,37 @@ impl FixtureSize {
     }
 }
 
+/// An attachment-factor pricing sweep over one stage-1 key: only the
+/// name and the attachment vary across points, so the whole sweep
+/// shares a single cached stage-1 model run. One definition serves
+/// E11, E12 and the nightly `perf_gate` — keeping the workload the
+/// gate guards identical to the one the benches measure.
+pub fn pricing_sweep(
+    base: riskpipe_core::ScenarioConfig,
+    points: usize,
+) -> Vec<riskpipe_core::ScenarioConfig> {
+    (0..points)
+        .map(|i| {
+            base.clone()
+                .with_name(format!("attach-{i}"))
+                .with_attachment_factor(0.25 + 0.2 * i as f64)
+        })
+        .collect()
+}
+
+/// The model-heavy sweep base E11 and the perf gate use: big
+/// catalogue × exposure, modest trials — the production shape where
+/// the per-scenario cost a stage-1 cache can remove is the event-loss
+/// model run, not the Monte-Carlo pass.
+pub fn model_heavy_small(seed: u64, trials: usize) -> riskpipe_core::ScenarioConfig {
+    let mut s = riskpipe_core::ScenarioConfig::small()
+        .with_seed(seed)
+        .with_trials(trials);
+    s.events = 4_000;
+    s.locations_per_contract = 400;
+    s
+}
+
 /// A ready-to-run aggregate-analysis fixture.
 pub struct AggregateFixture {
     /// The portfolio (one ELT per layer, same catalogue).

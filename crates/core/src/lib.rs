@@ -31,6 +31,7 @@ pub mod elastic;
 pub mod pipeline;
 pub mod report;
 pub mod session;
+pub mod sink;
 
 pub use config::{PipelineConfig, ScenarioConfig, Stage1Bundle};
 pub use elastic::{Deadline, ElasticModel, ProcessorPlan, StageThroughput};
@@ -41,3 +42,4 @@ pub use session::{
     DataStrategy, InMemoryStore, IntermediateStore, PipelineReport, ReportStream, RiskSession,
     RiskSessionBuilder, RunLabel, ShardedFilesStore, Stage1CacheStats, StageTiming,
 };
+pub use sink::{PersistingSink, ReportSink};

@@ -1,5 +1,8 @@
-//! Plain-text table rendering for experiment reports.
+//! Plain-text table rendering for experiment reports, and the
+//! [`SweepSummary`] online sweep-analytics engine.
 
+use riskpipe_metrics::{standard_points_from_batch, EpPoint, QuantileSketch};
+use riskpipe_types::RunningStats;
 use std::fmt;
 
 /// A simple ASCII table with a header row.
@@ -79,8 +82,24 @@ impl fmt::Display for TextTable {
 }
 
 /// Format a float with thousands separators and 2 decimals (for loss
-/// amounts in reports).
+/// amounts in reports). Non-finite amounts render as `"NaN"` /
+/// `"inf"` / `"-inf"` — a poisoned metric must be visible in a report,
+/// not silently shown as `0.00` or a saturated integer. Magnitudes the
+/// cent-resolution integer cannot hold fall back to scientific
+/// notation.
 pub fn money(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".into();
+    }
+    if v.is_infinite() {
+        return if v < 0.0 { "-inf".into() } else { "inf".into() };
+    }
+    // u128 holds ~3.4e38 total cents; past ~1e30 the cents are
+    // meaningless anyway, so switch representation instead of
+    // saturating the cast.
+    if v.abs() >= 1e30 {
+        return format!("{v:.3e}");
+    }
     let negative = v < 0.0;
     // Round once at total-cents resolution so 999.999 → 1,000.00 rather
     // than a 100-cent remainder.
@@ -99,24 +118,72 @@ pub fn money(v: f64) -> String {
 
 /// An online accumulator over a streaming sweep's reports: folds each
 /// [`PipelineReport`](crate::PipelineReport) into headline aggregates
-/// and lets the report drop — the sink-side half of the
-/// O(pool-width)-memory contract of
+/// *and* into mergeable streaming sketches of the pooled loss
+/// distributions, then lets the report drop — the sink-side half of
+/// the O(pool-width)-memory contract of
 /// [`RiskSession::run_stream`](crate::RiskSession::run_stream).
-#[derive(Debug, Clone, Default)]
+///
+/// Beyond the per-scenario headline scalars, the summary answers
+/// portfolio questions over the *pooled* sweep distribution (every
+/// trial of every scenario as one sample) without ever retaining a
+/// per-scenario YLT: pooled AEP/OEP curve points
+/// ([`SweepSummary::aep_points`] / [`SweepSummary::oep_points`]),
+/// [`SweepSummary::pooled_var99`] / [`SweepSummary::pooled_tvar99`],
+/// and [`SweepSummary::pooled_pml`]. Small sweeps (up to
+/// [`QuantileSketch::DEFAULT_K`] pooled trials) stay on the sketch's
+/// exact path — bit-identical to sorting the concatenated losses;
+/// larger sweeps degrade gracefully with the tracked worst-case rank
+/// error bound surfaced by [`SweepSummary::rank_error_bound`].
+/// Because `run_stream` delivers reports in input order, every pooled
+/// number is bit-identical across thread counts and across the
+/// streaming/batch/solo execution shapes.
+#[derive(Debug, Clone)]
 pub struct SweepSummary {
     scenarios: usize,
     trials: u64,
     yelt_rows: u64,
     yelt_file_bytes: u64,
     tvar99_sum: f64,
+    tvar99_finite: u64,
+    tvar99_non_finite: u64,
     tvar99_max: f64,
     worst_scenario: Option<String>,
+    agg_stats: RunningStats,
+    aep: QuantileSketch,
+    oep: QuantileSketch,
+}
+
+impl Default for SweepSummary {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SweepSummary {
-    /// An empty summary.
+    /// An empty summary with the default sketch capacity
+    /// ([`QuantileSketch::DEFAULT_K`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_sketch_k(QuantileSketch::DEFAULT_K)
+    }
+
+    /// An empty summary whose pooled sketches hold `k` values per
+    /// level: exact while the pooled trial count stays at or below
+    /// `k`, `O(k · log(trials/k))` memory beyond.
+    pub fn with_sketch_k(k: usize) -> Self {
+        Self {
+            scenarios: 0,
+            trials: 0,
+            yelt_rows: 0,
+            yelt_file_bytes: 0,
+            tvar99_sum: 0.0,
+            tvar99_finite: 0,
+            tvar99_non_finite: 0,
+            tvar99_max: 0.0,
+            worst_scenario: None,
+            agg_stats: RunningStats::new(),
+            aep: QuantileSketch::new(k),
+            oep: QuantileSketch::new(k),
+        }
     }
 
     /// Fold one report in (the report can be dropped afterwards).
@@ -125,10 +192,31 @@ impl SweepSummary {
         self.trials += report.ylt.trials() as u64;
         self.yelt_rows += report.yelt_rows as u64;
         self.yelt_file_bytes += report.yelt_file_bytes;
-        self.tvar99_sum += report.measures.tvar99;
-        if report.measures.tvar99 >= self.tvar99_max || self.worst_scenario.is_none() {
-            self.tvar99_max = report.measures.tvar99;
+        let tvar = report.measures.tvar99;
+        if tvar.is_finite() {
+            self.tvar99_sum += tvar;
+            self.tvar99_finite += 1;
+        } else {
+            self.tvar99_non_finite += 1;
+        }
+        // Worst-scenario tracking needs an explicit NaN guard: with a
+        // plain `>=`, a NaN tvar99 in the first report would stick
+        // forever (every later `x >= NaN` is false). A NaN never
+        // displaces a comparable value; anything displaces a NaN.
+        let worse = match &self.worst_scenario {
+            None => true,
+            Some(_) => !tvar.is_nan() && (self.tvar99_max.is_nan() || tvar >= self.tvar99_max),
+        };
+        if worse {
+            self.tvar99_max = tvar;
             self.worst_scenario = Some(report.scenario_name.clone());
+        }
+        for &x in report.ylt.agg_losses() {
+            self.agg_stats.push(x);
+            self.aep.push(x);
+        }
+        for &x in report.ylt.max_occ_losses() {
+            self.oep.push(x);
         }
     }
 
@@ -137,7 +225,8 @@ impl SweepSummary {
         self.scenarios
     }
 
-    /// Total simulated trials across the sweep.
+    /// Total simulated trials across the sweep (the pooled sample
+    /// size behind every `pooled_*` metric).
     pub fn trials(&self) -> u64 {
         self.trials
     }
@@ -152,13 +241,21 @@ impl SweepSummary {
         self.yelt_file_bytes
     }
 
-    /// Mean TVaR99 across scenarios (0 when empty).
+    /// Mean TVaR99 across scenarios with a finite TVaR99 (0 when none;
+    /// non-finite scenarios are counted by
+    /// [`SweepSummary::non_finite_tvar99`] instead of poisoning the
+    /// mean).
     pub fn mean_tvar99(&self) -> f64 {
-        if self.scenarios == 0 {
+        if self.tvar99_finite == 0 {
             0.0
         } else {
-            self.tvar99_sum / self.scenarios as f64
+            self.tvar99_sum / self.tvar99_finite as f64
         }
+    }
+
+    /// How many folded reports carried a non-finite TVaR99.
+    pub fn non_finite_tvar99(&self) -> u64 {
+        self.tvar99_non_finite
     }
 
     /// The largest TVaR99 seen, with its scenario name.
@@ -166,6 +263,76 @@ impl SweepSummary {
         self.worst_scenario
             .as_deref()
             .map(|name| (name, self.tvar99_max))
+    }
+
+    /// Mean annual loss over the pooled sweep distribution (exact —
+    /// streaming Welford moments, not the sketch).
+    pub fn pooled_mean(&self) -> f64 {
+        self.agg_stats.mean()
+    }
+
+    /// Standard deviation of annual loss over the pooled sweep
+    /// distribution (exact).
+    pub fn pooled_sd(&self) -> f64 {
+        self.agg_stats.sd()
+    }
+
+    /// 99% VaR of the pooled annual aggregate loss (`None` when
+    /// empty).
+    pub fn pooled_var99(&self) -> Option<f64> {
+        (self.trials > 0).then(|| self.aep.quantile(0.99))
+    }
+
+    /// 99% TVaR of the pooled annual aggregate loss (`None` when
+    /// empty).
+    pub fn pooled_tvar99(&self) -> Option<f64> {
+        (self.trials > 0).then(|| self.aep.tail_mean(0.99))
+    }
+
+    /// Pooled aggregate (AEP) PML at a return period — `None` until
+    /// the pooled trial count can resolve it.
+    ///
+    /// # Panics
+    /// Panics unless `years > 1`.
+    pub fn pooled_pml(&self, years: f64) -> Option<f64> {
+        assert!(years > 1.0, "return period must exceed 1 year");
+        (self.trials as f64 >= years).then(|| self.aep.quantile(1.0 - 1.0 / years))
+    }
+
+    /// Pooled AEP curve points at the standard reporting return
+    /// periods the pooled trial count can resolve (one gather/sort of
+    /// the sketch's retained items, not one per point).
+    pub fn aep_points(&self) -> Vec<EpPoint> {
+        standard_points_from_batch(self.trials, |qs| self.aep.quantiles(qs))
+    }
+
+    /// Pooled OEP curve points (maximum-occurrence losses) at the
+    /// standard reporting return periods.
+    pub fn oep_points(&self) -> Vec<EpPoint> {
+        standard_points_from_batch(self.trials, |qs| self.oep.quantiles(qs))
+    }
+
+    /// Whether every pooled metric is still exact (no sketch
+    /// compaction has happened).
+    pub fn analytics_exact(&self) -> bool {
+        self.aep.is_exact() && self.oep.is_exact()
+    }
+
+    /// Worst-case rank error of the pooled quantile metrics as a
+    /// fraction of the pooled trial count (0 while exact) — the larger
+    /// of the two sketches' tracked bounds.
+    pub fn rank_error_bound(&self) -> f64 {
+        self.aep.rank_error_bound().max(self.oep.rank_error_bound())
+    }
+
+    /// The pooled annual-aggregate-loss sketch (AEP perspective).
+    pub fn aep_sketch(&self) -> &QuantileSketch {
+        &self.aep
+    }
+
+    /// The pooled maximum-occurrence-loss sketch (OEP perspective).
+    pub fn oep_sketch(&self) -> &QuantileSketch {
+        &self.oep
     }
 }
 
@@ -177,8 +344,34 @@ impl fmt::Display for SweepSummary {
         t.row(&["YELT rows".into(), self.yelt_rows.to_string()]);
         t.row(&["YELT file bytes".into(), self.yelt_file_bytes.to_string()]);
         t.row(&["mean TVaR99".into(), money(self.mean_tvar99())]);
+        if self.tvar99_non_finite > 0 {
+            t.row(&[
+                "non-finite TVaR99".into(),
+                self.tvar99_non_finite.to_string(),
+            ]);
+        }
         if let Some((name, tvar)) = self.worst() {
             t.row(&[format!("worst ({name})"), money(tvar)]);
+        }
+        if self.trials > 0 {
+            t.row(&["pooled mean".into(), money(self.pooled_mean())]);
+            t.row(&[
+                "pooled VaR99".into(),
+                money(self.pooled_var99().unwrap_or(f64::NAN)),
+            ]);
+            t.row(&[
+                "pooled TVaR99".into(),
+                money(self.pooled_tvar99().unwrap_or(f64::NAN)),
+            ]);
+            if let Some(pml) = self.pooled_pml(100.0) {
+                t.row(&["pooled AEP PML100".into(), money(pml)]);
+            }
+            let quality = if self.analytics_exact() {
+                "exact".into()
+            } else {
+                format!("sketched (rank err <= {:.4})", self.rank_error_bound())
+            };
+            t.row(&["pooled quantiles".into(), quality]);
         }
         write!(f, "{t}")
     }
@@ -216,5 +409,141 @@ mod tests {
         assert_eq!(money(1_000_000.25), "1,000,000.25");
         assert_eq!(money(-98765.4), "-98,765.40");
         assert_eq!(money(999.999), "1,000.00");
+    }
+
+    #[test]
+    fn money_renders_non_finite_explicitly() {
+        // Regression: NaN used to round-trip through `as u128` as 0 and
+        // render "0.00"; infinities saturated to a garbage integer.
+        assert_eq!(money(f64::NAN), "NaN");
+        assert_eq!(money(f64::INFINITY), "inf");
+        assert_eq!(money(f64::NEG_INFINITY), "-inf");
+        // Finite but beyond cent-resolution u128: scientific, not
+        // saturated.
+        assert_eq!(money(1e300), "1.000e300");
+        assert_eq!(money(-2.5e31), "-2.500e31");
+    }
+
+    /// A minimal report carrying the given TVaR99 and YLT columns.
+    fn report(name: &str, tvar99: f64, agg: &[f64]) -> crate::PipelineReport {
+        let trials = agg.len();
+        let mut ylt = riskpipe_tables::Ylt::zeroed(trials);
+        for (t, &x) in agg.iter().enumerate() {
+            ylt.set_trial(riskpipe_types::TrialId::new(t as u32), x, x / 2.0, 1);
+        }
+        let stage = |n| crate::StageTiming {
+            stage: n,
+            elapsed: std::time::Duration::ZERO,
+        };
+        crate::PipelineReport {
+            scenario_name: name.into(),
+            timings: [stage(1), stage(2), stage(3)],
+            elt_rows: 0,
+            yet_occurrences: 0,
+            yelt_rows: trials,
+            yelt_memory_bytes: 0,
+            yelt_file_bytes: 0,
+            ylt_encoded_bytes: 0,
+            measures: riskpipe_metrics::RiskMeasures {
+                mean: 0.0,
+                sd: 0.0,
+                var99: 0.0,
+                tvar99,
+                var996: 0.0,
+                oep_pml100: 0.0,
+            },
+            pml_100: None,
+            prob_ruin: 0.0,
+            mean_net_income: 0.0,
+            economic_capital: 0.0,
+            ylt,
+        }
+    }
+
+    #[test]
+    fn nan_tvar99_never_sticks_as_worst() {
+        // Regression: a NaN tvar99 in the first report used to stick as
+        // tvar99_max forever because every later `x >= NaN` is false.
+        let mut s = SweepSummary::new();
+        s.push(&report("poisoned", f64::NAN, &[1.0, 2.0]));
+        s.push(&report("real", 50.0, &[3.0, 4.0]));
+        s.push(&report("smaller", 10.0, &[5.0, 6.0]));
+        let (worst, tvar) = s.worst().expect("non-empty sweep");
+        assert_eq!(worst, "real");
+        assert_eq!(tvar, 50.0);
+        // The mean skips the poisoned scenario instead of going NaN,
+        // and the poisoning is surfaced.
+        assert_eq!(s.mean_tvar99(), 30.0);
+        assert_eq!(s.non_finite_tvar99(), 1);
+        let text = s.to_string();
+        assert!(text.contains("non-finite TVaR99"), "{text}");
+    }
+
+    #[test]
+    fn nan_only_sweep_still_reports_its_scenario() {
+        let mut s = SweepSummary::new();
+        s.push(&report("only", f64::NAN, &[1.0]));
+        let (worst, tvar) = s.worst().expect("non-empty sweep");
+        assert_eq!(worst, "only");
+        assert!(tvar.is_nan());
+        assert_eq!(s.mean_tvar99(), 0.0);
+    }
+
+    #[test]
+    fn infinite_tvar99_wins_worst_but_skips_the_mean() {
+        let mut s = SweepSummary::new();
+        s.push(&report("big", 80.0, &[1.0]));
+        s.push(&report("blown-up", f64::INFINITY, &[2.0]));
+        assert_eq!(s.worst().unwrap().0, "blown-up");
+        assert_eq!(s.mean_tvar99(), 80.0);
+        assert_eq!(s.non_finite_tvar99(), 1);
+    }
+
+    #[test]
+    fn pooled_analytics_match_exact_concatenation() {
+        use riskpipe_types::stats::{quantile_sorted, sort_f64, tail_mean_sorted};
+        let mut s = SweepSummary::new();
+        let a: Vec<f64> = (0..300).map(|i| ((i * 37) % 211) as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| ((i * 61) % 307) as f64 * 1.5).collect();
+        s.push(&report("a", 1.0, &a));
+        s.push(&report("b", 2.0, &b));
+        assert_eq!(s.trials(), 600);
+        assert!(s.analytics_exact());
+        let mut pooled: Vec<f64> = a.iter().chain(&b).copied().collect();
+        sort_f64(&mut pooled);
+        assert_eq!(
+            s.pooled_var99().unwrap().to_bits(),
+            quantile_sorted(&pooled, 0.99).to_bits()
+        );
+        assert_eq!(
+            s.pooled_tvar99().unwrap().to_bits(),
+            tail_mean_sorted(&pooled, 0.99).to_bits()
+        );
+        assert_eq!(
+            s.pooled_pml(100.0).unwrap().to_bits(),
+            quantile_sorted(&pooled, 1.0 - 1.0 / 100.0).to_bits()
+        );
+        // 600 pooled trials resolve return periods 2..=500.
+        let aep = s.aep_points();
+        assert_eq!(aep.len(), 8);
+        assert!(aep.windows(2).all(|w| w[1].loss >= w[0].loss));
+        let oep = s.oep_points();
+        assert_eq!(oep.len(), 8);
+        // The occurrence fixture is half the aggregate.
+        assert!((oep[3].loss - aep[3].loss / 2.0).abs() < 1e-9);
+        // Pooled moments are exact.
+        let stats: riskpipe_types::RunningStats = pooled.iter().copied().collect();
+        assert!((s.pooled_mean() - stats.mean()).abs() < 1e-9);
+        assert!((s.pooled_sd() - stats.sd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_has_no_pooled_metrics() {
+        let s = SweepSummary::new();
+        assert_eq!(s.pooled_var99(), None);
+        assert_eq!(s.pooled_tvar99(), None);
+        assert_eq!(s.pooled_pml(100.0), None);
+        assert!(s.aep_points().is_empty());
+        assert_eq!(s.rank_error_bound(), 0.0);
     }
 }

@@ -36,14 +36,15 @@
 
 use crate::config::{ScenarioConfig, Stage1Bundle};
 use crate::report::{money, TextTable};
+use crate::sink::ReportSink;
 use parking_lot::{Condvar, Mutex};
 use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind};
 use riskpipe_catmodel::Stage1Output;
 use riskpipe_dfa::{CompanyConfig, DfaEngine};
 use riskpipe_exec::ThreadPool;
-use riskpipe_metrics::{EpCurve, RiskMeasures};
+use riskpipe_metrics::{EpCurve, EpKind, RiskMeasures};
 use riskpipe_tables::{codec, shard, ScaleSpec, Yelt, Ylt};
-use riskpipe_types::{LocationId, RiskError, RiskResult, TrialId};
+use riskpipe_types::{LocationId, RiskError, RiskResult, RunningStats, TrialId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,6 +101,15 @@ pub trait IntermediateStore: Send + Sync {
     /// Persist one scenario's YELT; returns the bytes written to
     /// durable storage (0 for purely in-memory backends).
     fn persist_yelt(&self, label: RunLabel<'_>, yelt: &Yelt) -> RiskResult<u64>;
+
+    /// Persist one completed report's YLT and risk measures — the
+    /// sink-side artifact a [`PersistingSink`](crate::PersistingSink)
+    /// writes per delivered report so the report itself can drop.
+    /// Returns the bytes written durably; the default keeps nothing
+    /// (0), so existing custom backends compile unchanged.
+    fn persist_report(&self, _label: RunLabel<'_>, _report: &PipelineReport) -> RiskResult<u64> {
+        Ok(0)
+    }
 
     /// Remove everything this store persisted — all runs' artifacts —
     /// so long-lived sessions (whose successive runs each get their own
@@ -170,11 +180,12 @@ impl ShardedFilesStore {
     }
 
     /// Remove every spill this store has written under its directory:
-    /// the base store (manifest + shard files), per-slot `batch-NNN`
-    /// directories, and per-run `run-NNN` directories. Only recognised
-    /// store artifacts are touched — unrelated files a caller may keep
-    /// in the same directory survive. Missing directories are fine
-    /// (nothing was ever spilled).
+    /// the base store (manifest + shard files + persisted-report
+    /// artifacts), per-slot `batch-NNN` directories, and per-run
+    /// `run-NNN` directories. Only recognised store artifacts are
+    /// touched — unrelated files a caller may keep in the same
+    /// directory survive. Missing directories are fine (nothing was
+    /// ever spilled).
     pub fn clear_runs(&self) -> RiskResult<()> {
         let entries = match std::fs::read_dir(&self.dir) {
             Ok(entries) => entries,
@@ -191,6 +202,8 @@ impl ShardedFilesStore {
                     std::fs::remove_dir_all(&path)?;
                 }
             } else if name == "MANIFEST.txt"
+                || name == Self::YLT_FILE
+                || name == Self::MEASURES_FILE
                 || (name.starts_with("shard-") && name.ends_with(".rpt"))
             {
                 std::fs::remove_file(&path)?;
@@ -198,6 +211,12 @@ impl ShardedFilesStore {
         }
         Ok(())
     }
+
+    /// File name of a persisted report's encoded YLT within its run
+    /// directory.
+    pub const YLT_FILE: &'static str = "YLT.bin";
+    /// File name of a persisted report's rendered risk measures.
+    pub const MEASURES_FILE: &'static str = "MEASURES.txt";
 }
 
 impl IntermediateStore for ShardedFilesStore {
@@ -215,6 +234,22 @@ impl IntermediateStore for ShardedFilesStore {
         }
         let manifest = writer.finish()?;
         Ok(manifest.rows * riskpipe_tables::yellt::YELLT_BYTES_PER_ROW as u64)
+    }
+
+    fn persist_report(&self, label: RunLabel<'_>, report: &PipelineReport) -> RiskResult<u64> {
+        let dir = self.run_dir(label);
+        std::fs::create_dir_all(&dir)?;
+        let encoded = codec::encode_ylt(&report.ylt);
+        let measures = format!(
+            "scenario: {}\ntrials: {}\n{}\n",
+            report.scenario_name,
+            report.ylt.trials(),
+            report.measures
+        );
+        let bytes = (encoded.len() + measures.len()) as u64;
+        std::fs::write(dir.join(Self::YLT_FILE), &encoded)?;
+        std::fs::write(dir.join(Self::MEASURES_FILE), measures)?;
+        Ok(bytes)
     }
 
     fn clear_runs(&self) -> RiskResult<()> {
@@ -620,6 +655,13 @@ impl RiskSession {
     /// the shared pool, delivering each completed [`PipelineReport`] to
     /// `sink` **in input order** and dropping it afterwards.
     ///
+    /// The sink is anything implementing [`ReportSink`]: a
+    /// `FnMut(usize, PipelineReport) -> RiskResult<()>` closure (via
+    /// the blanket impl), a [`SweepSummary`](crate::SweepSummary)
+    /// accumulating pooled analytics, or a
+    /// [`PersistingSink`](crate::PersistingSink) writing each report
+    /// durably as it arrives.
+    ///
     /// In-flight scenarios are capped at the pool width, and a report
     /// that finishes ahead of a slower earlier slot waits in a reorder
     /// buffer no larger than that cap — so peak memory is O(pool width)
@@ -630,13 +672,16 @@ impl RiskSession {
     /// cannot leak between slots.
     ///
     /// Delivery happens on the calling thread (the sink needs neither
-    /// `Send` nor `Sync`). The first failing scenario's error — or the
-    /// first error the sink returns — aborts the sweep: no further
-    /// scenarios start, in-flight ones drain, and the error is
-    /// returned. On success, returns the number of reports delivered.
+    /// `Send` nor `Sync`), and the window only reopens once the sink
+    /// returns — a slow sink therefore backpressures the sweep rather
+    /// than letting reports pile up. The first failing scenario's
+    /// error — or the first error the sink returns — aborts the sweep:
+    /// no further scenarios start, in-flight ones drain, and the error
+    /// is returned. On success, returns the number of reports
+    /// delivered.
     pub fn run_stream<S>(&self, scenarios: &[ScenarioConfig], mut sink: S) -> RiskResult<usize>
     where
-        S: FnMut(usize, PipelineReport) -> RiskResult<()>,
+        S: ReportSink,
     {
         let n = scenarios.len();
         if n == 0 {
@@ -762,7 +807,7 @@ impl RiskSession {
                 for result in deliverable {
                     match result {
                         Ok(report) => {
-                            if let Err(e) = sink(delivered, report) {
+                            if let Err(e) = sink.accept(delivered, report) {
                                 failure = Some(e);
                             }
                         }
@@ -912,8 +957,18 @@ impl RiskSession {
             elapsed: t0.elapsed(),
         };
 
-        let measures = RiskMeasures::from_ylt(&ylt);
-        let ep = EpCurve::aggregate(&ylt);
+        // Sort each YLT loss column exactly once and share the buffers:
+        // RiskMeasures and the AEP curve used to re-sort the same
+        // losses independently (three sorts per report; now two).
+        let agg_sorted = ylt.sorted_agg_losses();
+        let occ_sorted = ylt.sorted_max_occ_losses();
+        let agg_stats: RunningStats = ylt.agg_losses().iter().copied().collect();
+        let measures = RiskMeasures::from_sorted(&agg_sorted, &occ_sorted, &agg_stats);
+        let pml_100 = if ylt.trials() >= 100 {
+            Some(EpCurve::from_sorted(EpKind::Aep, agg_sorted).pml(100.0))
+        } else {
+            None
+        };
         Ok(PipelineReport {
             scenario_name: scenario.name.clone(),
             timings: [stage1, stage2, stage3],
@@ -922,13 +977,9 @@ impl RiskSession {
             yelt_rows: yelt.rows(),
             yelt_memory_bytes: yelt.memory_bytes() as u64,
             yelt_file_bytes,
-            ylt_encoded_bytes: codec::encode_ylt(&ylt).len() as u64,
+            ylt_encoded_bytes: codec::encoded_ylt_len(ylt.trials()) as u64,
             measures,
-            pml_100: if ylt.trials() >= 100 {
-                Some(ep.pml(100.0))
-            } else {
-                None
-            },
+            pml_100,
             prob_ruin: dfa_result.prob_ruin(),
             mean_net_income: dfa_result.mean_net_income(),
             economic_capital: dfa_result.economic_capital(),

@@ -1,0 +1,164 @@
+//! Report sinks: where a streaming sweep's reports go.
+//!
+//! [`ReportSink`] is the consumer side of
+//! [`RiskSession::run_stream`](crate::RiskSession::run_stream). The
+//! sink runs on the *calling* thread, and the stream's in-flight
+//! window only reopens after the sink returns — so a slow sink (one
+//! persisting to disk, say) backpressures the sweep to its own pace
+//! instead of letting undelivered reports pile up. Three families of
+//! sink ship in-tree:
+//!
+//! * any `FnMut(usize, PipelineReport) -> RiskResult<()>` closure via
+//!   the blanket impl (note: rustc cannot infer closure *parameter*
+//!   types through a blanket impl, so a closure whose body needs the
+//!   report's type may have to annotate it: `|i, report:
+//!   PipelineReport| …`);
+//! * [`SweepSummary`]: folds each report into online pooled analytics
+//!   and drops it;
+//! * [`PersistingSink`]: writes each report's YLT and risk measures to
+//!   an [`IntermediateStore`] as it arrives, folds it into an embedded
+//!   [`SweepSummary`], and drops it — the ROADMAP's "persist reports
+//!   as they arrive" shape, with durable per-scenario artifacts plus
+//!   in-memory pooled analytics and nothing else retained.
+
+use crate::report::SweepSummary;
+use crate::session::{IntermediateStore, PipelineReport, RunLabel};
+use riskpipe_types::RiskResult;
+use std::sync::Arc;
+
+/// Consumes one streamed [`PipelineReport`] per scenario slot, in
+/// input order. See the module docs for the backpressure contract.
+pub trait ReportSink {
+    /// Accept slot `slot`'s report. Returning an error aborts the
+    /// sweep (no further scenarios start; in-flight ones drain).
+    /// Ownership transfers here: dropping the report on return is what
+    /// keeps a sweep's peak memory at O(pool width).
+    fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()>;
+}
+
+impl<F> ReportSink for F
+where
+    F: FnMut(usize, PipelineReport) -> RiskResult<()>,
+{
+    fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
+        self(slot, report)
+    }
+}
+
+impl ReportSink for SweepSummary {
+    fn accept(&mut self, _slot: usize, report: PipelineReport) -> RiskResult<()> {
+        self.push(&report);
+        Ok(())
+    }
+}
+
+impl ReportSink for &mut SweepSummary {
+    fn accept(&mut self, _slot: usize, report: PipelineReport) -> RiskResult<()> {
+        self.push(&report);
+        Ok(())
+    }
+}
+
+/// A sink that persists each report through
+/// [`IntermediateStore::persist_report`] the moment it is delivered,
+/// folds it into an embedded [`SweepSummary`], and drops it. The
+/// store write happens inline on the delivering thread, so storage
+/// throughput backpressures the sweep (the paper's data challenge:
+/// analytics must not outrun what the data layer can absorb).
+pub struct PersistingSink {
+    store: Arc<dyn IntermediateStore>,
+    run: u64,
+    summary: SweepSummary,
+    reports_persisted: u64,
+    bytes_persisted: u64,
+}
+
+impl PersistingSink {
+    /// A sink persisting through `store`, labelling artifacts as run 0.
+    ///
+    /// Successive sweeps through **one** store must be distinguished by
+    /// the caller: either give each sink its own run number via
+    /// [`PersistingSink::with_run`] or reclaim the previous sweep's
+    /// artifacts with the store's `clear_runs` first — two run-0 sinks
+    /// over the same backend write the same per-slot paths, and the
+    /// second sweep overwrites the first's artifacts.
+    pub fn new(store: Arc<dyn IntermediateStore>) -> Self {
+        Self {
+            store,
+            run: 0,
+            summary: SweepSummary::new(),
+            reports_persisted: 0,
+            bytes_persisted: 0,
+        }
+    }
+
+    /// Label persisted artifacts with a different run number (so
+    /// successive persisted sweeps through one store get disjoint
+    /// directories, mirroring [`RunLabel::run`]).
+    pub fn with_run(mut self, run: u64) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Replace the embedded summary (e.g. one built with a custom
+    /// sketch capacity via [`SweepSummary::with_sketch_k`]).
+    pub fn with_summary(mut self, summary: SweepSummary) -> Self {
+        self.summary = summary;
+        self
+    }
+
+    /// The pooled analytics accumulated so far.
+    pub fn summary(&self) -> &SweepSummary {
+        &self.summary
+    }
+
+    /// Consume the sink, keeping the pooled analytics.
+    pub fn into_summary(self) -> SweepSummary {
+        self.summary
+    }
+
+    /// Reports persisted so far.
+    pub fn reports_persisted(&self) -> u64 {
+        self.reports_persisted
+    }
+
+    /// Bytes the store reported writing durably (0 for in-memory
+    /// backends).
+    pub fn bytes_persisted(&self) -> u64 {
+        self.bytes_persisted
+    }
+}
+
+impl std::fmt::Debug for PersistingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistingSink")
+            .field("store", &self.store.name())
+            .field("run", &self.run)
+            .field("reports_persisted", &self.reports_persisted)
+            .field("bytes_persisted", &self.bytes_persisted)
+            .finish()
+    }
+}
+
+impl ReportSink for PersistingSink {
+    fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
+        let bytes = self.store.persist_report(
+            RunLabel {
+                scenario: &report.scenario_name,
+                slot: Some(slot),
+                run: self.run,
+            },
+            &report,
+        )?;
+        self.bytes_persisted += bytes;
+        self.reports_persisted += 1;
+        self.summary.push(&report);
+        Ok(())
+    }
+}
+
+impl ReportSink for &mut PersistingSink {
+    fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
+        ReportSink::accept(&mut **self, slot, report)
+    }
+}

@@ -10,6 +10,54 @@
 use riskpipe_tables::Ylt;
 use riskpipe_types::stats::quantile_sorted;
 
+/// The standard reporting return periods (years) EP tables are sampled
+/// at.
+pub const STANDARD_RETURN_PERIODS: [f64; 8] = [2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0];
+
+/// Sample [`EpPoint`]s at every standard return period `trials` can
+/// resolve, pulling losses from any quantile function — an exact
+/// sorted sample ([`EpCurve::standard_points`]) or a streaming sketch
+/// pooled across a sweep
+/// ([`QuantileSketch::quantile`](crate::QuantileSketch::quantile)).
+pub fn standard_points_from(trials: u64, mut loss_at_q: impl FnMut(f64) -> f64) -> Vec<EpPoint> {
+    standard_points_from_batch(trials, |qs| qs.iter().map(|&q| loss_at_q(q)).collect())
+}
+
+/// Batched variant of [`standard_points_from`]: the source receives
+/// every quantile level in one call, for sources where a batch query
+/// amortises setup — a sketch's
+/// [`quantiles`](crate::QuantileSketch::quantiles) gathers and sorts
+/// its retained items once instead of once per point. Not called at
+/// all when `trials` resolves no standard return period.
+pub fn standard_points_from_batch(
+    trials: u64,
+    batch_loss_at_q: impl FnOnce(&[f64]) -> Vec<f64>,
+) -> Vec<EpPoint> {
+    let rps: Vec<f64> = STANDARD_RETURN_PERIODS
+        .iter()
+        .copied()
+        .filter(|&rp| rp <= trials as f64)
+        .collect();
+    if rps.is_empty() {
+        return Vec::new();
+    }
+    let qs: Vec<f64> = rps.iter().map(|&rp| 1.0 - 1.0 / rp).collect();
+    let losses = batch_loss_at_q(&qs);
+    assert_eq!(
+        losses.len(),
+        qs.len(),
+        "batch source must answer every level"
+    );
+    rps.into_iter()
+        .zip(losses)
+        .map(|(rp, loss)| EpPoint {
+            return_period: rp,
+            probability: 1.0 / rp,
+            loss,
+        })
+        .collect()
+}
+
 /// Which loss perspective a curve is built from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EpKind {
@@ -59,10 +107,20 @@ impl EpCurve {
     pub fn from_losses(kind: EpKind, mut losses: Vec<f64>) -> Self {
         assert!(!losses.is_empty(), "EP curve needs at least one loss");
         losses.sort_unstable_by(f64::total_cmp);
-        Self {
-            kind,
-            sorted: losses,
-        }
+        Self::from_sorted(kind, losses)
+    }
+
+    /// Build from an already-sorted (ascending, `total_cmp` order) loss
+    /// sample without re-sorting — the report path sorts each YLT
+    /// column once and shares the buffer between [`EpCurve`] and
+    /// [`RiskMeasures`](crate::RiskMeasures).
+    pub fn from_sorted(kind: EpKind, sorted: Vec<f64>) -> Self {
+        assert!(!sorted.is_empty(), "EP curve needs at least one loss");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "losses must be sorted ascending"
+        );
+        Self { kind, sorted }
     }
 
     /// The curve's perspective.
@@ -101,16 +159,9 @@ impl EpCurve {
     /// The curve sampled at standard reporting return periods
     /// (those not exceeding the trial count).
     pub fn standard_points(&self) -> Vec<EpPoint> {
-        const STANDARD_RPS: [f64; 8] = [2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0];
-        STANDARD_RPS
-            .iter()
-            .filter(|&&rp| rp <= self.sorted.len() as f64)
-            .map(|&rp| EpPoint {
-                return_period: rp,
-                probability: 1.0 / rp,
-                loss: self.loss_at_return_period(rp),
-            })
-            .collect()
+        standard_points_from(self.sorted.len() as u64, |q| {
+            quantile_sorted(&self.sorted, q)
+        })
     }
 
     /// The full curve as `n` evenly spaced quantile points (for
@@ -215,5 +266,23 @@ mod tests {
     #[should_panic]
     fn empty_losses_panic() {
         EpCurve::from_losses(EpKind::Aep, vec![]);
+    }
+
+    #[test]
+    fn from_sorted_matches_from_losses() {
+        let losses: Vec<f64> = (0..200).map(|i| ((i * 37) % 97) as f64).collect();
+        let a = EpCurve::from_losses(EpKind::Aep, losses.clone());
+        let b = EpCurve::from_sorted(EpKind::Aep, a.sorted_losses().to_vec());
+        assert_eq!(a.pml(50.0).to_bits(), b.pml(50.0).to_bits());
+        assert_eq!(a.standard_points(), b.standard_points());
+    }
+
+    #[test]
+    fn standard_points_from_any_quantile_source() {
+        let curve = EpCurve::aggregate(&ylt_linear(300));
+        let via_helper = standard_points_from(300, |q| quantile_sorted(curve.sorted_losses(), q));
+        assert_eq!(via_helper, curve.standard_points());
+        let rps: Vec<f64> = via_helper.iter().map(|p| p.return_period).collect();
+        assert_eq!(rps, vec![2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0]);
     }
 }

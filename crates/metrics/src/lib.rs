@@ -13,7 +13,11 @@
 //!   and bootstrap confidence intervals;
 //! * **convergence diagnostics** ([`ConvergenceStudy`]): how metric
 //!   estimates stabilise with trial count — the justification for the
-//!   paper's "the more simulation trials you can run, the better".
+//!   paper's "the more simulation trials you can run, the better";
+//! * **streaming quantile sketch** ([`QuantileSketch`]): a mergeable,
+//!   deterministic fixed-memory summary so sweeps pool EP/VaR/TVaR
+//!   across thousands of scenarios without retaining any per-scenario
+//!   YLT (exact small-n path, bounded-error sketched path).
 
 #![warn(missing_docs)]
 
@@ -21,8 +25,13 @@ mod bootstrap;
 pub mod convergence;
 mod ep;
 mod measures;
+mod sketch;
 
 pub use bootstrap::{bootstrap_ci, BootstrapConfig};
 pub use convergence::{ConvergenceRow, ConvergenceStudy, Metric};
-pub use ep::{EpCurve, EpKind, EpPoint};
+pub use ep::{
+    standard_points_from, standard_points_from_batch, EpCurve, EpKind, EpPoint,
+    STANDARD_RETURN_PERIODS,
+};
 pub use measures::{tvar, tvar_sorted, var, var_sorted, RiskMeasures};
+pub use sketch::QuantileSketch;

@@ -55,13 +55,27 @@ impl RiskMeasures {
         let agg = ylt.sorted_agg_losses();
         let occ = ylt.sorted_max_occ_losses();
         let stats: riskpipe_types::RunningStats = ylt.agg_losses().iter().copied().collect();
+        Self::from_sorted(&agg, &occ, &stats)
+    }
+
+    /// Compute the bundle from already-sorted loss columns plus running
+    /// moments over the *unsorted* aggregate column (Welford order
+    /// matters for bit-stability). Lets the report path sort each YLT
+    /// column exactly once and share the buffers with
+    /// [`EpCurve::from_sorted`](crate::EpCurve::from_sorted) instead of
+    /// every consumer re-sorting the same losses.
+    pub fn from_sorted(
+        agg_sorted: &[f64],
+        occ_sorted: &[f64],
+        agg_stats: &riskpipe_types::RunningStats,
+    ) -> Self {
         Self {
-            mean: stats.mean(),
-            sd: stats.sd(),
-            var99: var_sorted(&agg, 0.99),
-            tvar99: tvar_sorted(&agg, 0.99),
-            var996: var_sorted(&agg, 0.996),
-            oep_pml100: quantile_sorted(&occ, 1.0 - 1.0 / 100.0),
+            mean: agg_stats.mean(),
+            sd: agg_stats.sd(),
+            var99: var_sorted(agg_sorted, 0.99),
+            tvar99: tvar_sorted(agg_sorted, 0.99),
+            var996: var_sorted(agg_sorted, 0.996),
+            oep_pml100: quantile_sorted(occ_sorted, 1.0 - 1.0 / 100.0),
         }
     }
 }
@@ -121,6 +135,34 @@ mod tests {
         let mut losses: Vec<f64> = (0..100).map(|i| i as f64).collect();
         losses.reverse();
         assert_eq!(var(&losses, 0.5), 49.5);
+    }
+
+    #[test]
+    fn from_sorted_matches_from_ylt_bitwise() {
+        let mut ylt = Ylt::zeroed(500);
+        for t in 0..500 {
+            ylt.set_trial(
+                TrialId::new(t as u32),
+                ((t * 31) % 499) as f64,
+                (t % 97) as f64,
+                1,
+            );
+        }
+        let whole = RiskMeasures::from_ylt(&ylt);
+        let agg = ylt.sorted_agg_losses();
+        let occ = ylt.sorted_max_occ_losses();
+        let stats: riskpipe_types::RunningStats = ylt.agg_losses().iter().copied().collect();
+        let shared = RiskMeasures::from_sorted(&agg, &occ, &stats);
+        for (a, b) in [
+            (whole.mean, shared.mean),
+            (whole.sd, shared.sd),
+            (whole.var99, shared.var99),
+            (whole.tvar99, shared.tvar99),
+            (whole.var996, shared.var996),
+            (whole.oep_pml100, shared.oep_pml100),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -337,6 +337,16 @@ pub fn encode_ylt(ylt: &Ylt) -> Bytes {
     frame(TableKind::Ylt, &p)
 }
 
+/// The exact size [`encode_ylt`] produces for a YLT of `trials` rows,
+/// without materialising the encoding. The format is uncompressed —
+/// frame header, three length-prefixed columns (two `f64`, one `u32`)
+/// — so the size is a pure function of the trial count; reports that
+/// only need the byte count (sizing tables, memory-vs-file
+/// comparisons) use this instead of a throwaway encode.
+pub const fn encoded_ylt_len(trials: usize) -> usize {
+    HEADER_BYTES + 3 * 8 + trials * (8 + 8 + 4)
+}
+
 /// Decode a YLT frame.
 pub fn decode_ylt(data: &[u8]) -> RiskResult<Ylt> {
     let (kind, payload, _) = unframe(data)?;
@@ -469,6 +479,18 @@ mod tests {
         }
         let back = decode_ylt(&encode_ylt(&ylt)).unwrap();
         assert_eq!(back, ylt);
+    }
+
+    #[test]
+    fn encoded_ylt_len_matches_actual_encoding() {
+        for trials in [0usize, 1, 10, 500] {
+            let ylt = Ylt::zeroed(trials);
+            assert_eq!(
+                encode_ylt(&ylt).len(),
+                encoded_ylt_len(trials),
+                "trials={trials}"
+            );
+        }
     }
 
     #[test]

@@ -42,14 +42,21 @@ impl KahanSum {
     }
 
     /// Add a term (Neumaier's variant, robust when the term exceeds the
-    /// running sum in magnitude).
+    /// running sum in magnitude). Non-finite totals carry through with
+    /// IEEE semantics: without the guard, the compensation term would
+    /// evaluate `inf - inf = NaN` and turn a legitimately infinite sum
+    /// into `NaN`.
     #[inline]
     pub fn add(&mut self, value: f64) {
         let t = self.sum + value;
-        if self.sum.abs() >= value.abs() {
-            self.compensation += (self.sum - t) + value;
+        if t.is_finite() {
+            if self.sum.abs() >= value.abs() {
+                self.compensation += (self.sum - t) + value;
+            } else {
+                self.compensation += (value - t) + self.sum;
+            }
         } else {
-            self.compensation += (value - t) + self.sum;
+            self.compensation = 0.0;
         }
         self.sum = t;
     }
@@ -126,6 +133,25 @@ mod tests {
         k.add(1.0);
         k.add(-1e100);
         assert_eq!(k.total(), 1.0);
+    }
+
+    #[test]
+    fn non_finite_terms_keep_ieee_semantics() {
+        // Regression: the Neumaier compensation used to compute
+        // `inf - inf = NaN`, reporting NaN for a sum that is
+        // legitimately infinite.
+        let mut k = KahanSum::new();
+        k.add(1.0);
+        k.add(f64::INFINITY);
+        k.add(2.0);
+        assert_eq!(k.total(), f64::INFINITY);
+        let mut opposed = KahanSum::from_value(f64::INFINITY);
+        opposed.add(f64::NEG_INFINITY);
+        assert!(opposed.total().is_nan(), "inf + -inf is NaN in IEEE");
+        let mut nan = KahanSum::new();
+        nan.add(f64::NAN);
+        nan.add(5.0);
+        assert!(nan.total().is_nan());
     }
 
     #[test]

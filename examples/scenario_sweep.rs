@@ -14,7 +14,12 @@
 //! * the stage-1 cache: every scenario here shares one catalogue
 //!   fingerprint (only the attachment factor varies), so the expensive
 //!   model run — catalogue, ELTs, YET — happens once and the hit/miss
-//!   counters prove it.
+//!   counters prove it;
+//! * sweep analytics over the *pooled* distribution: `SweepSummary` is
+//!   itself a `ReportSink` folding every trial of every scenario into
+//!   mergeable quantile sketches, so the sweep reports pooled AEP/OEP
+//!   points, VaR99/TVaR99 and PML without retaining a single
+//!   per-scenario YLT.
 
 use riskpipe::core::SweepSummary;
 use riskpipe::prelude::*;
@@ -47,7 +52,7 @@ fn main() -> RiskResult<()> {
     // drop — nothing accumulates.
     println!("\nstreaming {} scenarios (callback form):", sweep.len());
     let mut summary = SweepSummary::new();
-    session.run_stream(&sweep, |i, report| {
+    session.run_stream(&sweep, |i, report: PipelineReport| {
         println!(
             "  [{i:>2}] {:<12} TVaR99 {:>16.0}  (stage 1 {:>6.1} ms)",
             report.scenario_name,
@@ -59,6 +64,24 @@ fn main() -> RiskResult<()> {
     })?;
     println!("\n{summary}");
 
+    // The summary pooled every trial of every scenario while the
+    // reports dropped: full cross-sweep EP analytics, O(sketch) memory.
+    println!(
+        "pooled AEP curve over {} trials ({}):",
+        summary.trials(),
+        if summary.analytics_exact() {
+            "exact".to_string()
+        } else {
+            format!("sketched, rank err <= {:.4}", summary.rank_error_bound())
+        }
+    );
+    for p in summary.aep_points() {
+        println!(
+            "  {:>5.0}y (p={:<6.4})  loss {:>16.0}",
+            p.return_period, p.probability, p.loss
+        );
+    }
+
     let stats = session.stage1_cache_stats();
     println!(
         "\nstage-1 cache: {} miss(es), {} hit(s) — the catalogue, ELTs and \
@@ -68,6 +91,25 @@ fn main() -> RiskResult<()> {
         stats.misses,
         sweep.len()
     );
+
+    // Persisting form: each report's YLT + measures land in an
+    // IntermediateStore the moment the report is delivered, then the
+    // report drops — durable per-scenario artifacts, pooled analytics,
+    // O(pool width) memory, and storage throughput backpressures the
+    // sweep.
+    let spill = std::env::temp_dir().join("riskpipe-sweep-example");
+    let _ = std::fs::remove_dir_all(&spill);
+    let store = Arc::new(riskpipe::core::ShardedFilesStore::new(&spill, 2)?);
+    let mut sink = PersistingSink::new(store.clone());
+    session.run_stream(&sweep, &mut sink)?;
+    println!(
+        "\npersisting sink: {} reports, {} bytes under {}",
+        sink.reports_persisted(),
+        sink.bytes_persisted(),
+        spill.display()
+    );
+    store.clear_runs()?;
+    std::fs::remove_dir_all(&spill).ok();
 
     // Iterator form: same sweep, consumed lazily; dropping the iterator
     // early would cancel the remainder.

@@ -74,11 +74,12 @@ pub mod prelude {
     pub use riskpipe_catmodel::Stage1Output;
     pub use riskpipe_cloud::{pipeline_week, simulate, PipelineWeekSpec, SimConfig};
     pub use riskpipe_core::{
-        DataStrategy, IntermediateStore, PipelineConfig, PipelineReport, ReportStream, RiskSession,
-        RiskSessionBuilder, ScenarioConfig, Stage1CacheStats, SweepSummary,
+        DataStrategy, IntermediateStore, PersistingSink, PipelineConfig, PipelineReport,
+        ReportSink, ReportStream, RiskSession, RiskSessionBuilder, ScenarioConfig,
+        Stage1CacheStats, SweepSummary,
     };
     pub use riskpipe_dfa::{AllocationMethod, EnterpriseRollup};
-    pub use riskpipe_metrics::EpCurve;
+    pub use riskpipe_metrics::{EpCurve, EpPoint, QuantileSketch};
     pub use riskpipe_tables::{Elt, Ylt};
     pub use riskpipe_types::{RiskError, RiskResult};
     pub use riskpipe_warehouse::{LevelSelect, Query, Schema, Warehouse};

@@ -114,6 +114,57 @@ fn golden_metrics_hold_through_streaming_and_cache() -> RiskResult<()> {
     Ok(())
 }
 
+// Pooled sweep analytics over GOLDEN_SWEEP_SCENARIOS copies of the
+// golden scenario (1500 pooled trials — inside the sketch's exact
+// path), pinned from the same reference run.
+const GOLDEN_SWEEP_SCENARIOS: usize = 3;
+const GOLDEN_POOLED_VAR99_BITS: u64 = 0x41A3_46E9_61CE_AC2F; // 161_707_184.903…
+const GOLDEN_POOLED_TVAR99_BITS: u64 = 0x41A7_ABEB_4E97_BBBA; // 198_571_431.296…
+const GOLDEN_POOLED_PML100_BITS: u64 = 0x41A3_46E9_61CE_AC2F; // 161_707_184.903…
+
+#[test]
+fn golden_pooled_sweep_analytics_pinned() -> RiskResult<()> {
+    // The pooled sweep distribution must be as reproducible as the
+    // per-scenario metrics: same bits on any thread count, streaming
+    // or batch, with no per-scenario YLT retained by the summary.
+    for threads in [1usize, 4] {
+        let session = RiskSession::builder().pool_threads(threads).build()?;
+        let sweep: Vec<ScenarioConfig> = (0..GOLDEN_SWEEP_SCENARIOS)
+            .map(|_| golden_scenario())
+            .collect();
+        let mut summary = riskpipe::core::SweepSummary::new();
+        session.run_stream(&sweep, &mut summary)?;
+        assert_eq!(summary.trials(), 1500);
+        assert!(summary.analytics_exact());
+        let context = format!("pooled sweep on {threads} threads");
+        for (name, got, want) in [
+            (
+                "pooled_var99",
+                summary.pooled_var99().unwrap().to_bits(),
+                GOLDEN_POOLED_VAR99_BITS,
+            ),
+            (
+                "pooled_tvar99",
+                summary.pooled_tvar99().unwrap().to_bits(),
+                GOLDEN_POOLED_TVAR99_BITS,
+            ),
+            (
+                "pooled_pml100",
+                summary.pooled_pml(100.0).unwrap().to_bits(),
+                GOLDEN_POOLED_PML100_BITS,
+            ),
+        ] {
+            assert_eq!(
+                got,
+                want,
+                "{context}: {name} drifted (got bits 0x{got:016X}, f64 {})",
+                f64::from_bits(got)
+            );
+        }
+    }
+    Ok(())
+}
+
 #[test]
 #[ignore = "probe: prints the golden values to pin after an intentional numerical change"]
 fn print_golden_values() -> RiskResult<()> {
@@ -133,6 +184,18 @@ fn print_golden_values() -> RiskResult<()> {
         ("tvar99", r.measures.tvar99),
         ("var996", r.measures.var996),
         ("oep_pml100", r.measures.oep_pml100),
+    ] {
+        println!("{name:15} 0x{:016X} // {v:?}", v.to_bits());
+    }
+    let sweep: Vec<ScenarioConfig> = (0..GOLDEN_SWEEP_SCENARIOS)
+        .map(|_| golden_scenario())
+        .collect();
+    let mut summary = riskpipe::core::SweepSummary::new();
+    session.run_stream(&sweep, &mut summary)?;
+    for (name, v) in [
+        ("pooled_var99", summary.pooled_var99().unwrap()),
+        ("pooled_tvar99", summary.pooled_tvar99().unwrap()),
+        ("pooled_pml100", summary.pooled_pml(100.0).unwrap()),
     ] {
         println!("{name:15} 0x{:016X} // {v:?}", v.to_bits());
     }

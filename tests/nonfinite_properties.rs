@@ -1,0 +1,200 @@
+//! Property tests for non-finite propagation and merge equivalence in
+//! the statistics primitives behind sweep analytics: `quantile_sorted`
+//! / `tail_mean_sorted` (total_cmp ordering must surface NaN/inf, not
+//! hide it), `RunningStats::merge` (chunked == single-stream, poison
+//! propagates), and the `QuantileSketch` (exact-path bit-equivalence
+//! to the sorted helpers under any chunking, deterministic sketched
+//! path within its tracked rank-error bound).
+//!
+//! The vendored proptest shim derives its case stream from the test
+//! name, so these are deterministic: a passing run passes everywhere.
+
+use proptest::prelude::*;
+use riskpipe::metrics::QuantileSketch;
+use riskpipe::types::stats::{quantile_sorted, sort_f64, tail_mean_sorted};
+use riskpipe::types::RunningStats;
+
+/// Deterministic pseudo-random finite losses (heavy-ish tail).
+fn losses(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = ((i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(salt)
+                >> 33) as f64;
+            (x % 100_003.0) * 1.7
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // ---- quantile_sorted / tail_mean_sorted -------------------------
+
+    #[test]
+    fn nan_sorts_last_and_owns_the_top_quantile(
+        n in 2usize..60,
+        nans in 1usize..4,
+        salt in any::<u64>(),
+    ) {
+        let mut xs = losses(n, salt);
+        xs.extend(std::iter::repeat_n(f64::NAN, nans));
+        sort_f64(&mut xs);
+        // total_cmp puts every NaN at the end…
+        prop_assert!(xs[xs.len() - nans..].iter().all(|x| x.is_nan()));
+        prop_assert!(xs[..xs.len() - nans].iter().all(|x| !x.is_nan()));
+        // …so the maximum quantile is NaN (poison is visible)…
+        prop_assert!(quantile_sorted(&xs, 1.0).is_nan());
+        // …while quantiles strictly inside the finite block are clean.
+        let clean_q = (n as f64 - 1.5) / (xs.len() - 1) as f64;
+        prop_assert!(!quantile_sorted(&xs, clean_q.max(0.0)).is_nan());
+        // Any tail window reaching the NaN block is NaN, including the
+        // whole-sample mean.
+        prop_assert!(tail_mean_sorted(&xs, 0.0).is_nan());
+        prop_assert!(tail_mean_sorted(&xs, 1.0).is_nan());
+    }
+
+    #[test]
+    fn infinity_dominates_top_quantiles_without_poisoning_low_ones(
+        n in 4usize..60,
+        salt in any::<u64>(),
+    ) {
+        let mut xs = losses(n, salt);
+        xs.push(f64::INFINITY);
+        xs.push(f64::NEG_INFINITY);
+        sort_f64(&mut xs);
+        prop_assert_eq!(quantile_sorted(&xs, 0.0), f64::NEG_INFINITY);
+        prop_assert_eq!(quantile_sorted(&xs, 1.0), f64::INFINITY);
+        prop_assert!(quantile_sorted(&xs, 0.5).is_finite());
+        // A tail containing +inf has an infinite conditional mean.
+        prop_assert_eq!(tail_mean_sorted(&xs, 1.0), f64::INFINITY);
+    }
+
+    // ---- RunningStats::merge ---------------------------------------
+
+    #[test]
+    fn running_stats_merge_matches_single_stream_for_any_chunking(
+        n in 1usize..400,
+        chunk in 1usize..97,
+        salt in any::<u64>(),
+    ) {
+        let xs = losses(n, salt);
+        let whole: RunningStats = xs.iter().copied().collect();
+        let mut merged = RunningStats::new();
+        for part in xs.chunks(chunk) {
+            let s: RunningStats = part.iter().copied().collect();
+            merged.merge(&s);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        let scale = whole.mean().abs().max(1.0);
+        prop_assert!((merged.mean() - whole.mean()).abs() / scale < 1e-10);
+        prop_assert!(
+            (merged.variance() - whole.variance()).abs() / scale.powi(2).max(1.0) < 1e-8
+        );
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
+    fn running_stats_nan_poisons_mean_in_any_merge_order(
+        n in 1usize..50,
+        salt in any::<u64>(),
+    ) {
+        let clean: RunningStats = losses(n, salt).into_iter().collect();
+        let mut poisoned = RunningStats::new();
+        poisoned.push(f64::NAN);
+        // Pushing NaN makes the mean NaN…
+        prop_assert!(poisoned.mean().is_nan());
+        // …and merge propagates it regardless of direction.
+        let mut a = clean;
+        a.merge(&poisoned);
+        prop_assert!(a.mean().is_nan());
+        let mut b = poisoned;
+        b.merge(&clean);
+        prop_assert!(b.mean().is_nan());
+    }
+
+    // ---- QuantileSketch --------------------------------------------
+
+    #[test]
+    fn exact_sketch_equals_sorted_helpers_under_any_chunking(
+        n in 1usize..500,
+        chunk in 1usize..120,
+        q in 0.0..1.0f64,
+        salt in any::<u64>(),
+    ) {
+        let xs = losses(n, salt);
+        let mut sorted = xs.clone();
+        sort_f64(&mut sorted);
+        // Merge per-chunk sketches (any chunking) into one.
+        let mut merged = QuantileSketch::new(1024);
+        for part in xs.chunks(chunk) {
+            let mut sk = QuantileSketch::new(1024);
+            sk.extend(part);
+            merged.merge(&sk);
+        }
+        // 500 < 1024: the union never compacts, so the sketch is exact
+        // and BIT-identical to the batch helpers however it was fed.
+        prop_assert!(merged.is_exact());
+        prop_assert_eq!(
+            merged.quantile(q).to_bits(),
+            quantile_sorted(&sorted, q).to_bits()
+        );
+        prop_assert_eq!(
+            merged.tail_mean(q).to_bits(),
+            tail_mean_sorted(&sorted, q).to_bits()
+        );
+    }
+
+    #[test]
+    fn sketched_path_is_deterministic_and_within_its_bound(
+        chunk in 16usize..300,
+        q in 0.0..1.0f64,
+        salt in any::<u64>(),
+    ) {
+        let n = 6_000usize;
+        let xs = losses(n, salt);
+        let build = || {
+            let mut whole = QuantileSketch::new(64);
+            for part in xs.chunks(chunk) {
+                let mut sk = QuantileSketch::new(64);
+                sk.extend(part);
+                whole.merge(&sk);
+            }
+            whole
+        };
+        let a = build();
+        // Same pushes + same merge order: bit-identical estimates.
+        prop_assert_eq!(a.quantile(q).to_bits(), build().quantile(q).to_bits());
+        prop_assert_eq!(a.count(), n as u64);
+        prop_assert!(!a.is_exact());
+        // The estimate's true rank honours the tracked worst-case
+        // bound.
+        let mut sorted = xs.clone();
+        sort_f64(&mut sorted);
+        let est = a.quantile(q);
+        let lo = sorted.partition_point(|&v| v < est) as f64;
+        let hi = sorted.partition_point(|&v| v <= est) as f64;
+        let want = q * (n - 1) as f64;
+        let bound = a.rank_error_bound() * n as f64 + 1.0;
+        // The true rank of `est` is anywhere in [lo, hi] (ties).
+        let err = if want < lo { lo - want } else if want > hi { want - hi } else { 0.0 };
+        prop_assert!(err <= bound, "q={q}: rank err {err} > bound {bound}");
+    }
+
+    #[test]
+    fn sketch_propagates_non_finite_like_the_batch_helpers(
+        n in 1usize..200,
+        salt in any::<u64>(),
+    ) {
+        let mut sk = QuantileSketch::new(64);
+        sk.extend(&losses(n, salt));
+        sk.push(f64::NAN);
+        sk.push(f64::INFINITY);
+        prop_assert!(sk.max().is_nan());
+        prop_assert!(sk.quantile(1.0).is_nan());
+        prop_assert!(sk.tail_mean(1.0).is_nan());
+        prop_assert!(sk.quantile(0.0).is_finite());
+    }
+}

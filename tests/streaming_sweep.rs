@@ -1,9 +1,13 @@
 //! The streaming execution contract: `run_stream` (and the iterator
 //! adapter) deliver input-ordered reports bit-identical to `run_batch`
-//! and to solo `run` calls on any thread count, and the shared stage-1
-//! cache rebuilds the model run exactly once per distinct key.
+//! and to solo `run` calls on any thread count, the shared stage-1
+//! cache rebuilds the model run exactly once per distinct key, and
+//! sweep sinks (`SweepSummary`, `PersistingSink`) produce pooled
+//! analytics / durable artifacts without retaining per-scenario YLTs.
 
-use riskpipe::core::{ReportStream, RiskSession, ScenarioConfig, SweepSummary};
+use riskpipe::core::{
+    PersistingSink, ReportStream, RiskSession, ScenarioConfig, ShardedFilesStore, SweepSummary,
+};
 use riskpipe::types::{RiskError, RiskResult};
 use std::sync::Arc;
 
@@ -184,11 +188,9 @@ fn iterator_surfaces_errors_in_band() -> RiskResult<()> {
 fn sweep_summary_accumulates_without_retaining_reports() -> RiskResult<()> {
     let scenarios = pricing_sweep(150, 5);
     let session = RiskSession::builder().pool_threads(2).build()?;
+    // A SweepSummary *is* a ReportSink: pass it straight in.
     let mut summary = SweepSummary::new();
-    session.run_stream(&scenarios, |_, report| {
-        summary.push(&report);
-        Ok(())
-    })?;
+    session.run_stream(&scenarios, &mut summary)?;
     assert_eq!(summary.scenarios(), 5);
     assert_eq!(summary.trials(), 5 * 300);
     assert!(summary.mean_tvar99() > 0.0);
@@ -196,8 +198,135 @@ fn sweep_summary_accumulates_without_retaining_reports() -> RiskResult<()> {
     // Lower attachments retain more loss: attach-0 is the worst book.
     assert_eq!(worst, "attach-0");
     assert!(tvar >= summary.mean_tvar99());
+    // Pooled analytics over all 1500 trials came along for free.
+    assert!(summary.analytics_exact());
+    assert!(summary.pooled_tvar99().unwrap() >= summary.pooled_var99().unwrap());
     let text = summary.to_string();
     assert!(text.contains("scenarios"), "{text}");
+    assert!(text.contains("pooled TVaR99"), "{text}");
+    Ok(())
+}
+
+/// The tentpole contract: a sweep of >= 8 scenarios yields pooled
+/// AEP/OEP points, VaR99/TVaR99 and PML over the pooled distribution
+/// through `SweepSummary`, bit-identical on 1/2/8 threads, and equal
+/// to the exact computation over the concatenated (batch-collected)
+/// losses — while the streaming path dropped every report after its
+/// sink call.
+#[test]
+fn pooled_sweep_analytics_bit_identical_across_threads() -> RiskResult<()> {
+    use riskpipe::types::stats::{quantile_sorted, sort_f64, tail_mean_sorted};
+    let scenarios = pricing_sweep(170, 8);
+
+    // Exact reference: pool every trial of every report from a batch
+    // run (which retains YLTs) and sort once.
+    let reference_session = RiskSession::builder().pool_threads(1).build()?;
+    let reports = reference_session.run_batch(&scenarios)?;
+    let mut pooled: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| r.ylt.agg_losses().iter().copied())
+        .collect();
+    sort_f64(&mut pooled);
+    let want_var99 = quantile_sorted(&pooled, 0.99).to_bits();
+    let want_tvar99 = tail_mean_sorted(&pooled, 0.99).to_bits();
+    let want_pml100 = quantile_sorted(&pooled, 1.0 - 1.0 / 100.0).to_bits();
+
+    struct PooledBits {
+        var99: u64,
+        tvar99: u64,
+        pml100: u64,
+        aep: Vec<u64>,
+        oep: Vec<u64>,
+    }
+    let mut seen: Vec<PooledBits> = Vec::new();
+    for threads in [1, 2, 8] {
+        let session = RiskSession::builder().pool_threads(threads).build()?;
+        let mut summary = SweepSummary::new();
+        let delivered = session.run_stream(&scenarios, &mut summary)?;
+        assert_eq!(delivered, 8);
+        assert_eq!(summary.scenarios(), 8);
+        assert_eq!(summary.trials(), 8 * 300);
+        // 2400 pooled trials stay under the sketch's exact threshold.
+        assert!(summary.analytics_exact());
+        assert_eq!(summary.rank_error_bound(), 0.0);
+        let aep: Vec<u64> = summary
+            .aep_points()
+            .iter()
+            .map(|p| p.loss.to_bits())
+            .collect();
+        let oep: Vec<u64> = summary
+            .oep_points()
+            .iter()
+            .map(|p| p.loss.to_bits())
+            .collect();
+        assert_eq!(aep.len(), 8, "2400 trials resolve all standard RPs");
+        seen.push(PooledBits {
+            var99: summary.pooled_var99().unwrap().to_bits(),
+            tvar99: summary.pooled_tvar99().unwrap().to_bits(),
+            pml100: summary.pooled_pml(100.0).unwrap().to_bits(),
+            aep,
+            oep,
+        });
+    }
+    // Identical across thread counts…
+    for other in &seen[1..] {
+        assert_eq!(seen[0].var99, other.var99);
+        assert_eq!(seen[0].tvar99, other.tvar99);
+        assert_eq!(seen[0].pml100, other.pml100);
+        assert_eq!(seen[0].aep, other.aep);
+        assert_eq!(seen[0].oep, other.oep);
+    }
+    // …and bit-identical to the exact pooled computation.
+    assert_eq!(seen[0].var99, want_var99);
+    assert_eq!(seen[0].tvar99, want_tvar99);
+    assert_eq!(seen[0].pml100, want_pml100);
+    Ok(())
+}
+
+#[test]
+fn persisting_sink_spills_each_report_and_pools_analytics() -> RiskResult<()> {
+    let dir = std::env::temp_dir().join(format!("riskpipe-psink-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(ShardedFilesStore::new(&dir, 2)?);
+    let scenarios = pricing_sweep(180, 4);
+    // The session itself keeps intermediates in memory; the *sink*
+    // persists each completed report as it arrives, then drops it.
+    let session = RiskSession::builder().pool_threads(2).build()?;
+    let mut sink = PersistingSink::new(store.clone());
+    session.run_stream(&scenarios, &mut sink)?;
+    assert_eq!(sink.reports_persisted(), 4);
+    assert!(sink.bytes_persisted() > 0);
+    let summary = sink.summary();
+    assert_eq!(summary.scenarios(), 4);
+    assert!(summary.pooled_tvar99().is_some());
+
+    // Every slot produced a decodable YLT plus rendered measures.
+    let solo = session.run(&scenarios[2])?;
+    let slot_dir = dir.join("batch-002");
+    let encoded = std::fs::read(slot_dir.join(ShardedFilesStore::YLT_FILE))?;
+    let ylt = riskpipe::tables::codec::decode_ylt(&encoded)?;
+    assert_eq!(ylt, solo.ylt, "persisted YLT must round-trip bit-exactly");
+    let measures = std::fs::read_to_string(slot_dir.join(ShardedFilesStore::MEASURES_FILE))?;
+    assert!(measures.contains("TVaR 99%"), "{measures}");
+
+    // clear_runs reclaims the persisted-report artifacts too.
+    store.clear_runs()?;
+    assert!(!slot_dir.exists());
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+#[test]
+fn persisting_sink_through_default_store_is_memory_only() -> RiskResult<()> {
+    // InMemoryStore's persist_report default keeps nothing durable but
+    // the sink still pools analytics.
+    let session = RiskSession::builder().pool_threads(2).build()?;
+    let scenarios = pricing_sweep(190, 3);
+    let mut sink = PersistingSink::new(Arc::new(riskpipe::core::InMemoryStore));
+    session.run_stream(&scenarios, &mut sink)?;
+    assert_eq!(sink.reports_persisted(), 3);
+    assert_eq!(sink.bytes_persisted(), 0);
+    assert_eq!(sink.into_summary().scenarios(), 3);
     Ok(())
 }
 

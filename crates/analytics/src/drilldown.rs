@@ -1,0 +1,156 @@
+//! Build and query: the materialised drill-down warehouse.
+//!
+//! [`Drilldown`] holds the base sketch-valued cuboid a
+//! [`WarehouseSink`](crate::WarehouseSink) accumulated, plus any
+//! coarser views materialised from it. View selection runs the HRU
+//! greedy algorithm under a **byte** budget
+//! ([`Drilldown::materialize_budget`]): every lattice node is rolled
+//! up once to measure its exact footprint (sketch bytes included —
+//! cell counts alone would misprice sketch-heavy views), then
+//! [`greedy_select_budget`] picks by benefit-per-byte until the budget
+//! is spent. Queries ([`Drilldown::answer`]) are planned like the
+//! plain warehouse: the smallest materialised cuboid that is
+//! finer-or-equal on every dimension serves the query, with
+//! per-query cost accounting.
+
+use crate::dims::DrilldownLayout;
+use crate::ingest::IngestStats;
+use riskpipe_types::RiskResult;
+use riskpipe_warehouse::{
+    enumerate, greedy_select_budget, LevelSelect, Query, QueryCost, Schema, SketchCuboid,
+    SketchRow, Source, ViewSelection,
+};
+use std::collections::BTreeMap;
+
+/// The queryable stage-3 warehouse: base cuboid + materialised views.
+#[derive(Debug, Clone)]
+pub struct Drilldown {
+    layout: DrilldownLayout,
+    base: SketchCuboid,
+    views: BTreeMap<LevelSelect, SketchCuboid>,
+    stats: IngestStats,
+}
+
+impl Drilldown {
+    pub(crate) fn new(layout: DrilldownLayout, base: SketchCuboid, stats: IngestStats) -> Self {
+        Self {
+            layout,
+            base,
+            views: BTreeMap::new(),
+            stats,
+        }
+    }
+
+    /// The star schema queries are phrased against.
+    pub fn schema(&self) -> &Schema {
+        self.layout.schema()
+    }
+
+    /// The layout the warehouse was built with.
+    pub fn layout(&self) -> &DrilldownLayout {
+        &self.layout
+    }
+
+    /// Aggregate ingest metrics of the sweep behind the warehouse.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The finest (base) cuboid: one cell per scenario × return-period
+    /// band.
+    pub fn base(&self) -> &SketchCuboid {
+        &self.base
+    }
+
+    /// Selections currently materialised beyond the base.
+    pub fn views(&self) -> Vec<LevelSelect> {
+        self.views.keys().copied().collect()
+    }
+
+    /// Bytes held by the base cuboid plus every materialised view.
+    pub fn memory_bytes(&self) -> usize {
+        self.base.memory_bytes() + self.views.values().map(|v| v.memory_bytes()).sum::<usize>()
+    }
+
+    /// Materialise one view, derived from the smallest already-
+    /// materialised finer cuboid (cell cost, not ingest cost).
+    pub fn materialize(&mut self, select: LevelSelect) -> RiskResult<()> {
+        if select == self.base.select() || self.views.contains_key(&select) {
+            return Ok(());
+        }
+        let source = self
+            .views
+            .values()
+            .filter(|v| v.select().finer_eq(&select))
+            .min_by_key(|v| v.cells())
+            .unwrap_or(&self.base);
+        let view = source.rollup(self.layout.schema(), select)?;
+        self.views.insert(select, view);
+        Ok(())
+    }
+
+    /// Drop a materialised view.
+    pub fn evict(&mut self, select: LevelSelect) -> bool {
+        self.views.remove(&select).is_some()
+    }
+
+    /// Greedy view selection under `budget_bytes` of view storage
+    /// (HRU benefit-per-byte; the base cuboid is always kept and costs
+    /// nothing against the budget). Replaces the current view set.
+    /// Sizes are **measured**, not estimated: every lattice node is
+    /// rolled up once — the lattice here is dozens of nodes over
+    /// already-aggregated cells, so measuring costs less than one
+    /// mispriced materialisation would.
+    pub fn materialize_budget(&mut self, budget_bytes: u64) -> RiskResult<ViewSelection> {
+        let schema = self.layout.schema().clone();
+        let mut measured: BTreeMap<LevelSelect, SketchCuboid> = BTreeMap::new();
+        let mut sizes: Vec<(LevelSelect, u64)> = Vec::new();
+        for select in enumerate(&schema) {
+            if select == self.base.select() {
+                sizes.push((select, self.base.memory_bytes() as u64));
+                continue;
+            }
+            let cuboid = self.base.rollup(&schema, select)?;
+            sizes.push((select, cuboid.memory_bytes() as u64));
+            measured.insert(select, cuboid);
+        }
+        let selection = greedy_select_budget(&sizes, budget_bytes);
+        self.views = selection
+            .picked
+            .iter()
+            .map(|sel| {
+                (
+                    *sel,
+                    measured.remove(sel).expect("picked views were measured"),
+                )
+            })
+            .collect();
+        Ok(selection)
+    }
+
+    /// Answer `query` from the smallest materialised cuboid that can
+    /// serve it (the base always can — stage 3 never rescans facts;
+    /// the base *is* the finest retained aggregate). Returns the rows
+    /// and the cost record in the plain warehouse's vocabulary.
+    pub fn answer(&self, query: &Query) -> RiskResult<(Vec<SketchRow>, QueryCost)> {
+        // The base (LevelSelect::BASE) is finer than everything, so a
+        // source always exists; views only ever shrink the cell count.
+        let mut source = &self.base;
+        for view in self.views.values() {
+            if view.select().finer_eq(&query.select) && view.cells() < source.cells() {
+                source = view;
+            }
+        }
+        let rows = source.answer(self.layout.schema(), query)?;
+        let rows_out = rows.len() as u64;
+        Ok((
+            rows,
+            QueryCost {
+                source: Source::Materialized(source.select()),
+                cells_read: source.cells() as u64,
+                facts_read: 0,
+                rows_out,
+            },
+        ))
+    }
+}

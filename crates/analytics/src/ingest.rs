@@ -1,0 +1,305 @@
+//! Ingest: turning a streaming sweep's reports into sketch-valued
+//! warehouse cells, the MapReduce way.
+//!
+//! [`WarehouseSink`] is a [`ReportSink`]: as `run_stream` delivers
+//! each report (input order, calling thread), the sink
+//!
+//! 1. assigns every trial a return-period band from its loss rank
+//!    (the one step that needs the whole column),
+//! 2. spills the report's `(trial, band, loss)` rows to a sharded
+//!    per-report store — the "distributed file space" data strategy —
+//! 3. runs [`YltFactJob`] over the spill: map `(band) → loss`,
+//!    shuffle, reduce to per-band sorted loss columns, and
+//! 4. folds each band column into its base cell — one
+//!    [`SketchCell::absorb_sorted`] weighted merge per band.
+//!
+//! Because delivery is input-ordered and the job's output is
+//! deterministic for any shard/reduce/thread layout, the accumulated
+//! cells are bit-identical on any thread count, and identical whether
+//! the YLTs come from the live sweep or are reloaded from a
+//! [`ShardedFilesStore`](riskpipe_core::ShardedFilesStore) spill.
+//!
+//! [`WarehouseStore`] is the [`IntermediateStore`] decorator variant:
+//! it forwards every call to an inner store and additionally feeds a
+//! `WarehouseSink` from `persist_report` — so a plain
+//! [`PersistingSink`](riskpipe_core::PersistingSink) user gets
+//! drill-down cubes for free alongside the durable per-report
+//! artifacts.
+
+use crate::dims::DrilldownLayout;
+use crate::drilldown::Drilldown;
+use crate::rp_bands;
+use parking_lot::Mutex;
+use riskpipe_core::{IntermediateStore, PipelineReport, ReportSink, RunLabel};
+use riskpipe_exec::ThreadPool;
+use riskpipe_mapreduce::YltFactJob;
+use riskpipe_tables::{shard, ShardedReader, Yelt, Ylt};
+use riskpipe_types::{LocationId, RiskResult};
+use riskpipe_warehouse::{KeyCodec, LevelSelect, SketchCell, SketchCuboid};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate MapReduce metrics across every ingested report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Reports ingested.
+    pub reports: u64,
+    /// Trials (fact rows) ingested.
+    pub trials: u64,
+    /// Rows read by mappers across all per-report jobs.
+    pub input_rows: u64,
+    /// Shuffle records emitted across all jobs.
+    pub shuffle_records: u64,
+    /// Bytes written to shuffle spill files across all jobs.
+    pub spill_bytes: u64,
+}
+
+/// The ingest sink: accumulates a sweep into sketch-valued base cells
+/// (see the module docs for the pipeline). Finish with
+/// [`WarehouseSink::finish`] to obtain the queryable [`Drilldown`].
+pub struct WarehouseSink {
+    layout: DrilldownLayout,
+    codec: KeyCodec,
+    cells: BTreeMap<u64, SketchCell>,
+    pool: Arc<ThreadPool>,
+    work_dir: PathBuf,
+    /// Whether the sink generated `work_dir` itself (and therefore
+    /// removes it on drop); caller-supplied directories are left alone.
+    owns_work_dir: bool,
+    shards: u32,
+    reduce_tasks: usize,
+    stats: IngestStats,
+}
+
+fn fresh_work_dir() -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let n = NONCE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("riskpipe-olap-{}-{n}", std::process::id()))
+}
+
+impl WarehouseSink {
+    /// A sink for `layout`, with its own small shuffle pool and a
+    /// fresh temp work directory. The sink deliberately does **not**
+    /// share the session's pool: delivery happens inside the session
+    /// pool's scope, and the per-report job must make progress even
+    /// while every session worker is busy with scenarios.
+    pub fn new(layout: DrilldownLayout) -> RiskResult<Self> {
+        let codec = KeyCodec::new(layout.schema(), LevelSelect::BASE)?;
+        Ok(Self {
+            layout,
+            codec,
+            cells: BTreeMap::new(),
+            pool: Arc::new(ThreadPool::new(2)),
+            work_dir: fresh_work_dir(),
+            owns_work_dir: true,
+            shards: 4,
+            reduce_tasks: 2,
+            stats: IngestStats::default(),
+        })
+    }
+
+    /// Run the per-report shuffle on `pool` instead of the sink's own.
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Spill per-report shards under `dir` instead of a temp dir. The
+    /// sink still removes per-report subdirectories as it goes, but a
+    /// caller-supplied directory itself is never deleted.
+    pub fn with_work_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.work_dir = dir.into();
+        self.owns_work_dir = false;
+        self
+    }
+
+    /// Shard count of the per-report spill (map-task fan-out).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Reduce-task count of the per-report job.
+    pub fn with_reduce_tasks(mut self, tasks: usize) -> Self {
+        self.reduce_tasks = tasks.max(1);
+        self
+    }
+
+    /// The layout this sink ingests against.
+    pub fn layout(&self) -> &DrilldownLayout {
+        &self.layout
+    }
+
+    /// Aggregate ingest metrics so far.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Ingest one report's YLT as sweep slot `slot` (the live sink
+    /// path calls this per delivery; the rebuild path calls it per
+    /// reloaded YLT — both produce bit-identical cells).
+    pub fn ingest(&mut self, slot: usize, ylt: &Ylt) -> RiskResult<()> {
+        let dims = self.layout.slot_dims(slot)?;
+        let agg = ylt.agg_losses();
+        if agg.is_empty() {
+            return Ok(());
+        }
+        let bands = rp_bands(agg);
+
+        // Spill (trial, band, loss) rows to a sharded per-report store
+        // (the band rides in the YELLT event field — see YltFactJob),
+        // then shuffle them into per-band sorted columns. The spill is
+        // removed whether or not any step failed.
+        let dir = self.work_dir.join(format!("report-{slot:05}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let result = (|| {
+            let mut writer = shard::ShardedWriter::create(&dir, self.shards)?;
+            for (t, (&band, &loss)) in bands.iter().zip(agg.iter()).enumerate() {
+                writer.push_row(t as u32, band, LocationId::new(0), loss)?;
+            }
+            writer.finish()?;
+            let reader = ShardedReader::open(&dir)?;
+            YltFactJob { band_map: None }.run(&reader, self.reduce_tasks, &self.pool)
+        })();
+        let _ = std::fs::remove_dir_all(&dir);
+        let (band_columns, job_stats) = result?;
+
+        // Fold each band column into its base cell.
+        let k = self.layout.sketch_k();
+        for column in band_columns {
+            let key = self
+                .codec
+                .encode([dims.region, dims.peril, slot as u32, column.band]);
+            self.cells
+                .entry(key)
+                .or_insert_with(|| SketchCell::empty(k))
+                .absorb_sorted(&column.losses);
+        }
+        self.stats.reports += 1;
+        self.stats.trials += agg.len() as u64;
+        self.stats.input_rows += job_stats.input_rows;
+        self.stats.shuffle_records += job_stats.shuffle_records;
+        self.stats.spill_bytes += job_stats.spill_bytes;
+        Ok(())
+    }
+
+    /// A queryable snapshot of everything ingested so far (the sink
+    /// keeps accumulating — used by [`WarehouseStore`], which cannot
+    /// consume itself).
+    pub fn snapshot(&self) -> RiskResult<Drilldown> {
+        let base = SketchCuboid::from_entries(
+            self.layout.schema(),
+            LevelSelect::BASE,
+            self.cells.iter().map(|(&k, c)| (k, c.clone())).collect(),
+        )?;
+        Ok(Drilldown::new(self.layout.clone(), base, self.stats))
+    }
+
+    /// Consume the sink into the queryable [`Drilldown`] (dropping
+    /// the sink removes its generated work directory).
+    pub fn finish(mut self) -> RiskResult<Drilldown> {
+        let cells = std::mem::take(&mut self.cells);
+        let base = SketchCuboid::from_entries(
+            self.layout.schema(),
+            LevelSelect::BASE,
+            cells.into_iter().collect(),
+        )?;
+        Ok(Drilldown::new(self.layout.clone(), base, self.stats))
+    }
+}
+
+impl Drop for WarehouseSink {
+    fn drop(&mut self) {
+        // Per-report spills are removed as ingestion goes; the parent
+        // work dir (only when the sink generated it) goes here so
+        // sinks never accumulate empty temp directories.
+        if self.owns_work_dir {
+            let _ = std::fs::remove_dir_all(&self.work_dir);
+        }
+    }
+}
+
+impl std::fmt::Debug for WarehouseSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarehouseSink")
+            .field("scenarios", &self.layout.scenarios())
+            .field("cells", &self.cells.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ReportSink for WarehouseSink {
+    fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
+        self.ingest(slot, &report.ylt)
+    }
+}
+
+impl ReportSink for &mut WarehouseSink {
+    fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
+        self.ingest(slot, &report.ylt)
+    }
+}
+
+/// An [`IntermediateStore`] decorator: every call delegates to the
+/// inner store, and `persist_report` *additionally* feeds the embedded
+/// [`WarehouseSink`] — so the session's normal persistence path (a
+/// `PersistingSink` over this store) builds drill-down cubes as a side
+/// effect of spilling reports.
+pub struct WarehouseStore {
+    inner: Arc<dyn IntermediateStore>,
+    sink: Mutex<WarehouseSink>,
+}
+
+impl WarehouseStore {
+    /// Decorate `inner` with warehouse ingestion through `sink`.
+    pub fn new(inner: Arc<dyn IntermediateStore>, sink: WarehouseSink) -> Self {
+        Self {
+            inner,
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// A queryable snapshot of everything persisted so far.
+    pub fn drilldown(&self) -> RiskResult<Drilldown> {
+        self.sink.lock().snapshot()
+    }
+
+    /// Aggregate ingest metrics so far.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.sink.lock().stats()
+    }
+}
+
+impl std::fmt::Debug for WarehouseStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarehouseStore")
+            .field("inner", &self.inner.name())
+            .field("sink", &*self.sink.lock())
+            .finish()
+    }
+}
+
+impl IntermediateStore for WarehouseStore {
+    fn name(&self) -> &'static str {
+        "warehouse"
+    }
+
+    fn persist_yelt(&self, label: RunLabel<'_>, yelt: &Yelt) -> RiskResult<u64> {
+        self.inner.persist_yelt(label, yelt)
+    }
+
+    fn persist_report(&self, label: RunLabel<'_>, report: &PipelineReport) -> RiskResult<u64> {
+        let bytes = self.inner.persist_report(label, report)?;
+        self.sink
+            .lock()
+            .ingest(label.slot.unwrap_or(0), &report.ylt)?;
+        Ok(bytes)
+    }
+
+    fn clear_runs(&self) -> RiskResult<()> {
+        self.inner.clear_runs()
+    }
+}

@@ -1,0 +1,89 @@
+//! `RiskSession::analytics()` — the session-level entry point of the
+//! drill-down subsystem.
+//!
+//! `riskpipe-core` cannot depend on this crate (the dependency runs
+//! the other way), so the method arrives via the [`SessionAnalytics`]
+//! extension trait: import it (or the umbrella prelude) and every
+//! session gains `.analytics(layout)`.
+
+use crate::dims::DrilldownLayout;
+use crate::drilldown::Drilldown;
+use crate::ingest::WarehouseSink;
+use riskpipe_core::{RiskSession, ScenarioConfig, ShardedFilesStore};
+use riskpipe_types::{RiskError, RiskResult};
+
+/// Extension trait giving [`RiskSession`] the stage-3 drill-down API.
+pub trait SessionAnalytics {
+    /// A drill-down handle over this session for sweeps shaped like
+    /// `layout`.
+    fn analytics(&self, layout: DrilldownLayout) -> AnalyticsHandle<'_>;
+}
+
+impl SessionAnalytics for RiskSession {
+    fn analytics(&self, layout: DrilldownLayout) -> AnalyticsHandle<'_> {
+        AnalyticsHandle {
+            session: self,
+            layout,
+        }
+    }
+}
+
+/// A borrowed session plus a sweep layout: runs sweeps into queryable
+/// warehouses and rebuilds them from persisted spills.
+#[derive(Debug)]
+pub struct AnalyticsHandle<'s> {
+    session: &'s RiskSession,
+    layout: DrilldownLayout,
+}
+
+impl AnalyticsHandle<'_> {
+    /// The layout this handle builds against.
+    pub fn layout(&self) -> &DrilldownLayout {
+        &self.layout
+    }
+
+    /// Run the sweep through a [`WarehouseSink`] on this session
+    /// (`run_stream`: input-order delivery, O(pool width) peak memory)
+    /// and return the queryable warehouse. `scenarios[i]` must be the
+    /// scenario the layout's slot `i` describes, and the session's
+    /// engine must match the layout's engine provenance code.
+    pub fn sweep_to_warehouse(&self, scenarios: &[ScenarioConfig]) -> RiskResult<Drilldown> {
+        self.check(scenarios.len())?;
+        let mut sink = WarehouseSink::new(self.layout.clone())?;
+        self.session.run_stream(scenarios, &mut sink)?;
+        sink.finish()
+    }
+
+    /// Rebuild the warehouse from a prior run's persisted reports (a
+    /// [`ShardedFilesStore`] spill written by a `PersistingSink`)
+    /// instead of re-running the sweep. The reloaded YLTs are
+    /// bit-exact, and ingestion iterates slots in input order, so the
+    /// rebuilt cells are bit-identical to the live-sink path.
+    pub fn rebuild_from_store(&self, store: &ShardedFilesStore, run: u64) -> RiskResult<Drilldown> {
+        let slots = store.persisted_report_slots(run);
+        self.check(slots)?;
+        let mut sink = WarehouseSink::new(self.layout.clone())?;
+        for slot in 0..slots {
+            let ylt = store.load_report_ylt(Some(slot), run)?;
+            sink.ingest(slot, &ylt)?;
+        }
+        sink.finish()
+    }
+
+    fn check(&self, scenarios: usize) -> RiskResult<()> {
+        if scenarios != self.layout.scenarios() {
+            return Err(RiskError::invalid(format!(
+                "sweep has {scenarios} scenarios but the layout describes {}",
+                self.layout.scenarios()
+            )));
+        }
+        if self.session.engine() != self.layout.engine() {
+            return Err(RiskError::invalid(format!(
+                "session engine {:?} does not match layout engine {:?}",
+                self.session.engine(),
+                self.layout.engine()
+            )));
+        }
+        Ok(())
+    }
+}

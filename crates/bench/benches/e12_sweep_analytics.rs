@@ -79,10 +79,15 @@ fn bench_sinks_small(c: &mut Criterion) {
 
 fn bench_sketch_fold(c: &mut Criterion) {
     // The sketch in isolation: folding a 20k-trial loss column — the
-    // per-report cost `SweepSummary::push` adds to a sweep.
+    // per-report cost `SweepSummary::push` adds to a sweep. The
+    // `merge_sorted` variant is what the sink actually runs now: the
+    // report path already sorted the column, so the fold is one bulk
+    // append + a single compaction pass instead of a push per trial.
     let losses: Vec<f64> = (0..20_000)
         .map(|i| (((i * 104729) % 99991) as f64).powf(1.3))
         .collect();
+    let mut sorted = losses.clone();
+    sort_f64(&mut sorted);
     let mut group = c.benchmark_group("e12_sketch_fold");
     group.sample_size(20);
     for k in [256usize, 4096] {
@@ -90,6 +95,13 @@ fn bench_sketch_fold(c: &mut Criterion) {
             b.iter(|| {
                 let mut sk = QuantileSketch::new(k);
                 sk.extend(&losses);
+                sk.quantile(0.99)
+            })
+        });
+        group.bench_function(format!("fold_sorted_20k/k{k}"), |b| {
+            b.iter(|| {
+                let mut sk = QuantileSketch::new(k);
+                sk.merge_sorted(&sorted);
                 sk.quantile(0.99)
             })
         });

@@ -1,21 +1,34 @@
-//! Nightly perf gate: runs the two sweep workloads the scheduled CI
-//! job tracks and **fails** (non-zero exit) when either regresses past
-//! its wall-clock budget.
+//! Nightly perf gate: runs the tracked sweep workloads and **fails**
+//! (non-zero exit) when one regresses past its wall-clock budget — or,
+//! when a bench history file is provided, past a relative multiple of
+//! its own historical median.
 //!
 //! ```text
 //! cargo run --release -p riskpipe-bench --bin perf_gate
 //! ```
 //!
-//! Budgets are deliberately generous (several times the reference
-//! machine's time) so the gate trips on real regressions — an
-//! accidentally quadratic sink, a cache that stopped sharing stage 1 —
-//! not on runner noise. Override per check with
-//! `PERF_GATE_SWEEP_CACHE_BUDGET_S` / `PERF_GATE_ANALYTICS_BUDGET_S`,
-//! or scale both with `PERF_GATE_SCALE` (a float multiplier, e.g. `2`
-//! on slow runners).
+//! Absolute budgets are deliberately generous (several times the
+//! reference machine's time) so the gate trips on real regressions —
+//! an accidentally quadratic sink, a cache that stopped sharing stage
+//! 1 — not on runner noise. Override per check with
+//! `PERF_GATE_SWEEP_CACHE_BUDGET_S` / `PERF_GATE_ANALYTICS_BUDGET_S` /
+//! `PERF_GATE_DRILLDOWN_BUDGET_S`, or scale all with
+//! `PERF_GATE_SCALE` (a float multiplier, e.g. `2` on slow runners).
+//!
+//! **Relative gating:** set `PERF_GATE_HISTORY=<path>` to a CSV file
+//! persisted across runs (the nightly workflow carries it in the
+//! actions cache and uploads it as an artifact). Each run appends
+//! `check,seconds` lines for the checks that **passed** (a regressed
+//! run must never become the new baseline); once a check has at least
+//! `PERF_GATE_HISTORY_MIN` (default 3) prior samples, the gate also
+//! fails when the current time exceeds `PERF_GATE_MAX_RELATIVE`
+//! (default 2.0; `0` disables) times the historical median — catching
+//! slow drifts an absolute budget is too generous to see.
 
+use riskpipe_analytics::{DrilldownLayout, ScenarioDims, SessionAnalytics};
 use riskpipe_bench::{model_heavy_small, pricing_sweep};
 use riskpipe_core::{RiskSession, ScenarioConfig, SweepSummary};
+use riskpipe_warehouse::{dim, Filter, LevelSelect, Query};
 use std::time::Instant;
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -67,11 +80,83 @@ fn check_sweep_analytics() -> f64 {
     elapsed
 }
 
+/// E13's shape: the stage-3 drill-down subsystem end to end — sweep
+/// through the MapReduce-backed `WarehouseSink`, byte-budgeted view
+/// materialisation, and the three acceptance query shapes.
+fn check_drilldown() -> f64 {
+    let mut scenarios = Vec::new();
+    let mut dims = Vec::new();
+    for region in 0..2u32 {
+        for peril in 0..2u32 {
+            for attach in 0..2u32 {
+                let factor = 0.25 + 0.25 * attach as f64;
+                let s = ScenarioConfig::small()
+                    .with_seed(0xE13 + (region * 2 + peril) as u64)
+                    .with_trials(500)
+                    .with_attachment_factor(factor)
+                    .with_name(format!("r{region}-p{peril}-a{attach}"));
+                dims.push(ScenarioDims::for_scenario(region, peril, &s));
+                scenarios.push(s);
+            }
+        }
+    }
+    let session = RiskSession::builder().pool_threads(4).build().unwrap();
+    let layout = DrilldownLayout::new(dims, session.engine()).unwrap();
+    let t0 = Instant::now();
+    let mut wh = session
+        .analytics(layout)
+        .sweep_to_warehouse(&scenarios)
+        .unwrap();
+    wh.materialize_budget(256 * 1024).unwrap();
+    let queries = [
+        Query::group_by(LevelSelect([0, 0, 3, 1])),
+        Query::group_by(LevelSelect([0, 0, 1, 1])).filter(Filter::slice(dim::GEO, 1)),
+        Query::group_by(LevelSelect([0, 0, 3, 0])).filter(Filter {
+            dim: dim::TIME,
+            codes: vec![6, 7],
+        }),
+    ];
+    for q in &queries {
+        let (rows, cost) = wh.answer(q).unwrap();
+        assert!(!rows.is_empty(), "drill-down query returned no cells");
+        assert_eq!(cost.facts_read, 0, "drill-down must not rescan facts");
+        assert!(rows.iter().all(|r| r.cell.var99().unwrap() > 0.0));
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Prior samples per check from the history CSV (`check,seconds`
+/// lines; unparseable lines are ignored).
+fn load_history(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let (name, secs) = line.rsplit_once(',')?;
+            Some((name.to_string(), secs.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_unstable_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
 type Check = (&'static str, fn() -> f64, f64);
 
 fn main() {
     let scale = env_f64("PERF_GATE_SCALE", 1.0);
-    let checks: [Check; 2] = [
+    let history_path = std::env::var("PERF_GATE_HISTORY").ok();
+    let max_relative = env_f64("PERF_GATE_MAX_RELATIVE", 2.0);
+    let history_min = env_f64("PERF_GATE_HISTORY_MIN", 3.0) as usize;
+    let history: Vec<(String, f64)> = history_path
+        .as_deref()
+        .map(load_history)
+        .unwrap_or_default();
+
+    let checks: [Check; 3] = [
         (
             "sweep_cache (e11 shape)",
             check_sweep_cache,
@@ -82,15 +167,66 @@ fn main() {
             check_sweep_analytics,
             env_f64("PERF_GATE_ANALYTICS_BUDGET_S", 300.0),
         ),
+        (
+            "drilldown (e13 shape)",
+            check_drilldown,
+            env_f64("PERF_GATE_DRILLDOWN_BUDGET_S", 120.0),
+        ),
     ];
     let mut failed = false;
+    let mut measured: Vec<(&'static str, f64)> = Vec::new();
     println!("perf gate (scale x{scale}):");
     for (name, run, budget) in checks {
         let budget = budget * scale;
         let elapsed = run();
-        let verdict = if elapsed <= budget { "ok" } else { "FAIL" };
-        println!("  {name:<32} {elapsed:>8.2}s  budget {budget:>8.2}s  {verdict}");
-        failed |= elapsed > budget;
+        let mut check_failed = elapsed > budget;
+        let mut verdict = if check_failed { "FAIL" } else { "ok" };
+        // Relative check against this workload's own history: absolute
+        // budgets catch cliffs, the median ratio catches slow drift.
+        let prior: Vec<f64> = history
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+            .collect();
+        let relative = if !prior.is_empty() && prior.len() >= history_min {
+            let med = median(prior.clone());
+            let ratio = elapsed / med;
+            if max_relative > 0.0 && ratio > max_relative {
+                verdict = "FAIL (relative)";
+                check_failed = true;
+            }
+            format!("  {ratio:>5.2}x median of {}", prior.len())
+        } else {
+            format!("  ({} prior sample(s))", prior.len())
+        };
+        // Only passing samples feed the history: a regressed run must
+        // not become the new relative baseline.
+        if !check_failed {
+            measured.push((name, elapsed));
+        }
+        failed |= check_failed;
+        println!("  {name:<32} {elapsed:>8.2}s  budget {budget:>8.2}s  {verdict}{relative}");
+    }
+    if let (Some(path), false) = (history_path, measured.is_empty()) {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut appended = String::new();
+        for (name, elapsed) in &measured {
+            appended.push_str(&format!("{name},{elapsed:.3}\n"));
+        }
+        use std::io::Write;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                let _ = f.write_all(appended.as_bytes());
+                println!("bench history appended to {path}");
+            }
+            Err(e) => eprintln!("warning: could not append bench history to {path}: {e}"),
+        }
     }
     if failed {
         eprintln!("perf gate FAILED: a tracked workload exceeded its budget");

@@ -200,6 +200,23 @@ impl Stage1Output {
             yet: Arc::new(yet),
         })
     }
+
+    /// Approximate heap footprint of one retained model run — what a
+    /// byte-budgeted stage-1 cache charges per entry: the catalogue's
+    /// event records, each book's exposure locations and ELT columns,
+    /// and the pre-simulated YET.
+    pub fn memory_bytes(&self) -> usize {
+        let catalog = self.catalog.len() * std::mem::size_of::<crate::catalog::CatalogEvent>();
+        let books: usize = self
+            .books
+            .iter()
+            .map(|b| {
+                b.elt.memory_bytes()
+                    + b.exposure.len() * std::mem::size_of::<crate::exposure::ExposureLocation>()
+            })
+            .sum();
+        catalog + books + self.yet.memory_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ pub use config::{PipelineConfig, ScenarioConfig, Stage1Bundle};
 pub use elastic::{Deadline, ElasticModel, ProcessorPlan, StageThroughput};
 #[allow(deprecated)]
 pub use pipeline::Pipeline;
-pub use report::{SweepSummary, TextTable};
+pub use report::{money, SweepSummary, TextTable};
 pub use session::{
     DataStrategy, InMemoryStore, IntermediateStore, PipelineReport, ReportStream, RiskSession,
     RiskSessionBuilder, RunLabel, ShardedFilesStore, Stage1CacheStats, StageTiming,

@@ -211,12 +211,26 @@ impl SweepSummary {
             self.tvar99_max = tvar;
             self.worst_scenario = Some(report.scenario_name.clone());
         }
+        // The report path already sorted each YLT column once; fold
+        // each whole pre-sorted column into the pooled sketch as one
+        // weighted merge (a single bulk append + one compaction pass)
+        // instead of a push per trial. Reports whose shared sorted
+        // columns were dropped (run_batch keeps collected batches at
+        // one copy per column) are re-sorted here. Welford moments
+        // keep YLT order.
         for &x in report.ylt.agg_losses() {
             self.agg_stats.push(x);
-            self.aep.push(x);
         }
-        for &x in report.ylt.max_occ_losses() {
-            self.oep.push(x);
+        let trials = report.ylt.trials();
+        if report.agg_sorted.len() == trials {
+            self.aep.merge_sorted(&report.agg_sorted);
+        } else {
+            self.aep.merge_sorted(&report.ylt.sorted_agg_losses());
+        }
+        if report.occ_sorted.len() == trials {
+            self.oep.merge_sorted(&report.occ_sorted);
+        } else {
+            self.oep.merge_sorted(&report.ylt.sorted_max_occ_losses());
         }
     }
 
@@ -431,6 +445,8 @@ mod tests {
         for (t, &x) in agg.iter().enumerate() {
             ylt.set_trial(riskpipe_types::TrialId::new(t as u32), x, x / 2.0, 1);
         }
+        let agg_sorted = ylt.sorted_agg_losses();
+        let occ_sorted = ylt.sorted_max_occ_losses();
         let stage = |n| crate::StageTiming {
             stage: n,
             elapsed: std::time::Duration::ZERO,
@@ -456,6 +472,8 @@ mod tests {
             prob_ruin: 0.0,
             mean_net_income: 0.0,
             economic_capital: 0.0,
+            agg_sorted,
+            occ_sorted,
             ylt,
         }
     }
@@ -535,6 +553,34 @@ mod tests {
         let stats: riskpipe_types::RunningStats = pooled.iter().copied().collect();
         assert!((s.pooled_mean() - stats.mean()).abs() < 1e-9);
         assert!((s.pooled_sd() - stats.sd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn push_falls_back_when_sorted_columns_were_dropped() {
+        // run_batch clears the shared sorted columns on collected
+        // reports; pooled analytics must re-sort instead of silently
+        // folding nothing.
+        let xs: Vec<f64> = (0..250).map(|i| ((i * 53) % 199) as f64).collect();
+        let mut streamed = SweepSummary::new();
+        streamed.push(&report("live", 1.0, &xs));
+        let mut collected = SweepSummary::new();
+        let mut r = report("batch", 1.0, &xs);
+        r.agg_sorted = Vec::new();
+        r.occ_sorted = Vec::new();
+        collected.push(&r);
+        assert_eq!(collected.trials(), streamed.trials());
+        assert_eq!(
+            collected.pooled_var99().unwrap().to_bits(),
+            streamed.pooled_var99().unwrap().to_bits()
+        );
+        assert_eq!(
+            collected.pooled_tvar99().unwrap().to_bits(),
+            streamed.pooled_tvar99().unwrap().to_bits()
+        );
+        assert_eq!(
+            collected.oep_points().last().unwrap().loss.to_bits(),
+            streamed.oep_points().last().unwrap().loss.to_bits()
+        );
     }
 
     #[test]

@@ -42,12 +42,13 @@ use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind};
 use riskpipe_catmodel::Stage1Output;
 use riskpipe_dfa::{CompanyConfig, DfaEngine};
 use riskpipe_exec::ThreadPool;
-use riskpipe_metrics::{EpCurve, EpKind, RiskMeasures};
+use riskpipe_metrics::RiskMeasures;
 use riskpipe_tables::{codec, shard, ScaleSpec, Yelt, Ylt};
+use riskpipe_types::stats::quantile_sorted;
 use riskpipe_types::{LocationId, RiskError, RiskResult, RunningStats, TrialId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -212,6 +213,39 @@ impl ShardedFilesStore {
         Ok(())
     }
 
+    /// Read back one persisted report's YLT (written by
+    /// [`IntermediateStore::persist_report`] via a
+    /// [`PersistingSink`](crate::PersistingSink)) — the reload path
+    /// stage-3 analytics use to rebuild drill-down views from a prior
+    /// run's spill instead of re-running the sweep. The decode is
+    /// CRC-checked and bit-exact, so anything derived from the
+    /// reloaded YLT matches the live-sink path bit for bit.
+    pub fn load_report_ylt(&self, slot: Option<usize>, run: u64) -> RiskResult<Ylt> {
+        let dir = self.run_dir(RunLabel {
+            scenario: "",
+            slot,
+            run,
+        });
+        shard::read_ylt_file(&dir.join(Self::YLT_FILE))
+    }
+
+    /// The number of consecutive slots (from 0) holding a persisted
+    /// report under `run` — the sweep width a rebuild should iterate.
+    pub fn persisted_report_slots(&self, run: u64) -> usize {
+        let mut slot = 0usize;
+        loop {
+            let dir = self.run_dir(RunLabel {
+                scenario: "",
+                slot: Some(slot),
+                run,
+            });
+            if !dir.join(Self::YLT_FILE).is_file() {
+                return slot;
+            }
+            slot += 1;
+        }
+    }
+
     /// File name of a persisted report's encoded YLT within its run
     /// directory.
     pub const YLT_FILE: &'static str = "YLT.bin";
@@ -282,10 +316,20 @@ pub struct Stage1CacheStats {
     /// Lookups that had to build stage 1 (including every lookup when
     /// the cache is disabled).
     pub misses: u64,
-    /// Entries displaced by the FIFO capacity bound.
+    /// Entries displaced by the LRU capacity or byte-budget bound.
     pub evictions: u64,
     /// Distinct keys currently retained.
     pub entries: usize,
+    /// Estimated bytes currently retained (sum of each cached model
+    /// run's [`Stage1Output::memory_bytes`]) — what the
+    /// [`RiskSessionBuilder::stage1_cache_bytes`] budget bounds.
+    pub bytes: u64,
+    /// Cumulative wall time spent building stage-1 model runs, in
+    /// nanoseconds (every build counts: cache misses, redundant racer
+    /// builds, and cache-off builds) — the capacity-planning number
+    /// next to the hit/miss counters; see
+    /// [`RiskSession::stage1_build_timings`] for the per-key split.
+    pub build_nanos: u64,
 }
 
 /// One key's cache entry. `Building` marks an in-progress build so
@@ -302,31 +346,68 @@ enum SlotState {
 #[derive(Default)]
 struct CacheSlot {
     state: Mutex<SlotState>,
+    /// Estimated bytes of the published output (0 while `Building`) —
+    /// readable without the state lock so budget enforcement under the
+    /// index lock never orders against a slot lock.
+    bytes: AtomicUsize,
+    /// Wall time of the build that published this slot, in
+    /// nanoseconds (0 while `Building`).
+    build_nanos: AtomicU64,
 }
 
 struct CacheIndex {
     map: HashMap<u64, Arc<CacheSlot>>,
-    /// Insertion order, for FIFO eviction.
+    /// Recency order, least-recently-used first (touched on every
+    /// lookup; evictions pop from the front).
     order: VecDeque<u64>,
+}
+
+impl CacheIndex {
+    /// Mark `key` most-recently-used.
+    fn touch(&mut self, key: u64) {
+        if self.order.back() == Some(&key) {
+            return;
+        }
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+        }
+    }
+
+    fn retained_bytes(&self) -> u64 {
+        self.map
+            .values()
+            .map(|s| s.bytes.load(Ordering::Relaxed) as u64)
+            .sum()
+    }
 }
 
 /// A keyed cache of stage-1 model runs ([`Stage1Output`]: catalogue,
 /// per-contract books, YET), shared across every scenario a session
 /// executes. Keys come from [`ScenarioConfig::stage1_key`] — a stable
 /// fingerprint of the generating configs — so a sweep that varies only
-/// pricing terms (or report names) regenerates nothing.
+/// pricing terms (or report names) regenerates nothing. Eviction is
+/// LRU under two independent bounds: an entry-count capacity and an
+/// optional byte budget over the retained outputs' estimated
+/// footprints.
 struct Stage1Cache {
     capacity: usize,
+    /// Optional byte budget over retained entries; enforced after each
+    /// publish, never evicting the entry just published (a budget
+    /// smaller than one model run would otherwise cache nothing).
+    budget_bytes: Option<u64>,
     index: Mutex<CacheIndex>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    build_nanos: AtomicU64,
 }
 
 impl Stage1Cache {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, budget_bytes: Option<u64>) -> Self {
         Self {
             capacity,
+            budget_bytes,
             index: Mutex::new(CacheIndex {
                 map: HashMap::new(),
                 order: VecDeque::new(),
@@ -334,6 +415,7 @@ impl Stage1Cache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
         }
     }
 
@@ -376,12 +458,14 @@ impl Stage1Cache {
     ) -> RiskResult<Arc<Stage1Output>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return build().map(Arc::new);
+            return self.timed_build(build).map(|(output, _)| Arc::new(output));
         }
         let slot = {
             let mut index = self.index.lock();
             if let Some(slot) = index.map.get(&key) {
-                Arc::clone(slot)
+                let slot = Arc::clone(slot);
+                index.touch(key);
+                slot
             } else {
                 while index.order.len() >= self.capacity {
                     if let Some(old) = index.order.pop_front() {
@@ -407,13 +491,17 @@ impl Stage1Cache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        match build() {
-            Ok(output) => {
+        match self.timed_build(build) {
+            Ok((output, nanos)) => {
                 let output = Arc::new(output);
                 let mut state = slot.state.lock();
                 if !matches!(*state, SlotState::Ready(_)) {
                     *state = SlotState::Ready(Arc::clone(&output));
+                    slot.bytes.store(output.memory_bytes(), Ordering::Relaxed);
+                    slot.build_nanos.store(nanos, Ordering::Relaxed);
                 }
+                drop(state);
+                self.enforce_byte_budget(key);
                 Ok(output)
             }
             Err(e) => {
@@ -428,13 +516,79 @@ impl Stage1Cache {
         }
     }
 
+    /// Run `build` under a wall clock, feeding the cumulative
+    /// build-time counter.
+    fn timed_build(
+        &self,
+        build: impl FnOnce() -> RiskResult<Stage1Output>,
+    ) -> RiskResult<(Stage1Output, u64)> {
+        let t0 = Instant::now();
+        let output = build()?;
+        let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.build_nanos.fetch_add(nanos, Ordering::Relaxed);
+        Ok((output, nanos))
+    }
+
+    /// Evict least-recently-used published entries until the retained
+    /// bytes fit the budget. The entry just published under `keep` is
+    /// never evicted (so a budget smaller than one model run degrades
+    /// to caching exactly the latest run instead of nothing), and
+    /// in-flight `Building` slots (bytes 0) are skipped — evicting one
+    /// would only discard a build already paid for.
+    fn enforce_byte_budget(&self, keep: u64) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        let mut index = self.index.lock();
+        let mut total = index.retained_bytes();
+        let mut i = 0;
+        while total > budget && i < index.order.len() {
+            let key = index.order[i];
+            let bytes = index
+                .map
+                .get(&key)
+                .map(|s| s.bytes.load(Ordering::Relaxed) as u64)
+                .unwrap_or(0);
+            if key == keep || bytes == 0 {
+                i += 1;
+                continue;
+            }
+            index.order.remove(i);
+            index.map.remove(&key);
+            total -= bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn stats(&self) -> Stage1CacheStats {
+        let (entries, bytes) = {
+            let index = self.index.lock();
+            (index.map.len(), index.retained_bytes())
+        };
         Stage1CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.index.lock().map.len(),
+            entries,
+            bytes,
+            build_nanos: self.build_nanos.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-key wall time of each retained entry's publishing build,
+    /// sorted by key.
+    fn build_timings(&self) -> Vec<(u64, Duration)> {
+        let index = self.index.lock();
+        let mut out: Vec<(u64, Duration)> = index
+            .map
+            .iter()
+            .filter_map(|(&k, slot)| {
+                let nanos = slot.build_nanos.load(Ordering::Relaxed);
+                (nanos > 0).then(|| (k, Duration::from_nanos(nanos)))
+            })
+            .collect();
+        out.sort_by_key(|&(k, _)| k);
+        out
     }
 
     fn clear(&self) {
@@ -463,6 +617,7 @@ pub struct RiskSessionBuilder {
     pool: PoolChoice,
     company: CompanyConfig,
     stage1_capacity: usize,
+    stage1_bytes: Option<u64>,
 }
 
 impl Default for RiskSessionBuilder {
@@ -475,6 +630,7 @@ impl Default for RiskSessionBuilder {
             pool: PoolChoice::Default,
             company: CompanyConfig::typical(),
             stage1_capacity: RiskSession::DEFAULT_STAGE1_CACHE_CAPACITY,
+            stage1_bytes: None,
         }
     }
 }
@@ -543,12 +699,26 @@ impl RiskSessionBuilder {
         self
     }
 
-    /// Retain at most `capacity` distinct stage-1 model runs (FIFO
+    /// Retain at most `capacity` distinct stage-1 model runs (LRU
     /// eviction; 0 disables the cache). Size this to the number of
     /// distinct catalogues a sweep revisits — each retained entry holds
     /// a full catalogue + books + YET.
     pub fn stage1_cache_capacity(mut self, capacity: usize) -> Self {
         self.stage1_capacity = capacity;
+        self
+    }
+
+    /// Bound the stage-1 cache by *bytes* instead of (or on top of)
+    /// the entry count: after each build publishes, least-recently-used
+    /// entries are evicted until the retained model runs' estimated
+    /// footprints ([`Stage1Output::memory_bytes`]) fit `bytes`. The
+    /// just-published entry always survives, so a budget smaller than
+    /// one model run degrades to caching only the latest run. The
+    /// never-blocking leader/follower protocol is unchanged — eviction
+    /// happens under the index lock alone and in-flight builds are
+    /// never discarded.
+    pub fn stage1_cache_bytes(mut self, bytes: u64) -> Self {
+        self.stage1_bytes = Some(bytes);
         self
     }
 
@@ -571,7 +741,7 @@ impl RiskSessionBuilder {
             pool,
             store,
             company: self.company,
-            stage1: Stage1Cache::new(self.stage1_capacity),
+            stage1: Stage1Cache::new(self.stage1_capacity, self.stage1_bytes),
             runs: AtomicU64::new(0),
         })
     }
@@ -625,6 +795,14 @@ impl RiskSession {
     /// The stage-1 cache's hit/miss counters.
     pub fn stage1_cache_stats(&self) -> Stage1CacheStats {
         self.stage1.stats()
+    }
+
+    /// Wall time of each retained stage-1 entry's publishing build, as
+    /// `(stage1_key, duration)` sorted by key — the per-key split of
+    /// [`Stage1CacheStats::build_nanos`], for capacity planning (which
+    /// catalogues are worth a bigger budget).
+    pub fn stage1_build_timings(&self) -> Vec<(u64, Duration)> {
+        self.stage1.build_timings()
     }
 
     /// Drop every retained stage-1 model run (counters survive; they
@@ -871,7 +1049,14 @@ impl RiskSession {
     /// need every report retained should use `run_stream`/`stream`.
     pub fn run_batch(&self, scenarios: &[ScenarioConfig]) -> RiskResult<Vec<PipelineReport>> {
         let mut reports = Vec::with_capacity(scenarios.len());
-        self.run_stream(scenarios, |_, report| {
+        self.run_stream(scenarios, |_, mut report: PipelineReport| {
+            // The shared sorted columns exist for streaming sinks,
+            // which drop the report immediately; retaining them across
+            // a collected batch would double every report's column
+            // memory. Consumers that need them re-sort (SweepSummary
+            // falls back automatically).
+            report.agg_sorted = Vec::new();
+            report.occ_sorted = Vec::new();
             reports.push(report);
             Ok(())
         })?;
@@ -958,14 +1143,16 @@ impl RiskSession {
         };
 
         // Sort each YLT loss column exactly once and share the buffers:
-        // RiskMeasures and the AEP curve used to re-sort the same
-        // losses independently (three sorts per report; now two).
+        // RiskMeasures, the 100-year PML and the report's retained
+        // sorted columns (which sinks fold into pooled sketches in one
+        // weighted merge) all read the same two sorts.
         let agg_sorted = ylt.sorted_agg_losses();
         let occ_sorted = ylt.sorted_max_occ_losses();
         let agg_stats: RunningStats = ylt.agg_losses().iter().copied().collect();
         let measures = RiskMeasures::from_sorted(&agg_sorted, &occ_sorted, &agg_stats);
         let pml_100 = if ylt.trials() >= 100 {
-            Some(EpCurve::from_sorted(EpKind::Aep, agg_sorted).pml(100.0))
+            // The 1 − 1/T quantile, exactly as `EpCurve::pml` computes it.
+            Some(quantile_sorted(&agg_sorted, 1.0 - 1.0 / 100.0))
         } else {
             None
         };
@@ -983,6 +1170,8 @@ impl RiskSession {
             prob_ruin: dfa_result.prob_ruin(),
             mean_net_income: dfa_result.mean_net_income(),
             economic_capital: dfa_result.economic_capital(),
+            agg_sorted,
+            occ_sorted,
             ylt,
         })
     }
@@ -1069,6 +1258,18 @@ pub struct PipelineReport {
     pub mean_net_income: f64,
     /// DFA economic capital.
     pub economic_capital: f64,
+    /// The YLT's aggregate-loss column, sorted ascending by
+    /// `total_cmp` — the report path sorts each column exactly once
+    /// and shares the buffer, so streaming sinks fold pooled analytics
+    /// with one weighted sketch merge instead of re-sorting per
+    /// consumer. May be empty on reports that outlive delivery
+    /// ([`RiskSession::run_batch`] clears it to keep collected batches
+    /// at one copy per column); consumers must fall back to sorting
+    /// [`PipelineReport::ylt`] when `agg_sorted.len() != ylt.trials()`.
+    pub agg_sorted: Vec<f64>,
+    /// The maximum-occurrence column, likewise sorted (and likewise
+    /// possibly empty).
+    pub occ_sorted: Vec<f64>,
     /// The portfolio YLT (for downstream analysis).
     pub ylt: Ylt,
 }
@@ -1163,7 +1364,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_capacity_bounds_entries_fifo() {
+    fn cache_capacity_bounds_entries() {
         let session = RiskSession::builder()
             .pool_threads(2)
             .stage1_cache_capacity(2)
@@ -1178,6 +1379,86 @@ mod tests {
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 2);
+        assert!(stats.bytes > 0);
+        assert!(stats.build_nanos > 0);
+    }
+
+    #[test]
+    fn cache_eviction_is_lru_not_fifo() {
+        // Access pattern A B A C B with capacity 2. LRU: the A re-access
+        // makes B least-recent, so C evicts B and the final B misses
+        // (4 misses, 1 hit). FIFO would have evicted A and served the
+        // final B from cache (3 misses, 2 hits).
+        let session = RiskSession::builder()
+            .pool_threads(2)
+            .stage1_cache_capacity(2)
+            .build()
+            .unwrap();
+        let scenario = |seed| ScenarioConfig::small().with_seed(seed).with_trials(200);
+        let (a, b, c) = (scenario(80), scenario(81), scenario(82));
+        for s in [&a, &b, &a, &c, &b] {
+            session.run(s).unwrap();
+        }
+        let stats = session.stage1_cache_stats();
+        assert_eq!(stats.misses, 4, "LRU must evict B, not the touched A");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictions, 2);
+    }
+
+    #[test]
+    fn cache_byte_budget_evicts_lru_but_keeps_latest() {
+        // A 1-byte budget is smaller than any model run: after every
+        // publish only the just-published entry survives.
+        let session = RiskSession::builder()
+            .pool_threads(2)
+            .stage1_cache_bytes(1)
+            .build()
+            .unwrap();
+        let scenario = |seed| ScenarioConfig::small().with_seed(seed).with_trials(200);
+        session.run(&scenario(90)).unwrap();
+        assert_eq!(session.stage1_cache_stats().entries, 1);
+        session.run(&scenario(91)).unwrap();
+        let stats = session.stage1_cache_stats();
+        assert_eq!(stats.entries, 1, "budget must keep only the latest run");
+        assert_eq!(stats.evictions, 1);
+        // The latest run still serves hits.
+        session.run(&scenario(91)).unwrap();
+        assert_eq!(session.stage1_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_byte_budget_retains_what_fits() {
+        // A generous budget changes nothing: both runs stay cached.
+        let session = RiskSession::builder()
+            .pool_threads(2)
+            .stage1_cache_bytes(1 << 30)
+            .build()
+            .unwrap();
+        let scenario = |seed| ScenarioConfig::small().with_seed(seed).with_trials(200);
+        session.run(&scenario(94)).unwrap();
+        session.run(&scenario(95)).unwrap();
+        let stats = session.stage1_cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 0);
+        assert!(stats.bytes > 0 && stats.bytes <= 1 << 30);
+    }
+
+    #[test]
+    fn per_key_build_timings_are_exposed() {
+        let session = RiskSession::builder().pool_threads(2).build().unwrap();
+        let a = ScenarioConfig::small().with_seed(96).with_trials(200);
+        let b = ScenarioConfig::small().with_seed(97).with_trials(200);
+        session.run(&a).unwrap();
+        session.run(&b).unwrap();
+        session.run(&a).unwrap(); // hit: no extra timing entry
+        let timings = session.stage1_build_timings();
+        assert_eq!(timings.len(), 2);
+        let keys: Vec<u64> = timings.iter().map(|&(k, _)| k).collect();
+        assert!(keys.contains(&a.stage1_key()) && keys.contains(&b.stage1_key()));
+        assert!(timings.iter().all(|&(_, d)| d > Duration::ZERO));
+        // Cumulative counter covers at least the per-key entries.
+        let total: u64 = timings.iter().map(|&(_, d)| d.as_nanos() as u64).sum();
+        assert!(session.stage1_cache_stats().build_nanos >= total);
     }
 
     #[test]

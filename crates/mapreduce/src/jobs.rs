@@ -294,6 +294,107 @@ impl CubeBuildJob {
     }
 }
 
+/// One return-period band's pooled losses from a [`YltFactJob`] run:
+/// the band code and its member losses sorted ascending by
+/// [`f64::total_cmp`] — ready to fold into a sketch-valued warehouse
+/// cell in one weighted merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YltFactBand {
+    /// Band (group) code.
+    pub band: u32,
+    /// The band's losses, sorted ascending by `total_cmp`.
+    pub losses: Vec<f64>,
+}
+
+/// Groups a sharded per-report YLT spill into per-return-period-band
+/// sorted loss columns — the stage-3 warehouse-ingest analysis in the
+/// MapReduce formulation of the companion paper ("High Performance
+/// Risk Aggregation … the Hadoop MapReduce Way").
+///
+/// The spill writer stores each trial's pre-computed band code in the
+/// YELLT `event` field (band assignment needs the report's global loss
+/// ranks, so it happens before sharding); this job is the shuffle that
+/// turns trial-ordered rows back into per-band columns when the report
+/// data lives in distributed file space rather than memory.
+///
+/// Map: `(band) → loss`, with an optional band-coarsening lookup
+/// applied map-side exactly like [`CubeBuildJob`]'s geo/event maps.
+/// Reduce: sort the band's losses by `total_cmp` and emit them as one
+/// record. Output is deterministic for any shard layout, reduce-task
+/// count and thread count: the multiset per band is fixed and the
+/// reducer sorts it.
+pub struct YltFactJob {
+    /// Band → group lookup (`None` = identity).
+    pub band_map: Option<Vec<u32>>,
+}
+
+struct YltFactMapper<'a> {
+    band_map: Option<&'a [u32]>,
+}
+impl Mapper for YltFactMapper<'_> {
+    fn map(&self, chunk: &YelltChunk, emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        for i in 0..chunk.rows() {
+            let band = match self.band_map {
+                None => chunk.events[i],
+                Some(m) => m[chunk.events[i] as usize],
+            };
+            emit(key_u32(band), val_f64(chunk.losses[i]));
+        }
+    }
+}
+
+struct SortedColumnReducer;
+impl Reducer for SortedColumnReducer {
+    fn reduce(&self, key: &[u8], values: &[Vec<u8>], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        let mut losses: Vec<f64> = values
+            .iter()
+            .map(|v| parse_val_f64(v).expect("well-formed shuffle value"))
+            .collect();
+        losses.sort_unstable_by(f64::total_cmp);
+        let mut out = Vec::with_capacity(losses.len() * 8);
+        for l in losses {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        emit(key.to_vec(), out);
+    }
+}
+
+impl YltFactJob {
+    /// Run the job; bands come back sorted by band code.
+    pub fn run(
+        &self,
+        input: &ShardedReader,
+        reduce_tasks: usize,
+        pool: &ThreadPool,
+    ) -> RiskResult<(Vec<YltFactBand>, crate::runtime::JobStats)> {
+        let (raw, stats) = run_job(
+            input,
+            &YltFactMapper {
+                band_map: self.band_map.as_deref(),
+            },
+            &SortedColumnReducer,
+            &JobConfig::with_reduce_tasks(reduce_tasks),
+            pool,
+        )?;
+        let mut out = Vec::with_capacity(raw.len());
+        for (key, val) in raw {
+            let band = parse_key_u32(&key)?;
+            if !val.len().is_multiple_of(8) {
+                return Err(riskpipe_types::RiskError::corrupt(
+                    "malformed sorted-column record",
+                ));
+            }
+            let losses: Vec<f64> = val
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            out.push(YltFactBand { band, losses });
+        }
+        out.sort_by_key(|b| b.band);
+        Ok((out, stats))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +515,69 @@ mod tests {
         assert_eq!(cells[1].count, 10);
         assert!((cells[1].sum - 300.0).abs() < 1e-9);
         assert_eq!(cells[1].max, 30.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ylt_fact_job_returns_sorted_band_columns() {
+        // Spill rows whose `event` field is a band code: trial t gets
+        // band t % 3 and loss 100 - t, so each band's sorted column is
+        // hand-computable.
+        let dir = temp("factbands");
+        let mut w = ShardedWriter::create_with_chunk_rows(&dir, 3, 16).unwrap();
+        for t in 0..60u32 {
+            w.push_row(t, t % 3, LocationId::new(0), (100 - t) as f64)
+                .unwrap();
+        }
+        w.finish().unwrap();
+        let reader = ShardedReader::open(&dir).unwrap();
+        let pool = ThreadPool::new(4);
+        let (bands, stats) = YltFactJob { band_map: None }
+            .run(&reader, 2, &pool)
+            .unwrap();
+        assert_eq!(bands.len(), 3);
+        for (b, rec) in bands.iter().enumerate() {
+            assert_eq!(rec.band, b as u32);
+            let mut want: Vec<f64> = (0..60u32)
+                .filter(|t| t % 3 == b as u32)
+                .map(|t| (100 - t) as f64)
+                .collect();
+            want.sort_unstable_by(f64::total_cmp);
+            assert_eq!(rec.losses, want);
+        }
+        assert_eq!(stats.input_rows, 60);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ylt_fact_job_is_deterministic_and_applies_band_map() {
+        let dir = temp("factdet");
+        let mut w = ShardedWriter::create_with_chunk_rows(&dir, 4, 8).unwrap();
+        for t in 0..100u32 {
+            w.push_row(t, t % 5, LocationId::new(0), (t as f64) * 1.5)
+                .unwrap();
+        }
+        w.finish().unwrap();
+        let reader = ShardedReader::open(&dir).unwrap();
+        let run = |threads: usize, parts: usize| {
+            let pool = ThreadPool::new(threads);
+            YltFactJob {
+                band_map: Some(vec![0, 0, 1, 1, 1]),
+            }
+            .run(&reader, parts, &pool)
+            .unwrap()
+            .0
+        };
+        let a = run(1, 1);
+        let b = run(8, 5);
+        assert_eq!(a, b, "band columns must not depend on threads/partitions");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].losses.len(), 40); // bands {0,1} of t%5
+        assert_eq!(a[1].losses.len(), 60);
+        // Sorted ascending within each band.
+        for rec in &a {
+            assert!(rec.losses.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()));
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

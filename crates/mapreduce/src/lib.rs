@@ -20,7 +20,9 @@
 //!
 //! Canned jobs for the paper's drill-down analytics live in [`jobs`]:
 //! per-location tail risk and per-event loss contribution over the
-//! YELLT.
+//! YELLT, plus the stage-3 warehouse-ingest shuffle
+//! ([`jobs::YltFactJob`]) that turns sharded per-report YLT spills
+//! into per-return-period-band loss columns.
 
 #![warn(missing_docs)]
 
@@ -28,6 +30,8 @@ pub mod jobs;
 pub mod kv;
 pub mod runtime;
 
-pub use jobs::{CubeBuildJob, CubeCell, EventContributionJob, LocationRiskJob};
+pub use jobs::{
+    CubeBuildJob, CubeCell, EventContributionJob, LocationRiskJob, YltFactBand, YltFactJob,
+};
 pub use kv::KvPair;
 pub use runtime::{run_job, JobConfig, JobStats, Mapper, Reducer};

@@ -176,6 +176,44 @@ impl QuantileSketch {
         }
     }
 
+    /// Fold a whole **pre-sorted** (ascending by [`f64::total_cmp`])
+    /// column in as one weighted bulk merge: the column lands in the
+    /// level-0 buffer in a single append and compaction runs once at
+    /// the end instead of every `k` pushes — one big sort over an
+    /// almost-sorted buffer rather than `n/k` small ones.
+    ///
+    /// While no compaction triggers (the level-0 buffer stays within
+    /// `k`), the resulting state is **identical** to pushing the same
+    /// values one by one, so the exact path keeps its bit-for-bit
+    /// contract. Past `k` the compaction *schedule* differs from the
+    /// per-value path (fewer, larger compactions), which yields an
+    /// equally valid sketch with an equal-or-smaller tracked error
+    /// bound — but not bit-identical state to per-value pushes; pick
+    /// one fold style per pooled stream (as riskpipe-core's
+    /// `SweepSummary` does) and determinism across thread counts is
+    /// preserved.
+    ///
+    /// # Panics
+    /// Panics (debug only) if `sorted` is not ascending.
+    pub fn merge_sorted(&mut self, sorted: &[f64]) {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "merge_sorted input must be ascending by total_cmp"
+        );
+        let Some((&first, &last)) = sorted.first().zip(sorted.last()) else {
+            return;
+        };
+        if self.count == 0 || first.total_cmp(&self.min).is_lt() {
+            self.min = first;
+        }
+        if self.count == 0 || last.total_cmp(&self.max).is_gt() {
+            self.max = last;
+        }
+        self.count += sorted.len() as u64;
+        self.levels[0].extend_from_slice(sorted);
+        self.compact_overfull();
+    }
+
     /// Fold another sketch in. Deterministic: the result is a pure
     /// function of the two operand states (so a fixed merge order —
     /// e.g. input order across a sweep's partitions — gives
@@ -470,6 +508,69 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn merge_sorted_matches_pushes_on_exact_path() {
+        // Below the compaction threshold the bulk fold must be
+        // bit-identical in *state* to per-value pushes: same retained
+        // buffer, same count, same extrema.
+        let mut xs: Vec<f64> = (0..700).map(|i| ((i * 37) % 211) as f64 * 0.5).collect();
+        sort_f64(&mut xs);
+        let mut pushed = QuantileSketch::new(1024);
+        pushed.extend(&xs);
+        let mut folded = QuantileSketch::new(1024);
+        folded.merge_sorted(&xs);
+        assert!(folded.is_exact());
+        assert_eq!(folded.count(), pushed.count());
+        assert_eq!(folded.min(), pushed.min());
+        assert_eq!(folded.max(), pushed.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(folded.quantile(q).to_bits(), pushed.quantile(q).to_bits());
+            assert_eq!(folded.tail_mean(q).to_bits(), pushed.tail_mean(q).to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_sorted_past_k_stays_within_bound_with_fewer_compactions() {
+        let n = 50_000usize;
+        let mut xs: Vec<f64> = (0..n)
+            .map(|i| (((i * 104729) % 99991) as f64).powf(1.2))
+            .collect();
+        sort_f64(&mut xs);
+        let mut pushed = QuantileSketch::new(256);
+        pushed.extend(&xs);
+        let mut folded = QuantileSketch::new(256);
+        // Fold in report-sized sorted chunks, the sweep-sink shape.
+        for part in xs.chunks(10_000) {
+            folded.merge_sorted(part);
+        }
+        assert_eq!(folded.count(), n as u64);
+        assert!(!folded.is_exact());
+        // The bulk fold compacts less often, so its tracked bound must
+        // not be worse than the per-value path's.
+        assert!(folded.rank_error_bound() <= pushed.rank_error_bound());
+        let bound_ranks = folded.rank_error_bound() * n as f64 + 1.0;
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let est = folded.quantile(q);
+            let rank = xs.partition_point(|&v| v < est) as f64;
+            assert!(
+                (rank - q * (n - 1) as f64).abs() <= bound_ranks,
+                "q={q}: rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_sorted_empty_and_nonfinite_edges() {
+        let mut sk = QuantileSketch::new(8);
+        sk.merge_sorted(&[]);
+        assert_eq!(sk.count(), 0);
+        let mut poisoned = vec![f64::NEG_INFINITY, 1.0, 2.0, f64::NAN];
+        sort_f64(&mut poisoned);
+        sk.merge_sorted(&poisoned);
+        assert_eq!(sk.min(), f64::NEG_INFINITY);
+        assert!(sk.max().is_nan());
     }
 
     #[test]

@@ -33,6 +33,10 @@
 //! * [`store`] — views persist through the same CRC-checked frame
 //!   format as every other riskpipe table; corruption is detected at
 //!   load.
+//! * [`sketchcube`] — sketch-valued cells: each drill-down cell
+//!   carries a mergeable quantile sketch of its pooled losses, so
+//!   slices answer VaR99/TVaR99/EP points, not just sums (the stage-3
+//!   drill-down subsystem builds on these).
 //!
 //! ## Quickstart
 //!
@@ -67,6 +71,7 @@ pub mod lattice;
 mod proptests;
 pub mod query;
 pub mod rollup;
+pub mod sketchcube;
 pub mod store;
 
 pub use cube::{Cell, Cuboid, KeyCodec, LevelSelect};
@@ -75,4 +80,5 @@ pub use fact::{FactBuilder, FactTable};
 pub use lattice::{enumerate, greedy_select, greedy_select_budget, ViewSelection};
 pub use query::{Filter, Query, QueryCost, ResultRow, Source, Warehouse};
 pub use rollup::rollup;
+pub use sketchcube::{SketchCell, SketchCuboid, SketchRow};
 pub use store::{decode_cuboid, encode_cuboid, load_views, save_views};

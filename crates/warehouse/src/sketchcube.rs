@@ -1,0 +1,485 @@
+//! Sketch-valued cuboids: cells that answer quantiles, not just sums.
+//!
+//! A plain [`Cell`](crate::cube::Cell) carries count/sum/max — enough
+//! for loss attribution, useless for tail risk: a drill-down cell
+//! cannot answer "what is this peril × region slice's VaR99?" from a
+//! sum. A [`SketchCell`] additionally carries a mergeable
+//! [`QuantileSketch`] of the cell's pooled loss distribution, so every
+//! cell of the cube answers VaR/TVaR/EP points — the paper's stage-3
+//! drill-down workload — while staying bounded in memory and
+//! **deterministic**: the sketch compacts without randomness, cells
+//! merge in key order, and the same ingest order yields bit-identical
+//! state on any thread count.
+//!
+//! The module mirrors the plain-cell machinery: [`SketchCuboid`] is a
+//! sorted key column plus cells, [`SketchCuboid::rollup`] derives a
+//! coarser cuboid at cell cost, and [`SketchCuboid::answer`] serves a
+//! [`Query`] (slice/dice/rollup + filters + top-k) by lifting,
+//! filtering and merging cells.
+
+use crate::cube::{KeyCodec, LevelSelect};
+use crate::dimension::{Schema, NDIMS};
+use crate::query::Query;
+use riskpipe_metrics::QuantileSketch;
+use riskpipe_types::{RiskError, RiskResult};
+use std::collections::BTreeMap;
+
+/// One sketch-valued cell: the additive measures of a plain cell plus
+/// a quantile sketch of the cell's pooled losses.
+#[derive(Debug, Clone)]
+pub struct SketchCell {
+    /// Number of pooled losses in the cell.
+    pub count: u64,
+    /// Total loss (accumulated in ascending loss order — deterministic
+    /// for a fixed ingest order).
+    pub sum: f64,
+    /// Largest single loss (by `total_cmp`).
+    pub max: f64,
+    /// Mergeable sketch of the cell's pooled loss distribution.
+    pub sketch: QuantileSketch,
+}
+
+impl SketchCell {
+    /// An empty cell whose sketch holds `k` values per level.
+    pub fn empty(k: usize) -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+            sketch: QuantileSketch::new(k),
+        }
+    }
+
+    /// Fold an ascending pre-sorted loss column in: count, sum (in
+    /// sorted order), max, and one weighted sketch merge.
+    pub fn absorb_sorted(&mut self, sorted: &[f64]) {
+        let Some(&last) = sorted.last() else {
+            return;
+        };
+        self.count += sorted.len() as u64;
+        for &x in sorted {
+            self.sum += x;
+        }
+        if last.total_cmp(&self.max).is_gt() {
+            self.max = last;
+        }
+        self.sketch.merge_sorted(sorted);
+    }
+
+    /// Merge another cell in (deterministic: a pure function of the
+    /// two operand states, so a fixed merge order — e.g. source key
+    /// order during a rollup — is bit-reproducible).
+    pub fn merge(&mut self, other: &SketchCell) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max.total_cmp(&self.max).is_gt() {
+            self.max = other.max;
+        }
+        self.sketch.merge(&other.sketch);
+    }
+
+    /// 99% VaR of the cell's pooled losses (`None` when empty).
+    pub fn var99(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sketch.quantile(0.99))
+    }
+
+    /// 99% TVaR of the cell's pooled losses (`None` when empty).
+    pub fn tvar99(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sketch.tail_mean(0.99))
+    }
+
+    /// An EP point: the loss at return period `years` — `None` until
+    /// the pooled count can resolve it.
+    ///
+    /// # Panics
+    /// Panics unless `years > 1`.
+    pub fn ep_loss(&self, years: f64) -> Option<f64> {
+        assert!(years > 1.0, "return period must exceed 1 year");
+        (self.count as f64 >= years).then(|| self.sketch.quantile(1.0 - 1.0 / years))
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        24 + self.sketch.retained() * 8
+    }
+}
+
+/// One sketch-valued result row: the cell's codes at the query's
+/// levels and the merged cell (whose sketch answers any quantile).
+#[derive(Debug, Clone)]
+pub struct SketchRow {
+    /// Cell codes, one per dimension at the query's level.
+    pub codes: [u32; NDIMS],
+    /// The merged sketch-valued cell.
+    pub cell: SketchCell,
+}
+
+/// A materialised sketch-valued cuboid: sorted keys and their cells.
+#[derive(Debug, Clone)]
+pub struct SketchCuboid {
+    select: LevelSelect,
+    codec: KeyCodec,
+    keys: Vec<u64>,
+    cells: Vec<SketchCell>,
+}
+
+impl SketchCuboid {
+    /// Assemble a cuboid from accumulated `(key, cell)` entries
+    /// (sorted by key here). Every cell must share one sketch capacity
+    /// so rollups can merge them.
+    pub fn from_entries(
+        schema: &Schema,
+        select: LevelSelect,
+        entries: Vec<(u64, SketchCell)>,
+    ) -> RiskResult<Self> {
+        if !select.is_valid(schema) {
+            return Err(RiskError::invalid(format!(
+                "level select {:?} invalid for schema",
+                select.0
+            )));
+        }
+        let codec = KeyCodec::new(schema, select)?;
+        let mut entries = entries;
+        entries.sort_by_key(|&(k, _)| k);
+        if entries.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(RiskError::invalid("duplicate sketch-cuboid cell keys"));
+        }
+        let mut keys = Vec::with_capacity(entries.len());
+        let mut cells = Vec::with_capacity(entries.len());
+        for (k, c) in entries {
+            keys.push(k);
+            cells.push(c);
+        }
+        Ok(Self {
+            select,
+            codec,
+            keys,
+            cells,
+        })
+    }
+
+    /// The level selection this cuboid is grouped by.
+    pub fn select(&self) -> LevelSelect {
+        self.select
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Sorted cell keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Cell at index `i` as `(codes, cell)`.
+    pub fn cell_at(&self, i: usize) -> ([u32; NDIMS], &SketchCell) {
+        (self.codec.decode(self.keys[i]), &self.cells[i])
+    }
+
+    /// Binary-search a cell by its codes.
+    pub fn find(&self, codes: [u32; NDIMS]) -> Option<&SketchCell> {
+        let key = self.codec.encode(codes);
+        self.keys.binary_search(&key).ok().map(|i| &self.cells[i])
+    }
+
+    /// Sum of all cell counts.
+    pub fn total_count(&self) -> u64 {
+        self.cells.iter().map(|c| c.count).sum()
+    }
+
+    /// Approximate heap footprint in bytes (keys plus every cell's
+    /// sketch) — the quantity a byte-budgeted view selection charges.
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.cells.iter().map(|c| c.memory_bytes()).sum::<usize>()
+    }
+
+    /// Re-aggregate at the coarser `target` selection — the derived-
+    /// materialisation primitive, at cell cost instead of ingest cost.
+    /// Source cells are visited in key order, so repeated rollups are
+    /// bit-identical (sketch merges included).
+    pub fn rollup(&self, schema: &Schema, target: LevelSelect) -> RiskResult<SketchCuboid> {
+        if !target.is_valid(schema) {
+            return Err(RiskError::invalid(format!(
+                "rollup target {:?} invalid for schema",
+                target.0
+            )));
+        }
+        if !self.select.finer_eq(&target) {
+            return Err(RiskError::invalid(format!(
+                "cannot roll up {:?} to {:?}: target must be coarser on every dimension",
+                self.select.0, target.0
+            )));
+        }
+        let codec = KeyCodec::new(schema, target)?;
+        let lifts = lift_tables(schema, self.select, target);
+        let mut acc: BTreeMap<u64, SketchCell> = BTreeMap::new();
+        for i in 0..self.cells() {
+            let (codes, cell) = self.cell_at(i);
+            let key = codec.encode(lift_codes(&lifts, codes));
+            match acc.get_mut(&key) {
+                Some(existing) => existing.merge(cell),
+                None => {
+                    acc.insert(key, cell.clone());
+                }
+            }
+        }
+        SketchCuboid::from_entries(schema, target, acc.into_iter().collect())
+    }
+
+    /// Answer `query` from this cuboid: lift each cell to the query's
+    /// levels, apply the dice filters, merge cells landing on one
+    /// output cell (in source key order — deterministic), and apply
+    /// the top-k cut by loss sum. Fails unless this cuboid is
+    /// finer-or-equal to the query on every dimension.
+    pub fn answer(&self, schema: &Schema, query: &Query) -> RiskResult<Vec<SketchRow>> {
+        if !query.select.is_valid(schema) {
+            return Err(RiskError::invalid(format!(
+                "query select {:?} invalid for schema",
+                query.select.0
+            )));
+        }
+        if !self.select.finer_eq(&query.select) {
+            return Err(RiskError::invalid(format!(
+                "cuboid {:?} cannot serve coarser-than-{:?} query",
+                self.select.0, query.select.0
+            )));
+        }
+        for f in &query.filters {
+            if f.dim >= NDIMS {
+                return Err(RiskError::invalid(format!(
+                    "filter dimension {} out of range",
+                    f.dim
+                )));
+            }
+            let card = schema.dim(f.dim).cardinality(query.select.level(f.dim));
+            if f.codes.iter().any(|&c| c >= card) {
+                return Err(RiskError::invalid(format!(
+                    "filter code out of range for dimension {} at query level",
+                    f.dim
+                )));
+            }
+        }
+        let codec = KeyCodec::new(schema, query.select)?;
+        let lifts = lift_tables(schema, self.select, query.select);
+        let mut acc: BTreeMap<u64, SketchCell> = BTreeMap::new();
+        for i in 0..self.cells() {
+            let (codes, cell) = self.cell_at(i);
+            let out = lift_codes(&lifts, codes);
+            if query.filters.iter().all(|f| f.codes.contains(&out[f.dim])) {
+                let key = codec.encode(out);
+                match acc.get_mut(&key) {
+                    Some(existing) => existing.merge(cell),
+                    None => {
+                        acc.insert(key, cell.clone());
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<SketchRow> = acc
+            .into_iter()
+            .map(|(k, cell)| SketchRow {
+                codes: codec.decode(k),
+                cell,
+            })
+            .collect();
+        if let Some(k) = query.top_k {
+            rows.sort_by(|a, b| {
+                b.cell
+                    .sum
+                    .total_cmp(&a.cell.sum)
+                    .then_with(|| a.codes.cmp(&b.codes))
+            });
+            rows.truncate(k);
+        }
+        Ok(rows)
+    }
+}
+
+/// Per-dimension lift tables from `from` levels to `to` levels
+/// (`None` = identity).
+fn lift_tables(schema: &Schema, from: LevelSelect, to: LevelSelect) -> Vec<Option<Vec<u32>>> {
+    (0..NDIMS)
+        .map(|d| {
+            let (f, t) = (from.level(d), to.level(d));
+            if f == t {
+                None
+            } else {
+                let dim = schema.dim(d);
+                Some((0..dim.cardinality(f)).map(|c| dim.lift(f, t, c)).collect())
+            }
+        })
+        .collect()
+}
+
+#[inline]
+fn lift_codes(lifts: &[Option<Vec<u32>>], codes: [u32; NDIMS]) -> [u32; NDIMS] {
+    let mut out = [0u32; NDIMS];
+    for d in 0..NDIMS {
+        out[d] = match &lifts[d] {
+            None => codes[d],
+            Some(lut) => lut[codes[d] as usize],
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::dim;
+    use crate::query::Filter;
+    use riskpipe_types::stats::{quantile_sorted, sort_f64, tail_mean_sorted};
+
+    fn schema() -> Schema {
+        Schema::standard(6, 2, 4, 2, 3, 1).unwrap()
+    }
+
+    /// Deterministic per-(geo,event) loss columns: 10 losses each.
+    fn base_cuboid(s: &Schema, k: usize) -> SketchCuboid {
+        let codec = KeyCodec::new(s, LevelSelect::BASE).unwrap();
+        let mut entries = Vec::new();
+        for g in 0..6u32 {
+            for e in 0..4u32 {
+                let mut losses: Vec<f64> = (0..10)
+                    .map(|i| ((g * 31 + e * 7 + i) % 23) as f64 + 1.0)
+                    .collect();
+                sort_f64(&mut losses);
+                let mut cell = SketchCell::empty(k);
+                cell.absorb_sorted(&losses);
+                entries.push((codec.encode([g, e, 0, 0]), cell));
+            }
+        }
+        SketchCuboid::from_entries(s, LevelSelect::BASE, entries).unwrap()
+    }
+
+    #[test]
+    fn absorb_sorted_tracks_count_sum_max_and_quantiles() {
+        let mut losses: Vec<f64> = (0..50).map(|i| ((i * 13) % 37) as f64).collect();
+        sort_f64(&mut losses);
+        let mut cell = SketchCell::empty(64);
+        cell.absorb_sorted(&losses);
+        assert_eq!(cell.count, 50);
+        assert_eq!(cell.max, 36.0);
+        let want_sum: f64 = losses.iter().sum();
+        assert_eq!(cell.sum.to_bits(), want_sum.to_bits());
+        assert_eq!(
+            cell.var99().unwrap().to_bits(),
+            quantile_sorted(&losses, 0.99).to_bits()
+        );
+        assert_eq!(
+            cell.tvar99().unwrap().to_bits(),
+            tail_mean_sorted(&losses, 0.99).to_bits()
+        );
+        assert_eq!(SketchCell::empty(8).var99(), None);
+    }
+
+    #[test]
+    fn rollup_cells_equal_pooled_exact_quantiles() {
+        let s = schema();
+        let base = base_cuboid(&s, 1024);
+        // Roll up to region × peril (geo level 1, event level 1).
+        let coarse = base.rollup(&s, LevelSelect([1, 1, 1, 1])).unwrap();
+        assert!(coarse.cells() > 0);
+        for i in 0..coarse.cells() {
+            let (codes, cell) = coarse.cell_at(i);
+            // Recompute the pooled column by brute force.
+            let mut pooled = Vec::new();
+            for j in 0..base.cells() {
+                let (bc, bcell) = base.cell_at(j);
+                let region = s.dim(dim::GEO).code_at(1, bc[dim::GEO]);
+                let peril = s.dim(dim::EVENT).code_at(1, bc[dim::EVENT]);
+                if region == codes[dim::GEO] && peril == codes[dim::EVENT] {
+                    pooled.push(bcell);
+                }
+            }
+            let count: u64 = pooled.iter().map(|c| c.count).sum();
+            assert_eq!(cell.count, count);
+            // Exact path (k large): quantiles equal the sorted pooled
+            // multiset exactly.
+            assert!(cell.sketch.is_exact());
+        }
+        assert_eq!(coarse.total_count(), base.total_count());
+    }
+
+    #[test]
+    fn rollup_direct_equals_rollup_via_intermediate_on_exact_path() {
+        let s = schema();
+        let base = base_cuboid(&s, 4096);
+        let apex = LevelSelect::apex(&s);
+        let direct = base.rollup(&s, apex).unwrap();
+        let mid = base.rollup(&s, LevelSelect([1, 1, 1, 1])).unwrap();
+        let via_mid = mid.rollup(&s, apex).unwrap();
+        assert_eq!(direct.cells(), 1);
+        assert_eq!(via_mid.cells(), 1);
+        let (_, a) = direct.cell_at(0);
+        let (_, b) = via_mid.cell_at(0);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.max, b.max);
+        // Exact sketches: identical pooled multiset ⇒ identical
+        // quantiles, regardless of merge grouping.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                a.sketch.quantile(q).to_bits(),
+                b.sketch.quantile(q).to_bits()
+            );
+        }
+        // Sums associate differently; compare within tolerance.
+        assert!((a.sum - b.sum).abs() <= 1e-9 * b.sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn answer_filters_and_merges() {
+        let s = schema();
+        let base = base_cuboid(&s, 1024);
+        // Dice: region×peril, restricted to region 1.
+        let q = Query::group_by(LevelSelect([1, 1, 1, 1])).filter(Filter::slice(dim::GEO, 1));
+        let rows = base.answer(&s, &q).unwrap();
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.codes[dim::GEO] == 1));
+        // The filtered counts sum to the region's fact share.
+        let total: u64 = rows.iter().map(|r| r.cell.count).sum();
+        assert_eq!(total, 3 * 4 * 10); // 3 locations in region 1 × 4 events × 10 losses
+                                       // Top-k ordering.
+        let top = base
+            .answer(&s, &Query::group_by(LevelSelect([1, 1, 1, 1])).top(2))
+            .unwrap();
+        assert_eq!(top.len(), 2);
+        assert!(top[0].cell.sum >= top[1].cell.sum);
+    }
+
+    #[test]
+    fn answer_rejects_finer_queries_and_bad_filters() {
+        let s = schema();
+        let base = base_cuboid(&s, 64);
+        let coarse = base.rollup(&s, LevelSelect([1, 1, 1, 1])).unwrap();
+        assert!(coarse
+            .answer(&s, &Query::group_by(LevelSelect::BASE))
+            .is_err());
+        let bad = Query::group_by(LevelSelect([1, 1, 1, 1])).filter(Filter::slice(dim::GEO, 99));
+        assert!(base.answer(&s, &bad).is_err());
+        assert!(base
+            .answer(&s, &Query::group_by(LevelSelect([9, 0, 0, 0])))
+            .is_err());
+    }
+
+    #[test]
+    fn from_entries_rejects_duplicates_and_invalid_selects() {
+        let s = schema();
+        let codec = KeyCodec::new(&s, LevelSelect::BASE).unwrap();
+        let k = codec.encode([0, 0, 0, 0]);
+        let dup = vec![(k, SketchCell::empty(8)), (k, SketchCell::empty(8))];
+        assert!(SketchCuboid::from_entries(&s, LevelSelect::BASE, dup).is_err());
+        assert!(SketchCuboid::from_entries(&s, LevelSelect([9, 0, 0, 0]), vec![]).is_err());
+    }
+
+    #[test]
+    fn memory_bytes_grow_with_cells() {
+        let s = schema();
+        let base = base_cuboid(&s, 64);
+        let apex = base.rollup(&s, LevelSelect::apex(&s)).unwrap();
+        assert!(base.memory_bytes() > apex.memory_bytes());
+        assert!(apex.memory_bytes() > 0);
+    }
+}

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use riskpipe_aggregate as aggregate;
+pub use riskpipe_analytics as analytics;
 pub use riskpipe_catmodel as catmodel;
 pub use riskpipe_cloud as cloud;
 pub use riskpipe_core as core;
@@ -71,6 +72,9 @@ pub use riskpipe_warehouse as warehouse;
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {
     pub use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind, Portfolio};
+    pub use riskpipe_analytics::{
+        Drilldown, DrilldownLayout, ScenarioDims, SessionAnalytics, WarehouseSink, WarehouseStore,
+    };
     pub use riskpipe_catmodel::Stage1Output;
     pub use riskpipe_cloud::{pipeline_week, simulate, PipelineWeekSpec, SimConfig};
     pub use riskpipe_core::{
@@ -82,5 +86,7 @@ pub mod prelude {
     pub use riskpipe_metrics::{EpCurve, EpPoint, QuantileSketch};
     pub use riskpipe_tables::{Elt, Ylt};
     pub use riskpipe_types::{RiskError, RiskResult};
-    pub use riskpipe_warehouse::{LevelSelect, Query, Schema, Warehouse};
+    pub use riskpipe_warehouse::{
+        Filter, LevelSelect, Query, Schema, SketchCell, SketchRow, Warehouse,
+    };
 }

@@ -1,0 +1,302 @@
+//! Drill-down determinism: the stage-3 subsystem's contract is that
+//! every cell-level tail metric is **bit-identical** across thread
+//! counts and across the live-sink vs rebuild-from-store paths, and
+//! that rollups compose (a parent cell is exactly the merge of its
+//! children). Golden VaR99/TVaR99 cell values for the fixture sweep
+//! are pinned below; re-pin via the `print_drilldown_golden` probe
+//! after an intentional numerical change.
+
+use proptest::prelude::*;
+use riskpipe::core::{PersistingSink, ShardedFilesStore};
+use riskpipe::prelude::*;
+use riskpipe::warehouse::{dim, LevelSelect, SketchCell, SketchCuboid, SketchRow};
+use riskpipe_types::stats::sort_f64;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("riskpipe-ddtest-{tag}-{}-{n}", std::process::id()))
+}
+
+/// The fixture sweep: 2 regions × 2 perils × 2 attachment points,
+/// 200 trials each. Scenarios sharing a (region, peril) book share a
+/// stage-1 key, so the sweep also exercises the cache.
+fn fixture() -> (Vec<ScenarioConfig>, Vec<ScenarioDims>) {
+    let mut scenarios = Vec::new();
+    let mut dims = Vec::new();
+    for region in 0..2u32 {
+        for peril in 0..2u32 {
+            for attach in 0..2u32 {
+                let factor = 0.25 + 0.25 * attach as f64;
+                let scenario = ScenarioConfig::small()
+                    .with_seed(0xD211 + (region * 2 + peril) as u64)
+                    .with_trials(200)
+                    .with_attachment_factor(factor)
+                    .with_name(format!("r{region}-p{peril}-a{attach}"));
+                dims.push(ScenarioDims::for_scenario(region, peril, &scenario));
+                scenarios.push(scenario);
+            }
+        }
+    }
+    (scenarios, dims)
+}
+
+/// The three acceptance query shapes.
+fn queries() -> [Query; 3] {
+    [
+        // Rollup: pooled per region × peril.
+        Query::group_by(LevelSelect([0, 0, 3, 1])),
+        // Slice: region 1 only, peril × attachment band.
+        Query::group_by(LevelSelect([0, 0, 1, 1])).filter(Filter::slice(dim::GEO, 1)),
+        // Dice: tail bands (≥50y) only, per region × peril.
+        Query::group_by(LevelSelect([0, 0, 3, 0])).filter(Filter {
+            dim: dim::TIME,
+            codes: vec![5, 6],
+        }),
+    ]
+}
+
+/// One cell reduced to comparable bits: codes, count, VaR99, TVaR99.
+type CellSig = ([u32; 4], u64, u64, u64);
+
+/// A query result reduced to a comparable bit-level signature.
+fn signature(rows: &[SketchRow]) -> Vec<CellSig> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.codes,
+                r.cell.count,
+                r.cell.var99().expect("non-empty cell").to_bits(),
+                r.cell.tvar99().expect("non-empty cell").to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn warehouse_on(threads: usize) -> Drilldown {
+    let (scenarios, dims) = fixture();
+    let session = RiskSession::builder()
+        .pool_threads(threads)
+        .build()
+        .unwrap();
+    let layout = DrilldownLayout::new(dims, session.engine()).unwrap();
+    let mut wh = session
+        .analytics(layout)
+        .sweep_to_warehouse(&scenarios)
+        .unwrap();
+    wh.materialize_budget(256 * 1024).unwrap();
+    wh
+}
+
+// Golden rollup cells (region × peril, pooled over layers and bands)
+// for the fixture sweep, pinned from the 1-thread reference run. The
+// pipeline and the drill-down fold are deterministic by construction,
+// so these bits are reproducible on any platform with IEEE-754
+// doubles.
+const GOLDEN_ROLLUP: [CellSig; 4] = [
+    ([0, 0, 0, 0], 400, 0x41A3004036E3467C, 0x41A62EDCA0846502),
+    ([0, 1, 0, 0], 400, 0x41A19FE7698A7F00, 0x41A4C0E9CC2D5F07),
+    ([1, 0, 0, 0], 400, 0x41A35E094F348706, 0x41A3F791AFA41306),
+    ([1, 1, 0, 0], 400, 0x41A4C65000922BCF, 0x41A995A51EAEDFEB),
+];
+
+#[test]
+fn drilldown_cells_bit_identical_across_threads_and_pinned() {
+    let reference: Vec<Vec<CellSig>> = {
+        let wh = warehouse_on(1);
+        queries()
+            .iter()
+            .map(|q| signature(&wh.answer(q).unwrap().0))
+            .collect()
+    };
+    // Pin the rollup query's cells bit-exactly.
+    assert_eq!(
+        reference[0],
+        GOLDEN_ROLLUP.to_vec(),
+        "golden rollup cells drifted; re-pin via print_drilldown_golden \
+         only after an intentional numerical change"
+    );
+    // Every query shape must agree bit-for-bit on 2 and 8 threads.
+    for threads in [2usize, 8] {
+        let wh = warehouse_on(threads);
+        for (i, q) in queries().iter().enumerate() {
+            let sig = signature(&wh.answer(q).unwrap().0);
+            assert_eq!(sig, reference[i], "query {i} drifted on {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn live_sink_store_decorator_and_rebuild_agree_bitwise() {
+    let (scenarios, dims) = fixture();
+    let session = RiskSession::builder().pool_threads(2).build().unwrap();
+    let layout = DrilldownLayout::new(dims, session.engine()).unwrap();
+    let handle = session.analytics(layout.clone());
+
+    // Path A: live WarehouseSink.
+    let live = handle.sweep_to_warehouse(&scenarios).unwrap();
+
+    // Path B: PersistingSink over a WarehouseStore decorating a
+    // ShardedFilesStore — durable spill + cubes for free.
+    let dir = temp("spill");
+    let files = Arc::new(ShardedFilesStore::new(&dir, 2).unwrap());
+    let decorated = Arc::new(WarehouseStore::new(
+        files.clone(),
+        WarehouseSink::new(layout.clone()).unwrap(),
+    ));
+    let mut sink = PersistingSink::new(decorated.clone());
+    session.run_stream(&scenarios, &mut sink).unwrap();
+    assert_eq!(sink.reports_persisted(), scenarios.len() as u64);
+    let from_decorator = decorated.drilldown().unwrap();
+
+    // Path C: rebuild from the spill alone.
+    let rebuilt = handle.rebuild_from_store(&files, 0).unwrap();
+    assert_eq!(rebuilt.ingest_stats().reports, scenarios.len() as u64);
+
+    for q in queries() {
+        let want = signature(&live.answer(&q).unwrap().0);
+        for (label, wh) in [("decorator", &from_decorator), ("rebuild", &rebuilt)] {
+            let got = signature(&wh.answer(&q).unwrap().0);
+            assert_eq!(got, want, "{label} path drifted for {q:?}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budget_selection_respects_budget_and_serves_queries() {
+    let mut wh = warehouse_on(2);
+    let total_lattice_bytes: u64 = {
+        // A huge budget materialises whatever helps; measure its spend.
+        let sel = wh.materialize_budget(u64::MAX).unwrap();
+        assert!(!sel.picked.is_empty());
+        wh.memory_bytes() as u64
+    };
+    let budget = total_lattice_bytes / 4;
+    let sel = wh.materialize_budget(budget).unwrap();
+    let views_bytes = wh.memory_bytes() as u64 - wh.base().memory_bytes() as u64;
+    assert!(views_bytes <= budget, "{views_bytes} > budget {budget}");
+    assert!(sel.cost_after <= sel.cost_before);
+    // Queries still answer (from views or the base) with no fact scan.
+    for q in queries() {
+        let (rows, cost) = wh.answer(&q).unwrap();
+        assert!(!rows.is_empty());
+        assert_eq!(cost.facts_read, 0);
+    }
+}
+
+#[test]
+#[ignore = "probe: prints the golden drill-down cells to pin after an intentional numerical change"]
+fn print_drilldown_golden() {
+    let wh = warehouse_on(1);
+    let (rows, _) = wh.answer(&queries()[0]).unwrap();
+    for (codes, count, var, tvar) in signature(&rows) {
+        println!("    ({codes:?}, {count}, 0x{var:016X}, 0x{tvar:016X}),");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rollup composition property: any rollup of child cells merges to the
+// parent cell's sketch.
+// ---------------------------------------------------------------------
+
+fn prop_layout() -> DrilldownLayout {
+    let dims = vec![
+        ScenarioDims {
+            region: 0,
+            peril: 0,
+            attachment_band: 1,
+        },
+        ScenarioDims {
+            region: 0,
+            peril: 1,
+            attachment_band: 2,
+        },
+        ScenarioDims {
+            region: 1,
+            peril: 0,
+            attachment_band: 1,
+        },
+        ScenarioDims {
+            region: 1,
+            peril: 1,
+            attachment_band: 2,
+        },
+    ];
+    DrilldownLayout::new(dims, EngineKind::CpuParallel)
+        .unwrap()
+        .with_sketch_k(4096)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_rollup_of_child_cells_merges_to_the_parent_sketch(
+        columns in prop::collection::vec(
+            prop::collection::vec(0.0f64..1e9, 0..40),
+            32
+        ),
+        target_geo in 0u8..2, target_event in 0u8..2,
+        target_contract in 0u8..4, target_time in 0u8..2,
+        mid_scale in 0.0f64..1.0,
+    ) {
+        let layout = prop_layout();
+        let schema = layout.schema().clone();
+        let codec = riskpipe::warehouse::KeyCodec::new(&schema, LevelSelect::BASE).unwrap();
+
+        // Base cells: (slot 0..4) × (band 0..8) each with a generated
+        // loss column.
+        let mut entries = Vec::new();
+        for (i, column) in columns.iter().enumerate() {
+            if column.is_empty() {
+                continue;
+            }
+            let slot = (i / 8) as u32;
+            let band = (i % 8) as u32;
+            let d = layout.dims()[slot as usize];
+            let mut sorted = column.clone();
+            sort_f64(&mut sorted);
+            let mut cell = SketchCell::empty(layout.sketch_k());
+            cell.absorb_sorted(&sorted);
+            entries.push((codec.encode([d.region, d.peril, slot, band]), cell));
+        }
+        let base = SketchCuboid::from_entries(&schema, LevelSelect::BASE, entries).unwrap();
+
+        let target = LevelSelect([target_geo, target_event, target_contract, target_time]);
+        // An intermediate select somewhere between base and target.
+        let mid = LevelSelect([
+            (target_geo as f64 * mid_scale) as u8,
+            (target_event as f64 * mid_scale) as u8,
+            (target_contract as f64 * mid_scale) as u8,
+            (target_time as f64 * mid_scale) as u8,
+        ]);
+
+        let direct = base.rollup(&schema, target).unwrap();
+        let via_mid = base.rollup(&schema, mid).unwrap().rollup(&schema, target).unwrap();
+
+        prop_assert_eq!(direct.cells(), via_mid.cells());
+        prop_assert_eq!(direct.total_count(), base.total_count());
+        for i in 0..direct.cells() {
+            let (codes_a, a) = direct.cell_at(i);
+            let (codes_b, b) = via_mid.cell_at(i);
+            prop_assert_eq!(codes_a, codes_b);
+            prop_assert_eq!(a.count, b.count);
+            prop_assert_eq!(a.max.to_bits(), b.max.to_bits());
+            // Exact path (k = 4096 ≫ pooled sizes): the pooled multiset
+            // determines every quantile bit, however the merge grouped.
+            prop_assert!(a.sketch.is_exact() && b.sketch.is_exact());
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                prop_assert_eq!(
+                    a.sketch.quantile(q).to_bits(),
+                    b.sketch.quantile(q).to_bits()
+                );
+            }
+            // Sums associate differently through the intermediate level.
+            prop_assert!((a.sum - b.sum).abs() <= 1e-9 * b.sum.abs().max(1.0));
+        }
+    }
+}

@@ -235,10 +235,20 @@ impl ReportSink for WarehouseSink {
     fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
         self.ingest(slot, &report.ylt)
     }
+
+    fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        // Fan-out delivery: ingest reads the shared report's YLT in
+        // place — no clone, same bits as owning delivery.
+        self.ingest(slot, &report.ylt)
+    }
 }
 
 impl ReportSink for &mut WarehouseSink {
     fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
+        self.ingest(slot, &report.ylt)
+    }
+
+    fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
         self.ingest(slot, &report.ylt)
     }
 }

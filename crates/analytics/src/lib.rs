@@ -26,16 +26,20 @@
 //!   [`QuantileSketch`](riskpipe_metrics::QuantileSketch)es, so every
 //!   drill-down cell answers VaR99/TVaR99/EP points deterministically
 //!   on any thread count.
-//! * **query** ([`session_ext`]) — `session.analytics(layout)` runs a
-//!   sweep straight into a queryable [`Drilldown`]
-//!   (slice/dice/rollup via [`riskpipe_warehouse::Query`]) and can
-//!   rebuild bit-identical views from a prior run's
+//! * **query** ([`plan`] / [`session_ext`]) —
+//!   `session.sweep(scenarios).warehouse(layout).drive()` runs a
+//!   declarative [`SweepPlan`](riskpipe_core::SweepPlan) straight into
+//!   a queryable [`Drilldown`] (slice/dice/rollup via
+//!   [`riskpipe_warehouse::Query`]), sharing the single streaming pass
+//!   with the plan's other consumers (pooled analytics, persistence);
+//!   `session.analytics(layout)` remains the handle for
+//!   rebuilding bit-identical views from a prior run's
 //!   `ShardedFilesStore` spill instead of re-running the sweep.
 //!
 //! ## Quickstart
 //!
 //! ```no_run
-//! use riskpipe_analytics::{DrilldownLayout, ScenarioDims, SessionAnalytics};
+//! use riskpipe_analytics::{DrilldownLayout, ScenarioDims, SweepPlanAnalytics};
 //! use riskpipe_core::{RiskSession, ScenarioConfig};
 //! use riskpipe_warehouse::{dim, Filter, LevelSelect, Query};
 //!
@@ -53,7 +57,11 @@
 //! }
 //! let session = RiskSession::builder().pool_threads(2).build()?;
 //! let layout = DrilldownLayout::new(dims, session.engine())?;
-//! let mut wh = session.analytics(layout).sweep_to_warehouse(&scenarios)?;
+//! let mut wh = session
+//!     .sweep(&scenarios)
+//!     .warehouse(layout)
+//!     .drive()?
+//!     .into_drilldown();
 //! wh.materialize_budget(1 << 20)?;
 //!
 //! // Loss sketch per region × peril, diced to the ≥100-year bands.
@@ -74,6 +82,7 @@
 pub mod dims;
 pub mod drilldown;
 pub mod ingest;
+pub mod plan;
 pub mod session_ext;
 
 pub use dims::{
@@ -82,6 +91,7 @@ pub use dims::{
 };
 pub use drilldown::Drilldown;
 pub use ingest::{IngestStats, WarehouseSink, WarehouseStore};
+pub use plan::{SweepPlanAnalytics, WarehouseOutcome, WarehousePlan};
 pub use session_ext::{AnalyticsHandle, SessionAnalytics};
 
 /// Assign every trial its return-period band from the loss rank: the

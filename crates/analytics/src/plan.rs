@@ -1,0 +1,300 @@
+//! The drill-down extension of the declarative sweep API:
+//! `session.sweep(scenarios) … .warehouse(layout).drive()`.
+//!
+//! `riskpipe-core` cannot depend on this crate, so — like
+//! [`SessionAnalytics`](crate::SessionAnalytics) for the session — the
+//! plan gains its warehouse consumer through an extension trait:
+//! import [`SweepPlanAnalytics`] (or the umbrella prelude) and every
+//! [`SweepPlan`] offers [`SweepPlanAnalytics::warehouse`]. The
+//! returned [`WarehousePlan`] wraps the core plan, keeps its other
+//! consumers configurable, and rides the same single streaming pass: a
+//! [`WarehouseSink`] joins the fan-out (shared-report delivery, no
+//! YLT copies) and [`WarehousePlan::drive`] returns a
+//! [`WarehouseOutcome`] carrying the queryable [`Drilldown`] next to
+//! the core [`SweepOutcome`] artifacts.
+//!
+//! ```no_run
+//! use riskpipe_analytics::{DrilldownLayout, ScenarioDims, SweepPlanAnalytics};
+//! use riskpipe_core::{RiskSession, ScenarioConfig};
+//!
+//! let session = RiskSession::with_defaults()?;
+//! let scenarios = vec![ScenarioConfig::small().with_name("r0-p0")];
+//! let dims = vec![ScenarioDims::for_scenario(0, 0, &scenarios[0])];
+//! let layout = DrilldownLayout::new(dims, session.engine())?;
+//! let outcome = session
+//!     .sweep(&scenarios)
+//!     .summary()
+//!     .persist()
+//!     .warehouse(layout)
+//!     .materialize_budget(256 * 1024)
+//!     .drive()?;
+//! let pooled = outcome.summary().unwrap().pooled_tvar99();
+//! let warehouse = outcome.into_drilldown();
+//! # Ok::<(), riskpipe_types::RiskError>(())
+//! ```
+
+use crate::dims::DrilldownLayout;
+use crate::drilldown::Drilldown;
+use crate::ingest::WarehouseSink;
+use crate::session_ext::check_layout;
+use riskpipe_core::{
+    IntermediateStore, PersistedRun, ReportSink, SweepOutcome, SweepPlan, SweepSummary, Tee,
+};
+use riskpipe_exec::ThreadPool;
+use riskpipe_types::RiskResult;
+use riskpipe_warehouse::ViewSelection;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Extension trait adding the warehouse consumer to [`SweepPlan`].
+pub trait SweepPlanAnalytics<'s> {
+    /// Attach a drill-down warehouse build: the driven sweep's reports
+    /// are banded, shuffled and folded into sketch-valued cells shaped
+    /// by `layout` (see [`WarehouseSink`]), alongside whatever other
+    /// consumers the plan declares — all from one streaming pass.
+    fn warehouse(self, layout: DrilldownLayout) -> WarehousePlan<'s>;
+}
+
+impl<'s> SweepPlanAnalytics<'s> for SweepPlan<'s> {
+    fn warehouse(self, layout: DrilldownLayout) -> WarehousePlan<'s> {
+        WarehousePlan {
+            plan: self,
+            layout,
+            budget: None,
+            shards: None,
+            reduce_tasks: None,
+            work_dir: None,
+            pool: None,
+        }
+    }
+}
+
+/// A [`SweepPlan`] extended with a warehouse consumer. The core plan's
+/// consumers stay configurable through the forwarding methods, and the
+/// warehouse-side knobs (rp-band sketch capacity via the layout,
+/// shuffle shards/reduce tasks/work dir, materialisation byte budget)
+/// ride the same builder. Finish with [`WarehousePlan::drive`].
+pub struct WarehousePlan<'s> {
+    plan: SweepPlan<'s>,
+    layout: DrilldownLayout,
+    budget: Option<u64>,
+    shards: Option<u32>,
+    reduce_tasks: Option<usize>,
+    work_dir: Option<PathBuf>,
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl<'s> WarehousePlan<'s> {
+    /// Forward of [`SweepPlan::summary`].
+    pub fn summary(mut self) -> Self {
+        self.plan = self.plan.summary();
+        self
+    }
+
+    /// Forward of [`SweepPlan::summary_with`].
+    pub fn summary_with(mut self, summary: SweepSummary) -> Self {
+        self.plan = self.plan.summary_with(summary);
+        self
+    }
+
+    /// Forward of [`SweepPlan::persist`].
+    pub fn persist(mut self) -> Self {
+        self.plan = self.plan.persist();
+        self
+    }
+
+    /// Forward of [`SweepPlan::persist_to`] (the plan-level store
+    /// override).
+    pub fn persist_to(mut self, store: Arc<dyn IntermediateStore>) -> Self {
+        self.plan = self.plan.persist_to(store);
+        self
+    }
+
+    /// Forward of [`SweepPlan::persist_run`].
+    pub fn persist_run(mut self, run: u64) -> Self {
+        self.plan = self.plan.persist_run(run);
+        self
+    }
+
+    /// Forward of [`SweepPlan::collect`].
+    pub fn collect(mut self) -> Self {
+        self.plan = self.plan.collect();
+        self
+    }
+
+    /// Replace the layout's per-cell sketch capacity (the rp-band
+    /// cells' accuracy/memory knob; see
+    /// [`DrilldownLayout::with_sketch_k`]).
+    pub fn sketch_k(mut self, k: usize) -> Self {
+        self.layout = self.layout.with_sketch_k(k);
+        self
+    }
+
+    /// After the sweep, materialise lattice views under this byte
+    /// budget ([`Drilldown::materialize_budget`]); the selection is
+    /// reported on the outcome.
+    pub fn materialize_budget(mut self, bytes: u64) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// Shard count of the ingest sink's per-report spill
+    /// ([`WarehouseSink::with_shards`]).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Reduce-task count of the ingest sink's per-report shuffle
+    /// ([`WarehouseSink::with_reduce_tasks`]).
+    pub fn reduce_tasks(mut self, tasks: usize) -> Self {
+        self.reduce_tasks = Some(tasks);
+        self
+    }
+
+    /// Spill the ingest sink's per-report shards under `dir` instead
+    /// of a generated temp dir ([`WarehouseSink::with_work_dir`]).
+    pub fn work_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.work_dir = Some(dir.into());
+        self
+    }
+
+    /// Run the ingest sink's per-report shuffle on `pool` instead of
+    /// the sink's own small pool ([`WarehouseSink::with_pool`]).
+    pub fn shuffle_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Execute the extended plan: one streaming sweep feeding the core
+    /// consumers *and* the warehouse sink, then (optionally) budgeted
+    /// view materialisation. Validates the layout against the sweep
+    /// shape and session engine first, exactly as
+    /// `SessionAnalytics::analytics` did.
+    pub fn drive(self) -> RiskResult<WarehouseOutcome> {
+        let (plan, mut sink, budget) = self.into_parts()?;
+        let sweep = plan.drive_with(&mut sink)?;
+        finish(sink, sweep, budget)
+    }
+
+    /// Like [`WarehousePlan::drive`], with one extra ad-hoc consumer
+    /// riding the same fan-out next to the warehouse sink (parity
+    /// with [`SweepPlan::drive_with`]).
+    pub fn drive_with<S: ReportSink>(self, extra: S) -> RiskResult<WarehouseOutcome> {
+        let (plan, mut sink, budget) = self.into_parts()?;
+        let sweep = plan.drive_with(Tee::new(&mut sink, extra))?;
+        finish(sink, sweep, budget)
+    }
+
+    /// Validate and split into the core plan, the configured ingest
+    /// sink, and the materialisation budget.
+    fn into_parts(self) -> RiskResult<(SweepPlan<'s>, WarehouseSink, Option<u64>)> {
+        check_layout(
+            self.plan.session(),
+            self.plan.scenarios().len(),
+            &self.layout,
+        )?;
+        let mut sink = WarehouseSink::new(self.layout)?;
+        if let Some(shards) = self.shards {
+            sink = sink.with_shards(shards);
+        }
+        if let Some(tasks) = self.reduce_tasks {
+            sink = sink.with_reduce_tasks(tasks);
+        }
+        if let Some(dir) = self.work_dir {
+            sink = sink.with_work_dir(dir);
+        }
+        if let Some(pool) = self.pool {
+            sink = sink.with_pool(pool);
+        }
+        Ok((self.plan, sink, self.budget))
+    }
+}
+
+/// Fold a driven sweep's warehouse sink into the typed outcome.
+fn finish(
+    sink: WarehouseSink,
+    sweep: SweepOutcome,
+    budget: Option<u64>,
+) -> RiskResult<WarehouseOutcome> {
+    let mut drilldown = sink.finish()?;
+    let selection = match budget {
+        Some(bytes) => Some(drilldown.materialize_budget(bytes)?),
+        None => None,
+    };
+    Ok(WarehouseOutcome {
+        sweep,
+        drilldown,
+        selection,
+    })
+}
+
+impl std::fmt::Debug for WarehousePlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarehousePlan")
+            .field("plan", &self.plan)
+            .field("layout_scenarios", &self.layout.scenarios())
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+/// A driven [`WarehousePlan`]'s artifacts: the core [`SweepOutcome`]
+/// plus the queryable [`Drilldown`] (always present — the warehouse
+/// consumer was requested by construction) and the view selection when
+/// a materialisation budget was set.
+#[derive(Debug)]
+pub struct WarehouseOutcome {
+    sweep: SweepOutcome,
+    drilldown: Drilldown,
+    selection: Option<ViewSelection>,
+}
+
+impl WarehouseOutcome {
+    /// The core sweep artifacts (summary / persisted run / reports,
+    /// each present only if requested).
+    pub fn sweep(&self) -> &SweepOutcome {
+        &self.sweep
+    }
+
+    /// Scenarios executed and delivered.
+    pub fn delivered(&self) -> usize {
+        self.sweep.delivered()
+    }
+
+    /// Pooled sweep analytics, when requested on the plan.
+    pub fn summary(&self) -> Option<&SweepSummary> {
+        self.sweep.summary()
+    }
+
+    /// The persisted-run handle, when requested on the plan.
+    pub fn persisted(&self) -> Option<&PersistedRun> {
+        self.sweep.persisted()
+    }
+
+    /// The queryable warehouse.
+    pub fn drilldown(&self) -> &Drilldown {
+        &self.drilldown
+    }
+
+    /// Mutable warehouse access (e.g. to materialise further views).
+    pub fn drilldown_mut(&mut self) -> &mut Drilldown {
+        &mut self.drilldown
+    }
+
+    /// The budgeted view selection, when
+    /// [`WarehousePlan::materialize_budget`] was set.
+    pub fn selection(&self) -> Option<&ViewSelection> {
+        self.selection.as_ref()
+    }
+
+    /// Consume the outcome, keeping the warehouse.
+    pub fn into_drilldown(self) -> Drilldown {
+        self.drilldown
+    }
+
+    /// Split into the core outcome and the warehouse.
+    pub fn into_parts(self) -> (SweepOutcome, Drilldown) {
+        (self.sweep, self.drilldown)
+    }
+}

@@ -9,8 +9,34 @@
 use crate::dims::DrilldownLayout;
 use crate::drilldown::Drilldown;
 use crate::ingest::WarehouseSink;
+use crate::plan::SweepPlanAnalytics;
 use riskpipe_core::{RiskSession, ScenarioConfig, ShardedFilesStore};
 use riskpipe_types::{RiskError, RiskResult};
+
+/// A sweep/layout compatibility check shared by every path that builds
+/// a warehouse from a session: the sweep width must match the layout's
+/// slot count, and the session's engine must match the layout's engine
+/// provenance code.
+pub(crate) fn check_layout(
+    session: &RiskSession,
+    scenarios: usize,
+    layout: &DrilldownLayout,
+) -> RiskResult<()> {
+    if scenarios != layout.scenarios() {
+        return Err(RiskError::invalid(format!(
+            "sweep has {scenarios} scenarios but the layout describes {}",
+            layout.scenarios()
+        )));
+    }
+    if session.engine() != layout.engine() {
+        return Err(RiskError::invalid(format!(
+            "session engine {:?} does not match layout engine {:?}",
+            session.engine(),
+            layout.engine()
+        )));
+    }
+    Ok(())
+}
 
 /// Extension trait giving [`RiskSession`] the stage-3 drill-down API.
 pub trait SessionAnalytics {
@@ -42,16 +68,23 @@ impl AnalyticsHandle<'_> {
         &self.layout
     }
 
-    /// Run the sweep through a [`WarehouseSink`] on this session
-    /// (`run_stream`: input-order delivery, O(pool width) peak memory)
-    /// and return the queryable warehouse. `scenarios[i]` must be the
-    /// scenario the layout's slot `i` describes, and the session's
-    /// engine must match the layout's engine provenance code.
+    /// Run the sweep through a [`WarehouseSink`] on this session and
+    /// return the queryable warehouse. Now a thin configuration of the
+    /// declarative [`SweepPlan`](riskpipe_core::SweepPlan): delivery
+    /// order, determinism and the resulting cells are unchanged.
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare the sweep instead: \
+                `session.sweep(scenarios).warehouse(layout).drive()?.into_drilldown()` \
+                (add `.summary()`/`.persist()` to consume the same pass further)"
+    )]
     pub fn sweep_to_warehouse(&self, scenarios: &[ScenarioConfig]) -> RiskResult<Drilldown> {
-        self.check(scenarios.len())?;
-        let mut sink = WarehouseSink::new(self.layout.clone())?;
-        self.session.run_stream(scenarios, &mut sink)?;
-        sink.finish()
+        Ok(self
+            .session
+            .sweep(scenarios)
+            .warehouse(self.layout.clone())
+            .drive()?
+            .into_drilldown())
     }
 
     /// Rebuild the warehouse from a prior run's persisted reports (a
@@ -71,19 +104,6 @@ impl AnalyticsHandle<'_> {
     }
 
     fn check(&self, scenarios: usize) -> RiskResult<()> {
-        if scenarios != self.layout.scenarios() {
-            return Err(RiskError::invalid(format!(
-                "sweep has {scenarios} scenarios but the layout describes {}",
-                self.layout.scenarios()
-            )));
-        }
-        if self.session.engine() != self.layout.engine() {
-            return Err(RiskError::invalid(format!(
-                "session engine {:?} does not match layout engine {:?}",
-                self.session.engine(),
-                self.layout.engine()
-            )));
-        }
-        Ok(())
+        check_layout(self.session, scenarios, &self.layout)
     }
 }

@@ -3,7 +3,8 @@
 //! The paper's production shape is many scenario runs per day over one
 //! modelled book; rebuilding stage 1 (catalogue, ELTs, YET) per
 //! scenario dominates such sweeps. This bench times an
-//! attachment-factor pricing sweep through `run_batch` with the
+//! attachment-factor pricing sweep through the collecting `SweepPlan`
+//! (`sweep(..).collect().drive()`, the old `run_batch` shape) with the
 //! session's stage-1 cache on vs off, plus the `run_stream` path to
 //! show streaming delivery costs nothing over collecting.
 
@@ -30,7 +31,14 @@ fn bench_sweep_cache(c: &mut Criterion) {
                     .stage1_cache(cache)
                     .build()
                     .unwrap();
-                session.run_batch(&sweep).unwrap().len()
+                session
+                    .sweep(&sweep)
+                    .collect()
+                    .drive()
+                    .unwrap()
+                    .into_reports()
+                    .unwrap()
+                    .len()
             })
         });
     }

@@ -5,13 +5,19 @@
 //! from materialising every scenario's YLT. This bench measures what
 //! the sink actually costs on top of the sweep itself:
 //!
-//! * `summary_sink` — `run_stream` into a `SweepSummary` (headline
-//!   scalars + pooled AEP/OEP quantile sketches), reports dropped;
-//! * `collect_then_pool` — the shape the sink replaces: `run_batch`
-//!   retaining every YLT, then pooling + sorting the concatenated
-//!   losses exactly;
-//! * `persisting_sink` — `PersistingSink` writing each report's YLT +
-//!   measures to a sharded-files store as it arrives.
+//! * `summary_plan` — `sweep(..).summary().drive()` (headline scalars
+//!   + pooled AEP/OEP quantile sketches), reports dropped;
+//! * `collect_then_pool` — the shape the sink replaces:
+//!   `sweep(..).collect()` retaining every YLT, then pooling + sorting
+//!   the concatenated losses exactly;
+//! * `persisting_plan` — `sweep(..).persist_to(store).drive()` writing
+//!   each report's YLT + measures to a sharded-files store as it
+//!   arrives.
+//!
+//! The `e12_fanout` group prices the fan-out combinator itself: the
+//! same sweep into one summary sink vs a three-consumer plan (summary
+//! plus persistence plus an extra summary riding `drive_with`) — the
+//! multi-consumer pass must cost sink-work, not another sweep.
 //!
 //! The `medium` group runs the paper-scale configuration
 //! (`ScenarioConfig::medium()`, 20k trials per scenario) that the
@@ -19,7 +25,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use riskpipe_bench::{model_heavy_small, pricing_sweep};
-use riskpipe_core::{PersistingSink, RiskSession, ScenarioConfig, ShardedFilesStore, SweepSummary};
+use riskpipe_core::{InMemoryStore, RiskSession, ScenarioConfig, ShardedFilesStore, SweepSummary};
 use riskpipe_metrics::QuantileSketch;
 use riskpipe_types::stats::{quantile_sorted, sort_f64, tail_mean_sorted};
 use std::sync::Arc;
@@ -33,19 +39,24 @@ fn bench_sinks_small(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_sweep_analytics");
     group.sample_size(10);
 
-    group.bench_function("summary_sink", |b| {
+    group.bench_function("summary_plan", |b| {
         b.iter(|| {
             let session = RiskSession::builder().pool_threads(4).build().unwrap();
-            let mut summary = SweepSummary::new();
-            session.run_stream(&sweep, &mut summary).unwrap();
-            summary.pooled_tvar99().unwrap()
+            let outcome = session.sweep(&sweep).summary().drive().unwrap();
+            outcome.summary().unwrap().pooled_tvar99().unwrap()
         })
     });
 
     group.bench_function("collect_then_pool", |b| {
         b.iter(|| {
             let session = RiskSession::builder().pool_threads(4).build().unwrap();
-            let reports = session.run_batch(&sweep).unwrap();
+            let reports = session
+                .sweep(&sweep)
+                .collect()
+                .drive()
+                .unwrap()
+                .into_reports()
+                .unwrap();
             let mut pooled: Vec<f64> = reports
                 .iter()
                 .flat_map(|r| r.ylt.agg_losses().iter().copied())
@@ -56,7 +67,7 @@ fn bench_sinks_small(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("persisting_sink", |b| {
+    group.bench_function("persisting_plan", |b| {
         b.iter(|| {
             let dir = std::env::temp_dir().join(format!(
                 "riskpipe-e12-{}-{:?}",
@@ -66,12 +77,52 @@ fn bench_sinks_small(c: &mut Criterion) {
             let _ = std::fs::remove_dir_all(&dir);
             let store = Arc::new(ShardedFilesStore::new(&dir, 2).unwrap());
             let session = RiskSession::builder().pool_threads(4).build().unwrap();
-            let mut sink = PersistingSink::new(store.clone());
-            session.run_stream(&sweep, &mut sink).unwrap();
-            let bytes = sink.bytes_persisted();
+            let outcome = session
+                .sweep(&sweep)
+                .persist_to(store.clone())
+                .drive()
+                .unwrap();
+            let bytes = outcome.persisted().unwrap().bytes();
             store.clear_runs().unwrap();
             let _ = std::fs::remove_dir_all(&dir);
             bytes
+        })
+    });
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    // The fan-out combinator priced against a single sink over the
+    // same sweep: three consumers (pooled summary + in-memory
+    // persistence + an extra summary attached via drive_with) must add
+    // only per-report sink work — the scenarios run once either way,
+    // and no consumer triggers a YLT copy.
+    let sweep = small_sweep();
+    let mut group = c.benchmark_group("e12_fanout");
+    group.sample_size(10);
+
+    group.bench_function("single_summary", |b| {
+        b.iter(|| {
+            let session = RiskSession::builder().pool_threads(4).build().unwrap();
+            let outcome = session.sweep(&sweep).summary().drive().unwrap();
+            outcome.summary().unwrap().pooled_tvar99().unwrap()
+        })
+    });
+
+    group.bench_function("plan_three_consumers", |b| {
+        b.iter(|| {
+            let session = RiskSession::builder().pool_threads(4).build().unwrap();
+            let mut extra = SweepSummary::new();
+            let outcome = session
+                .sweep(&sweep)
+                .summary()
+                .persist_to(Arc::new(InMemoryStore))
+                .drive_with(&mut extra)
+                .unwrap();
+            let a = outcome.summary().unwrap().pooled_tvar99().unwrap();
+            let b_ = extra.pooled_tvar99().unwrap();
+            assert_eq!(a.to_bits(), b_.to_bits());
+            a
         })
     });
     group.finish();
@@ -120,8 +171,8 @@ fn bench_medium_sweep(c: &mut Criterion) {
     group.bench_function("summary_sink", |b| {
         b.iter(|| {
             let session = RiskSession::builder().build().unwrap();
-            let mut summary = SweepSummary::new();
-            session.run_stream(&sweep, &mut summary).unwrap();
+            let outcome = session.sweep(&sweep).summary().drive().unwrap();
+            let summary = outcome.summary().unwrap();
             assert!(!summary.analytics_exact());
             summary.pooled_tvar99().unwrap()
         })
@@ -132,6 +183,7 @@ fn bench_medium_sweep(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sinks_small,
+    bench_fanout,
     bench_sketch_fold,
     bench_medium_sweep
 );

@@ -18,9 +18,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use riskpipe_analytics::{
-    Drilldown, DrilldownLayout, ScenarioDims, SessionAnalytics, WarehouseSink,
+    Drilldown, DrilldownLayout, ScenarioDims, SessionAnalytics, SweepPlanAnalytics, WarehouseSink,
 };
-use riskpipe_core::{PersistingSink, RiskSession, ScenarioConfig, ShardedFilesStore};
+use riskpipe_core::{RiskSession, ScenarioConfig, ShardedFilesStore};
 use riskpipe_warehouse::{dim, Filter, LevelSelect, Query};
 use std::sync::Arc;
 
@@ -59,12 +59,13 @@ fn built_warehouse() -> Drilldown {
     let (scenarios, dims) = grid();
     let session = RiskSession::builder().pool_threads(4).build().unwrap();
     let layout = DrilldownLayout::new(dims, session.engine()).unwrap();
-    let mut wh = session
-        .analytics(layout)
-        .sweep_to_warehouse(&scenarios)
-        .unwrap();
-    wh.materialize_budget(256 * 1024).unwrap();
-    wh
+    session
+        .sweep(&scenarios)
+        .warehouse(layout)
+        .materialize_budget(256 * 1024)
+        .drive()
+        .unwrap()
+        .into_drilldown()
 }
 
 fn bench_ingest(c: &mut Criterion) {
@@ -77,20 +78,26 @@ fn bench_ingest(c: &mut Criterion) {
             let session = RiskSession::builder().pool_threads(4).build().unwrap();
             let layout = DrilldownLayout::new(dims.clone(), session.engine()).unwrap();
             let wh = session
-                .analytics(layout)
-                .sweep_to_warehouse(&scenarios)
-                .unwrap();
+                .sweep(&scenarios)
+                .warehouse(layout)
+                .drive()
+                .unwrap()
+                .into_drilldown();
             wh.base().cells()
         })
     });
 
-    // Pre-spill once; the bench then measures pure rebuild cost.
+    // Pre-spill once (a persist-only plan); the bench then measures
+    // pure rebuild cost.
     let spill = std::env::temp_dir().join(format!("riskpipe-e13-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&spill);
     let store = Arc::new(ShardedFilesStore::new(&spill, 2).unwrap());
     let session = RiskSession::builder().pool_threads(4).build().unwrap();
-    let mut sink = PersistingSink::new(store.clone());
-    session.run_stream(&scenarios, &mut sink).unwrap();
+    session
+        .sweep(&scenarios)
+        .persist_to(store.clone())
+        .drive()
+        .unwrap();
     let layout = DrilldownLayout::new(dims.clone(), session.engine()).unwrap();
     group.bench_function("rebuild", |b| {
         b.iter(|| {

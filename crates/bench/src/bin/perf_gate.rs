@@ -12,8 +12,11 @@
 //! an accidentally quadratic sink, a cache that stopped sharing stage
 //! 1 — not on runner noise. Override per check with
 //! `PERF_GATE_SWEEP_CACHE_BUDGET_S` / `PERF_GATE_ANALYTICS_BUDGET_S` /
-//! `PERF_GATE_DRILLDOWN_BUDGET_S`, or scale all with
-//! `PERF_GATE_SCALE` (a float multiplier, e.g. `2` on slow runners).
+//! `PERF_GATE_FANOUT_BUDGET_S` / `PERF_GATE_DRILLDOWN_BUDGET_S`, or
+//! scale all with `PERF_GATE_SCALE` (a float multiplier, e.g. `2` on
+//! slow runners). The fan-out check additionally asserts its overhead
+//! against a single-sink run of the same sweep
+//! (`PERF_GATE_FANOUT_MAX_OVERHEAD`, default 3.0x plus 2 s slack).
 //!
 //! **Relative gating:** set `PERF_GATE_HISTORY=<path>` to a CSV file
 //! persisted across runs (the nightly workflow carries it in the
@@ -25,10 +28,11 @@
 //! (default 2.0; `0` disables) times the historical median — catching
 //! slow drifts an absolute budget is too generous to see.
 
-use riskpipe_analytics::{DrilldownLayout, ScenarioDims, SessionAnalytics};
+use riskpipe_analytics::{DrilldownLayout, ScenarioDims, SweepPlanAnalytics};
 use riskpipe_bench::{model_heavy_small, pricing_sweep};
-use riskpipe_core::{RiskSession, ScenarioConfig, SweepSummary};
+use riskpipe_core::{InMemoryStore, RiskSession, ScenarioConfig, SweepSummary};
 use riskpipe_warehouse::{dim, Filter, LevelSelect, Query};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -103,11 +107,13 @@ fn check_drilldown() -> f64 {
     let session = RiskSession::builder().pool_threads(4).build().unwrap();
     let layout = DrilldownLayout::new(dims, session.engine()).unwrap();
     let t0 = Instant::now();
-    let mut wh = session
-        .analytics(layout)
-        .sweep_to_warehouse(&scenarios)
-        .unwrap();
-    wh.materialize_budget(256 * 1024).unwrap();
+    let wh = session
+        .sweep(&scenarios)
+        .warehouse(layout)
+        .materialize_budget(256 * 1024)
+        .drive()
+        .unwrap()
+        .into_drilldown();
     let queries = [
         Query::group_by(LevelSelect([0, 0, 3, 1])),
         Query::group_by(LevelSelect([0, 0, 1, 1])).filter(Filter::slice(dim::GEO, 1)),
@@ -123,6 +129,54 @@ fn check_drilldown() -> f64 {
         assert!(rows.iter().all(|r| r.cell.var99().unwrap() > 0.0));
     }
     t0.elapsed().as_secs_f64()
+}
+
+/// E12's fan-out shape: the same sweep once through a single summary
+/// sink and once through a three-consumer `SweepPlan` fan-out (summary
+/// plus in-memory persistence plus an extra summary via `drive_with`).
+/// The fan-out run's wall clock feeds the absolute budget and the
+/// bench history; on top of that the check asserts the overhead
+/// against the single-sink run directly — the consumers must ride one
+/// sweep (a regression to one-sweep-per-sink would blow the multiple),
+/// and every summary must come out bit-identical.
+fn check_fanout() -> f64 {
+    let sweep = pricing_sweep(model_heavy_small(0xE12, 500), 8);
+
+    let session = RiskSession::builder().pool_threads(4).build().unwrap();
+    let t0 = Instant::now();
+    let single = session.sweep(&sweep).summary().drive().unwrap();
+    let single_s = t0.elapsed().as_secs_f64();
+    let single_summary = single.into_summary().unwrap();
+
+    let session = RiskSession::builder().pool_threads(4).build().unwrap();
+    let mut extra = SweepSummary::new();
+    let t0 = Instant::now();
+    let fanned = session
+        .sweep(&sweep)
+        .summary()
+        .persist_to(Arc::new(InMemoryStore))
+        .drive_with(&mut extra)
+        .unwrap();
+    let fanout_s = t0.elapsed().as_secs_f64();
+
+    let fanned_summary = fanned.summary().unwrap();
+    assert_eq!(fanned.persisted().unwrap().reports(), 8);
+    for summary in [fanned_summary, &extra] {
+        assert_eq!(
+            summary.pooled_tvar99().unwrap().to_bits(),
+            single_summary.pooled_tvar99().unwrap().to_bits(),
+            "fan-out must not perturb pooled analytics"
+        );
+    }
+    // Generous tripwire: sink work is a small slice of a model-heavy
+    // sweep, so even noisy runners stay far under this unless the
+    // fan-out re-runs scenarios per consumer.
+    let max_relative = env_f64("PERF_GATE_FANOUT_MAX_OVERHEAD", 3.0);
+    assert!(
+        fanout_s <= single_s * max_relative + 2.0,
+        "fan-out overhead regressed: {fanout_s:.2}s vs single-sink {single_s:.2}s"
+    );
+    fanout_s
 }
 
 /// Prior samples per check from the history CSV (`check,seconds`
@@ -156,7 +210,7 @@ fn main() {
         .map(load_history)
         .unwrap_or_default();
 
-    let checks: [Check; 3] = [
+    let checks: [Check; 4] = [
         (
             "sweep_cache (e11 shape)",
             check_sweep_cache,
@@ -166,6 +220,11 @@ fn main() {
             "sweep_analytics (e12 medium)",
             check_sweep_analytics,
             env_f64("PERF_GATE_ANALYTICS_BUDGET_S", 300.0),
+        ),
+        (
+            "fanout (e12 shape)",
+            check_fanout,
+            env_f64("PERF_GATE_FANOUT_BUDGET_S", 60.0),
         ),
         (
             "drilldown (e13 shape)",

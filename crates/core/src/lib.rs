@@ -14,15 +14,18 @@
 //! [`ScenarioConfig`] sizes a synthetic end-to-end scenario;
 //! [`RiskSession`] is the execution facade — built once (engine, pool,
 //! intermediate store, stage-1 cache, company), then serving any number
-//! of scenarios via [`RiskSession::run`], the streaming
+//! of scenarios via [`RiskSession::run`], the declarative
+//! [`RiskSession::sweep`] (a [`SweepPlan`] fanning one streaming pass
+//! out to every requested consumer — pooled analytics, persistence,
+//! collection, downstream warehouses), and the streaming core
 //! [`RiskSession::run_stream`] / [`RiskSession::stream`] (input-order
-//! delivery at O(pool width) peak memory), and the collecting
-//! [`RiskSession::run_batch`]. Scenarios sharing a catalogue
-//! seed/config fingerprint ([`ScenarioConfig::stage1_key`]) reuse one
-//! cached stage-1 model run. [`elastic`] converts measured
+//! delivery at O(pool width) peak memory). Scenarios sharing a
+//! catalogue seed/config fingerprint ([`ScenarioConfig::stage1_key`])
+//! reuse one cached stage-1 model run. [`elastic`] converts measured
 //! throughputs into the paper's processor-burst arithmetic (<10
 //! processors for stage 1, thousands for stages 2–3). The pre-facade
-//! [`Pipeline`] remains as a deprecated shim.
+//! [`Pipeline`] and the collecting `run_batch` remain as deprecated
+//! shims.
 
 #![warn(missing_docs)]
 
@@ -32,6 +35,7 @@ pub mod pipeline;
 pub mod report;
 pub mod session;
 pub mod sink;
+pub mod sweep;
 
 pub use config::{PipelineConfig, ScenarioConfig, Stage1Bundle};
 pub use elastic::{Deadline, ElasticModel, ProcessorPlan, StageThroughput};
@@ -42,4 +46,5 @@ pub use session::{
     DataStrategy, InMemoryStore, IntermediateStore, PipelineReport, ReportStream, RiskSession,
     RiskSessionBuilder, RunLabel, ShardedFilesStore, Stage1CacheStats, StageTiming,
 };
-pub use sink::{PersistingSink, ReportSink};
+pub use sink::{FanoutSink, PersistingSink, ReportSink, Tee};
+pub use sweep::{PersistedRun, SweepOutcome, SweepPlan};

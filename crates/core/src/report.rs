@@ -326,6 +326,37 @@ impl SweepSummary {
         standard_points_from_batch(self.trials, |qs| self.oep.quantiles(qs))
     }
 
+    /// Pooled OEP-conditional tail mean over a return-period band:
+    /// the expected maximum-occurrence loss of pooled trials whose
+    /// empirical return period lies in `[rp_lo, rp_hi)` years
+    /// (`rp_hi = f64::INFINITY` gives the open-ended top band, so
+    /// `tail_mean_between(rp, f64::INFINITY)` is the OEP TVaR beyond
+    /// `rp`). Answered straight off the pooled OEP sketch — exact and
+    /// bit-identical across thread counts while
+    /// [`SweepSummary::analytics_exact`] holds, within the tracked
+    /// rank-error bound beyond.
+    ///
+    /// Returns `None` until the pooled trial count can resolve
+    /// `rp_lo` (fewer trials than `rp_lo` years) or when the band
+    /// covers no pooled trials.
+    ///
+    /// # Panics
+    /// Panics unless `1 < rp_lo <= rp_hi`.
+    pub fn tail_mean_between(&self, rp_lo: f64, rp_hi: f64) -> Option<f64> {
+        assert!(rp_lo > 1.0, "return period must exceed 1 year");
+        assert!(rp_lo <= rp_hi, "band inverted: {rp_lo} > {rp_hi}");
+        if self.trials == 0 || (self.trials as f64) < rp_lo {
+            return None;
+        }
+        let q_lo = 1.0 - 1.0 / rp_lo;
+        let q_hi = if rp_hi.is_finite() {
+            1.0 - 1.0 / rp_hi
+        } else {
+            1.0
+        };
+        self.oep.tail_mean_between(q_lo, q_hi)
+    }
+
     /// Whether every pooled metric is still exact (no sketch
     /// compaction has happened).
     pub fn analytics_exact(&self) -> bool {
@@ -581,6 +612,63 @@ mod tests {
             collected.oep_points().last().unwrap().loss.to_bits(),
             streamed.oep_points().last().unwrap().loss.to_bits()
         );
+    }
+
+    #[test]
+    fn oep_band_tail_means_match_exact_concatenation() {
+        use riskpipe_types::stats::{sort_f64, tail_mean_sorted};
+        use riskpipe_types::KahanSum;
+        let mut s = SweepSummary::new();
+        let a: Vec<f64> = (0..300).map(|i| ((i * 37) % 211) as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| ((i * 61) % 307) as f64 * 1.5).collect();
+        s.push(&report("a", 1.0, &a));
+        s.push(&report("b", 2.0, &b));
+        assert!(s.analytics_exact());
+        // The report fixture's occurrence column is agg / 2.
+        let mut pooled: Vec<f64> = a.iter().chain(&b).map(|&x| x / 2.0).collect();
+        sort_f64(&mut pooled);
+        let n = pooled.len() as f64;
+
+        // Open-ended top band == OEP tail mean (TVaR convention).
+        assert_eq!(
+            s.tail_mean_between(100.0, f64::INFINITY).unwrap().to_bits(),
+            tail_mean_sorted(&pooled, 1.0 - 1.0 / 100.0).to_bits()
+        );
+
+        // A bounded band matches the rank-convention reference.
+        let (rp_lo, rp_hi) = (25.0, 100.0);
+        let (q_lo, q_hi) = (1.0 - 1.0 / rp_lo, 1.0 - 1.0 / rp_hi);
+        let lo = ((q_lo * n).ceil() as usize).min(pooled.len() - 1);
+        let hi = ((q_hi * n).ceil() as usize).min(pooled.len());
+        let band = &pooled[lo..hi];
+        let k: KahanSum = band.iter().copied().collect();
+        assert_eq!(
+            s.tail_mean_between(rp_lo, rp_hi).unwrap().to_bits(),
+            (k.total() / band.len() as f64).to_bits()
+        );
+        // Band means are ordered with the loss ranks they condition on.
+        let mid = s.tail_mean_between(25.0, 100.0).unwrap();
+        let top = s.tail_mean_between(100.0, f64::INFINITY).unwrap();
+        assert!(top >= mid);
+    }
+
+    #[test]
+    fn oep_band_tail_means_gate_on_resolvable_return_periods() {
+        let mut s = SweepSummary::new();
+        assert_eq!(s.tail_mean_between(10.0, 50.0), None);
+        s.push(&report("tiny", 1.0, &[1.0, 2.0, 3.0, 4.0]));
+        // 4 pooled trials cannot resolve a 10-year return period.
+        assert_eq!(s.tail_mean_between(10.0, 50.0), None);
+        // …but a 2-year one they can.
+        assert!(s.tail_mean_between(2.0, f64::INFINITY).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oep_band_below_one_year_panics() {
+        let mut s = SweepSummary::new();
+        s.push(&report("x", 1.0, &[1.0, 2.0]));
+        s.tail_mean_between(1.0, 10.0);
     }
 
     #[test]

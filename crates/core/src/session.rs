@@ -12,14 +12,21 @@
 //! Execution comes in three shapes, all bit-identical per scenario:
 //!
 //! * [`RiskSession::run`] — one scenario, synchronously;
-//! * [`RiskSession::run_stream`] — the streaming core: scenarios
-//!   execute concurrently on the shared pool (in-flight capped at pool
-//!   width) and each [`PipelineReport`] is handed to a sink *in input
-//!   order* as it completes, then dropped — peak memory is O(pool
-//!   width) reports, the shape the paper's thousands-of-scenarios
-//!   sweeps need; [`RiskSession::stream`] is the iterator adapter;
-//! * [`RiskSession::run_batch`] — `run_stream` collecting into a `Vec`
-//!   for small batches where materialising every report is fine.
+//! * [`RiskSession::sweep`] — the declarative front end: a
+//!   [`SweepPlan`](crate::SweepPlan) declaring which consumers (pooled
+//!   analytics, persistence, collection, a warehouse via
+//!   `riskpipe-analytics`) receive one streaming sweep's reports, all
+//!   fed from a single pass;
+//! * [`RiskSession::run_stream`] — the streaming core every shape
+//!   drives: scenarios execute concurrently on the shared pool
+//!   (in-flight capped at pool width) and each [`PipelineReport`] is
+//!   handed to a sink *in input order* as it completes, then dropped —
+//!   peak memory is O(pool width) reports, the shape the paper's
+//!   thousands-of-scenarios sweeps need; [`RiskSession::stream`] is
+//!   the iterator adapter.
+//!
+//! The collecting [`RiskSession::run_batch`] survives as a deprecated
+//! shim over `sweep(..).collect()`.
 //!
 //! ```
 //! use riskpipe_core::{RiskSession, ScenarioConfig};
@@ -723,7 +730,27 @@ impl RiskSessionBuilder {
     }
 
     /// Build the session.
+    ///
+    /// # Errors
+    /// Pathological knob combinations are rejected here with
+    /// [`RiskError::invalid`] instead of being silently "fixed" at run
+    /// time (the [`ShardedFilesStore::new`] zero-shards precedent):
+    /// a zero-thread pool ([`RiskSessionBuilder::pool_threads`]`(0)`),
+    /// and a stage-1 byte budget with the cache disabled
+    /// ([`RiskSessionBuilder::stage1_cache_bytes`] alongside capacity
+    /// 0 — a budget over a cache that retains nothing is a
+    /// contradiction, not a configuration).
     pub fn build(self) -> RiskResult<RiskSession> {
+        if let PoolChoice::Sized(0) = self.pool {
+            return Err(RiskError::invalid(
+                "session pool needs at least one thread (pool_threads(0))",
+            ));
+        }
+        if self.stage1_capacity == 0 && self.stage1_bytes.is_some() {
+            return Err(RiskError::invalid(
+                "stage-1 cache byte budget set but the cache is disabled (capacity 0)",
+            ));
+        }
         let pool = match self.pool {
             PoolChoice::Sized(n) => Arc::new(ThreadPool::new(n)),
             PoolChoice::Shared(pool) => pool,
@@ -792,6 +819,13 @@ impl RiskSession {
         self.store.name()
     }
 
+    /// The session's intermediate-store backend (shared handle) — what
+    /// [`SweepPlan::persist`](crate::SweepPlan::persist) writes
+    /// through unless the plan overrides it.
+    pub fn store(&self) -> Arc<dyn IntermediateStore> {
+        Arc::clone(&self.store)
+    }
+
     /// The stage-1 cache's hit/miss counters.
     pub fn stage1_cache_stats(&self) -> Stage1CacheStats {
         self.stage1.stats()
@@ -827,6 +861,18 @@ impl RiskSession {
     pub fn run(&self, scenario: &ScenarioConfig) -> RiskResult<PipelineReport> {
         let run = self.next_run_id();
         self.execute(scenario, None, run)
+    }
+
+    /// Start declaring a sweep over `scenarios`: the returned
+    /// [`SweepPlan`](crate::SweepPlan) names the consumers (pooled
+    /// analytics, persistence, collection — and, with
+    /// `riskpipe-analytics` in scope, a drill-down warehouse) that all
+    /// receive the reports of **one** streaming pass when the plan is
+    /// driven. This is the preferred multi-consumer surface; the
+    /// `run_batch` shim and the single-sink `run_stream` remain for
+    /// respectively legacy and fully custom consumption.
+    pub fn sweep<'s>(&'s self, scenarios: &'s [ScenarioConfig]) -> crate::SweepPlan<'s> {
+        crate::SweepPlan::new(self, scenarios)
     }
 
     /// The streaming execution core: run many scenarios concurrently on
@@ -1043,24 +1089,22 @@ impl RiskSession {
     }
 
     /// Run many scenarios concurrently on the shared pool and collect
-    /// every report. Built on [`RiskSession::run_stream`], so ordering,
-    /// bit-identity and error semantics match it — the only difference
-    /// is that the returned `Vec` is O(scenarios); sweeps that don't
-    /// need every report retained should use `run_stream`/`stream`.
+    /// every report. Now a thin configuration of the declarative
+    /// [`SweepPlan`](crate::SweepPlan): ordering, bit-identity and
+    /// error semantics are unchanged, and the returned `Vec` is still
+    /// O(scenarios) with the shared sorted columns cleared.
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare the sweep instead: `session.sweep(scenarios).collect().drive()?` \
+                (add `.summary()`/`.persist()` to consume the same pass further)"
+    )]
     pub fn run_batch(&self, scenarios: &[ScenarioConfig]) -> RiskResult<Vec<PipelineReport>> {
-        let mut reports = Vec::with_capacity(scenarios.len());
-        self.run_stream(scenarios, |_, mut report: PipelineReport| {
-            // The shared sorted columns exist for streaming sinks,
-            // which drop the report immediately; retaining them across
-            // a collected batch would double every report's column
-            // memory. Consumers that need them re-sort (SweepSummary
-            // falls back automatically).
-            report.agg_sorted = Vec::new();
-            report.occ_sorted = Vec::new();
-            reports.push(report);
-            Ok(())
-        })?;
-        Ok(reports)
+        Ok(self
+            .sweep(scenarios)
+            .collect()
+            .drive()?
+            .into_reports()
+            .unwrap_or_default())
     }
 
     fn next_run_id(&self) -> u64 {
@@ -1497,6 +1541,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // run_batch's layout contract must hold until removal
     fn sharded_session_is_reusable_across_runs() {
         let dir = temp("reuse");
         let session = RiskSession::builder()
@@ -1569,6 +1614,47 @@ mod tests {
     }
 
     #[test]
+    fn zero_pool_threads_rejected_at_build_time() {
+        // Regression (builder validation): a zero-thread pool used to
+        // be silently clamped to 1 by ThreadPool::new; the builder now
+        // rejects the contradiction outright, matching the
+        // ShardedFilesStore::new(_, 0) precedent.
+        let err = RiskSession::builder().pool_threads(0).build();
+        assert!(err.is_err());
+        let msg = format!("{}", err.err().unwrap());
+        assert!(msg.contains("pool"), "{msg}");
+    }
+
+    #[test]
+    fn byte_budget_without_cache_rejected_at_build_time() {
+        // Regression (builder validation): a stage-1 byte budget over a
+        // disabled cache is a contradiction, not a configuration.
+        for builder in [
+            RiskSession::builder()
+                .stage1_cache(false)
+                .stage1_cache_bytes(1 << 20),
+            RiskSession::builder()
+                .stage1_cache_capacity(0)
+                .stage1_cache_bytes(1),
+            // Order must not matter.
+            RiskSession::builder()
+                .stage1_cache_bytes(1 << 20)
+                .stage1_cache(false),
+        ] {
+            let err = builder.build();
+            assert!(err.is_err());
+            let msg = format!("{}", err.err().unwrap());
+            assert!(msg.contains("byte budget"), "{msg}");
+        }
+        // The budget with the cache enabled stays valid.
+        assert!(RiskSession::builder()
+            .stage1_cache_bytes(1 << 20)
+            .pool_threads(1)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
     fn zero_shards_rejected_at_build_time() {
         let err = RiskSession::builder()
             .strategy(DataStrategy::ShardedFiles {
@@ -1580,6 +1666,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // run_batch's layout contract must hold until removal
     fn batch_slots_get_own_directories() {
         let dir = temp("batchdirs");
         let session = RiskSession::builder()
@@ -1605,6 +1692,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // run_batch's error contract must hold until removal
     fn batch_propagates_scenario_errors() {
         let session = RiskSession::builder().pool_threads(2).build().unwrap();
         let mut bad = ScenarioConfig::small();

@@ -5,7 +5,7 @@
 //! sink runs on the *calling* thread, and the stream's in-flight
 //! window only reopens after the sink returns — so a slow sink (one
 //! persisting to disk, say) backpressures the sweep to its own pace
-//! instead of letting undelivered reports pile up. Three families of
+//! instead of letting undelivered reports pile up. Four families of
 //! sink ship in-tree:
 //!
 //! * any `FnMut(usize, PipelineReport) -> RiskResult<()>` closure via
@@ -19,7 +19,23 @@
 //!   an [`IntermediateStore`] as it arrives, folds it into an embedded
 //!   [`SweepSummary`], and drops it — the ROADMAP's "persist reports
 //!   as they arrive" shape, with durable per-scenario artifacts plus
-//!   in-memory pooled analytics and nothing else retained.
+//!   in-memory pooled analytics and nothing else retained;
+//! * the **fan-out combinators** [`FanoutSink`] and
+//!   [`ReportSink::tee`] ([`Tee`]): one sweep, many consumers. Each
+//!   delivered report is *shared by reference* across the attached
+//!   sinks (see [`ReportSink::accept_shared`]), so pooled analytics,
+//!   persistence and warehouse ingestion all read one report — the
+//!   YLT is materialised exactly once per scenario no matter how many
+//!   sinks are attached. [`SweepPlan`](crate::SweepPlan) is the
+//!   declarative front end over these combinators.
+//!
+//! ## Shared delivery and bit-identity
+//!
+//! Fan-out delivery is sequential, on the calling thread, in sink
+//! attachment order — so every sink observes exactly the input-ordered
+//! report stream it would have observed alone, and per-sink results
+//! are bit-identical regardless of how many other sinks ride the same
+//! sweep (pinned by `tests/sweep_plan.rs`).
 
 use crate::report::SweepSummary;
 use crate::session::{IntermediateStore, PipelineReport, RunLabel};
@@ -34,6 +50,34 @@ pub trait ReportSink {
     /// Ownership transfers here: dropping the report on return is what
     /// keeps a sweep's peak memory at O(pool width).
     fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()>;
+
+    /// Accept a report that other sinks also read — the fan-out
+    /// delivery path ([`FanoutSink`], [`Tee`]). The default clones the
+    /// report and forwards to [`ReportSink::accept`], so custom sinks
+    /// keep working unchanged inside a fan-out; every in-tree sink
+    /// overrides it to read the shared report in place, which is what
+    /// keeps a multi-sink sweep at **one** YLT materialisation per
+    /// scenario. A sink that needs ownership (e.g. one collecting
+    /// reports) should sit in the owning slot of a [`Tee`] instead of
+    /// a [`FanoutSink`].
+    fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        self.accept(slot, report.clone())
+    }
+
+    /// Chain another sink after this one: `a.tee(b)` delivers each
+    /// report to `a` by shared reference, then hands *ownership* to
+    /// `b` — so the terminal sink of a tee chain receives the report
+    /// without any clone. See [`Tee`].
+    fn tee<B>(self, second: B) -> Tee<Self, B>
+    where
+        Self: Sized,
+        B: ReportSink,
+    {
+        Tee {
+            first: self,
+            second,
+        }
+    }
 }
 
 impl<F> ReportSink for F
@@ -45,9 +89,27 @@ where
     }
 }
 
+/// Forwarding impl so a fan-out can hold a borrowed type-erased sink
+/// (e.g. an extra consumer handed to
+/// [`SweepPlan::drive_with`](crate::SweepPlan::drive_with)).
+impl ReportSink for &mut (dyn ReportSink + '_) {
+    fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
+        (**self).accept(slot, report)
+    }
+
+    fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        (**self).accept_shared(slot, report)
+    }
+}
+
 impl ReportSink for SweepSummary {
     fn accept(&mut self, _slot: usize, report: PipelineReport) -> RiskResult<()> {
         self.push(&report);
+        Ok(())
+    }
+
+    fn accept_shared(&mut self, _slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        self.push(report);
         Ok(())
     }
 }
@@ -55,6 +117,11 @@ impl ReportSink for SweepSummary {
 impl ReportSink for &mut SweepSummary {
     fn accept(&mut self, _slot: usize, report: PipelineReport) -> RiskResult<()> {
         self.push(&report);
+        Ok(())
+    }
+
+    fn accept_shared(&mut self, _slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        self.push(report);
         Ok(())
     }
 }
@@ -107,6 +174,16 @@ impl PersistingSink {
         self
     }
 
+    /// The store this sink persists through.
+    pub fn store(&self) -> &Arc<dyn IntermediateStore> {
+        &self.store
+    }
+
+    /// The run number persisted artifacts are labelled with.
+    pub fn run(&self) -> u64 {
+        self.run
+    }
+
     /// The pooled analytics accumulated so far.
     pub fn summary(&self) -> &SweepSummary {
         &self.summary
@@ -127,6 +204,22 @@ impl PersistingSink {
     pub fn bytes_persisted(&self) -> u64 {
         self.bytes_persisted
     }
+
+    /// The shared-report body of both accept paths.
+    fn deliver(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        let bytes = self.store.persist_report(
+            RunLabel {
+                scenario: &report.scenario_name,
+                slot: Some(slot),
+                run: self.run,
+            },
+            report,
+        )?;
+        self.bytes_persisted += bytes;
+        self.reports_persisted += 1;
+        self.summary.push(report);
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for PersistingSink {
@@ -142,23 +235,147 @@ impl std::fmt::Debug for PersistingSink {
 
 impl ReportSink for PersistingSink {
     fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
-        let bytes = self.store.persist_report(
-            RunLabel {
-                scenario: &report.scenario_name,
-                slot: Some(slot),
-                run: self.run,
-            },
-            &report,
-        )?;
-        self.bytes_persisted += bytes;
-        self.reports_persisted += 1;
-        self.summary.push(&report);
-        Ok(())
+        self.deliver(slot, &report)
+    }
+
+    fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        self.deliver(slot, report)
     }
 }
 
 impl ReportSink for &mut PersistingSink {
     fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
-        ReportSink::accept(&mut **self, slot, report)
+        self.deliver(slot, &report)
+    }
+
+    fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        self.deliver(slot, report)
+    }
+}
+
+/// Two sinks in sequence over one report: `first` reads it shared,
+/// `second` takes ownership — the building block behind
+/// [`ReportSink::tee`]. Chains compose: `a.tee(b).tee(c)` delivers to
+/// `a` and `b` by reference and hands the report to `c`. The owning
+/// slot makes tees the right shape when one consumer genuinely needs
+/// the report itself (collection, forwarding) while others only fold
+/// aggregates from it.
+#[derive(Debug)]
+pub struct Tee<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> Tee<A, B> {
+    /// Compose `first` (shared delivery) with `second` (owning
+    /// delivery).
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second }
+    }
+
+    /// The shared-delivery sink.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The owning-delivery sink.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Take both sinks back (e.g. to read accumulated results after
+    /// the sweep).
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A, B> ReportSink for Tee<A, B>
+where
+    A: ReportSink,
+    B: ReportSink,
+{
+    fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
+        self.first.accept_shared(slot, &report)?;
+        self.second.accept(slot, report)
+    }
+
+    fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        self.first.accept_shared(slot, report)?;
+        self.second.accept_shared(slot, report)
+    }
+}
+
+/// The N-way fan-out combinator: every attached sink receives every
+/// report by shared reference, in attachment order, on the delivering
+/// thread — then the report drops once. With in-tree sinks (which
+/// override [`ReportSink::accept_shared`]) a report's YLT is therefore
+/// materialised exactly once across all consumers; a closure sink
+/// falls back to a per-delivery clone, so put an owning consumer in a
+/// [`Tee`]'s second slot instead when that matters.
+///
+/// A fan-out of one sink forwards ownership directly (no indirection
+/// cost, no clone even for closures); an empty fan-out accepts and
+/// drops every report, which makes "run the sweep for its side
+/// effects" a valid degenerate plan.
+#[derive(Default)]
+pub struct FanoutSink<'a> {
+    sinks: Vec<Box<dyn ReportSink + 'a>>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// An empty fan-out; attach consumers with [`FanoutSink::push`] or
+    /// [`FanoutSink::with`].
+    pub fn new() -> Self {
+        Self { sinks: Vec::new() }
+    }
+
+    /// Attach a sink (delivery follows attachment order). Borrowed
+    /// sinks (`&mut SweepSummary`, say) work through their forwarding
+    /// impls, so accumulated state stays readable after the sweep.
+    pub fn push(&mut self, sink: impl ReportSink + 'a) {
+        self.sinks.push(Box::new(sink));
+    }
+
+    /// Builder-style [`FanoutSink::push`].
+    pub fn with(mut self, sink: impl ReportSink + 'a) -> Self {
+        self.push(sink);
+        self
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sink is attached (reports are dropped undelivered).
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl std::fmt::Debug for FanoutSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl ReportSink for FanoutSink<'_> {
+    fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
+        // A single attached sink gets ownership outright so even
+        // clone-fallback sinks pay nothing for riding a fan-out alone.
+        if self.sinks.len() == 1 {
+            return self.sinks[0].accept(slot, report);
+        }
+        self.accept_shared(slot, &report)
+    }
+
+    fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
+        for sink in &mut self.sinks {
+            sink.accept_shared(slot, report)?;
+        }
+        Ok(())
     }
 }

@@ -363,26 +363,69 @@ impl QuantileSketch {
     pub fn tail_mean(&self, q: f64) -> f64 {
         assert!(self.count > 0, "tail mean of empty sketch");
         assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
-        let items = self.weighted_sorted();
         let n = self.count;
         let start = ((q * n as f64).ceil() as u64).min(n - 1);
+        self.rank_band_mean(start, n)
+            .expect("tail band [min(ceil(q n), n-1), n) is never empty")
+    }
+
+    /// Mean of the weight-expanded values *between* two quantile
+    /// levels — the band-conditional expectation behind per-return-
+    /// period-band tail metrics (`tail_mean_between(q, 1.0)` equals
+    /// [`QuantileSketch::tail_mean`]`(q)` bit for bit, same Kahan
+    /// accumulation order, exact on the exact path).
+    ///
+    /// The band covers 0-based ranks `[min(⌈q_lo·n⌉, n−1), ⌈q_hi·n⌉)`
+    /// of the weight-expanded sorted multiset, with `q_hi ≥ 1`
+    /// extending through the final rank — the same rank convention as
+    /// `tail_mean`, so adjacent bands partition a tail exactly.
+    /// Returns `None` when the band resolves to no ranks (e.g. two
+    /// levels mapping to the same rank at this `n`).
+    ///
+    /// # Panics
+    /// Panics on an empty sketch, either level outside `[0, 1]` (a
+    /// `q_hi` above 1 is clamped, not rejected, so callers can pass
+    /// open-ended bands), or `q_lo > q_hi`.
+    pub fn tail_mean_between(&self, q_lo: f64, q_hi: f64) -> Option<f64> {
+        assert!(self.count > 0, "tail mean of empty sketch");
+        assert!(
+            (0.0..=1.0).contains(&q_lo),
+            "quantile level {q_lo} outside [0,1]"
+        );
+        assert!(q_lo <= q_hi, "band levels inverted: {q_lo} > {q_hi}");
+        let n = self.count;
+        let lo = ((q_lo * n as f64).ceil() as u64).min(n - 1);
+        let hi = if q_hi >= 1.0 {
+            n
+        } else {
+            ((q_hi * n as f64).ceil() as u64).min(n)
+        };
+        self.rank_band_mean(lo, hi)
+    }
+
+    /// Mean of expanded ranks `[lo, hi)`; `None` when the band is
+    /// empty. Expanded entries accumulate ascending one at a time so
+    /// the exact path reproduces `tail_mean_sorted`'s bits.
+    fn rank_band_mean(&self, lo: u64, hi: u64) -> Option<f64> {
+        if lo >= hi {
+            return None;
+        }
+        let items = self.weighted_sorted();
         let mut sum = KahanSum::new();
-        let mut tail_count = 0u64;
+        let mut band_count = 0u64;
         let mut cum = 0u64;
         for &(v, w) in &items {
             let end = cum + w;
-            if end > start {
-                // Add expanded entries one at a time so the exact path
-                // reproduces `tail_mean_sorted`'s accumulation bits.
-                let take = end - start.max(cum);
+            if end > lo && cum < hi {
+                let take = end.min(hi) - lo.max(cum);
                 for _ in 0..take {
                     sum.add(v);
                 }
-                tail_count += take;
+                band_count += take;
             }
             cum = end;
         }
-        sum.total() / tail_count as f64
+        (band_count > 0).then(|| sum.total() / band_count as f64)
     }
 }
 
@@ -571,6 +614,89 @@ mod tests {
         sk.merge_sorted(&poisoned);
         assert_eq!(sk.min(), f64::NEG_INFINITY);
         assert!(sk.max().is_nan());
+    }
+
+    #[test]
+    fn tail_mean_between_matches_exact_band_mean_bitwise() {
+        use riskpipe_types::KahanSum;
+        let xs: Vec<f64> = (0..900)
+            .map(|i| ((i * 7919) % 1009) as f64 * 0.37)
+            .collect();
+        let mut sk = QuantileSketch::new(1024);
+        sk.extend(&xs);
+        assert!(sk.is_exact());
+        let sorted = exact_reference(&xs);
+        let n = sorted.len() as f64;
+        for (q_lo, q_hi) in [(0.0, 0.5), (0.5, 0.9), (0.9, 0.99), (0.99, 1.0)] {
+            // Reference: the same rank convention over the sorted
+            // sample, Kahan-accumulated ascending.
+            let lo = ((q_lo * n).ceil() as usize).min(sorted.len() - 1);
+            let hi = if q_hi >= 1.0 {
+                sorted.len()
+            } else {
+                ((q_hi * n).ceil() as usize).min(sorted.len())
+            };
+            let band = &sorted[lo..hi];
+            let k: KahanSum = band.iter().copied().collect();
+            let want = k.total() / band.len() as f64;
+            assert_eq!(
+                sk.tail_mean_between(q_lo, q_hi).unwrap().to_bits(),
+                want.to_bits(),
+                "band [{q_lo}, {q_hi})"
+            );
+        }
+        // The open-ended band is tail_mean, bit for bit.
+        for q in [0.0, 0.5, 0.95, 0.99] {
+            assert_eq!(
+                sk.tail_mean_between(q, 1.0).unwrap().to_bits(),
+                sk.tail_mean(q).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn tail_mean_between_partitions_the_tail() {
+        // Adjacent bands cover disjoint ranks: their count-weighted
+        // means recombine to the whole tail mean.
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 31) % 977) as f64).collect();
+        let mut sk = QuantileSketch::new(1024);
+        sk.extend(&xs);
+        let n = xs.len() as f64;
+        let (a, b, c) = (0.9, 0.96, 1.0);
+        let ranks = |q_lo: f64, q_hi: f64| {
+            let lo = ((q_lo * n).ceil() as u64).min(xs.len() as u64 - 1);
+            let hi = if q_hi >= 1.0 {
+                xs.len() as u64
+            } else {
+                ((q_hi * n).ceil() as u64).min(xs.len() as u64)
+            };
+            (hi - lo) as f64
+        };
+        let (w1, w2) = (ranks(a, b), ranks(b, c));
+        let recombined = (sk.tail_mean_between(a, b).unwrap() * w1
+            + sk.tail_mean_between(b, c).unwrap() * w2)
+            / (w1 + w2);
+        assert!((recombined - sk.tail_mean(a)).abs() < 1e-9 * recombined.abs().max(1.0));
+    }
+
+    #[test]
+    fn tail_mean_between_empty_band_is_none() {
+        let mut sk = QuantileSketch::new(8);
+        sk.extend(&[1.0, 2.0, 3.0, 4.0]);
+        // Both levels land on the same rank at n = 4.
+        assert_eq!(sk.tail_mean_between(0.5, 0.5), None);
+        // Degenerate zero-width band below the clamp row.
+        assert_eq!(sk.tail_mean_between(0.1, 0.1), None);
+        // A non-empty sliver still answers.
+        assert!(sk.tail_mean_between(0.5, 0.75).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn tail_mean_between_inverted_band_panics() {
+        let mut sk = QuantileSketch::new(8);
+        sk.push(1.0);
+        sk.tail_mean_between(0.9, 0.1);
     }
 
     #[test]

@@ -10,20 +10,24 @@
 //! portfolio tools cannot rescan per question. This example runs the
 //! full subsystem end to end:
 //!
-//! 1. **sweep → MapReduce → warehouse**: a 2-region × 2-peril ×
-//!    3-attachment sweep streams through `run_stream` into a
-//!    `WarehouseSink`; each report is banded by return-period rank,
-//!    spilled to a sharded per-report store, shuffled through the
-//!    `YltFactJob` MapReduce job, and folded into sketch-valued cells;
+//! 1. **one declared plan, three consumers**: a 2-region × 2-peril ×
+//!    3-attachment sweep runs **once** through
+//!    `session.sweep(..).summary().persist_to(store).warehouse(layout)
+//!    .materialize_budget(..).drive()` — pooled analytics, durable
+//!    per-report artifacts, and a warehouse from a single streaming
+//!    pass. The warehouse ingest is the MapReduce path: each report is
+//!    banded by return-period rank, spilled to a sharded per-report
+//!    store, shuffled through the `YltFactJob` job, and folded into
+//!    sketch-valued cells;
 //! 2. **budgeted materialisation**: HRU greedy view selection under a
-//!    byte budget picks which cuboids to pre-compute;
+//!    byte budget picks which cuboids to pre-compute (a plan knob);
 //! 3. **three query shapes** — rollup, slice, dice with a
 //!    return-period-band filter — each answering VaR99/TVaR99 per cell
 //!    from the sketches, never from a fact rescan;
 //! 4. **rebuild from the spill**: the same warehouse is reconstructed
-//!    from a `PersistingSink`'s durable per-report artifacts and the
-//!    drill-down cells match the live sink bit for bit (pinned in
-//!    tests/drilldown.rs across 1/2/8 threads too).
+//!    from the plan's own persisted artifacts and the drill-down cells
+//!    match the live sink bit for bit (pinned in tests/sweep_plan.rs
+//!    and tests/drilldown.rs across 1/2/8 threads too).
 
 use riskpipe::core::money;
 use riskpipe::prelude::*;
@@ -83,17 +87,36 @@ fn main() -> RiskResult<()> {
         LevelSelect::BASE.describe(layout.schema())
     );
 
-    // ---- 1. sweep → MapReduce → warehouse -------------------------
-    let handle = session.analytics(layout.clone());
-    let mut wh = handle.sweep_to_warehouse(&scenarios)?;
+    // ---- 1. one plan: sweep → summary + spill + warehouse ---------
+    let spill = std::env::temp_dir().join("riskpipe-drilldown-example");
+    let _ = std::fs::remove_dir_all(&spill);
+    let store = Arc::new(riskpipe::core::ShardedFilesStore::new(&spill, 2)?);
+    let outcome = session
+        .sweep(&scenarios)
+        .summary()
+        .persist_to(store.clone())
+        .warehouse(layout.clone())
+        .materialize_budget(256 * 1024)
+        .drive()?;
+    println!(
+        "one pass: pooled TVaR99 {} over {} trials, {} reports persisted",
+        outcome
+            .summary()
+            .unwrap()
+            .pooled_tvar99()
+            .unwrap_or(f64::NAN),
+        outcome.summary().unwrap().trials(),
+        outcome.persisted().unwrap().reports(),
+    );
+    let selection = outcome.selection().expect("budget was requested").clone();
+    let wh = outcome.into_drilldown();
     let ingest = wh.ingest_stats();
     println!(
         "ingested {} reports / {} trials through MapReduce ({} shuffle records, {} spill bytes)",
         ingest.reports, ingest.trials, ingest.shuffle_records, ingest.spill_bytes
     );
 
-    // ---- 2. budgeted view materialisation -------------------------
-    let selection = wh.materialize_budget(256 * 1024)?;
+    // ---- 2. budgeted view materialisation (plan knob) -------------
     println!(
         "materialised {} views under a 256 KiB budget (lattice cost {} → {} bytes-read):",
         selection.picked.len(),
@@ -131,12 +154,10 @@ fn main() -> RiskResult<()> {
     print_rows("dice — ≥100y bands, region × peril", &rows, &cost);
 
     // ---- 4. rebuild from the persisted spill ----------------------
-    let spill = std::env::temp_dir().join("riskpipe-drilldown-example");
-    let _ = std::fs::remove_dir_all(&spill);
-    let store = Arc::new(riskpipe::core::ShardedFilesStore::new(&spill, 2)?);
-    let mut sink = PersistingSink::new(store.clone());
-    session.run_stream(&scenarios, &mut sink)?;
-    let rebuilt = handle.rebuild_from_store(&store, 0)?;
+    // The plan already persisted every report (run 0) while the
+    // warehouse was being built from the same pass — so the overnight
+    // rebuild needs no second sweep at all.
+    let rebuilt = session.analytics(layout).rebuild_from_store(&store, 0)?;
     let (live, _) = wh.answer(&rollup)?;
     let (reloaded, _) = rebuilt.answer(&rollup)?;
     let identical = live.len() == reloaded.len()
@@ -147,8 +168,7 @@ fn main() -> RiskResult<()> {
                 && a.cell.tvar99().map(f64::to_bits) == b.cell.tvar99().map(f64::to_bits)
         });
     println!(
-        "\nrebuild from {} persisted reports: drill-down cells bit-identical to live sink: {}",
-        sink.reports_persisted(),
+        "\nrebuild from the plan's persisted spill: drill-down cells bit-identical to live sink: {}",
         identical
     );
     assert!(identical, "rebuild must match the live sink bit for bit");

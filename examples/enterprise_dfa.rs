@@ -30,7 +30,12 @@ fn main() -> RiskResult<()> {
                 .with_trials(trials)
         })
         .collect();
-    let reports = session.run_batch(&scenarios)?;
+    let reports = session
+        .sweep(&scenarios)
+        .collect()
+        .drive()?
+        .into_reports()
+        .expect("collection was requested");
     let mut units = Vec::new();
     for (name, report) in names.iter().zip(reports) {
         println!(

@@ -45,7 +45,12 @@ fn main() -> RiskResult<()> {
                 .with_trials(2_000)
         })
         .collect();
-    let reports = session.run_batch(&scenarios)?;
+    let reports = session
+        .sweep(&scenarios)
+        .collect()
+        .drive()?
+        .into_reports()
+        .expect("collection was requested");
     println!(
         "{:>8} {:>16} {:>16} {:>16}",
         "seed", "mean loss", "TVaR99", "100y PML"

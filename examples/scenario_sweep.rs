@@ -1,27 +1,30 @@
 //! Streaming scenario sweep: price one book at many attachment points
-//! without materialising a report per scenario.
+//! without materialising a report per scenario — and consume the one
+//! sweep from several sinks at once.
 //!
 //! ```text
 //! cargo run --release --example scenario_sweep
 //! ```
 //!
-//! Demonstrates the two halves of the sweeps story:
+//! Demonstrates the sweeps story end to end:
 //!
-//! * `run_stream` delivers each report in input order as it completes
-//!   and drops it after the sink returns — peak memory is O(pool
-//!   width) reports, so the same code shape scales to thousands of
-//!   scenarios;
+//! * the declarative `SweepPlan`: `session.sweep(&sweep).summary()
+//!   .persist_to(store).drive()` runs the scenarios **once** through
+//!   the streaming core (input-order delivery, O(pool width) peak
+//!   memory) and fans every report out to all requested consumers —
+//!   pooled analytics *and* durable per-report artifacts from a single
+//!   pass, each bit-identical to what it would get as the only sink;
 //! * the stage-1 cache: every scenario here shares one catalogue
 //!   fingerprint (only the attachment factor varies), so the expensive
 //!   model run — catalogue, ELTs, YET — happens once and the hit/miss
 //!   counters prove it;
-//! * sweep analytics over the *pooled* distribution: `SweepSummary` is
-//!   itself a `ReportSink` folding every trial of every scenario into
-//!   mergeable quantile sketches, so the sweep reports pooled AEP/OEP
-//!   points, VaR99/TVaR99 and PML without retaining a single
-//!   per-scenario YLT.
+//! * pooled sweep analytics: `SweepSummary` folds every trial of every
+//!   scenario into mergeable quantile sketches — pooled AEP/OEP
+//!   points, VaR99/TVaR99, PML, and OEP-conditional tail means per
+//!   return-period band — without retaining a single per-scenario YLT;
+//! * the raw sink layer beneath the plan (`run_stream` with a closure)
+//!   and the lazy iterator adapter (`stream`).
 
-use riskpipe::core::SweepSummary;
 use riskpipe::prelude::*;
 use std::sync::Arc;
 
@@ -48,20 +51,23 @@ fn main() -> RiskResult<()> {
         })
         .collect();
 
-    // Callback form: fold each report into an online summary and let it
-    // drop — nothing accumulates.
-    println!("\nstreaming {} scenarios (callback form):", sweep.len());
-    let mut summary = SweepSummary::new();
-    session.run_stream(&sweep, |i, report: PipelineReport| {
-        println!(
-            "  [{i:>2}] {:<12} TVaR99 {:>16.0}  (stage 1 {:>6.1} ms)",
-            report.scenario_name,
-            report.measures.tvar99,
-            report.timings[0].elapsed.as_secs_f64() * 1e3,
-        );
-        summary.push(&report);
-        Ok(())
-    })?;
+    // One declared plan, two consumers, one streaming pass: pooled
+    // analytics plus durable per-report artifacts. Each report's YLT
+    // is materialised once and shared by reference across the sinks.
+    let spill = std::env::temp_dir().join("riskpipe-sweep-example");
+    let _ = std::fs::remove_dir_all(&spill);
+    let store = Arc::new(riskpipe::core::ShardedFilesStore::new(&spill, 2)?);
+    println!(
+        "\ndriving one plan: summary + persistence over {} scenarios",
+        sweep.len()
+    );
+    let outcome = session
+        .sweep(&sweep)
+        .summary()
+        .persist_to(store.clone())
+        .drive()?;
+
+    let summary = outcome.summary().expect("summary was requested");
     println!("\n{summary}");
 
     // The summary pooled every trial of every scenario while the
@@ -82,9 +88,35 @@ fn main() -> RiskResult<()> {
         );
     }
 
+    // OEP-conditional tail means per return-period band, straight off
+    // the pooled OEP sketch: "what does a 25-to-100-year occurrence
+    // year cost on average?"
+    println!("\npooled OEP tail means by return-period band:");
+    for (lo, hi) in [(5.0, 25.0), (25.0, 100.0), (100.0, f64::INFINITY)] {
+        if let Some(mean) = summary.tail_mean_between(lo, hi) {
+            let band = if hi.is_finite() {
+                format!("{lo:>3.0}y..{hi:<3.0}y")
+            } else {
+                format!("{lo:>3.0}y..    ")
+            };
+            println!("  {band}  mean occurrence loss {:>16.0}", mean);
+        }
+    }
+
+    let persisted = outcome.persisted().expect("persistence was requested");
+    println!(
+        "\npersisted run {}: {} reports, {} bytes under {}",
+        persisted.run(),
+        persisted.reports(),
+        persisted.bytes(),
+        spill.display()
+    );
+    store.clear_runs()?;
+    std::fs::remove_dir_all(&spill).ok();
+
     let stats = session.stage1_cache_stats();
     println!(
-        "\nstage-1 cache: {} miss(es), {} hit(s) — the catalogue, ELTs and \
+        "stage-1 cache: {} miss(es), {} hit(s) — the catalogue, ELTs and \
          YET were built {} time(s) for {} scenarios",
         stats.misses,
         stats.hits,
@@ -92,24 +124,17 @@ fn main() -> RiskResult<()> {
         sweep.len()
     );
 
-    // Persisting form: each report's YLT + measures land in an
-    // IntermediateStore the moment the report is delivered, then the
-    // report drops — durable per-scenario artifacts, pooled analytics,
-    // O(pool width) memory, and storage throughput backpressures the
-    // sweep.
-    let spill = std::env::temp_dir().join("riskpipe-sweep-example");
-    let _ = std::fs::remove_dir_all(&spill);
-    let store = Arc::new(riskpipe::core::ShardedFilesStore::new(&spill, 2)?);
-    let mut sink = PersistingSink::new(store.clone());
-    session.run_stream(&sweep, &mut sink)?;
-    println!(
-        "\npersisting sink: {} reports, {} bytes under {}",
-        sink.reports_persisted(),
-        sink.bytes_persisted(),
-        spill.display()
-    );
-    store.clear_runs()?;
-    std::fs::remove_dir_all(&spill).ok();
+    // The raw sink layer the plan drives: a closure over run_stream.
+    println!("\nraw run_stream (callback form), first stage timings:");
+    session.run_stream(&sweep[..4], |i, report: PipelineReport| {
+        println!(
+            "  [{i:>2}] {:<12} TVaR99 {:>16.0}  (stage 1 {:>6.1} ms)",
+            report.scenario_name,
+            report.measures.tvar99,
+            report.timings[0].elapsed.as_secs_f64() * 1e3,
+        );
+        Ok(())
+    })?;
 
     // Iterator form: same sweep, consumed lazily; dropping the iterator
     // early would cancel the remainder.

@@ -29,9 +29,14 @@
 //!
 //! A [`RiskSession`](riskpipe_core::RiskSession) is the facade: built
 //! once (engine, thread pool, intermediate store, stage-1 cache), then
-//! run against any number of scenarios — concurrently via `run_batch`,
-//! or streamed in input order at O(pool width) peak memory via
-//! `run_stream`/`stream` when the sweep is large.
+//! run against any number of scenarios — one at a time via `run`, or
+//! declaratively via `sweep`: a
+//! [`SweepPlan`](riskpipe_core::SweepPlan) streams every scenario once
+//! (input order, O(pool width) peak memory) and fans each report out
+//! to all requested consumers — pooled analytics, durable persistence,
+//! report collection, and (with the analytics prelude) a queryable
+//! drill-down warehouse. `run_stream`/`stream` remain the raw
+//! single-sink streaming core beneath the plan.
 //!
 //! ```
 //! use riskpipe::prelude::*;
@@ -73,14 +78,15 @@ pub use riskpipe_warehouse as warehouse;
 pub mod prelude {
     pub use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind, Portfolio};
     pub use riskpipe_analytics::{
-        Drilldown, DrilldownLayout, ScenarioDims, SessionAnalytics, WarehouseSink, WarehouseStore,
+        Drilldown, DrilldownLayout, ScenarioDims, SessionAnalytics, SweepPlanAnalytics,
+        WarehouseOutcome, WarehousePlan, WarehouseSink, WarehouseStore,
     };
     pub use riskpipe_catmodel::Stage1Output;
     pub use riskpipe_cloud::{pipeline_week, simulate, PipelineWeekSpec, SimConfig};
     pub use riskpipe_core::{
-        DataStrategy, IntermediateStore, PersistingSink, PipelineConfig, PipelineReport,
-        ReportSink, ReportStream, RiskSession, RiskSessionBuilder, ScenarioConfig,
-        Stage1CacheStats, SweepSummary,
+        DataStrategy, FanoutSink, IntermediateStore, PersistedRun, PersistingSink, PipelineConfig,
+        PipelineReport, ReportSink, ReportStream, RiskSession, RiskSessionBuilder, ScenarioConfig,
+        Stage1CacheStats, SweepOutcome, SweepPlan, SweepSummary, Tee,
     };
     pub use riskpipe_dfa::{AllocationMethod, EnterpriseRollup};
     pub use riskpipe_metrics::{EpCurve, EpPoint, QuantileSketch};

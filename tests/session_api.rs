@@ -68,6 +68,7 @@ fn every_engine_and_store_yields_the_same_ylt() -> RiskResult<()> {
 }
 
 #[test]
+#[allow(deprecated)] // the run_batch shim's contract must hold until removal
 fn run_batch_matches_sequential_runs_on_any_thread_count() -> RiskResult<()> {
     let scenarios = [scenario(21), scenario(22), scenario(23)];
 
@@ -94,6 +95,7 @@ fn run_batch_matches_sequential_runs_on_any_thread_count() -> RiskResult<()> {
 }
 
 #[test]
+#[allow(deprecated)] // the run_batch shim's contract must hold until removal
 fn run_batch_keeps_input_order() -> RiskResult<()> {
     let session = RiskSession::builder().pool_threads(4).build()?;
     let scenarios: Vec<ScenarioConfig> = (0..6)
@@ -110,6 +112,7 @@ fn run_batch_keeps_input_order() -> RiskResult<()> {
 }
 
 #[test]
+#[allow(deprecated)] // the run_batch shim's contract must hold until removal
 fn one_session_serves_many_scenarios_and_stores_stay_isolated() -> RiskResult<()> {
     let dir = temp("iso");
     let session = RiskSession::builder()

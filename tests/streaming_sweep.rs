@@ -4,6 +4,11 @@
 //! cache rebuilds the model run exactly once per distinct key, and
 //! sweep sinks (`SweepSummary`, `PersistingSink`) produce pooled
 //! analytics / durable artifacts without retaining per-scenario YLTs.
+//!
+//! `run_batch` is deprecated in favour of the declarative `SweepPlan`
+//! (see `tests/sweep_plan.rs`), but its contract — pinned here — must
+//! keep holding until the shim is removed.
+#![allow(deprecated)]
 
 use riskpipe::core::{
     PersistingSink, ReportStream, RiskSession, ScenarioConfig, ShardedFilesStore, SweepSummary,

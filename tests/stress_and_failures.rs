@@ -135,7 +135,13 @@ fn concurrent_pipelines_do_not_interfere() {
     );
     let ra_ref = session.run(&sa).unwrap();
     let rb_ref = session.run(&sb).unwrap();
-    let batch = session.run_batch(&[sa, sb]).unwrap();
+    let batch = session
+        .sweep(&[sa, sb])
+        .collect()
+        .drive()
+        .unwrap()
+        .into_reports()
+        .unwrap();
     assert_eq!(batch[0].ylt, ra_ref.ylt);
     assert_eq!(batch[1].ylt, rb_ref.ylt);
 }
@@ -278,7 +284,12 @@ fn concurrent_sessions_spill_to_disjoint_stores_and_clean_up() {
                 // A batch (run 0: batch-NNN under the base) then a solo
                 // run (run 1: run-001), all while three sibling
                 // sessions hammer their own directories.
-                let reports = session.run_batch(&scenarios)?;
+                let reports = session
+                    .sweep(&scenarios)
+                    .collect()
+                    .drive()?
+                    .into_reports()
+                    .expect("collection was requested");
                 let solo = session.run(&scenarios[0])?;
                 assert_eq!(solo.ylt, reports[0].ylt);
                 for (i, r) in reports.iter().enumerate() {

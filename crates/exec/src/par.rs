@@ -22,7 +22,16 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
+// SAFETY: SendPtr is only constructed inside this module, always from a
+// pointer into a live allocation (`Vec` spare capacity or a slice) that
+// outlives the pool scope it is handed to. Every task derives its writes
+// from a disjoint `Range<usize>`, so no two threads ever touch the same
+// slot, and the scoped pool joins all tasks before the allocation is read
+// or dropped. Sending the raw pointer across threads is therefore sound.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared references to SendPtr only expose the pointer value
+// itself (Copy); all dereferences go through per-task disjoint ranges as
+// documented on `Send` above, so concurrent `&SendPtr` access cannot race.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Run `f` over `0..len` split into ranges of at most `grain` elements,

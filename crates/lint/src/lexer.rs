@@ -1,0 +1,380 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rule engine needs just enough token structure to tell *code*
+//! from *comments and string literals*: a rule must fire on the
+//! identifier `thread_rng` but not on the words "thread_rng" inside a
+//! doc comment, an error message, or this very sentence. The lexer
+//! therefore produces a flat token stream — identifiers, literals,
+//! comments (kept, because `// SAFETY:` audits and `// lint: allow`
+//! suppressions live there) and punctuation — with the source line of
+//! every token. It does not parse; the rules pattern-match over the
+//! stream instead.
+//!
+//! Handled: line/nested-block comments, string/raw-string/byte-string
+//! literals, char literals vs lifetimes, numeric literals, and the
+//! multi-character operators the rules care about (`::`, `->`, `=>`,
+//! `..`). Everything else is a single-character punct token.
+
+/// What a token is. Rules mostly look at [`TokKind::Ident`] and
+/// [`TokKind::Comment`]; literals exist so their *content* is never
+/// mistaken for code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Num,
+    Str,
+    Char,
+    Lifetime,
+    Comment,
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-based source line it
+/// starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punct with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Tokenize `src`. Never fails: unterminated literals/comments lex as
+/// whatever text remains (the pass must degrade gracefully on code
+/// that doesn't compile yet).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    /// Does a raw (possibly byte) string literal start at `pos`?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == Some('b') {
+            i += 1;
+        }
+        if self.peek(i) != Some('r') {
+            return false;
+        }
+        i += 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().expect("opening quote")); // the opening `"`
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            text.push(self.bump().expect("b prefix"));
+        }
+        text.push(self.bump().expect("r prefix"));
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push(self.bump().expect("hash"));
+        }
+        text.push(self.bump().expect("opening quote"));
+        // Scan for `"` followed by `hashes` hash marks.
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    text.push(self.bump().expect("closing hash"));
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().expect("opening quote")); // `'`
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal.
+                text.push(self.bump().expect("backslash"));
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // Could be `'x'` or a lifetime; scan the ident run.
+                let mut ident = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        ident.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                text.push_str(&ident);
+                if self.peek(0) == Some('\'') {
+                    text.push(self.bump().expect("closing quote"));
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(_) => {
+                // `'('` and friends: a one-symbol char literal.
+                text.push(self.bump().expect("char"));
+                if self.peek(0) == Some('\'') {
+                    text.push(self.bump().expect("closing quote"));
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            None => self.push(TokKind::Punct, text, line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1.5` continues the number; `1..n` does not.
+                if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        const TWO: [&str; 4] = ["::", "->", "=>", ".."];
+        let c = self.bump().expect("punct char");
+        if let Some(d) = self.peek(0) {
+            let pair: String = [c, d].iter().collect();
+            if TWO.contains(&pair.as_str()) {
+                self.bump();
+                self.push(TokKind::Punct, pair, line);
+                return;
+            }
+        }
+        self.push(TokKind::Punct, c.to_string(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_literals_and_puncts() {
+        let toks = kinds("let x = foo(1.5, \"hi\");");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokKind::Punct, "=".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "foo".into()));
+        assert_eq!(toks[5], (TokKind::Num, "1.5".into()));
+        assert_eq!(toks[7], (TokKind::Str, "\"hi\"".into()));
+    }
+
+    #[test]
+    fn code_words_inside_strings_and_comments_are_not_idents() {
+        let toks = lex("// thread_rng in prose\nlet s = \"Instant::now\";");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still outer */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert!(toks[0].text.contains("inner"));
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let toks = lex(r####"let s = r#"a "quoted" b"#; y"####);
+        assert_eq!(toks[3].kind, TokKind::Str);
+        assert!(toks.last().expect("tokens").is_ident("y"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".into())));
+    }
+
+    #[test]
+    fn multi_char_puncts() {
+        let toks = kinds("std::mem -> x => 0..n");
+        assert!(toks.contains(&(TokKind::Punct, "::".into())));
+        assert!(toks.contains(&(TokKind::Punct, "->".into())));
+        assert!(toks.contains(&(TokKind::Punct, "=>".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let toks = lex("a\n\"two\nline\"\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // the string starts on line 2
+        assert_eq!(toks[2].line, 4); // `b` after the embedded newline
+    }
+}

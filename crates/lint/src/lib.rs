@@ -1,0 +1,639 @@
+//! `riskpipe-lint` — the workspace determinism & safety pass.
+//!
+//! Every artifact this engine produces is contractually bit-identical
+//! across engines, thread counts, and live/rebuild paths (the pinned
+//! goldens in `tests/golden_metrics.rs`, `tests/sweep_plan.rs`,
+//! `tests/drilldown.rs`). The goldens catch a nondeterminism bug *after
+//! the fact*; this pass catches the patterns that cause them *at the
+//! diff*. It tokenizes every `.rs` file in `crates/`, `src/`,
+//! `examples/` and `tests/` with a hand-rolled lexer (no external
+//! dependencies — the workspace builds offline) and enforces the rule
+//! catalogue [`RULES`]:
+//!
+//! * **D1** — no iteration over `HashMap`/`HashSet` in
+//!   fold/merge/sink/rollup code (use `BTreeMap` or a sorted drain);
+//! * **D2** — no `sort_by`/`max_by`/`min_by` comparators built on
+//!   `partial_cmp` (use `f64::total_cmp`);
+//! * **D3** — no `Instant::now`/`SystemTime::now` outside designated
+//!   timing modules (timings flow through stats/counter structs only);
+//! * **D4** — no entropy-seeded RNG construction (seeds are explicit);
+//! * **S1** — every `unsafe` site carries a `// SAFETY:` audit comment;
+//! * **S2** — narrowing `as` casts in codec/decode paths need a checked
+//!   conversion or an annotation (warn-severity: introduced as a
+//!   warning first, per the rollout policy for new rules).
+//!
+//! Suppression is per-site and auditable:
+//!
+//! ```text
+//! // lint: allow(D1) — each key occurs once per partial; entries are
+//! // sorted before they can reach any output.
+//! ```
+//!
+//! A suppression must name the rule and carry a non-empty reason after
+//! a dash; a malformed suppression is itself a deny-level finding
+//! (rule `SUP`), and an unused one a warn-level finding — so the audit
+//! trail can never silently rot.
+//!
+//! The lint crate eats its own dog food: its sources use `BTreeMap`
+//! throughout, bind no wall clocks, and are part of the workspace scan
+//! run by the tier-1 `workspace_clean` test.
+
+mod analysis;
+mod lexer;
+mod rules;
+
+pub use analysis::{FileModel, HashKind, Scope, Suppression};
+pub use lexer::{lex, Tok, TokKind};
+pub use rules::RawFinding;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule catalogue identifiers. `Sup` is the engine's own rule:
+/// findings about the suppression comments themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    D1,
+    D2,
+    D3,
+    D4,
+    S1,
+    S2,
+    Sup,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 7] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::S1,
+        RuleId::S2,
+        RuleId::Sup,
+    ];
+
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
+            RuleId::S1 => "S1",
+            RuleId::S2 => "S2",
+            RuleId::Sup => "SUP",
+        }
+    }
+
+    pub fn from_code(code: &str) -> Option<RuleId> {
+        let code = code.to_ascii_uppercase();
+        RuleId::ALL.into_iter().find(|r| r.code() == code)
+    }
+
+    /// Default severity. New rules enter the catalogue at `Warn` and
+    /// graduate to `Deny` once the workspace is clean (S2 is currently
+    /// in its warning period).
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::S2 => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+
+    /// One-line summary for `--rules` listings.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D1 => "no HashMap/HashSet iteration in fold/merge/sink/rollup code",
+            RuleId::D2 => "no sort_by/max_by/min_by comparators built on partial_cmp",
+            RuleId::D3 => "no Instant::now/SystemTime::now outside designated timing modules",
+            RuleId::D4 => "no entropy-seeded RNG construction (seeds must be explicit)",
+            RuleId::S1 => "every unsafe site carries a // SAFETY: audit comment",
+            RuleId::S2 => "narrowing `as` casts in codec/decode paths need a checked conversion",
+            RuleId::Sup => "suppressions must name a known rule and carry a reason, and be used",
+        }
+    }
+
+    /// Full `--explain` text.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "D1 — hash-container iteration in merge-sensitive code (deny)\n\
+                 \n\
+                 WHY   std::collections::HashMap/HashSet iterate in an order that is\n\
+                 randomized per process (SipHash keys differ per run). When a fold,\n\
+                 merge, sink, or rollup visits entries in that order, any non-\n\
+                 commutative step — floating-point accumulation, output emission,\n\
+                 first-wins conflict resolution — produces run-dependent artifacts,\n\
+                 which breaks the engine's bit-identical contract (and makes sharded\n\
+                 MapReduce merges untrustworthy).\n\
+                 \n\
+                 FIRES on `for .. in <hash>` and `<hash>.iter()/drain()/keys()/...`\n\
+                 when an enclosing fn/closure/file name looks like fold/merge/sink/\n\
+                 rollup code, or the loop body calls merge/fold/absorb/reduce.\n\
+                 \n\
+                 FIX   Use BTreeMap/BTreeSet, collect::<BTreeMap<_,_>>(), or the\n\
+                 sorted-drain idiom the rule recognises:\n\
+                 \n\
+                 \tlet mut v: Vec<_> = map.into_iter().collect();\n\
+                 \tv.sort_unstable_by_key(|e| e.0);\n\
+                 \n\
+                 Suppress a provably order-independent site with\n\
+                 `// lint: allow(D1) — <why order cannot leak>`."
+            }
+            RuleId::D2 => {
+                "D2 — partial_cmp-based comparators (deny)\n\
+                 \n\
+                 WHY   `partial_cmp` on floats returns None for NaN, so comparators\n\
+                 built on it either panic (unwrap) or fall back to an arbitrary\n\
+                 ordering — and the sort order of equal-or-NaN keys then depends on\n\
+                 input arrangement and sort algorithm. A NaN that reaches a sort key\n\
+                 must order deterministically, not by accident.\n\
+                 \n\
+                 FIRES on sort_by/sort_unstable_by/max_by/min_by whose comparator\n\
+                 mentions partial_cmp.\n\
+                 \n\
+                 FIX   Use `f64::total_cmp` (total order, NaN sorted high/low by\n\
+                 sign bit) or an integer/Ord key. Tie-break float keys with a\n\
+                 stable secondary key when equal values must order reproducibly."
+            }
+            RuleId::D3 => {
+                "D3 — wall-clock reads outside designated timing modules (deny)\n\
+                 \n\
+                 WHY   Instant::now/SystemTime::now readings differ every run. They\n\
+                 are fine as *measurements* (stats, counters, benchmark reports) but\n\
+                 poison determinism the moment one flows into a numeric result, a\n\
+                 seed, a cache key, or control flow near the numeric path.\n\
+                 \n\
+                 FIRES on Instant::now/SystemTime::now in any file outside the\n\
+                 designated timing modules (default: crates/bench/ — the benchmark\n\
+                 and perf-gate harness). Inline #[cfg(test)] modules are exempt.\n\
+                 \n\
+                 FIX   Route the timing through the existing stats/counter structs\n\
+                 (StageTiming, ExecStats, Stage1CacheStats...) in a designated\n\
+                 module, or suppress with a reason documenting exactly where the\n\
+                 reading flows and why it cannot reach numeric output."
+            }
+            RuleId::D4 => {
+                "D4 — entropy-seeded RNG construction (deny)\n\
+                 \n\
+                 WHY   Every random stream in the pipeline must be replayable: the\n\
+                 paper's workloads (and the goldens) depend on simulations being\n\
+                 bit-identical given a scenario seed. thread_rng/from_entropy/OsRng\n\
+                 draw from process entropy, so two runs can never agree.\n\
+                 \n\
+                 FIRES on thread_rng / from_entropy / OsRng / getrandom tokens.\n\
+                 \n\
+                 FIX   Construct RNGs from explicit caller-provided seeds (the\n\
+                 riskpipe_types::dist generators all take u64 seeds) and derive\n\
+                 per-task streams by mixing stable identifiers into the seed."
+            }
+            RuleId::S1 => {
+                "S1 — unsafe without a SAFETY audit (deny)\n\
+                 \n\
+                 WHY   Every unsafe block/fn/impl in the workspace encodes an\n\
+                 invariant the compiler cannot check (disjoint slot ownership in the\n\
+                 pool's scoped spawns, the simulated-GPU launch contract, lifetime\n\
+                 erasure in work-stealing). An unwritten invariant is one refactor\n\
+                 away from being violated silently; the audit comment is the\n\
+                 reviewable contract.\n\
+                 \n\
+                 FIRES on any `unsafe` token without a comment containing `SAFETY`\n\
+                 within the preceding six lines (trailing same-line comments count).\n\
+                 This rule applies in test code too.\n\
+                 \n\
+                 FIX   Write `// SAFETY: <the invariant and why it holds here>`\n\
+                 immediately above the unsafe site."
+            }
+            RuleId::S2 => {
+                "S2 — narrowing casts in codec/decode paths (warn)\n\
+                 \n\
+                 WHY   `x as u32` silently truncates. In codec/decode paths a\n\
+                 truncated length, offset, or id corrupts persisted artifacts in\n\
+                 ways the checksums of a future frame format may not even catch\n\
+                 (the truncation happens before encoding). This rule is in its\n\
+                 warning period and will graduate to deny once the format work in\n\
+                 the ROADMAP lands.\n\
+                 \n\
+                 FIRES on `as u8/u16/u32/i8/i16/i32/f32` inside functions or files\n\
+                 whose name marks them as codec/encode/decode/compress/frame code.\n\
+                 \n\
+                 FIX   Use TryFrom/try_into with an error path, assert the bound\n\
+                 first, or suppress with a reason proving the value fits\n\
+                 (`// lint: allow(S2) — shard count is capped at 4096 above`)."
+            }
+            RuleId::Sup => {
+                "SUP — suppression hygiene (deny for malformed, warn for unused)\n\
+                 \n\
+                 WHY   Suppressions are the audit trail that keeps the pass honest.\n\
+                 One that names no known rule or gives no reason is unreviewable;\n\
+                 one that no longer suppresses anything is stale documentation.\n\
+                 \n\
+                 SYNTAX  // lint: allow(D1) — reason\n\
+                 \t// lint: allow(D3, S1) - reason   (plain hyphen also accepted)\n\
+                 The comment covers its own line and the next code line.\n\
+                 \n\
+                 FIRES (deny) on allow() naming an unknown rule or missing the\n\
+                 reason; (warn) on a suppression that matched no finding."
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Finding severity. `Deny` findings fail the build; `Warn` findings
+/// are reported (and fail only under `--deny-warnings`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Deny,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One reportable finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: RuleId,
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}/{}] {}",
+            self.path,
+            self.line,
+            self.rule,
+            self.severity.as_str(),
+            self.message
+        )
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path substrings designating timing modules (D3 allowlist).
+    pub timing_modules: Vec<String>,
+    /// Directory names skipped during the walk. `fixtures` is excluded
+    /// because lint fixture trees are intentionally violating inputs.
+    pub exclude_dirs: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            timing_modules: vec!["crates/bench/".to_string()],
+            exclude_dirs: vec![
+                "target".to_string(),
+                "vendor".to_string(),
+                "fixtures".to_string(),
+                ".git".to_string(),
+            ],
+        }
+    }
+}
+
+/// The roots (relative to the workspace root) a full workspace pass
+/// scans.
+pub const WORKSPACE_SCAN_ROOTS: [&str; 4] = ["crates", "src", "examples", "tests"];
+
+/// Lint one file's source text. Returns the post-suppression findings
+/// (including any `SUP` findings about the suppressions themselves).
+pub fn lint_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let model = FileModel::build(path, lex(source));
+    let raw = rules::run_all(&model, cfg);
+
+    let mut used = vec![false; model.suppressions.len()];
+    let mut findings: Vec<Finding> = Vec::new();
+
+    'finding: for f in raw {
+        for (si, sup) in model.suppressions.iter().enumerate() {
+            let names_rule = sup.rules.iter().any(|r| r == f.rule.code());
+            if names_rule && sup.has_reason && sup.covers.contains(&f.line) {
+                used[si] = true;
+                continue 'finding;
+            }
+        }
+        findings.push(Finding {
+            rule: f.rule,
+            severity: f.rule.severity(),
+            path: path.to_string(),
+            line: f.line,
+            message: f.message,
+        });
+    }
+
+    // Suppression hygiene.
+    for (si, sup) in model.suppressions.iter().enumerate() {
+        for r in &sup.rules {
+            if RuleId::from_code(r).is_none() {
+                findings.push(Finding {
+                    rule: RuleId::Sup,
+                    severity: Severity::Deny,
+                    path: path.to_string(),
+                    line: sup.line,
+                    message: format!(
+                        "suppression names unknown rule `{r}` — known rules: \
+                         D1 D2 D3 D4 S1 S2"
+                    ),
+                });
+            }
+        }
+        if !sup.has_reason {
+            findings.push(Finding {
+                rule: RuleId::Sup,
+                severity: Severity::Deny,
+                path: path.to_string(),
+                line: sup.line,
+                message: "suppression carries no reason — write \
+                          `// lint: allow(<rule>) — <why this site is sound>`"
+                    .to_string(),
+            });
+        } else if !used[si] && sup.rules.iter().all(|r| RuleId::from_code(r).is_some()) {
+            findings.push(Finding {
+                rule: RuleId::Sup,
+                severity: Severity::Warn,
+                path: path.to_string(),
+                line: sup.line,
+                message: format!(
+                    "unused suppression for {}: no finding matched — delete it \
+                     or move it next to the site it covers",
+                    sup.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    findings.sort_by_key(|a| (a.line, a.rule));
+    findings
+}
+
+/// A full run's results.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "riskpipe-lint: {} file(s) scanned, {} deny, {} warn\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count()
+        ));
+        out
+    }
+
+    /// Machine-readable report (stable JSON, hand-rolled — no deps).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"counts\": {{\"deny\": {}, \"warn\": {}}},\n",
+            self.deny_count(),
+            self.warn_count()
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\"}}",
+                f.rule,
+                f.severity.as_str(),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Collect the `.rs` files a scan of `paths` (relative to `root`)
+/// covers, in sorted order — the pass itself must be deterministic.
+pub fn collect_rs_files(
+    root: &Path,
+    paths: &[PathBuf],
+    cfg: &Config,
+) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        };
+        if abs.is_file() {
+            out.push(abs);
+        } else if abs.is_dir() {
+            walk_dir(&abs, cfg, &mut out)?;
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn walk_dir(dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if cfg.exclude_dirs.iter().any(|d| d == &name) {
+                continue;
+            }
+            walk_dir(&path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint `paths` (files or directories, relative to `root`).
+pub fn lint_paths(root: &Path, paths: &[PathBuf], cfg: &Config) -> std::io::Result<Report> {
+    let files = collect_rs_files(root, paths, cfg)?;
+    let mut report = Report::default();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(file)?;
+        report.findings.extend(lint_source(&rel, &source, cfg));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Lint the whole workspace under `root` (the standard scan roots).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let paths: Vec<PathBuf> = WORKSPACE_SCAN_ROOTS.iter().map(PathBuf::from).collect();
+    lint_paths(root, &paths, cfg)
+}
+
+/// Find the workspace root: walk up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_with_reason_silences_a_finding() {
+        let src = "fn f() {\n\
+                   // lint: allow(D4) — demo stream, not a simulation input\n\
+                   let r = thread_rng();\n}";
+        let findings = lint_source("crates/x/src/a.rs", src, &Config::default());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_deny_and_does_not_suppress() {
+        let src = "fn f() {\n// lint: allow(D4)\nlet r = thread_rng();\n}";
+        let findings = lint_source("crates/x/src/a.rs", src, &Config::default());
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.rule == RuleId::D4));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::Sup && f.severity == Severity::Deny));
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_deny() {
+        let src = "fn f() {\n// lint: allow(D9) — whatever\nlet x = 1;\n}";
+        let findings = lint_source("crates/x/src/a.rs", src, &Config::default());
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::Sup && f.severity == Severity::Deny));
+    }
+
+    #[test]
+    fn unused_suppression_is_warn() {
+        let src = "fn f() {\n// lint: allow(D4) — stale\nlet x = 1;\n}";
+        let findings = lint_source("crates/x/src/a.rs", src, &Config::default());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::Sup);
+        assert_eq!(findings[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn wrong_rule_suppression_does_not_silence() {
+        let src = "fn f() {\n\
+                   // lint: allow(D3) — wrong rule named\n\
+                   let r = thread_rng();\n}";
+        let findings = lint_source("crates/x/src/a.rs", src, &Config::default());
+        assert!(findings.iter().any(|f| f.rule == RuleId::D4));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: RuleId::D2,
+                severity: Severity::Deny,
+                path: "a\\b.rs".into(),
+                line: 3,
+                message: "say \"hi\"".into(),
+            }],
+            files_scanned: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"rule\": \"D2\""));
+        assert!(json.contains("a\\\\b.rs"));
+        assert!(json.contains("say \\\"hi\\\""));
+        assert!(json.contains("\"counts\": {\"deny\": 1, \"warn\": 0}"));
+    }
+
+    #[test]
+    fn rule_codes_round_trip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::from_code(r.code()), Some(r));
+        }
+        assert_eq!(RuleId::from_code("d1"), Some(RuleId::D1));
+        assert_eq!(RuleId::from_code("Z9"), None);
+    }
+}

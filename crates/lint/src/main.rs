@@ -1,0 +1,139 @@
+//! The `riskpipe-lint` command-line front-end.
+//!
+//! ```text
+//! riskpipe-lint                      # lint the whole workspace
+//! riskpipe-lint crates/warehouse     # lint one subtree
+//! riskpipe-lint --json               # machine-readable output
+//! riskpipe-lint --explain D1         # why a rule exists and how to fix
+//! riskpipe-lint --rules              # list the catalogue
+//! riskpipe-lint --deny-warnings      # warn findings also fail
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings at failing severity, 2 usage or I/O
+//! error.
+
+use riskpipe_lint::{find_workspace_root, lint_paths, Config, RuleId, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+riskpipe-lint — workspace determinism & safety static-analysis pass
+
+USAGE:
+    riskpipe-lint [OPTIONS] [PATHS...]
+
+ARGS:
+    [PATHS...]        files or directories to lint, relative to the
+                      workspace root (default: crates src examples tests)
+
+OPTIONS:
+    --root <DIR>      workspace root (default: nearest ancestor with a
+                      [workspace] Cargo.toml)
+    --json            emit the machine-readable JSON report
+    --deny-warnings   exit nonzero on warn-level findings too
+    --explain <RULE>  print the rationale and fix guidance for one rule
+    --rules           list the rule catalogue
+    -h, --help        this text
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--rules" => {
+                for r in RuleId::ALL {
+                    println!(
+                        "{:4} [{}]  {}",
+                        r.code(),
+                        r.severity().as_str(),
+                        r.summary()
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(code) = args.next() else {
+                    eprintln!("--explain needs a rule code (one of D1 D2 D3 D4 S1 S2 SUP)");
+                    return ExitCode::from(2);
+                };
+                match RuleId::from_code(&code) {
+                    Some(rule) => {
+                        println!("{}", rule.explain());
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("unknown rule `{code}` — known: D1 D2 D3 D4 S1 S2 SUP");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("could not find a workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    if paths.is_empty() {
+        paths = riskpipe_lint::WORKSPACE_SCAN_ROOTS
+            .iter()
+            .map(PathBuf::from)
+            .collect();
+    }
+
+    let cfg = Config::default();
+    let report = match lint_paths(&root, &paths, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("riskpipe-lint: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    let failing = report
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Deny || (deny_warnings && f.severity == Severity::Warn));
+    if failing {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

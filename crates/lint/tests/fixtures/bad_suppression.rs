@@ -1,0 +1,13 @@
+// Bad-suppression fixture: a reasonless suppression is a deny finding
+// and does NOT silence the underlying rule; an unknown rule code is a
+// deny finding too.
+pub fn demo_stream() -> f64 {
+    // lint: allow(D4)
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn other() -> u32 {
+    // lint: allow(Q7) — no such rule in the catalogue
+    1
+}

@@ -1,0 +1,10 @@
+// D2 clean fixture: total_cmp gives NaN a deterministic place in the
+// order, so sorts agree across runs and inputs.
+pub fn rank(mut losses: Vec<f64>) -> Vec<f64> {
+    losses.sort_by(|a, b| a.total_cmp(b));
+    losses
+}
+
+pub fn worst(losses: &[f64]) -> Option<f64> {
+    losses.iter().copied().max_by(|a, b| a.total_cmp(b))
+}

@@ -1,0 +1,12 @@
+// D2 firing fixture: float sorts and extrema built on partial_cmp.
+pub fn rank(mut losses: Vec<f64>) -> Vec<f64> {
+    losses.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    losses
+}
+
+pub fn worst(losses: &[f64]) -> Option<f64> {
+    losses
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap())
+}

@@ -1,0 +1,7 @@
+// D3 clean fixture: durations arrive as data (from a designated timing
+// module); nothing here reads a wall clock.
+use std::time::Duration;
+
+pub fn accumulate(timings: &[Duration]) -> Duration {
+    timings.iter().sum()
+}

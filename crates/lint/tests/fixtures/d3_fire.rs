@@ -1,0 +1,14 @@
+// D3 firing fixture: wall-clock reads in a file that is not a
+// designated timing module. The same source linted under a
+// crates/bench/ path is exempt (see rule_fixtures.rs).
+use std::time::{Instant, SystemTime};
+
+pub fn measure<T>(work: impl FnOnce() -> T) -> (T, u128) {
+    let t0 = Instant::now();
+    let out = work();
+    (out, t0.elapsed().as_nanos())
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,15 @@
+// D4 firing fixture: entropy-seeded RNG construction — two runs of
+// this code can never agree.
+pub fn simulate(trials: u64) -> f64 {
+    let mut rng = thread_rng();
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        acc += rng.gen::<f64>();
+    }
+    acc
+}
+
+pub fn seed_from_os() -> u64 {
+    let mut rng = StdRng::from_entropy();
+    rng.gen()
+}

@@ -1,0 +1,13 @@
+// S1 clean fixture: every unsafe site carries its audit.
+pub struct RawView(*const u8, usize);
+
+// SAFETY: RawView is only constructed from a leaked Box<[u8]> that is
+// never freed, so the pointer is valid for the program's lifetime and
+// the pointee is immutable after construction.
+unsafe impl Send for RawView {}
+
+pub fn first_byte(view: &RawView) -> u8 {
+    // SAFETY: construction guarantees len >= 1 and the allocation is
+    // live (see the Send impl audit above).
+    unsafe { *view.0 }
+}

@@ -1,0 +1,9 @@
+// S1 firing fixture: unsafe sites with no audit comment anywhere near
+// them — an unwritten invariant waiting to be violated.
+pub struct RawView(*const u8, usize);
+
+unsafe impl Send for RawView {}
+
+pub fn first_byte(view: &RawView) -> u8 {
+    unsafe { *view.0 }
+}

@@ -1,0 +1,7 @@
+// S2 clean fixture: checked conversions in the decode path; widening
+// casts are fine anywhere.
+pub fn decode_frame(data: &[u8], declared_len: u64) -> Result<(u32, u64), String> {
+    let len = u32::try_from(declared_len).map_err(|_| "length overflows u32".to_string())?;
+    let wide = data.len() as u64;
+    Ok((len, wide))
+}

@@ -1,0 +1,235 @@
+//! Per-rule fixture tests: every rule in the catalogue has a firing
+//! fixture that fails without it and a clean fixture that stays
+//! silent. The fixtures live in `tests/fixtures/` — a directory name
+//! the workspace walk excludes, because the firing fixtures are
+//! intentionally violating input, and one cargo never compiles (only
+//! direct children of `tests/` become test binaries).
+//!
+//! The fixtures are read with `fs`, never embedded as string literals:
+//! embedding them would put the violating tokens inside *this* file,
+//! which the workspace pass does scan.
+
+use riskpipe_lint::{lint_source, Config, Finding, RuleId, Severity};
+use std::path::Path;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint a fixture as if it lived at `as_path` in the workspace.
+fn lint_fixture(name: &str, as_path: &str) -> Vec<Finding> {
+    lint_source(as_path, &fixture(name), &Config::default())
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<RuleId> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_fires_on_hash_iteration_in_merge_code() {
+    let findings = lint_fixture("d1_fire.rs", "crates/app/src/partials.rs");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == RuleId::D1 && f.severity == Severity::Deny),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn d1_clean_btree_and_sorted_drain_pass() {
+    let findings = lint_fixture("d1_clean.rs", "crates/app/src/partials.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_fires_on_partial_cmp_comparators() {
+    let findings = lint_fixture("d2_fire.rs", "crates/app/src/rank.rs");
+    let d2: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::D2).collect();
+    assert_eq!(
+        d2.len(),
+        2,
+        "sort_by and max_by should both fire: {findings:?}"
+    );
+    assert!(d2.iter().all(|f| f.severity == Severity::Deny));
+}
+
+#[test]
+fn d2_clean_total_cmp_passes() {
+    let findings = lint_fixture("d2_clean.rs", "crates/app/src/rank.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_fires_outside_timing_modules() {
+    let findings = lint_fixture("d3_fire.rs", "crates/app/src/stage.rs");
+    let d3: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::D3).collect();
+    assert_eq!(
+        d3.len(),
+        2,
+        "Instant::now and SystemTime::now should both fire: {findings:?}"
+    );
+}
+
+#[test]
+fn d3_same_source_is_exempt_in_a_timing_module() {
+    // The very same firing source, linted under the designated timing
+    // module path, is clean — the allowlist is path-based.
+    let findings = lint_fixture("d3_fire.rs", "crates/bench/src/stage.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d3_clean_duration_data_passes() {
+    let findings = lint_fixture("d3_clean.rs", "crates/app/src/stage.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_fires_on_entropy_seeded_rng() {
+    let findings = lint_fixture("d4_fire.rs", "crates/app/src/sim.rs");
+    let d4: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::D4).collect();
+    assert_eq!(
+        d4.len(),
+        2,
+        "thread_rng and from_entropy should both fire: {findings:?}"
+    );
+}
+
+#[test]
+fn d4_clean_explicit_seeds_pass() {
+    let findings = lint_fixture("d4_clean.rs", "crates/app/src/sim.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- S1
+
+#[test]
+fn s1_fires_on_unaudited_unsafe() {
+    let findings = lint_fixture("s1_fire.rs", "crates/app/src/view.rs");
+    let s1: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::S1).collect();
+    assert_eq!(
+        s1.len(),
+        2,
+        "the unsafe impl and the unsafe block should both fire: {findings:?}"
+    );
+}
+
+#[test]
+fn s1_clean_audited_unsafe_passes() {
+    let findings = lint_fixture("s1_clean.rs", "crates/app/src/view.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- S2
+
+#[test]
+fn s2_fires_as_warn_on_narrowing_casts_in_decode_code() {
+    let findings = lint_fixture("s2_fire.rs", "crates/app/src/wire.rs");
+    let s2: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::S2).collect();
+    assert_eq!(s2.len(), 2, "{findings:?}");
+    assert!(
+        s2.iter().all(|f| f.severity == Severity::Warn),
+        "S2 is in its warning period: {findings:?}"
+    );
+}
+
+#[test]
+fn s2_clean_checked_and_widening_casts_pass() {
+    let findings = lint_fixture("s2_clean.rs", "crates/app/src/wire.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ------------------------------------------------------ suppressions
+
+#[test]
+fn reasoned_suppression_silences_exactly_its_site() {
+    let findings = lint_fixture("suppressed.rs", "crates/app/src/demo.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn bad_suppressions_are_deny_and_do_not_suppress() {
+    let findings = lint_fixture("bad_suppression.rs", "crates/app/src/demo.rs");
+    // The reasonless allow(D4) does not silence the RNG finding...
+    assert!(rules_of(&findings).contains(&RuleId::D4), "{findings:?}");
+    // ...and both the reasonless and the unknown-rule suppression are
+    // deny-level SUP findings.
+    let sup: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::Sup && f.severity == Severity::Deny)
+        .collect();
+    assert_eq!(sup.len(), 2, "{findings:?}");
+}
+
+// ------------------------------------------------------- CLI surface
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_riskpipe-lint"))
+}
+
+#[test]
+fn cli_json_report_on_a_firing_fixture() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = bin()
+        .args(["--root", root, "--json", "tests/fixtures/d2_fire.rs"])
+        .output()
+        .expect("run riskpipe-lint");
+    assert_eq!(out.status.code(), Some(1), "deny findings exit 1");
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"rule\": \"D2\""), "{json}");
+    assert!(json.contains("\"severity\": \"deny\""), "{json}");
+    assert!(json.contains("tests/fixtures/d2_fire.rs"), "{json}");
+}
+
+#[test]
+fn cli_exit_codes_split_warn_from_deny() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    // S2 findings are warn-level: exit 0 by default...
+    let warn_only = bin()
+        .args(["--root", root, "tests/fixtures/s2_fire.rs"])
+        .output()
+        .expect("run riskpipe-lint");
+    assert_eq!(warn_only.status.code(), Some(0));
+    // ...and exit 1 under --deny-warnings.
+    let denied = bin()
+        .args([
+            "--root",
+            root,
+            "--deny-warnings",
+            "tests/fixtures/s2_fire.rs",
+        ])
+        .output()
+        .expect("run riskpipe-lint");
+    assert_eq!(denied.status.code(), Some(1));
+}
+
+#[test]
+fn cli_explain_covers_every_rule() {
+    for rule in RuleId::ALL {
+        let out = bin()
+            .args(["--explain", rule.code()])
+            .output()
+            .expect("run riskpipe-lint");
+        assert_eq!(out.status.code(), Some(0), "--explain {}", rule.code());
+        let text = String::from_utf8(out.stdout).expect("utf8");
+        assert!(
+            text.contains(rule.code()),
+            "--explain {} output: {text}",
+            rule.code()
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Tier-1 gate: the real workspace must carry zero deny-level lint
+//! findings. Warn-level findings are printed but do not fail — new
+//! rules enter the catalogue at warn severity and graduate to deny
+//! only once the workspace is clean, so this test must not block a
+//! rule's warning period.
+
+use riskpipe_lint::{lint_workspace, Config, Severity};
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_deny_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = lint_workspace(&root, &Config::default()).expect("lint workspace");
+
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously small scan ({} files) — did the walk roots move?",
+        report.files_scanned
+    );
+
+    for f in &report.findings {
+        // Surface everything in the test log, warns included.
+        eprintln!("{f}");
+    }
+    let deny: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .collect();
+    assert!(
+        deny.is_empty(),
+        "{} deny-level lint finding(s) — fix the site or add a reasoned \
+         `// lint: allow(<rule>)` (see `riskpipe-lint --explain <rule>`)",
+        deny.len()
+    );
+}

@@ -75,6 +75,8 @@ const fn build_crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // lint: allow(S2) — loop bound keeps i < 256, so the usize
+        // table index always fits u32.
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
@@ -97,7 +99,7 @@ static CRC_TABLE: [u32; 256] = build_crc_table();
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -188,6 +190,8 @@ pub fn frame(kind: TableKind, payload: &[u8]) -> Bytes {
     let mut buf = BytesMut::with_capacity(HEADER_BYTES + payload.len());
     buf.put_u32_le(MAGIC);
     buf.put_u16_le(VERSION);
+    // lint: allow(S2) — TableKind is #[repr(u8)], so the discriminant
+    // cast is lossless by construction.
     buf.put_u8(kind as u8);
     buf.put_u8(0);
     buf.put_u64_le(payload.len() as u64);

@@ -13,6 +13,8 @@ use riskpipe_types::{RiskError, RiskResult};
 #[inline]
 pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
+        // lint: allow(S2) — masked to the low 7 bits, so the value
+        // always fits u8.
         let byte = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
@@ -78,6 +80,8 @@ pub fn decompress_u32s(data: &[u8]) -> RiskResult<(Vec<u32>, usize)> {
         if !(0..=u32::MAX as i64).contains(&v) {
             return Err(RiskError::corrupt("delta-decoded value out of u32 range"));
         }
+        // lint: allow(S2) — v was range-checked against 0..=u32::MAX on
+        // the lines above; out-of-range input already returned Err.
         out.push(v as u32);
         prev = v;
     }

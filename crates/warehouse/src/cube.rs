@@ -279,9 +279,9 @@ impl Cuboid {
         // Merge in chunk order (deterministic), then sort cells by key.
         let mut merged: HashMap<u64, Cell> = HashMap::new();
         for part in partials {
-            // Within one partial the iteration order is arbitrary, but
-            // each key occurs at most once per partial, so the per-key
-            // merge order is exactly chunk order.
+            // lint: allow(D1) — each key occurs at most once per partial, so
+            // per-key merge order is exactly chunk order regardless of the
+            // hash iteration order; entries are sorted by key before emission.
             for (k, c) in part {
                 merged.entry(k).or_insert(Cell::EMPTY).merge(&c);
             }

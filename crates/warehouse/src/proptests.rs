@@ -44,6 +44,8 @@ proptest! {
         let mut x = seedless;
         for d in 0..NDIMS {
             let card = s.dim(d).cardinality(sel.level(d));
+            // lint: allow(S2) — x % card is strictly below card, which
+            // is itself a u32 cardinality, so the value fits u32.
             codes[d] = (x % card as u64) as u32;
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         }

@@ -10,7 +10,7 @@
 use crate::cube::{Cell, Cuboid, KeyCodec, LevelSelect};
 use crate::dimension::{Schema, NDIMS};
 use riskpipe_types::{RiskError, RiskResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Re-aggregate `source` at the coarser `target` level selection.
 ///
@@ -54,7 +54,7 @@ pub fn rollup(schema: &Schema, source: &Cuboid, target: LevelSelect) -> RiskResu
         })
         .collect();
 
-    let mut acc: HashMap<u64, Cell> = HashMap::with_capacity(source.cells() / 4 + 1);
+    let mut acc: BTreeMap<u64, Cell> = BTreeMap::new();
     for i in 0..source.cells() {
         let (codes, cell) = source.cell_at(i);
         let mut out = [0u32; NDIMS];

@@ -309,6 +309,10 @@ impl IntermediateStore for WarehouseStore {
         Ok(bytes)
     }
 
+    fn finish_run(&self, run: u64, slots: usize) -> RiskResult<u64> {
+        self.inner.finish_run(run, slots)
+    }
+
     fn clear_runs(&self) -> RiskResult<()> {
         self.inner.clear_runs()
     }

@@ -93,7 +93,7 @@ impl AnalyticsHandle<'_> {
     /// bit-exact, and ingestion iterates slots in input order, so the
     /// rebuilt cells are bit-identical to the live-sink path.
     pub fn rebuild_from_store(&self, store: &ShardedFilesStore, run: u64) -> RiskResult<Drilldown> {
-        let slots = store.persisted_report_slots(run);
+        let slots = store.persisted_report_slots(run)?;
         self.check(slots)?;
         let mut sink = WarehouseSink::new(self.layout.clone())?;
         for slot in 0..slots {

@@ -56,7 +56,74 @@ fn bench_sweep_cache(c: &mut Criterion) {
             tvar_sum
         })
     });
+
+    // Hot-sweep lookups: one warm session, many distinct cached keys,
+    // every scenario a cache *hit* — the path where the recency
+    // bookkeeping per hit (an O(log n) ordered-map touch, formerly an
+    // O(n) VecDeque scan) is the cache's entire cost.
+    let keys = 64usize;
+    let hot: Vec<_> = (0..keys)
+        .map(|i| {
+            let mut s = riskpipe_core::ScenarioConfig::small()
+                .with_seed(0xE110 + i as u64)
+                .with_trials(50)
+                .with_name(format!("key-{i}"));
+            s.events = 300;
+            s.locations_per_contract = 40;
+            s
+        })
+        .collect();
+    let warm_session = RiskSession::builder()
+        .pool_threads(4)
+        .stage1_cache_capacity(keys)
+        .build()
+        .unwrap();
+    warm_session.run_stream(&hot, |_, _| Ok(())).unwrap();
+    group.bench_function("hit_lookup/warm_64_keys", |b| {
+        b.iter(|| {
+            let mut tvar_sum = 0.0;
+            warm_session
+                .run_stream(&hot, |_, report: riskpipe_core::PipelineReport| {
+                    tvar_sum += report.measures.tvar99;
+                    Ok(())
+                })
+                .unwrap();
+            tvar_sum
+        })
+    });
+
+    // The disk tier: a cold session (empty RAM cache) replaying the
+    // model-heavy sweep from a warm on-disk tier — stage 1 becomes a
+    // frame decode instead of a model run. Compare with `cache_off`
+    // (rebuild every time) and `cache_on` (one build per iteration).
+    let tier = std::env::temp_dir().join(format!("riskpipe-e11-tier-{}", std::process::id()));
+    {
+        let session = RiskSession::builder()
+            .pool_threads(4)
+            .stage1_disk_cache(&tier)
+            .build()
+            .unwrap();
+        session.run_stream(&sweep, |_, _| Ok(())).unwrap();
+    }
+    group.bench_function("run_batch/disk_tier_warm", |b| {
+        b.iter(|| {
+            let session = RiskSession::builder()
+                .pool_threads(4)
+                .stage1_disk_cache(&tier)
+                .build()
+                .unwrap();
+            session
+                .sweep(&sweep)
+                .collect()
+                .drive()
+                .unwrap()
+                .into_reports()
+                .unwrap()
+                .len()
+        })
+    });
     group.finish();
+    std::fs::remove_dir_all(&tier).ok();
 }
 
 criterion_group!(benches, bench_sweep_cache);

@@ -157,6 +157,30 @@ impl EventCatalog {
         })
     }
 
+    /// Reassemble a catalogue from previously generated events — the
+    /// decode path of the stage-1 disk cache
+    /// ([`crate::stage1io`]). Event ids must be dense `0..n` in order
+    /// (the invariant [`EventCatalog::event`] indexes by), and
+    /// `total_rate` is carried verbatim so a round trip is bit-exact
+    /// rather than re-derived from a float sum.
+    pub fn from_parts(events: Vec<CatalogEvent>, total_rate: f64) -> RiskResult<Self> {
+        if events.is_empty() {
+            return Err(RiskError::invalid("catalogue needs at least one event"));
+        }
+        if total_rate <= 0.0 || !total_rate.is_finite() {
+            return Err(RiskError::invalid("total annual rate must be positive"));
+        }
+        for (i, e) in events.iter().enumerate() {
+            if e.id.index() != i {
+                return Err(RiskError::invalid(format!(
+                    "catalogue event ids must be dense 0..n: found {} at {i}",
+                    e.id
+                )));
+            }
+        }
+        Ok(Self { events, total_rate })
+    }
+
     /// Number of catalogue events.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -149,6 +149,23 @@ impl ExposurePortfolio {
         })
     }
 
+    /// Reassemble a portfolio from previously generated locations — the
+    /// decode path of the stage-1 disk cache ([`crate::stage1io`]).
+    /// `total_tiv` is carried verbatim so a round trip is bit-exact
+    /// rather than re-derived from a float sum.
+    pub fn from_parts(locations: Vec<ExposureLocation>, total_tiv: f64) -> RiskResult<Self> {
+        if locations.is_empty() {
+            return Err(RiskError::invalid("exposure needs at least one location"));
+        }
+        if total_tiv <= 0.0 || !total_tiv.is_finite() {
+            return Err(RiskError::invalid("total TIV must be positive"));
+        }
+        Ok(Self {
+            locations,
+            total_tiv,
+        })
+    }
+
     /// Number of locations.
     pub fn len(&self) -> usize {
         self.locations.len()

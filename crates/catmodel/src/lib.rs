@@ -38,6 +38,7 @@ pub mod geo;
 pub mod hazard;
 pub mod peril;
 pub mod postevent;
+pub mod stage1io;
 pub mod vulnerability;
 pub mod yetgen;
 

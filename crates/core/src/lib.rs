@@ -35,6 +35,7 @@ pub mod pipeline;
 pub mod report;
 pub mod session;
 pub mod sink;
+pub mod stage1disk;
 pub mod sweep;
 
 pub use config::{PipelineConfig, ScenarioConfig, Stage1Bundle};
@@ -47,4 +48,5 @@ pub use session::{
     RiskSessionBuilder, RunLabel, ShardedFilesStore, Stage1CacheStats, StageTiming,
 };
 pub use sink::{FanoutSink, PersistingSink, ReportSink, Tee};
+pub use stage1disk::DiskStage1Cache;
 pub use sweep::{PersistedRun, SweepOutcome, SweepPlan};

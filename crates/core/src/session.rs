@@ -44,13 +44,14 @@
 use crate::config::{ScenarioConfig, Stage1Bundle};
 use crate::report::{money, TextTable};
 use crate::sink::ReportSink;
+use crate::stage1disk::DiskStage1Cache;
 use parking_lot::{Condvar, Mutex};
 use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind};
 use riskpipe_catmodel::Stage1Output;
 use riskpipe_dfa::{CompanyConfig, DfaEngine};
 use riskpipe_exec::ThreadPool;
 use riskpipe_metrics::RiskMeasures;
-use riskpipe_tables::{codec, shard, ScaleSpec, Yelt, Ylt};
+use riskpipe_tables::{codec, durable, shard, ScaleSpec, Yelt, Ylt};
 use riskpipe_types::stats::quantile_sorted;
 use riskpipe_types::{LocationId, RiskError, RiskResult, RunningStats, TrialId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -126,6 +127,19 @@ pub trait IntermediateStore: Send + Sync {
     /// durable; the default is a no-op.
     fn clear_runs(&self) -> RiskResult<()> {
         Ok(())
+    }
+
+    /// Certify that run `run` persisted reports for every slot in
+    /// `0..slots` — called once by a [`PersistingSink`](crate::PersistingSink)
+    /// after a sweep's final report lands. Durable backends write their
+    /// run manifest here, *after* every per-slot artifact, so the
+    /// manifest's presence proves the run completed: a rebuild that
+    /// finds the manifest but not a slot has found corruption, not a
+    /// shorter sweep. Returns the bytes written durably; the default
+    /// keeps nothing (0), so existing custom backends compile
+    /// unchanged.
+    fn finish_run(&self, _run: u64, _slots: usize) -> RiskResult<u64> {
+        Ok(0)
     }
 }
 
@@ -212,7 +226,10 @@ impl ShardedFilesStore {
             } else if name == "MANIFEST.txt"
                 || name == Self::YLT_FILE
                 || name == Self::MEASURES_FILE
-                || (name.starts_with("shard-") && name.ends_with(".rpt"))
+                || name == Self::RUN_MANIFEST_FILE
+                || (name.starts_with("shard-")
+                    && (name.ends_with(".rpt") || name.ends_with(".rpt.inflight")))
+                || name.ends_with(durable::TMP_SUFFIX)
             {
                 std::fs::remove_file(&path)?;
             }
@@ -233,24 +250,58 @@ impl ShardedFilesStore {
             slot,
             run,
         });
-        shard::read_ylt_file(&dir.join(Self::YLT_FILE))
+        let path = dir.join(Self::YLT_FILE);
+        shard::read_ylt_file(&path).map_err(|e| match e {
+            // A slot the run manifest promised but the filesystem lost
+            // is corruption of the run's artifact set, not a lookup
+            // miss — readers iterating manifest-enumerated slots must
+            // not mistake it for "fewer slots".
+            RiskError::Io(ioe) if ioe.kind() == std::io::ErrorKind::NotFound => {
+                RiskError::corrupt(format!("missing persisted report {}", path.display()))
+            }
+            other => other,
+        })
     }
 
-    /// The number of consecutive slots (from 0) holding a persisted
-    /// report under `run` — the sweep width a rebuild should iterate.
-    pub fn persisted_report_slots(&self, run: u64) -> usize {
-        let mut slot = 0usize;
-        loop {
-            let dir = self.run_dir(RunLabel {
-                scenario: "",
-                slot: Some(slot),
-                run,
-            });
-            if !dir.join(Self::YLT_FILE).is_file() {
-                return slot;
-            }
-            slot += 1;
+    /// Path of the run manifest certifying `run` completed.
+    fn run_manifest_path(&self, run: u64) -> PathBuf {
+        self.run_dir(RunLabel {
+            scenario: "",
+            slot: None,
+            run,
+        })
+        .join(Self::RUN_MANIFEST_FILE)
+    }
+
+    /// The number of slots (from 0) run `run` persisted reports for,
+    /// read from the run manifest its [`IntermediateStore::finish_run`]
+    /// wrote *after* every slot's artifact. A missing or unreadable
+    /// manifest is [`RiskError::Corrupt`]: either the sweep never
+    /// completed or its artifacts were lost, and in both cases a
+    /// rebuild over whatever slots happen to exist would silently
+    /// understate the sweep.
+    pub fn persisted_report_slots(&self, run: u64) -> RiskResult<usize> {
+        let path = self.run_manifest_path(run);
+        let data = std::fs::read(&path).map_err(|e| {
+            RiskError::corrupt(format!(
+                "missing or unreadable run manifest {}: {e} \
+                 (the sweep did not complete, or its artifacts were lost)",
+                path.display()
+            ))
+        })?;
+        let (stored_run, slots) = codec::decode_run_manifest(&data)?;
+        if stored_run != run {
+            return Err(RiskError::corrupt(format!(
+                "run manifest {} records run {stored_run}, expected {run}",
+                path.display()
+            )));
         }
+        usize::try_from(slots).map_err(|_| {
+            RiskError::corrupt(format!(
+                "implausible slot count {slots} in {}",
+                path.display()
+            ))
+        })
     }
 
     /// File name of a persisted report's encoded YLT within its run
@@ -258,6 +309,9 @@ impl ShardedFilesStore {
     pub const YLT_FILE: &'static str = "YLT.bin";
     /// File name of a persisted report's rendered risk measures.
     pub const MEASURES_FILE: &'static str = "MEASURES.txt";
+    /// File name of the per-run completion manifest within the run's
+    /// base directory.
+    pub const RUN_MANIFEST_FILE: &'static str = "RUN_MANIFEST.bin";
 }
 
 impl IntermediateStore for ShardedFilesStore {
@@ -279,7 +333,6 @@ impl IntermediateStore for ShardedFilesStore {
 
     fn persist_report(&self, label: RunLabel<'_>, report: &PipelineReport) -> RiskResult<u64> {
         let dir = self.run_dir(label);
-        std::fs::create_dir_all(&dir)?;
         let encoded = codec::encode_ylt(&report.ylt);
         let measures = format!(
             "scenario: {}\ntrials: {}\n{}\n",
@@ -288,13 +341,23 @@ impl IntermediateStore for ShardedFilesStore {
             report.measures
         );
         let bytes = (encoded.len() + measures.len()) as u64;
-        std::fs::write(dir.join(Self::YLT_FILE), &encoded)?;
-        std::fs::write(dir.join(Self::MEASURES_FILE), measures)?;
+        // Both artifacts go through the durable write path (tmp +
+        // fsync + atomic rename): a kill at any byte boundary leaves
+        // either the previous slot state or a detectably-absent file,
+        // never a torn one.
+        shard::write_table_file(&dir.join(Self::YLT_FILE), &encoded)?;
+        durable::write_atomic(&dir.join(Self::MEASURES_FILE), measures.as_bytes())?;
         Ok(bytes)
     }
 
     fn clear_runs(&self) -> RiskResult<()> {
         ShardedFilesStore::clear_runs(self)
+    }
+
+    fn finish_run(&self, run: u64, slots: usize) -> RiskResult<u64> {
+        let encoded = codec::encode_run_manifest(run, slots as u64);
+        durable::write_atomic(&self.run_manifest_path(run), &encoded)?;
+        Ok(encoded.len() as u64)
     }
 }
 
@@ -337,6 +400,17 @@ pub struct Stage1CacheStats {
     /// next to the hit/miss counters; see
     /// [`RiskSession::stage1_build_timings`] for the per-key split.
     pub build_nanos: u64,
+    /// Stage-1 model runs actually built (a RAM miss the disk tier
+    /// also missed, plus redundant racer builds). With a warm disk
+    /// tier this stays at zero — the number the "cold process replays
+    /// a sweep with zero rebuilds" guarantee pins.
+    pub builds: u64,
+    /// RAM misses served by the disk tier
+    /// ([`RiskSessionBuilder::stage1_disk_cache`]) instead of a build.
+    pub disk_hits: u64,
+    /// Entries written through to the disk tier (one per successful
+    /// build while the tier is attached).
+    pub disk_writes: u64,
 }
 
 /// One key's cache entry. `Building` marks an in-progress build so
@@ -362,23 +436,81 @@ struct CacheSlot {
     build_nanos: AtomicU64,
 }
 
+#[derive(Default)]
 struct CacheIndex {
     map: HashMap<u64, Arc<CacheSlot>>,
-    /// Recency order, least-recently-used first (touched on every
-    /// lookup; evictions pop from the front).
-    order: VecDeque<u64>,
+    /// Each retained key's current recency stamp.
+    stamps: HashMap<u64, u64>,
+    /// Recency order as `stamp → key`, ascending = least recently used
+    /// first. Stamps come from a monotonic counter, so marking a key
+    /// most-recently-used is two ordered-map operations — O(log n) —
+    /// instead of the O(n) position scan a recency *list* costs on
+    /// every cache hit (which made hot sweeps quadratic in retained
+    /// entries).
+    recency: BTreeMap<u64, u64>,
+    /// Monotonic recency clock; strictly increases on every insert or
+    /// touch, so stamps never collide.
+    clock: u64,
 }
 
 impl CacheIndex {
-    /// Mark `key` most-recently-used.
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Mark `key` most-recently-used (no-op for unknown keys).
     fn touch(&mut self, key: u64) {
-        if self.order.back() == Some(&key) {
+        let Some(&old) = self.stamps.get(&key) else {
+            return;
+        };
+        if self.recency.keys().next_back() == Some(&old) {
             return;
         }
-        if let Some(pos) = self.order.iter().position(|&k| k == key) {
-            self.order.remove(pos);
-            self.order.push_back(key);
+        self.recency.remove(&old);
+        let stamp = self.next_stamp();
+        self.recency.insert(stamp, key);
+        self.stamps.insert(key, stamp);
+    }
+
+    /// Retain `slot` under `key`, most-recently-used.
+    fn insert(&mut self, key: u64, slot: Arc<CacheSlot>) {
+        self.map.insert(key, slot);
+        let stamp = self.next_stamp();
+        self.recency.insert(stamp, key);
+        self.stamps.insert(key, stamp);
+    }
+
+    /// Drop `key` entirely (returns whether it was retained).
+    fn remove(&mut self, key: u64) -> bool {
+        match self.stamps.remove(&key) {
+            Some(stamp) => {
+                self.recency.remove(&stamp);
+                self.map.remove(&key);
+                true
+            }
+            None => false,
         }
+    }
+
+    /// The least-recently-used key, if any.
+    fn lru_key(&self) -> Option<u64> {
+        self.recency.values().next().copied()
+    }
+
+    /// Retained keys, least-recently-used first.
+    fn keys_lru_first(&self) -> Vec<u64> {
+        self.recency.values().copied().collect()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.stamps.clear();
+        self.recency.clear();
     }
 
     fn retained_bytes(&self) -> u64 {
@@ -403,26 +535,34 @@ struct Stage1Cache {
     /// publish, never evicting the entry just published (a budget
     /// smaller than one model run would otherwise cache nothing).
     budget_bytes: Option<u64>,
+    /// Optional durable tier consulted on RAM miss and written through
+    /// on every build — survives the process and is shared across
+    /// processes (see [`DiskStage1Cache`]).
+    disk: Option<DiskStage1Cache>,
     index: Mutex<CacheIndex>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     build_nanos: AtomicU64,
+    builds: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_writes: AtomicU64,
 }
 
 impl Stage1Cache {
-    fn new(capacity: usize, budget_bytes: Option<u64>) -> Self {
+    fn new(capacity: usize, budget_bytes: Option<u64>, disk: Option<DiskStage1Cache>) -> Self {
         Self {
             capacity,
             budget_bytes,
-            index: Mutex::new(CacheIndex {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-            }),
+            disk,
+            index: Mutex::new(CacheIndex::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             build_nanos: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
         }
     }
 
@@ -465,7 +605,16 @@ impl Stage1Cache {
     ) -> RiskResult<Arc<Stage1Output>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return self.timed_build(build).map(|(output, _)| Arc::new(output));
+            // The disk tier is independent of the RAM cache: with
+            // capacity 0 every lookup misses RAM, but a warm tier
+            // still avoids the rebuild.
+            if let Some(output) = self.disk_load(key)? {
+                return Ok(Arc::new(output));
+            }
+            let (output, _) = self.timed_build(build)?;
+            let output = Arc::new(output);
+            self.disk_store(key, &output)?;
+            return Ok(output);
         }
         let slot = {
             let mut index = self.index.lock();
@@ -474,15 +623,17 @@ impl Stage1Cache {
                 index.touch(key);
                 slot
             } else {
-                while index.order.len() >= self.capacity {
-                    if let Some(old) = index.order.pop_front() {
-                        index.map.remove(&old);
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                while index.len() >= self.capacity {
+                    match index.lru_key() {
+                        Some(old) => {
+                            index.remove(old);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => break,
                     }
                 }
                 let slot = Arc::new(CacheSlot::default());
-                index.map.insert(key, Arc::clone(&slot));
-                index.order.push_back(key);
+                index.insert(key, Arc::clone(&slot));
                 slot
             }
         };
@@ -498,9 +649,40 @@ impl Stage1Cache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        match self.timed_build(build) {
-            Ok((output, nanos)) => {
+        // RAM missed; a complete disk entry serves the slot without a
+        // build (bit-identical — stage 1 is a pure function of the
+        // key, and the codec round trip is exact).
+        match self.disk_load(key) {
+            Ok(Some(output)) => {
                 let output = Arc::new(output);
+                let mut state = slot.state.lock();
+                if !matches!(*state, SlotState::Ready(_)) {
+                    *state = SlotState::Ready(Arc::clone(&output));
+                    slot.bytes.store(output.memory_bytes(), Ordering::Relaxed);
+                }
+                drop(state);
+                self.enforce_byte_budget(key);
+                return Ok(output);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                let mut state = slot.state.lock();
+                if matches!(*state, SlotState::Building) {
+                    *state = SlotState::Empty;
+                }
+                return Err(e);
+            }
+        }
+        let built = self.timed_build(build).and_then(|(output, nanos)| {
+            let output = Arc::new(output);
+            // Write through before publishing, so a disk-tier error
+            // takes the same retry path as a failed build instead of
+            // leaving RAM and disk disagreeing.
+            self.disk_store(key, &output)?;
+            Ok((output, nanos))
+        });
+        match built {
+            Ok((output, nanos)) => {
                 let mut state = slot.state.lock();
                 if !matches!(*state, SlotState::Ready(_)) {
                     *state = SlotState::Ready(Arc::clone(&output));
@@ -523,6 +705,37 @@ impl Stage1Cache {
         }
     }
 
+    /// Consult the disk tier for `key`. A corrupt or key-mismatched
+    /// entry self-heals: the bad file is removed and the lookup
+    /// reports a miss, so the caller rebuilds and the write-through
+    /// atomically replaces it.
+    fn disk_load(&self, key: u64) -> RiskResult<Option<Stage1Output>> {
+        let Some(disk) = &self.disk else {
+            return Ok(None);
+        };
+        match disk.load(key) {
+            Ok(Some(output)) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(output))
+            }
+            Ok(None) => Ok(None),
+            Err(RiskError::Corrupt(_)) => {
+                disk.remove(key)?;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Write `output` through to the disk tier, if attached.
+    fn disk_store(&self, key: u64, output: &Stage1Output) -> RiskResult<()> {
+        if let Some(disk) = &self.disk {
+            disk.store(key, output)?;
+            self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// Run `build` under a wall clock, feeding the cumulative
     /// build-time counter.
     fn timed_build(
@@ -535,6 +748,7 @@ impl Stage1Cache {
         let output = build()?;
         let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         self.build_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.builds.fetch_add(1, Ordering::Relaxed);
         Ok((output, nanos))
     }
 
@@ -550,20 +764,25 @@ impl Stage1Cache {
         };
         let mut index = self.index.lock();
         let mut total = index.retained_bytes();
-        let mut i = 0;
-        while total > budget && i < index.order.len() {
-            let key = index.order[i];
+        if total <= budget {
+            return;
+        }
+        for key in index.keys_lru_first() {
+            if total <= budget {
+                break;
+            }
+            if key == keep {
+                continue;
+            }
             let bytes = index
                 .map
                 .get(&key)
                 .map(|s| s.bytes.load(Ordering::Relaxed) as u64)
                 .unwrap_or(0);
-            if key == keep || bytes == 0 {
-                i += 1;
+            if bytes == 0 {
                 continue;
             }
-            index.order.remove(i);
-            index.map.remove(&key);
+            index.remove(key);
             total -= bytes;
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -581,6 +800,9 @@ impl Stage1Cache {
             entries,
             bytes,
             build_nanos: self.build_nanos.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
         }
     }
 
@@ -601,9 +823,7 @@ impl Stage1Cache {
     }
 
     fn clear(&self) {
-        let mut index = self.index.lock();
-        index.map.clear();
-        index.order.clear();
+        self.index.lock().clear();
     }
 }
 
@@ -627,6 +847,7 @@ pub struct RiskSessionBuilder {
     company: CompanyConfig,
     stage1_capacity: usize,
     stage1_bytes: Option<u64>,
+    stage1_disk_dir: Option<PathBuf>,
 }
 
 impl Default for RiskSessionBuilder {
@@ -640,6 +861,7 @@ impl Default for RiskSessionBuilder {
             company: CompanyConfig::typical(),
             stage1_capacity: RiskSession::DEFAULT_STAGE1_CACHE_CAPACITY,
             stage1_bytes: None,
+            stage1_disk_dir: None,
         }
     }
 }
@@ -731,6 +953,21 @@ impl RiskSessionBuilder {
         self
     }
 
+    /// Attach a disk-backed stage-1 cache tier under `dir` (commonly a
+    /// subdirectory of the session's store dir). The tier is consulted
+    /// on every RAM-cache miss and written through on every build, so
+    /// it survives the process and is shared across processes: a cold
+    /// process replaying a sweep over a warm tier reports **zero**
+    /// stage-1 builds ([`Stage1CacheStats::builds`]) with bit-identical
+    /// results. Entries are written atomically ([`DiskStage1Cache`]),
+    /// and a corrupt entry self-heals as a rebuild-and-replace, never a
+    /// wrong answer. Independent of the RAM cache's capacity — it
+    /// works even with the RAM cache disabled.
+    pub fn stage1_disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.stage1_disk_dir = Some(dir.into());
+        self
+    }
+
     /// Build the session.
     ///
     /// # Errors
@@ -763,6 +1000,7 @@ impl RiskSessionBuilder {
             (None, Some(strategy)) => strategy.into_store()?,
             (None, None) => Arc::new(InMemoryStore),
         };
+        let disk = self.stage1_disk_dir.map(DiskStage1Cache::new).transpose()?;
         Ok(RiskSession {
             runner: AggregateRunner::new(self.engine)
                 .with_options(self.options)
@@ -770,7 +1008,7 @@ impl RiskSessionBuilder {
             pool,
             store,
             company: self.company,
-            stage1: Stage1Cache::new(self.stage1_capacity, self.stage1_bytes),
+            stage1: Stage1Cache::new(self.stage1_capacity, self.stage1_bytes, disk),
             runs: AtomicU64::new(0),
         })
     }
@@ -1055,7 +1293,14 @@ impl RiskSession {
         });
         match failure {
             Some(e) => Err(e),
-            None => Ok(delivered),
+            None => {
+                // Only a fully delivered sweep gets sealed: a sink that
+                // persists reports uses `finish` to write its run
+                // manifest, so an interrupted sweep stays detectably
+                // incomplete rather than readable-but-short.
+                sink.finish()?;
+                Ok(delivered)
+            }
         }
     }
 

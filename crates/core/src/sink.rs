@@ -64,6 +64,18 @@ pub trait ReportSink {
         self.accept(slot, report.clone())
     }
 
+    /// Seal the sink after every report has been delivered.
+    /// [`RiskSession::run_stream`](crate::RiskSession::run_stream)
+    /// calls this exactly once, *only* when the sweep completed without
+    /// error — so sinks with durable side effects can write their
+    /// completion marker here ([`PersistingSink`] writes the run
+    /// manifest that [`IntermediateStore::persisted_report_slots`]
+    /// requires), and an aborted or crashed sweep stays detectably
+    /// incomplete. Default: no-op.
+    fn finish(&mut self) -> RiskResult<()> {
+        Ok(())
+    }
+
     /// Chain another sink after this one: `a.tee(b)` delivers each
     /// report to `a` by shared reference, then hands *ownership* to
     /// `b` — so the terminal sink of a tee chain receives the report
@@ -99,6 +111,10 @@ impl ReportSink for &mut (dyn ReportSink + '_) {
 
     fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
         (**self).accept_shared(slot, report)
+    }
+
+    fn finish(&mut self) -> RiskResult<()> {
+        (**self).finish()
     }
 }
 
@@ -205,6 +221,17 @@ impl PersistingSink {
         self.bytes_persisted
     }
 
+    /// The body of [`ReportSink::finish`] for both the owned and
+    /// borrowed impls: seal the run by writing its manifest, recording
+    /// how many slots were persisted.
+    fn seal(&mut self) -> RiskResult<()> {
+        let bytes = self
+            .store
+            .finish_run(self.run, self.reports_persisted as usize)?;
+        self.bytes_persisted += bytes;
+        Ok(())
+    }
+
     /// The shared-report body of both accept paths.
     fn deliver(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
         let bytes = self.store.persist_report(
@@ -241,6 +268,10 @@ impl ReportSink for PersistingSink {
     fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
         self.deliver(slot, report)
     }
+
+    fn finish(&mut self) -> RiskResult<()> {
+        self.seal()
+    }
 }
 
 impl ReportSink for &mut PersistingSink {
@@ -250,6 +281,10 @@ impl ReportSink for &mut PersistingSink {
 
     fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
         self.deliver(slot, report)
+    }
+
+    fn finish(&mut self) -> RiskResult<()> {
+        self.seal()
     }
 }
 
@@ -303,6 +338,11 @@ where
     fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
         self.first.accept_shared(slot, report)?;
         self.second.accept_shared(slot, report)
+    }
+
+    fn finish(&mut self) -> RiskResult<()> {
+        self.first.finish()?;
+        self.second.finish()
     }
 }
 
@@ -375,6 +415,13 @@ impl ReportSink for FanoutSink<'_> {
     fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
         for sink in &mut self.sinks {
             sink.accept_shared(slot, report)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> RiskResult<()> {
+        for sink in &mut self.sinks {
+            sink.finish()?;
         }
         Ok(())
     }

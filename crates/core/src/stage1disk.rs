@@ -1,0 +1,107 @@
+//! The disk-backed stage-1 cache tier: frame-encoded [`Stage1Output`]s
+//! keyed by `ScenarioConfig::stage1_key`, shared across processes.
+//!
+//! The RAM cache inside a [`RiskSession`](crate::RiskSession) dies with
+//! the process; this tier does not. Each entry is one file,
+//! `stage1-<key:016x>.rps`, holding the multi-frame encoding of
+//! [`riskpipe_catmodel::stage1io`] and written through
+//! [`riskpipe_tables::durable::write_atomic`] — so concurrent processes
+//! racing to fill the same key each publish a complete file (last
+//! rename wins, and both encode identical bytes because stage 1 is a
+//! pure function of the key), and a process killed mid-write leaves
+//! only a sweepable `*.rptmp` file, never a torn entry.
+//!
+//! A corrupt or truncated entry is surfaced by [`DiskStage1Cache::load`]
+//! as `RiskError::corrupt`; the cache in front treats that as a miss,
+//! deletes the bad file and rebuilds — self-healing, never silently
+//! wrong.
+
+use riskpipe_catmodel::{stage1io, Stage1Output};
+use riskpipe_tables::durable;
+use riskpipe_types::{RiskError, RiskResult};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File extension of cached stage-1 entries.
+const ENTRY_EXT: &str = "rps";
+
+/// A directory of durable stage-1 model runs, one file per cache key.
+#[derive(Debug, Clone)]
+pub struct DiskStage1Cache {
+    dir: PathBuf,
+}
+
+impl DiskStage1Cache {
+    /// Open (creating if absent) a disk tier rooted at `dir`. Leftover
+    /// temporary files from interrupted writes are swept eagerly.
+    pub fn new(dir: impl Into<PathBuf>) -> RiskResult<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        durable::remove_stale_tmps(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The tier's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key's entry lives in.
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("stage1-{key:016x}.{ENTRY_EXT}"))
+    }
+
+    /// Load the entry for `key`. `Ok(None)` means absent (a miss);
+    /// `Err(RiskError::Corrupt)` means present but torn, truncated, or
+    /// recorded under a different key — callers decide whether to
+    /// surface that or self-heal via [`DiskStage1Cache::remove`].
+    pub fn load(&self, key: u64) -> RiskResult<Option<Stage1Output>> {
+        let path = self.path_for(key);
+        let data = match fs::read(&path) {
+            Ok(data) => data,
+            Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let (stored_key, output) = stage1io::decode_stage1(&data).map_err(|e| {
+            RiskError::corrupt(format!("stage1 cache entry {}: {e}", path.display()))
+        })?;
+        if stored_key != key {
+            return Err(RiskError::corrupt(format!(
+                "stage1 cache entry {} records key {stored_key:#x}, expected {key:#x}",
+                path.display()
+            )));
+        }
+        Ok(Some(output))
+    }
+
+    /// Durably store `output` under `key` (atomic replace). Returns the
+    /// encoded size in bytes.
+    pub fn store(&self, key: u64, output: &Stage1Output) -> RiskResult<u64> {
+        let bytes = stage1io::encode_stage1(key, output);
+        durable::write_atomic(&self.path_for(key), &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Remove the entry for `key` (absent is fine).
+    pub fn remove(&self, key: u64) -> RiskResult<()> {
+        match fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(()),
+            Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Number of complete entries currently on disk.
+    pub fn entries(&self) -> RiskResult<usize> {
+        let mut n = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("stage1-") && name.ends_with(&format!(".{ENTRY_EXT}")) {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}

@@ -19,8 +19,8 @@
 //! * **D4** — no entropy-seeded RNG construction (seeds are explicit);
 //! * **S1** — every `unsafe` site carries a `// SAFETY:` audit comment;
 //! * **S2** — narrowing `as` casts in codec/decode paths need a checked
-//!   conversion or an annotation (warn-severity: introduced as a
-//!   warning first, per the rollout policy for new rules).
+//!   conversion or an annotation (graduated from warn to deny once the
+//!   durable-format work landed and the workspace was clean).
 //!
 //! Suppression is per-site and auditable:
 //!
@@ -91,13 +91,10 @@ impl RuleId {
     }
 
     /// Default severity. New rules enter the catalogue at `Warn` and
-    /// graduate to `Deny` once the workspace is clean (S2 is currently
-    /// in its warning period).
+    /// graduate to `Deny` once the workspace is clean (S2 graduated
+    /// with the durable-format work; every rule now denies).
     pub fn severity(self) -> Severity {
-        match self {
-            RuleId::S2 => Severity::Warn,
-            _ => Severity::Deny,
-        }
+        Severity::Deny
     }
 
     /// One-line summary for `--rules` listings.
@@ -205,14 +202,14 @@ impl RuleId {
                  immediately above the unsafe site."
             }
             RuleId::S2 => {
-                "S2 — narrowing casts in codec/decode paths (warn)\n\
+                "S2 — narrowing casts in codec/decode paths (deny)\n\
                  \n\
                  WHY   `x as u32` silently truncates. In codec/decode paths a\n\
                  truncated length, offset, or id corrupts persisted artifacts in\n\
                  ways the checksums of a future frame format may not even catch\n\
-                 (the truncation happens before encoding). This rule is in its\n\
-                 warning period and will graduate to deny once the format work in\n\
-                 the ROADMAP lands.\n\
+                 (the truncation happens before encoding). The rule entered the\n\
+                 catalogue at warn and graduated to deny when the durable-format\n\
+                 work in the ROADMAP landed.\n\
                  \n\
                  FIRES on `as u8/u16/u32/i8/i16/i32/f32` inside functions or files\n\
                  whose name marks them as codec/encode/decode/compress/frame code.\n\

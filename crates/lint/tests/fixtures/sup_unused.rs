@@ -1,0 +1,8 @@
+// Unused-suppression fixture: a well-formed, reasoned suppression
+// that no longer matches any finding — the only warn-level finding
+// left in the catalogue, used to pin warn/deny exit-code splitting.
+pub fn stale() -> u64 {
+    // lint: allow(D4) — fixture: stale, the entropy call below was
+    // replaced by a constant long ago.
+    42
+}

@@ -136,13 +136,13 @@ fn s1_clean_audited_unsafe_passes() {
 // ---------------------------------------------------------------- S2
 
 #[test]
-fn s2_fires_as_warn_on_narrowing_casts_in_decode_code() {
+fn s2_fires_as_deny_on_narrowing_casts_in_decode_code() {
     let findings = lint_fixture("s2_fire.rs", "crates/app/src/wire.rs");
     let s2: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::S2).collect();
     assert_eq!(s2.len(), 2, "{findings:?}");
     assert!(
-        s2.iter().all(|f| f.severity == Severity::Warn),
-        "S2 is in its warning period: {findings:?}"
+        s2.iter().all(|f| f.severity == Severity::Deny),
+        "S2 graduated from its warning period: {findings:?}"
     );
 }
 
@@ -198,9 +198,9 @@ fn cli_json_report_on_a_firing_fixture() {
 #[test]
 fn cli_exit_codes_split_warn_from_deny() {
     let root = env!("CARGO_MANIFEST_DIR");
-    // S2 findings are warn-level: exit 0 by default...
+    // An unused suppression is warn-level: exit 0 by default...
     let warn_only = bin()
-        .args(["--root", root, "tests/fixtures/s2_fire.rs"])
+        .args(["--root", root, "tests/fixtures/sup_unused.rs"])
         .output()
         .expect("run riskpipe-lint");
     assert_eq!(warn_only.status.code(), Some(0));
@@ -210,8 +210,20 @@ fn cli_exit_codes_split_warn_from_deny() {
             "--root",
             root,
             "--deny-warnings",
-            "tests/fixtures/s2_fire.rs",
+            "tests/fixtures/sup_unused.rs",
         ])
+        .output()
+        .expect("run riskpipe-lint");
+    assert_eq!(denied.status.code(), Some(1));
+}
+
+#[test]
+fn cli_exits_nonzero_on_graduated_s2() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    // S2 findings are deny-level since graduation: exit 1 without
+    // needing --deny-warnings.
+    let denied = bin()
+        .args(["--root", root, "tests/fixtures/s2_fire.rs"])
         .output()
         .expect("run riskpipe-lint");
     assert_eq!(denied.status.code(), Some(1));

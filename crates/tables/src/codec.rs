@@ -50,6 +50,13 @@ pub enum TableKind {
     /// A materialised warehouse cuboid (payload layout owned by
     /// `riskpipe-warehouse::store`).
     Cuboid = 6,
+    /// A cached stage-1 output (payload layout owned by
+    /// `riskpipe-core::stage1disk`).
+    Stage1 = 7,
+    /// A per-run manifest enumerating the slots a sweep persisted
+    /// (payload layout owned by `riskpipe-core::session`). Written
+    /// last, so its presence certifies the run completed.
+    RunManifest = 8,
 }
 
 impl TableKind {
@@ -62,6 +69,8 @@ impl TableKind {
             4 => Ok(TableKind::Ylt),
             5 => Ok(TableKind::YelltChunk),
             6 => Ok(TableKind::Cuboid),
+            7 => Ok(TableKind::Stage1),
+            8 => Ok(TableKind::RunManifest),
             _ => Err(RiskError::corrupt(format!("unknown table kind {v}"))),
         }
     }
@@ -157,27 +166,38 @@ fn get_len(buf: &mut impl Buf, what: &str) -> RiskResult<usize> {
     Ok(n as usize)
 }
 
+/// `n * width` with overflow surfaced as corruption, not a wrap or a
+/// debug-build panic: a hostile length field must never turn into a
+/// too-small bounds check.
+fn column_bytes(n: usize, width: usize, what: &str) -> RiskResult<usize> {
+    n.checked_mul(width).ok_or_else(|| {
+        RiskError::corrupt(format!(
+            "column byte count overflows for {what}: {n} x {width}"
+        ))
+    })
+}
+
 fn get_u16s(buf: &mut impl Buf, what: &str) -> RiskResult<Vec<u16>> {
     let n = get_len(buf, what)?;
-    check_remaining(buf, n * 2, what)?;
+    check_remaining(buf, column_bytes(n, 2, what)?, what)?;
     Ok((0..n).map(|_| buf.get_u16_le()).collect())
 }
 
 fn get_u32s(buf: &mut impl Buf, what: &str) -> RiskResult<Vec<u32>> {
     let n = get_len(buf, what)?;
-    check_remaining(buf, n * 4, what)?;
+    check_remaining(buf, column_bytes(n, 4, what)?, what)?;
     Ok((0..n).map(|_| buf.get_u32_le()).collect())
 }
 
 fn get_u64s(buf: &mut impl Buf, what: &str) -> RiskResult<Vec<u64>> {
     let n = get_len(buf, what)?;
-    check_remaining(buf, n * 8, what)?;
+    check_remaining(buf, column_bytes(n, 8, what)?, what)?;
     Ok((0..n).map(|_| buf.get_u64_le()).collect())
 }
 
 fn get_f64s(buf: &mut impl Buf, what: &str) -> RiskResult<Vec<f64>> {
     let n = get_len(buf, what)?;
-    check_remaining(buf, n * 8, what)?;
+    check_remaining(buf, column_bytes(n, 8, what)?, what)?;
     Ok((0..n).map(|_| buf.get_f64_le()).collect())
 }
 
@@ -219,7 +239,11 @@ pub fn unframe(data: &[u8]) -> RiskResult<(TableKind, &[u8], usize)> {
     let _pad = h.get_u8();
     let len = h.get_u64_le() as usize;
     let crc_expect = h.get_u32_le();
-    let total = HEADER_BYTES + len;
+    // A corrupt header can carry any 64-bit length; the addition must
+    // not wrap into a bounds check that passes.
+    let total = HEADER_BYTES
+        .checked_add(len)
+        .ok_or_else(|| RiskError::corrupt(format!("implausible frame length {len}")))?;
     if data.len() < total {
         return Err(RiskError::corrupt(format!(
             "frame payload truncated: want {len} bytes"
@@ -366,6 +390,40 @@ pub fn decode_ylt(data: &[u8]) -> RiskResult<Ylt> {
     Ylt::from_columns(agg, maxo, cnt)
 }
 
+/// Encode a per-run manifest frame: the run number and the number of
+/// consecutive slots (from 0) the run persisted. Written *last* by a
+/// completed persisted sweep, so its presence certifies the run's
+/// per-slot artifacts are all expected to exist — a rebuild that finds
+/// the manifest but not a slot has found corruption, not a shorter
+/// sweep.
+pub fn encode_run_manifest(run: u64, slots: u64) -> Bytes {
+    let mut p = BytesMut::with_capacity(16);
+    p.put_u64_le(run);
+    p.put_u64_le(slots);
+    frame(TableKind::RunManifest, &p)
+}
+
+/// Decode a per-run manifest frame into `(run, slots)`.
+pub fn decode_run_manifest(data: &[u8]) -> RiskResult<(u64, u64)> {
+    let (kind, payload, _) = unframe(data)?;
+    if kind != TableKind::RunManifest {
+        return Err(RiskError::corrupt(format!(
+            "expected run-manifest frame, got {kind:?}"
+        )));
+    }
+    let mut p = payload;
+    check_remaining(&p, 16, "run_manifest")?;
+    let run = p.get_u64_le();
+    let slots = p.get_u64_le();
+    if p.has_remaining() {
+        return Err(RiskError::corrupt(format!(
+            "run-manifest frame has {} trailing bytes",
+            p.remaining()
+        )));
+    }
+    Ok((run, slots))
+}
+
 /// Encode one YELLT chunk as one frame.
 pub fn encode_yellt_chunk(chunk: &YelltChunk) -> Bytes {
     let mut p = BytesMut::new();
@@ -507,6 +565,28 @@ mod tests {
         let (back, consumed) = decode_yellt_chunk(&bytes).unwrap();
         assert_eq!(back, c);
         assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn run_manifest_round_trip() {
+        let bytes = encode_run_manifest(7, 42);
+        assert_eq!(decode_run_manifest(&bytes).unwrap(), (7, 42));
+        // Wrong kind and trailing garbage are both rejected.
+        assert!(decode_run_manifest(&encode_elt(&sample_elt())).is_err());
+        let mut long = BytesMut::new();
+        long.put_u64_le(7);
+        long.put_u64_le(42);
+        long.put_u8(0);
+        assert!(decode_run_manifest(&frame(TableKind::RunManifest, &long)).is_err());
+    }
+
+    #[test]
+    fn huge_len_header_is_corrupt_not_panic() {
+        let mut bytes = encode_elt(&sample_elt()).to_vec();
+        // Overwrite the len field (bytes 8..16) with u64::MAX.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_elt(&bytes).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Crash-safe file writes: tmp file + fsync + atomic rename.
+//!
+//! Every durable artifact in the pipeline (per-slot `YLT.bin`, shard
+//! manifests, warehouse view files, the stage-1 disk tier) goes through
+//! [`write_atomic`]. The contract is the classic one:
+//!
+//! 1. the bytes are written to a sibling temporary file in the *same*
+//!    directory (so the final rename never crosses a filesystem),
+//! 2. the temporary file is `sync_all`'d, so its contents are on stable
+//!    storage before it can be observed under the final name,
+//! 3. `rename(2)` swaps it into place — atomic on POSIX — and the
+//!    parent directory is fsynced best-effort so the rename itself
+//!    survives a power cut.
+//!
+//! A process killed at any byte boundary therefore leaves either the
+//! previous file (or no file), never a half-written one. Readers only
+//! have to handle "absent" and "complete"; "torn" cannot happen.
+//!
+//! Leftover `*.rptmp` files are the footprint of an interrupted write
+//! and are safe to delete at any time; [`is_tmp_path`] identifies them
+//! and [`remove_stale_tmps`] sweeps a directory.
+
+use riskpipe_types::RiskResult;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Suffix appended to in-flight temporary files.
+pub const TMP_SUFFIX: &str = ".rptmp";
+
+/// Process-local counter so concurrent writers targeting the same
+/// final path never collide on the temporary name.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_path_for(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    path.with_file_name(format!("{name}.{pid}-{seq}{TMP_SUFFIX}"))
+}
+
+/// Whether `path` is an in-flight temporary from an interrupted
+/// [`write_atomic`] (and therefore safe to delete).
+pub fn is_tmp_path(path: &Path) -> bool {
+    path.file_name()
+        .map(|n| n.to_string_lossy().ends_with(TMP_SUFFIX))
+        .unwrap_or(false)
+}
+
+/// Best-effort fsync of a directory, so a completed rename survives a
+/// power cut. Ignored on platforms where directories cannot be synced.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Durably write `bytes` to `path`: tmp file in the same directory,
+/// `sync_all`, atomic rename, parent-dir fsync. On any error the tmp
+/// file is removed and the previous contents of `path` (if any) are
+/// untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> RiskResult<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_path_for(path);
+    let result = (|| -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            if let Some(parent) = path.parent() {
+                sync_dir(parent);
+            }
+            Ok(())
+        }
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e.into())
+        }
+    }
+}
+
+/// Remove leftover `*.rptmp` files in `dir` (non-recursive). Returns
+/// how many were removed; a missing directory counts as zero.
+pub fn remove_stale_tmps(dir: &Path) -> RiskResult<usize> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    let mut removed = 0;
+    for entry in entries {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_file() && is_tmp_path(&p) {
+            fs::remove_file(&p)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: TestCounter = TestCounter::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "riskpipe-durable-test-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn writes_new_file() {
+        let dir = temp_dir("new");
+        let p = dir.join("a.bin");
+        write_atomic(&p, b"hello").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"hello");
+        // No tmp residue.
+        assert_eq!(remove_stale_tmps(&dir).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replaces_existing_file() {
+        let dir = temp_dir("replace");
+        let p = dir.join("a.bin");
+        write_atomic(&p, b"old").unwrap();
+        write_atomic(&p, b"new contents").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"new contents");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn creates_missing_parents() {
+        let dir = temp_dir("parents");
+        let p = dir.join("x/y/z.bin");
+        write_atomic(&p, b"deep").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"deep");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_is_identified_and_swept() {
+        let dir = temp_dir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join(format!("YLT.bin.999-0{TMP_SUFFIX}"));
+        fs::write(&stale, b"torn write").unwrap();
+        let keep = dir.join("YLT.bin");
+        fs::write(&keep, b"intact").unwrap();
+        assert!(is_tmp_path(&stale));
+        assert!(!is_tmp_path(&keep));
+        assert_eq!(remove_stale_tmps(&dir).unwrap(), 1);
+        assert!(!stale.exists());
+        assert!(keep.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_of_missing_dir_is_zero() {
+        let dir = temp_dir("absent");
+        assert_eq!(remove_stale_tmps(&dir).unwrap(), 0);
+    }
+
+    #[test]
+    fn failed_write_leaves_previous_contents() {
+        let dir = temp_dir("failkeep");
+        let p = dir.join("a.bin");
+        write_atomic(&p, b"previous").unwrap();
+        // Make the final path a directory so the rename must fail.
+        let clash = dir.join("b.bin");
+        fs::create_dir_all(&clash).unwrap();
+        assert!(write_atomic(&clash, b"x").is_err());
+        // The original file is untouched and no tmp residue remains.
+        assert_eq!(fs::read(&p).unwrap(), b"previous");
+        assert_eq!(remove_stale_tmps(&dir).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

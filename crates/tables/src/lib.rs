@@ -27,6 +27,7 @@
 pub mod chunk;
 pub mod codec;
 pub mod compress;
+pub mod durable;
 pub mod elt;
 pub mod hash;
 pub mod shard;

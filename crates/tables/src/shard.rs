@@ -12,6 +12,7 @@
 //! [`write_table_file`]/`read_*_file` helpers.
 
 use crate::codec::{self, TableKind};
+use crate::durable;
 use crate::yellt::YelltChunk;
 use riskpipe_types::{LocationId, RiskError, RiskResult};
 use std::fs;
@@ -100,6 +101,14 @@ pub fn shard_path(dir: &Path, i: u32) -> PathBuf {
     dir.join(format!("shard-{i:04}.rpt"))
 }
 
+/// In-flight path shard `i` is written under until [`ShardedWriter::finish`]
+/// publishes it. A crash mid-write leaves only `.inflight` files and no
+/// manifest, so readers reject the store as absent rather than reading a
+/// torn shard.
+fn shard_inflight_path(dir: &Path, i: u32) -> PathBuf {
+    dir.join(format!("shard-{i:04}.rpt.inflight"))
+}
+
 /// Streaming writer routing YELLT rows to shard files by trial.
 pub struct ShardedWriter {
     dir: PathBuf,
@@ -140,7 +149,7 @@ impl ShardedWriter {
         let mut writers = Vec::with_capacity(shards as usize);
         let mut buffers = Vec::with_capacity(shards as usize);
         for i in 0..shards {
-            let f = fs::File::create(shard_path(&dir, i))?;
+            let f = fs::File::create(shard_inflight_path(&dir, i))?;
             writers.push(BufWriter::new(f));
             buffers.push(YelltChunk::with_capacity(chunk_rows));
         }
@@ -224,20 +233,32 @@ impl ShardedWriter {
         Ok(())
     }
 
-    /// Flush buffers, write the manifest, and return it.
+    /// Flush buffers, durably publish the shard files, write the
+    /// manifest *last*, and return it.
+    ///
+    /// Publication order is the crash-safety contract: each shard is
+    /// flushed, `sync_all`'d, and renamed from its `.inflight` name to
+    /// its final name before the manifest is written (itself via the
+    /// atomic tmp-rename path). Readers require the manifest, so a
+    /// crash at any point here leaves a store that is detectably
+    /// absent, never one that parses but is missing rows.
     pub fn finish(mut self) -> RiskResult<ShardManifest> {
         for s in 0..self.writers.len() {
             self.flush_shard(s)?;
         }
-        for w in &mut self.writers {
-            w.flush()?;
+        let shards = self.writers.len() as u32;
+        for (i, w) in self.writers.drain(..).enumerate() {
+            let f = w.into_inner().map_err(|e| RiskError::Io(e.into_error()))?;
+            f.sync_all()?;
+            let i = i as u32;
+            fs::rename(shard_inflight_path(&self.dir, i), shard_path(&self.dir, i))?;
         }
         let manifest = ShardManifest {
             kind: TableKind::YelltChunk,
-            shards: self.writers.len() as u32,
+            shards,
             rows: self.rows,
         };
-        fs::write(self.dir.join("MANIFEST.txt"), manifest.render())?;
+        durable::write_atomic(&self.dir.join("MANIFEST.txt"), manifest.render().as_bytes())?;
         self.finished = true;
         Ok(manifest)
     }
@@ -316,13 +337,10 @@ impl ShardedReader {
 // Single-frame table files.
 // ---------------------------------------------------------------------
 
-/// Write a pre-encoded single-frame table to a file.
+/// Durably write a pre-encoded single-frame table to a file (tmp +
+/// fsync + atomic rename; see [`crate::durable`]).
 pub fn write_table_file(path: &Path, encoded: &[u8]) -> RiskResult<()> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    fs::write(path, encoded)?;
-    Ok(())
+    durable::write_atomic(path, encoded)
 }
 
 /// Read an ELT from a single-frame file.

@@ -14,8 +14,8 @@ use riskpipe_tables::codec::{frame, unframe, TableKind};
 use riskpipe_tables::compress::{
     compress_u64s, compress_u64s_sorted, decompress_u64s, decompress_u64s_sorted,
 };
+use riskpipe_tables::durable;
 use riskpipe_types::{RiskError, RiskResult};
-use std::io::Write;
 use std::path::Path;
 
 /// Encode one cuboid as a checked frame.
@@ -129,14 +129,15 @@ pub fn decode_cuboid(data: &[u8], schema: &Schema) -> RiskResult<(Cuboid, usize)
     Ok((Cuboid::from_cells(select, codec, entries), consumed))
 }
 
-/// Write a set of views to one file as consecutive frames.
+/// Write a set of views to one file as consecutive frames. The write
+/// is atomic (tmp file + fsync + rename): a crash mid-save leaves the
+/// previous file intact, never a torn view set.
 pub fn save_views(path: &Path, views: &[&Cuboid]) -> RiskResult<()> {
-    let mut file = std::fs::File::create(path)?;
+    let mut bytes = Vec::new();
     for v in views {
-        file.write_all(&encode_cuboid(v))?;
+        bytes.extend_from_slice(&encode_cuboid(v));
     }
-    file.sync_all()?;
-    Ok(())
+    durable::write_atomic(path, &bytes)
 }
 
 /// Load every view frame from a file written by [`save_views`].

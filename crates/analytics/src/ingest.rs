@@ -303,9 +303,14 @@ impl IntermediateStore for WarehouseStore {
 
     fn persist_report(&self, label: RunLabel<'_>, report: &PipelineReport) -> RiskResult<u64> {
         let bytes = self.inner.persist_report(label, report)?;
-        self.sink
-            .lock()
-            .ingest(label.slot.unwrap_or(0), &report.ylt)?;
+        // lint: allow(C1) — sink mutex serializes whole-report
+        // ingestion, and a holder does run a shuffle job on the pool.
+        // Deadlock-free because (a) nothing inside that job touches
+        // the sink (no recursive acquisition) and (b) pool scopes
+        // inline-steal while waiting, so the holder always makes
+        // progress and releases; the wait is bounded by one ingest.
+        let mut sink = self.sink.lock();
+        sink.ingest(label.slot.unwrap_or(0), &report.ylt)?;
         Ok(bytes)
     }
 

@@ -132,6 +132,10 @@ impl ThreadPool {
         self.shared.stats.record_injected();
         self.shared.injector.push(job);
         // Wake one parked worker, if any.
+        // lint: allow(C1) — sleep_lock pairs the notify with the
+        // sleeper's recheck; it is only ever held across a notify or a
+        // timed wait, never while running a job, so the wait is
+        // bounded and deadlock-free.
         let _guard = self.shared.sleep_lock.lock();
         self.shared.wake.notify_one();
     }
@@ -153,15 +157,21 @@ impl ThreadPool {
                 self.shared.stats.record_helper_run();
                 job();
             } else {
+                // lint: allow(C1) — same sleep_lock discipline as
+                // `inject`: held only across the pending recheck and a
+                // timed wait, never while executing a job.
                 let mut guard = self.shared.sleep_lock.lock();
                 if scope.pending.load(Ordering::Acquire) == 0 {
                     break;
                 }
                 // Short timeout: completion is signalled through `wake`,
                 // but the timeout bounds any missed-wakeup window.
-                self.shared
-                    .wake
-                    .wait_for(&mut guard, Duration::from_micros(200));
+                let wake = &self.shared.wake;
+                // lint: allow(C1) — 200 µs timed wait, entered only
+                // after `find_job` found nothing to steal; the timeout
+                // bounds any missed-wakeup window, so a scope waiter
+                // can never park indefinitely on queued work.
+                wake.wait_for(&mut guard, Duration::from_micros(200));
             }
         }
         if scope.panicked.load(Ordering::Acquire) {

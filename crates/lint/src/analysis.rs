@@ -17,6 +17,12 @@
 use crate::lexer::{Tok, TokKind};
 use std::collections::BTreeMap;
 
+/// Is this a test-only path (an integration-test tree)? Inline
+/// `#[cfg(test)]` modules are tracked separately per file.
+pub fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/")
+}
+
 /// How an identifier relates to hash containers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HashKind {
@@ -397,11 +403,57 @@ impl FileModel {
                 tail.strip_prefix(dash)
                     .is_some_and(|reason| !reason.trim().is_empty())
             });
-            // The next line with code after the comment line.
-            let next_code_line = self.toks[i + 1..]
+            // The next line with code after the comment line —
+            // skipping attribute lines (`#[...]`, `#![...]`) so a
+            // suppression written above a decorated item binds to the
+            // item itself, not to the attribute that happens to sit
+            // between them. (Doc comments are already skipped: they
+            // lex as comments.)
+            let code_after: Vec<&Tok> = self.toks[i + 1..]
                 .iter()
-                .find(|t2| t2.kind != TokKind::Comment && t2.line > t.line)
-                .map(|t2| t2.line);
+                .filter(|t2| t2.kind != TokKind::Comment && t2.line > t.line)
+                .collect();
+            let mut next_code_line = None;
+            let mut k = 0usize;
+            while k < code_after.len() {
+                let t2 = code_after[k];
+                if t2.kind == TokKind::Punct && t2.text == "#" {
+                    let mut j = k + 1;
+                    if code_after
+                        .get(j)
+                        .is_some_and(|u| u.kind == TokKind::Punct && u.text == "!")
+                    {
+                        j += 1;
+                    }
+                    if code_after
+                        .get(j)
+                        .is_some_and(|u| u.kind == TokKind::Punct && u.text == "[")
+                    {
+                        // Skip the balanced `[...]` attribute body.
+                        let mut depth = 0i32;
+                        while j < code_after.len() {
+                            let u = code_after[j];
+                            if u.kind == TokKind::Punct {
+                                match u.text.as_str() {
+                                    "[" => depth += 1,
+                                    "]" => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            j += 1;
+                        }
+                        k = j + 1;
+                        continue;
+                    }
+                }
+                next_code_line = Some(t2.line);
+                break;
+            }
             let mut covers = vec![t.line];
             covers.extend(next_code_line);
             found.push(Suppression {
@@ -477,6 +529,25 @@ mod tests {
         let s1 = &m.suppressions[1];
         assert_eq!(s1.rules, vec!["D3", "S1"]);
         assert!(!s1.has_reason);
+    }
+
+    #[test]
+    fn suppression_above_attributes_binds_to_the_item() {
+        // The comment sits above two stacked attributes; it must cover
+        // the decorated item line (4), not the attribute lines.
+        let m = model(
+            "// lint: allow(D4) — demo stream, not a simulation input\n\
+             #[cfg(feature = \"demo\")]\n\
+             #[inline]\n\
+             fn f() { let r = thread_rng(); }\n",
+        );
+        assert_eq!(m.suppressions.len(), 1);
+        assert!(
+            m.suppressions[0].covers.contains(&4),
+            "{:?}",
+            m.suppressions[0]
+        );
+        assert!(!m.suppressions[0].covers.contains(&2));
     }
 
     #[test]

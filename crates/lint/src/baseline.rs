@@ -1,0 +1,369 @@
+//! The `--baseline` ratchet: warn-severity findings are tolerated up
+//! to a committed per-(rule, path) count, so existing debt cannot
+//! silently grow while new debt is rejected at the diff.
+//!
+//! Deny findings are never baselined — they fail the run regardless.
+//! The file format is a small hand-rolled JSON document (this crate
+//! builds offline with no dependencies):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     {"rule": "W1", "path": "crates/core/src/session.rs", "count": 12}
+//!   ]
+//! }
+//! ```
+//!
+//! The parser below accepts exactly this shape (any key order,
+//! arbitrary whitespace) and rejects everything else loudly — a
+//! half-read baseline that silently tolerated nothing (or everything)
+//! would defeat the ratchet.
+
+use crate::{Report, Severity};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Tolerated warn counts keyed by (rule code, path).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<(String, String), u64>,
+}
+
+/// One (rule, path) whose current warn count exceeds the baseline.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    pub rule: String,
+    pub path: String,
+    pub have: u64,
+    pub allowed: u64,
+}
+
+impl Baseline {
+    /// Snapshot the warn findings of a report (deny findings are never
+    /// baselined — they must be fixed or suppressed).
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in &report.findings {
+            if f.severity == Severity::Warn {
+                *counts
+                    .entry((f.rule.code().to_string(), f.path.clone()))
+                    .or_default() += 1;
+            }
+        }
+        Baseline { counts }
+    }
+
+    /// Per-(rule, path) warn counts that grew beyond the baseline.
+    pub fn regressions(&self, report: &Report) -> Vec<Regression> {
+        let current = Baseline::from_report(report);
+        let mut out = Vec::new();
+        for ((rule, path), &have) in &current.counts {
+            let allowed = self
+                .counts
+                .get(&(rule.clone(), path.clone()))
+                .copied()
+                .unwrap_or(0);
+            if have > allowed {
+                out.push(Regression {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    have,
+                    allowed,
+                });
+            }
+        }
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, ((rule, path), count)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"count\": {}}}",
+                crate::json_escape(rule),
+                crate::json_escape(path),
+                count
+            );
+        }
+        if !self.counts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    pub fn parse_json(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            chars: text.char_indices().peekable(),
+            text,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.chars.peek().is_some() {
+            return Err("trailing content after the baseline document".into());
+        }
+        let Value::Object(top) = value else {
+            return Err("baseline root must be a JSON object".into());
+        };
+        match top.get("version") {
+            Some(Value::Number(n)) if *n == 1.0 => {}
+            _ => return Err("baseline `version` must be 1".into()),
+        }
+        let Some(Value::Array(entries)) = top.get("entries") else {
+            return Err("baseline needs an `entries` array".into());
+        };
+        let mut counts = BTreeMap::new();
+        for e in entries {
+            let Value::Object(e) = e else {
+                return Err("each baseline entry must be an object".into());
+            };
+            let (Some(Value::String(rule)), Some(Value::String(path)), Some(Value::Number(n))) =
+                (e.get("rule"), e.get("path"), e.get("count"))
+            else {
+                return Err("each entry needs string `rule`/`path` and numeric `count`".into());
+            };
+            if !(n.is_finite() && *n >= 0.0 && n.fract() == 0.0) {
+                return Err(format!("bad count {n} for {rule}:{path}"));
+            }
+            counts.insert((rule.clone(), path.clone()), *n as u64);
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+/// Minimal JSON value model — just enough for the baseline schema.
+enum Value {
+    Object(BTreeMap<String, Value>),
+    Array(Vec<Value>),
+    String(String),
+    Number(f64),
+    Bool(#[allow(dead_code)] bool),
+    Null,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .peek()
+            .is_some_and(|&(_, c)| c.is_ascii_whitespace())
+        {
+            self.chars.next();
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            Some((_, '{')) => self.object(),
+            Some((_, '[')) => self.array(),
+            Some((_, '"')) => self.string().map(Value::String),
+            Some((i, c)) if c == '-' || c.is_ascii_digit() => self.number(i),
+            Some((i, _)) => {
+                let rest = &self.text[i..];
+                for (lit, v) in [
+                    ("true", Value::Bool(true)),
+                    ("false", Value::Bool(false)),
+                    ("null", Value::Null),
+                ] {
+                    if rest.starts_with(lit) {
+                        for _ in 0..lit.len() {
+                            self.chars.next();
+                        }
+                        return Ok(v);
+                    }
+                }
+                Err(format!("unexpected JSON at byte {i}"))
+            }
+            None => Err("unexpected end of baseline JSON".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.chars.next(); // '{'
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.chars.peek().is_some_and(|&(_, c)| c == '}') {
+            self.chars.next();
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ':')) => {}
+                _ => return Err(format!("expected `:` after key `{key}`")),
+            }
+            out.insert(key, self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => return Ok(Value::Object(out)),
+                _ => return Err("expected `,` or `}` in object".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.chars.next(); // '['
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.chars.peek().is_some_and(|&(_, c)| c == ']') {
+            self.chars.next();
+            return Ok(Value::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, ']')) => return Ok(Value::Array(out)),
+                _ => return Err("expected `,` or `]` in array".into()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        match self.chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err("expected a string".into()),
+        }
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let Some((_, h)) = self.chars.next() else {
+                                return Err("truncated \\u escape".into());
+                            };
+                            let Some(d) = h.to_digit(16) else {
+                                return Err("bad \\u escape".into());
+                            };
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err("bad escape in string".into()),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<Value, String> {
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_ascii_digit() || "+-.eE".contains(c) {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        self.text[start..end]
+            .parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| format!("bad number `{}`: {e}", &self.text[start..end]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, RuleId};
+
+    fn warn(rule: RuleId, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Warn,
+            path: path.into(),
+            line,
+            message: "m".into(),
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let report = Report {
+            findings: vec![
+                warn(RuleId::W1, "crates/core/src/a.rs", 1),
+                warn(RuleId::W1, "crates/core/src/a.rs", 9),
+                warn(RuleId::W1, "crates/exec/src/b.rs", 3),
+            ],
+            files_scanned: 2,
+        };
+        let b = Baseline::from_report(&report);
+        let parsed = Baseline::parse_json(&b.render_json()).expect("parse");
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.counts[&("W1".to_string(), "crates/core/src/a.rs".to_string())],
+            2
+        );
+    }
+
+    #[test]
+    fn regressions_flag_growth_and_new_paths_only() {
+        let old = Report {
+            findings: vec![warn(RuleId::W1, "crates/core/src/a.rs", 1)],
+            files_scanned: 1,
+        };
+        let baseline = Baseline::from_report(&old);
+        // Same count: clean. One more in a.rs plus a new file: two
+        // regressions.
+        let grown = Report {
+            findings: vec![
+                warn(RuleId::W1, "crates/core/src/a.rs", 1),
+                warn(RuleId::W1, "crates/core/src/a.rs", 2),
+                warn(RuleId::W1, "crates/exec/src/b.rs", 3),
+            ],
+            files_scanned: 2,
+        };
+        assert!(baseline.regressions(&old).is_empty());
+        let regs = baseline.regressions(&grown);
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].path, "crates/core/src/a.rs");
+        assert_eq!(regs[0].have, 2);
+        assert_eq!(regs[0].allowed, 1);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(Baseline::parse_json("[]").is_err());
+        assert!(Baseline::parse_json("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(Baseline::parse_json("{\"version\": 1}").is_err());
+        assert!(
+            Baseline::parse_json("{\"version\": 1, \"entries\": [{\"rule\": \"W1\"}]}").is_err()
+        );
+        assert!(Baseline::parse_json("{\"version\": 1, \"entries\": []} x").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = Baseline::parse_json("{\"version\": 1, \"entries\": []}").expect("parse");
+        assert!(b.counts.is_empty());
+    }
+}

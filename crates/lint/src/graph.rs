@@ -1,0 +1,308 @@
+//! Pass 2 of the workspace analysis: link per-file summaries into a
+//! call graph and run reachability from pool-task roots.
+//!
+//! Linking is by bare name (with per-file `use`-alias resolution) —
+//! deliberately an *over*-approximation: a call named `merge` links to
+//! every non-test fn named `merge` in the workspace. For a deny rule
+//! that is the right bias — a false edge costs one audited per-site
+//! suppression, a missed edge costs the no-blocking invariant. A small
+//! stoplist of hyper-generic method names (`next`, `drop`, `clone`,
+//! `get`, …) keeps the noise floor workable; those names are so common
+//! that an edge through them carries no signal.
+//!
+//! Reachability is a multi-source BFS from every root node, recording
+//! parent pointers so each finding can print the *shortest* call chain
+//! root → … → blocking site. Findings are anchored at the blocking
+//! site itself: one suppression there silences every chain through it,
+//! which is exactly the audit granularity the rule wants (the site is
+//! sound or it is not — how many paths reach it is irrelevant).
+
+use crate::summary::FileSummary;
+use crate::{RawFinding, RuleId, TraceFrame};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Method/function names too generic to carry call-graph signal. An
+/// edge is never created *into* a definition with one of these names
+/// (`ReportStream::next` holds a `recv()`, `ThreadPool::drop` joins
+/// its workers — both are coordinator-side by construction, and every
+/// `.next()`/`drop()` call in the workspace would otherwise link to
+/// them).
+const STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "next",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "clear",
+    "extend",
+    "collect",
+    "map",
+    "filter",
+    "fold",
+    "for_each",
+    "write",
+    "read",
+    "flush",
+    "min",
+    "max",
+    "sum",
+    "abs",
+    "sqrt",
+    "from",
+    "into",
+    "try_from",
+    "try_into",
+    "as_ref",
+    "as_mut",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "index",
+    "deref",
+    "deref_mut",
+    "borrow",
+    "borrow_mut",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "call",
+    "load",
+    "store",
+    "swap",
+    "take",
+    "send",
+    "expect",
+    "unwrap",
+    "ok",
+    "err",
+    "as_str",
+    "as_slice",
+    "as_bytes",
+    "split",
+    "join",
+    "lock",
+    "wait",
+    "recv",
+    "build",
+    "run",
+];
+
+fn linkable(name: &str) -> bool {
+    name.len() > 2 && !STOPLIST.contains(&name)
+}
+
+/// Run the C1 reachability check over all summaries. Returns raw
+/// findings grouped by file path, ready for the per-file suppression
+/// pass.
+pub fn check(summaries: &[FileSummary]) -> BTreeMap<String, Vec<RawFinding>> {
+    // Flatten to node ids.
+    let mut nodes: Vec<(usize, usize)> = Vec::new();
+    for (fi, s) in summaries.iter().enumerate() {
+        for gi in 0..s.fns.len() {
+            nodes.push((fi, gi));
+        }
+    }
+    let fun = |id: usize| {
+        let (fi, gi) = nodes[id];
+        &summaries[fi].fns[gi]
+    };
+
+    // Name → definition nodes (non-test, linkable names only).
+    let mut index: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, &(fi, gi)) in nodes.iter().enumerate() {
+        let f = &summaries[fi].fns[gi];
+        if !f.is_test && linkable(&f.name) {
+            index.entry(f.name.as_str()).or_default().push(id);
+        }
+    }
+
+    // Multi-source BFS from the roots; parent pointers give shortest
+    // chains. Node order is deterministic (files arrive sorted, fns in
+    // token order), so chains are stable across runs.
+    let mut parent: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut visited = vec![false; nodes.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (id, seen) in visited.iter_mut().enumerate() {
+        if fun(id).root.is_some() {
+            *seen = true;
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        let (fi, _) = nodes[id];
+        for call in &fun(id).calls {
+            let resolved = summaries[fi]
+                .aliases
+                .get(&call.name)
+                .map(String::as_str)
+                .unwrap_or(call.name.as_str());
+            if !linkable(resolved) {
+                continue;
+            }
+            let Some(targets) = index.get(resolved) else {
+                continue;
+            };
+            for &t in targets {
+                if !visited[t] {
+                    visited[t] = true;
+                    parent[t] = Some(id);
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    // Every blocking site in a reached node is a finding.
+    let mut out: BTreeMap<String, Vec<RawFinding>> = BTreeMap::new();
+    for id in 0..nodes.len() {
+        if !visited[id] {
+            continue;
+        }
+        let (fi, _) = nodes[id];
+        let node = fun(id);
+        if node.blocking.is_empty() {
+            continue;
+        }
+        // Chain root → … → this node.
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(p) = parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        let root = fun(chain[0]);
+        let (rfi, _) = nodes[chain[0]];
+        let root_at = format!(
+            "{} at {}:{}",
+            root.root
+                .as_ref()
+                .map(|r| r.describe())
+                .unwrap_or_else(|| "root".to_string()),
+            summaries[rfi].path,
+            root.line
+        );
+        for site in &node.blocking {
+            let mut trace: Vec<TraceFrame> = chain
+                .iter()
+                .map(|&cid| {
+                    let (cfi, _) = nodes[cid];
+                    let cf = fun(cid);
+                    TraceFrame {
+                        path: summaries[cfi].path.clone(),
+                        line: cf.line,
+                        name: cf.display.clone(),
+                    }
+                })
+                .collect();
+            trace.push(TraceFrame {
+                path: summaries[fi].path.clone(),
+                line: site.line,
+                name: site.what.clone(),
+            });
+            out.entry(summaries[fi].path.clone())
+                .or_default()
+                .push(RawFinding {
+                    rule: RuleId::C1,
+                    line: site.line,
+                    message: format!(
+                        "blocking {} reachable from a pool-task root ({root_at}, \
+                         {} hop(s)): pool workers must never park on work that \
+                         other queued tasks produce — restructure, move the \
+                         blocking to the coordinator thread, or suppress with a \
+                         written proof the wait is bounded and deadlock-free",
+                        site.what,
+                        chain.len() - 1
+                    ),
+                    trace,
+                });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FileModel;
+    use crate::lexer::lex;
+    use crate::summary::summarize;
+    use crate::Config;
+
+    fn graph_findings(files: &[(&str, &str)]) -> BTreeMap<String, Vec<RawFinding>> {
+        let cfg = Config::default();
+        let summaries: Vec<FileSummary> = files
+            .iter()
+            .map(|(p, s)| summarize(&FileModel::build(p, lex(s)), &cfg))
+            .collect();
+        check(&summaries)
+    }
+
+    #[test]
+    fn cross_file_chain_is_reported_shortest_first() {
+        let a = "fn drive(pool: &ThreadPool) {\n\
+                 pool.scope(|s| {\n    s.spawn(move || { stage_kernel(7); });\n});\n}";
+        let b = "pub fn stage_kernel(x: u64) -> u64 {\n    gate_barrier(x)\n}\n\
+                 fn gate_barrier(x: u64) -> u64 {\n    let g = GATE.lock();\n    x\n}";
+        let out = graph_findings(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)]);
+        let findings = &out["crates/x/src/b.rs"];
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.rule, RuleId::C1);
+        assert_eq!(f.line, 5);
+        // Chain: spawn closure → stage_kernel → gate_barrier → lock.
+        assert_eq!(f.trace.len(), 4);
+        assert!(f.trace[0].name.contains("task closure"));
+        assert!(f.trace[1].name.contains("stage_kernel"));
+        assert!(f.trace[2].name.contains("gate_barrier"));
+        assert!(f.trace[3].name.contains("lock"));
+    }
+
+    #[test]
+    fn unreachable_blocking_is_clean() {
+        let a = "fn coordinator(m: &Mutex<u32>) {\n    let g = m.lock();\n}";
+        let out = graph_findings(&[("crates/x/src/a.rs", a)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn alias_resolved_calls_still_link() {
+        let a = "use helpers::{stage_kernel as kern};\n\
+                 fn drive(pool: &ThreadPool) {\n\
+                 pool.scope(|s| {\n    s.spawn(move || { kern(7); });\n});\n}";
+        let b = "pub fn stage_kernel(x: u64) -> u64 {\n    let g = GATE.lock();\n    x\n}";
+        let out = graph_findings(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)]);
+        assert_eq!(out["crates/x/src/b.rs"].len(), 1);
+    }
+
+    #[test]
+    fn stoplisted_names_do_not_attract_edges() {
+        // A def named `next` holding a recv must not be reached via a
+        // generic `.next()` call in a task body.
+        let a = "fn drive(pool: &ThreadPool) {\n\
+                 pool.scope(|s| {\n    s.spawn(move || { it.next(); });\n});\n}";
+        let b = "fn next(rx: &Receiver<u32>) -> Option<u32> {\n    rx.recv().ok()\n}";
+        let out = graph_findings(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)]);
+        assert!(out.is_empty());
+    }
+}

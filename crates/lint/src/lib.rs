@@ -20,7 +20,21 @@
 //! * **S1** — every `unsafe` site carries a `// SAFETY:` audit comment;
 //! * **S2** — narrowing `as` casts in codec/decode paths need a checked
 //!   conversion or an annotation (graduated from warn to deny once the
-//!   durable-format work landed and the workspace was clean).
+//!   durable-format work landed and the workspace was clean);
+//! * **C1** — no blocking primitive (`lock`, condvar `wait`, channel
+//!   `recv`, `join`, `park`, nested `.scope`) *reachable* from code that
+//!   executes on pool workers — checked over a workspace call graph,
+//!   with the full root→site chain in every finding;
+//! * **C2** — no raw filesystem writes (`fs::write`, `File::create`,
+//!   truncating `OpenOptions`) in persistence paths outside
+//!   `riskpipe_tables::durable`;
+//! * **W1** — (warn) no `unwrap`/`expect`/`panic!` in non-test library
+//!   code of the serving-path crates, ratcheted by the CI baseline.
+//!
+//! The engine is two-pass: pass 1 lexes and summarises every file in
+//! parallel (definitions, call sites, aliases, blocking sites, task
+//! closures); pass 2 links the summaries into a call graph and runs
+//! reachability from the pool-task roots (see [`crate::graph`]).
 //!
 //! Suppression is per-site and auditable:
 //!
@@ -39,12 +53,17 @@
 //! run by the tier-1 `workspace_clean` test.
 
 mod analysis;
+pub mod baseline;
+pub mod graph;
 mod lexer;
 mod rules;
+pub mod summary;
 
 pub use analysis::{FileModel, HashKind, Scope, Suppression};
+pub use baseline::{Baseline, Regression};
 pub use lexer::{lex, Tok, TokKind};
 pub use rules::RawFinding;
+pub use summary::{FileSummary, FnNode, RootKind};
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -59,17 +78,23 @@ pub enum RuleId {
     D4,
     S1,
     S2,
+    C1,
+    C2,
+    W1,
     Sup,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
         RuleId::D4,
         RuleId::S1,
         RuleId::S2,
+        RuleId::C1,
+        RuleId::C2,
+        RuleId::W1,
         RuleId::Sup,
     ];
 
@@ -81,6 +106,9 @@ impl RuleId {
             RuleId::D4 => "D4",
             RuleId::S1 => "S1",
             RuleId::S2 => "S2",
+            RuleId::C1 => "C1",
+            RuleId::C2 => "C2",
+            RuleId::W1 => "W1",
             RuleId::Sup => "SUP",
         }
     }
@@ -92,9 +120,14 @@ impl RuleId {
 
     /// Default severity. New rules enter the catalogue at `Warn` and
     /// graduate to `Deny` once the workspace is clean (S2 graduated
-    /// with the durable-format work; every rule now denies).
+    /// with the durable-format work; C1/C2 entered at deny because the
+    /// workspace was audited to zero in the same change). W1 stays at
+    /// warn, ratcheted by the CI `--baseline` job.
     pub fn severity(self) -> Severity {
-        Severity::Deny
+        match self {
+            RuleId::W1 => Severity::Warn,
+            _ => Severity::Deny,
+        }
     }
 
     /// One-line summary for `--rules` listings.
@@ -106,6 +139,11 @@ impl RuleId {
             RuleId::D4 => "no entropy-seeded RNG construction (seeds must be explicit)",
             RuleId::S1 => "every unsafe site carries a // SAFETY: audit comment",
             RuleId::S2 => "narrowing `as` casts in codec/decode paths need a checked conversion",
+            RuleId::C1 => "no blocking primitive reachable from pool-task roots (call-graph rule)",
+            RuleId::C2 => "no raw fs writes in persistence paths outside riskpipe_tables::durable",
+            RuleId::W1 => {
+                "no unwrap/expect/panic! in serving-path library code (baseline-ratcheted)"
+            }
             RuleId::Sup => "suppressions must name a known rule and carry a reason, and be used",
         }
     }
@@ -218,6 +256,73 @@ impl RuleId {
                  first, or suppress with a reason proving the value fits\n\
                  (`// lint: allow(S2) — shard count is capped at 4096 above`)."
             }
+            RuleId::C1 => {
+                "C1 — blocking primitives reachable from pool-task roots (deny)\n\
+                 \n\
+                 WHY   The pool has a fixed worker count and tasks spawn tasks. A\n\
+                 worker that parks on a lock, condvar, channel, or join that only\n\
+                 *other queued tasks* can release is a deadlock: the releasing task\n\
+                 may be queued behind the parked worker. The engine's whole design\n\
+                 (inline task-stealing in nested scopes, the never-parking stage-1\n\
+                 cache, redundant racer builds) exists to uphold this invariant.\n\
+                 \n\
+                 FIRES via a workspace call graph: pass 1 summarises every file\n\
+                 (definitions, call sites, `use` aliases, closures attached to\n\
+                 their spawning expression); pass 2 runs reachability from the\n\
+                 pool-task roots — `Scope::spawn` closures, `par_*` helper\n\
+                 closures, and the worker-executed fns `accept`/`accept_shared`/\n\
+                 `build_stage1_output_on` — to Mutex `lock`, RwLock `read`/`write`,\n\
+                 condvar `wait*`, channel `recv*`, argless `join`, `thread::park`,\n\
+                 and nested `.scope(..)` sites. Every finding prints the full call\n\
+                 chain root → … → blocking site. Linking is name-based and\n\
+                 deliberately over-approximate: a false edge costs one audited\n\
+                 suppression, a missed edge costs the invariant.\n\
+                 \n\
+                 FIX   Restructure to atomics/message passing, move the blocking\n\
+                 to the coordinator thread, or suppress at the blocking site with\n\
+                 a written proof the wait is bounded and cannot form a cycle\n\
+                 (e.g. `// lint: allow(C1) — wake-gate only: 200µs bounded wait,\n\
+                 holder never blocks`). The suppression silences every chain\n\
+                 through that site — the site is sound or it is not."
+            }
+            RuleId::C2 => {
+                "C2 — raw filesystem writes in persistence paths (deny)\n\
+                 \n\
+                 WHY   Durable artifacts are crash-consistent only because every\n\
+                 byte lands via `riskpipe_tables::durable::write_atomic` (tmp file\n\
+                 + sync_all + rename + parent fsync) or the sharded inflight-then-\n\
+                 rename protocol, with the manifest written last. One bare\n\
+                 `fs::write` in a persistence path reintroduces torn frames that\n\
+                 the crash-recovery tests cannot see until a real crash does.\n\
+                 \n\
+                 FIRES on `fs::write`, `File::create`, and `OpenOptions`\n\
+                 `.truncate(true)` in non-test code whose file stem or enclosing\n\
+                 fn name marks it as persistence code (persist/store/shard/\n\
+                 manifest/snapshot/checkpoint/save/spill), outside the durable\n\
+                 module itself.\n\
+                 \n\
+                 FIX   Route the bytes through `durable::write_atomic`, or\n\
+                 suppress with a written crash-consistency argument (e.g. the\n\
+                 shard writer streams to an `.inflight` name and renames at seal,\n\
+                 so a torn inflight file is unreferenced garbage by construction)."
+            }
+            RuleId::W1 => {
+                "W1 — unwrap/expect/panic! in serving-path library code (warn)\n\
+                 \n\
+                 WHY   A panic inside a pool task aborts the whole pipeline run\n\
+                 and poisons shared mutexes; the serving path should surface\n\
+                 typed errors instead. The rule is warn-severity — existing debt\n\
+                 is tolerated — but the nightly CI job runs with `--baseline`\n\
+                 against a committed snapshot, so the count per (rule, file) can\n\
+                 only go down.\n\
+                 \n\
+                 FIRES on `.unwrap(`, `.expect(`, and `panic!` in non-test code\n\
+                 under the serving-path crates (core, exec, tables, metrics,\n\
+                 warehouse, analytics, mapreduce).\n\
+                 \n\
+                 FIX   Return a Result, use unwrap_or/_default, or keep the call\n\
+                 and pay for it in the baseline (new code should not add any)."
+            }
             RuleId::Sup => {
                 "SUP — suppression hygiene (deny for malformed, warn for unused)\n\
                  \n\
@@ -259,6 +364,17 @@ impl Severity {
     }
 }
 
+/// One frame of a C1 call-chain trace: a function definition (or the
+/// final blocking site) on the path from a pool-task root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFrame {
+    pub path: String,
+    pub line: u32,
+    /// Display name: the fn, the task closure, or the blocking
+    /// primitive for the final frame.
+    pub name: String,
+}
+
 /// One reportable finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -268,6 +384,9 @@ pub struct Finding {
     pub path: String,
     pub line: u32,
     pub message: String,
+    /// Call-chain trace from root to blocking site (C1 only; empty for
+    /// every other rule).
+    pub trace: Vec<TraceFrame>,
 }
 
 impl fmt::Display for Finding {
@@ -280,7 +399,16 @@ impl fmt::Display for Finding {
             self.rule,
             self.severity.as_str(),
             self.message
-        )
+        )?;
+        for (i, frame) in self.trace.iter().enumerate() {
+            let head = if i == 0 { "chain:" } else { "   ->" };
+            write!(
+                f,
+                "\n    {head} {}:{} {}",
+                frame.path, frame.line, frame.name
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -292,6 +420,16 @@ pub struct Config {
     /// Directory names skipped during the walk. `fixtures` is excluded
     /// because lint fixture trees are intentionally violating inputs.
     pub exclude_dirs: Vec<String>,
+    /// Path prefixes of the serving-path crates (W1 scope).
+    pub serving_crates: Vec<String>,
+    /// Path substrings of the sanctioned durable-write modules (C2
+    /// exempts them — they *are* the atomic-write protocol).
+    pub durable_modules: Vec<String>,
+    /// Function names whose bodies execute on pool workers (C1 roots,
+    /// in addition to spawned/`par_*` closures).
+    pub root_fns: Vec<String>,
+    /// Pass-1 worker threads. 0 = one per available core (capped).
+    pub jobs: usize,
 }
 
 impl Default for Config {
@@ -304,6 +442,22 @@ impl Default for Config {
                 "fixtures".to_string(),
                 ".git".to_string(),
             ],
+            serving_crates: vec![
+                "crates/core/src/".to_string(),
+                "crates/exec/src/".to_string(),
+                "crates/tables/src/".to_string(),
+                "crates/metrics/src/".to_string(),
+                "crates/warehouse/src/".to_string(),
+                "crates/analytics/src/".to_string(),
+                "crates/mapreduce/src/".to_string(),
+            ],
+            durable_modules: vec!["crates/tables/src/durable.rs".to_string()],
+            root_fns: vec![
+                "accept".to_string(),
+                "accept_shared".to_string(),
+                "build_stage1_output_on".to_string(),
+            ],
+            jobs: 0,
         }
     }
 }
@@ -314,10 +468,109 @@ pub const WORKSPACE_SCAN_ROOTS: [&str; 4] = ["crates", "src", "examples", "tests
 
 /// Lint one file's source text. Returns the post-suppression findings
 /// (including any `SUP` findings about the suppressions themselves).
+/// The call-graph pass runs file-locally here, so single-file C1
+/// chains still fire; cross-file chains need [`lint_sources`].
 pub fn lint_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let report = lint_sources(&[(path.to_string(), source.to_string())], cfg);
+    report.findings
+}
+
+/// Pass-1 product for one file: the model (suppressions live there),
+/// the per-file raw findings, and the call-graph summary.
+struct FileUnit {
+    model: FileModel,
+    raw: Vec<RawFinding>,
+    summary: summary::FileSummary,
+}
+
+fn build_unit(path: &str, source: &str, cfg: &Config) -> FileUnit {
     let model = FileModel::build(path, lex(source));
     let raw = rules::run_all(&model, cfg);
+    let summary = summary::summarize(&model, cfg);
+    FileUnit {
+        model,
+        raw,
+        summary,
+    }
+}
 
+/// Pass 1 over all files, fanned out across threads. Work items are
+/// claimed from a shared counter; results are stitched back in input
+/// order, so the output is bit-identical to a sequential pass.
+fn pass1(files: &[(String, String)], cfg: &Config) -> Vec<FileUnit> {
+    let jobs = if cfg.jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    } else {
+        cfg.jobs
+    }
+    .min(files.len().max(1));
+    if jobs <= 1 || files.len() < 4 {
+        return files.iter().map(|(p, s)| build_unit(p, s, cfg)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<FileUnit>> = Vec::with_capacity(files.len());
+    slots.resize_with(files.len(), || None);
+    std::thread::scope(|workers| {
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let next = &next;
+            handles.push(workers.spawn(move || {
+                let mut mine: Vec<(usize, FileUnit)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some((p, s)) = files.get(i) else { break };
+                    mine.push((i, build_unit(p, s, cfg)));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            // A worker panic means a rule panicked on real input —
+            // propagate rather than report a partial scan as clean.
+            for (i, unit) in h.join().expect("lint pass-1 worker panicked") {
+                slots[i] = Some(unit);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|u| u.expect("every pass-1 slot filled"))
+        .collect()
+}
+
+/// Lint a set of already-read sources as one workspace: per-file rules
+/// plus the cross-file call-graph pass, then per-file suppression
+/// processing over the combined findings.
+pub fn lint_sources(files: &[(String, String)], cfg: &Config) -> Report {
+    let units = pass1(files, cfg);
+    let summaries: Vec<summary::FileSummary> = units.iter().map(|u| u.summary.clone()).collect();
+    let mut graph_findings = graph::check(&summaries);
+
+    let mut report = Report {
+        findings: Vec::new(),
+        files_scanned: units.len(),
+    };
+    for unit in units {
+        let mut raw = unit.raw;
+        if let Some(mut extra) = graph_findings.remove(&unit.model.path) {
+            raw.append(&mut extra);
+        }
+        raw.sort_by_key(|a| (a.line, a.rule));
+        report.findings.extend(apply_suppressions(&unit.model, raw));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+/// Apply the file's suppressions to its raw findings and append the
+/// `SUP` hygiene findings.
+fn apply_suppressions(model: &FileModel, raw: Vec<RawFinding>) -> Vec<Finding> {
+    let path = &model.path;
     let mut used = vec![false; model.suppressions.len()];
     let mut findings: Vec<Finding> = Vec::new();
 
@@ -335,6 +588,7 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             path: path.to_string(),
             line: f.line,
             message: f.message,
+            trace: f.trace,
         });
     }
 
@@ -349,8 +603,9 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
                     line: sup.line,
                     message: format!(
                         "suppression names unknown rule `{r}` — known rules: \
-                         D1 D2 D3 D4 S1 S2"
+                         D1 D2 D3 D4 S1 S2 C1 C2 W1"
                     ),
+                    trace: Vec::new(),
                 });
             }
         }
@@ -363,6 +618,7 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
                 message: "suppression carries no reason — write \
                           `// lint: allow(<rule>) — <why this site is sound>`"
                     .to_string(),
+                trace: Vec::new(),
             });
         } else if !used[si] && sup.rules.iter().all(|r| RuleId::from_code(r).is_some()) {
             findings.push(Finding {
@@ -375,6 +631,7 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
                      or move it next to the site it covers",
                     sup.rules.join(", ")
                 ),
+                trace: Vec::new(),
             });
         }
     }
@@ -422,9 +679,11 @@ impl Report {
     }
 
     /// Machine-readable report (stable JSON, hand-rolled — no deps).
+    /// Schema v2: findings carry a `trace` array (the C1 call chain)
+    /// when non-empty.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"version\": 2,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!(
             "  \"counts\": {{\"deny\": {}, \"warn\": {}}},\n",
@@ -438,13 +697,29 @@ impl Report {
             }
             out.push_str(&format!(
                 "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
-                 \"line\": {}, \"message\": \"{}\"}}",
+                 \"line\": {}, \"message\": \"{}\"",
                 f.rule,
                 f.severity.as_str(),
                 json_escape(&f.path),
                 f.line,
                 json_escape(&f.message)
             ));
+            if !f.trace.is_empty() {
+                out.push_str(", \"trace\": [");
+                for (j, frame) in f.trace.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"path\": \"{}\", \"line\": {}, \"name\": \"{}\"}}",
+                        json_escape(&frame.path),
+                        frame.line,
+                        json_escape(&frame.name)
+                    ));
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         if !self.findings.is_empty() {
             out.push_str("\n  ");
@@ -454,7 +729,7 @@ impl Report {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -512,24 +787,20 @@ fn walk_dir(dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> std::io::Result
     Ok(())
 }
 
-/// Lint `paths` (files or directories, relative to `root`).
+/// Lint `paths` (files or directories, relative to `root`) as one
+/// workspace: every collected file feeds the shared call graph.
 pub fn lint_paths(root: &Path, paths: &[PathBuf], cfg: &Config) -> std::io::Result<Report> {
     let files = collect_rs_files(root, paths, cfg)?;
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for file in &files {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let source = std::fs::read_to_string(file)?;
-        report.findings.extend(lint_source(&rel, &source, cfg));
-        report.files_scanned += 1;
+        sources.push((rel, std::fs::read_to_string(file)?));
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(report)
+    Ok(lint_sources(&sources, cfg))
 }
 
 /// Lint the whole workspace under `root` (the standard scan roots).
@@ -615,14 +886,50 @@ mod tests {
                 path: "a\\b.rs".into(),
                 line: 3,
                 message: "say \"hi\"".into(),
+                trace: Vec::new(),
             }],
             files_scanned: 1,
         };
         let json = report.render_json();
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"rule\": \"D2\""));
         assert!(json.contains("a\\\\b.rs"));
         assert!(json.contains("say \\\"hi\\\""));
         assert!(json.contains("\"counts\": {\"deny\": 1, \"warn\": 0}"));
+        // No trace → no trace key.
+        assert!(!json.contains("\"trace\""));
+    }
+
+    #[test]
+    fn json_v2_trace_field_and_text_chain() {
+        let finding = Finding {
+            rule: RuleId::C1,
+            severity: Severity::Deny,
+            path: "crates/x/src/b.rs".into(),
+            line: 9,
+            message: "blocking".into(),
+            trace: vec![
+                TraceFrame {
+                    path: "crates/x/src/a.rs".into(),
+                    line: 3,
+                    name: "task closure in `drive`".into(),
+                },
+                TraceFrame {
+                    path: "crates/x/src/b.rs".into(),
+                    line: 9,
+                    name: "`m.lock()` (Mutex acquisition)".into(),
+                },
+            ],
+        };
+        let text = finding.to_string();
+        assert!(text.contains("chain: crates/x/src/a.rs:3 task closure"));
+        assert!(text.contains("-> crates/x/src/b.rs:9"));
+        let report = Report {
+            findings: vec![finding],
+            files_scanned: 2,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"trace\": [{\"path\": \"crates/x/src/a.rs\", \"line\": 3"));
     }
 
     #[test]

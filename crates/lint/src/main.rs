@@ -3,16 +3,20 @@
 //! ```text
 //! riskpipe-lint                      # lint the whole workspace
 //! riskpipe-lint crates/warehouse     # lint one subtree
-//! riskpipe-lint --json               # machine-readable output
-//! riskpipe-lint --explain D1         # why a rule exists and how to fix
+//! riskpipe-lint --json               # machine-readable output (v2)
+//! riskpipe-lint --explain C1         # why a rule exists and how to fix
 //! riskpipe-lint --rules              # list the catalogue
 //! riskpipe-lint --deny-warnings      # warn findings also fail
+//! riskpipe-lint --deny-warnings --baseline lint-baseline.json
+//!                                    # warns fail only beyond the ratchet
+//! riskpipe-lint --write-baseline lint-baseline.json
+//!                                    # snapshot current warn counts
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings at failing severity, 2 usage or I/O
 //! error.
 
-use riskpipe_lint::{find_workspace_root, lint_paths, Config, RuleId, Severity};
+use riskpipe_lint::{find_workspace_root, lint_paths, Baseline, Config, RuleId, Severity};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -29,8 +33,14 @@ ARGS:
 OPTIONS:
     --root <DIR>      workspace root (default: nearest ancestor with a
                       [workspace] Cargo.toml)
-    --json            emit the machine-readable JSON report
+    --json            emit the machine-readable JSON report (schema v2:
+                      C1 findings carry a call-chain `trace`)
     --deny-warnings   exit nonzero on warn-level findings too
+    --baseline <F>    tolerate warn findings up to the per-(rule, path)
+                      counts recorded in F; only growth fails (deny
+                      findings are never baselined)
+    --write-baseline <F>  snapshot current warn counts to F and exit 0
+    --jobs <N>        pass-1 scan threads (default: one per core)
     --explain <RULE>  print the rationale and fix guidance for one rule
     --rules           list the rule catalogue
     -h, --help        this text
@@ -42,6 +52,9 @@ fn main() -> ExitCode {
     let mut deny_warnings = false;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut jobs: usize = 0;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,7 +75,9 @@ fn main() -> ExitCode {
             }
             "--explain" => {
                 let Some(code) = args.next() else {
-                    eprintln!("--explain needs a rule code (one of D1 D2 D3 D4 S1 S2 SUP)");
+                    eprintln!(
+                        "--explain needs a rule code (one of D1 D2 D3 D4 S1 S2 C1 C2 W1 SUP)"
+                    );
                     return ExitCode::from(2);
                 };
                 match RuleId::from_code(&code) {
@@ -71,13 +86,35 @@ fn main() -> ExitCode {
                         return ExitCode::SUCCESS;
                     }
                     None => {
-                        eprintln!("unknown rule `{code}` — known: D1 D2 D3 D4 S1 S2 SUP");
+                        eprintln!("unknown rule `{code}` — known: D1 D2 D3 D4 S1 S2 C1 C2 W1 SUP");
                         return ExitCode::from(2);
                     }
                 }
             }
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
+            "--baseline" => {
+                let Some(f) = args.next() else {
+                    eprintln!("--baseline needs a file");
+                    return ExitCode::from(2);
+                };
+                baseline_path = Some(PathBuf::from(f));
+            }
+            "--write-baseline" => {
+                let Some(f) = args.next() else {
+                    eprintln!("--write-baseline needs a file");
+                    return ExitCode::from(2);
+                };
+                write_baseline = Some(PathBuf::from(f));
+            }
+            "--jobs" => {
+                let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--jobs needs a thread count");
+                    return ExitCode::from(2);
+                };
+                jobs = n;
+            }
             "--root" => {
                 let Some(dir) = args.next() else {
                     eprintln!("--root needs a directory");
@@ -112,7 +149,30 @@ fn main() -> ExitCode {
             .collect();
     }
 
-    let cfg = Config::default();
+    let baseline = match &baseline_path {
+        None => None,
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("riskpipe-lint: cannot read baseline {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Baseline::parse_json(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("riskpipe-lint: bad baseline {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let cfg = Config {
+        jobs,
+        ..Config::default()
+    };
     let report = match lint_paths(&root, &paths, &cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -121,17 +181,45 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(out) = write_baseline {
+        let snapshot = Baseline::from_report(&report);
+        if let Err(e) = std::fs::write(&out, snapshot.render_json()) {
+            eprintln!(
+                "riskpipe-lint: cannot write baseline {}: {e}",
+                out.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "riskpipe-lint: wrote baseline ({} entries) to {}",
+            snapshot.counts.len(),
+            out.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     if json {
         print!("{}", report.render_json());
     } else {
         print!("{}", report.render_text());
     }
 
-    let failing = report
-        .findings
-        .iter()
-        .any(|f| f.severity == Severity::Deny || (deny_warnings && f.severity == Severity::Warn));
-    if failing {
+    let any_deny = report.findings.iter().any(|f| f.severity == Severity::Deny);
+    let warns_fail = if !deny_warnings {
+        false
+    } else if let Some(b) = &baseline {
+        let regressions = b.regressions(&report);
+        for r in &regressions {
+            eprintln!(
+                "riskpipe-lint: {}:{} warn count {} exceeds baseline {}",
+                r.rule, r.path, r.have, r.allowed
+            );
+        }
+        !regressions.is_empty()
+    } else {
+        report.findings.iter().any(|f| f.severity == Severity::Warn)
+    };
+    if any_deny || warns_fail {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

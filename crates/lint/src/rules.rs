@@ -15,9 +15,9 @@
 //! | S1   | `unsafe` without an adjacent `// SAFETY:` audit comment |
 //! | S2   | narrowing `as` casts inside codec/decode code |
 
-use crate::analysis::{FileModel, HashKind};
+use crate::analysis::{is_test_path, FileModel, HashKind};
 use crate::lexer::TokKind;
-use crate::{Config, RuleId};
+use crate::{Config, RuleId, TraceFrame};
 
 /// A finding before suppression processing.
 #[derive(Debug, Clone)]
@@ -25,6 +25,8 @@ pub struct RawFinding {
     pub rule: RuleId,
     pub line: u32,
     pub message: String,
+    /// Call-chain trace (C1 findings only; empty otherwise).
+    pub trace: Vec<TraceFrame>,
 }
 
 /// Function/closure/file-name markers that put code in D1's
@@ -88,7 +90,21 @@ const S2_SCOPE_MARKERS: &[&str] = &[
 /// How many lines above an `unsafe` token S1 searches for `SAFETY:`.
 const S1_WINDOW: u32 = 6;
 
-/// Run every rule over one analysed file.
+/// File/function-name markers that put code in C2's persistence scope.
+const C2_SCOPE_MARKERS: &[&str] = &[
+    "persist",
+    "store",
+    "durable",
+    "manifest",
+    "shard",
+    "snapshot",
+    "checkpoint",
+    "save",
+    "spill",
+];
+
+/// Run every rule over one analysed file. (C1 is the cross-file
+/// reachability rule and lives in [`crate::graph`].)
 pub fn run_all(model: &FileModel, cfg: &Config) -> Vec<RawFinding> {
     let mut out = Vec::new();
     d1_hash_iteration(model, &mut out);
@@ -97,6 +113,8 @@ pub fn run_all(model: &FileModel, cfg: &Config) -> Vec<RawFinding> {
     d4_entropy_rng(model, &mut out);
     s1_unsafe_audit(model, &mut out);
     s2_narrowing_casts(model, &mut out);
+    c2_raw_persistence_writes(model, cfg, &mut out);
+    w1_panic_paths(model, cfg, &mut out);
     out.sort_by_key(|a| (a.line, a.rule));
     out
 }
@@ -277,6 +295,7 @@ fn d1_check_for_loop(model: &FileModel, for_ci: usize) -> Option<RawFinding> {
              output — use a BTreeMap/BTreeSet or an explicit sorted drain",
             name_tok.text
         ),
+        trace: Vec::new(),
     })
 }
 
@@ -344,6 +363,7 @@ fn d1_check_method_chain(model: &FileModel, name_ci: usize) -> Option<RawFinding
              into a BTree, or sort the drained entries before use",
             name_tok.text, method.text
         ),
+        trace: Vec::new(),
     })
 }
 
@@ -425,6 +445,7 @@ fn d2_partial_cmp(model: &FileModel, out: &mut Vec<RawFinding>) {
                              `f64::total_cmp` (or `Ord` keys)",
                             t.text
                         ),
+                        trace: Vec::new(),
                     });
                     break;
                 }
@@ -467,6 +488,7 @@ fn d3_wall_clock(model: &FileModel, cfg: &Config, out: &mut Vec<RawFinding>) {
                  reading flows",
                 t.text
             ),
+            trace: Vec::new(),
         });
     }
 }
@@ -490,6 +512,7 @@ fn d4_entropy_rng(model: &FileModel, out: &mut Vec<RawFinding>) {
                  are replayable bit-for-bit",
                 t.text
             ),
+            trace: Vec::new(),
         });
     }
 }
@@ -527,6 +550,7 @@ fn s1_unsafe_audit(model: &FileModel, out: &mut Vec<RawFinding>) {
                  {S1_WINDOW} lines: every unsafe site must carry a written \
                  audit of the invariants that make it sound"
             ),
+            trace: Vec::new(),
         });
     }
 }
@@ -557,6 +581,112 @@ fn s2_narrowing_casts(model: &FileModel, out: &mut Vec<RawFinding>) {
                  provably fits",
                 target.text
             ),
+            trace: Vec::new(),
+        });
+    }
+}
+
+/// **C2** — raw filesystem writes in persistence paths outside the
+/// sanctioned durable module.
+///
+/// Every durable artifact must land via `riskpipe_tables::durable`
+/// (tmp file + `sync_all` + rename + parent fsync) or the sharded
+/// inflight-then-rename protocol built on it. A bare `fs::write`,
+/// `File::create`, or truncating `OpenOptions` in persistence code is
+/// a torn-write waiting for a crash. Scope: non-test code whose file
+/// stem or enclosing fn name marks it as persistence
+/// (persist/store/shard/manifest/…), excluding the durable module
+/// itself.
+fn c2_raw_persistence_writes(model: &FileModel, cfg: &Config, out: &mut Vec<RawFinding>) {
+    if cfg
+        .durable_modules
+        .iter()
+        .any(|m| model.path.contains(m.as_str()))
+        || is_test_path(&model.path)
+    {
+        return;
+    }
+    for ci in 0..model.code.len() {
+        let t = model.ct(ci).expect("in range");
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_path = |who: &str| {
+            ci >= 2
+                && model.ct(ci - 1).is_some_and(|u| u.is_punct("::"))
+                && model.ct(ci - 2).is_some_and(|u| u.is_ident(who))
+        };
+        let what = match t.text.as_str() {
+            "write" if prev_path("fs") => "`fs::write`",
+            "create" if prev_path("File") => "`File::create`",
+            "truncate"
+                if ci >= 1
+                    && model.ct(ci - 1).is_some_and(|u| u.is_punct("."))
+                    && model.ct(ci + 1).is_some_and(|u| u.is_punct("("))
+                    && model.ct(ci + 2).is_some_and(|u| u.is_ident("true")) =>
+            {
+                "truncating `OpenOptions`"
+            }
+            _ => continue,
+        };
+        if model.in_test_code(t.line) || !scoped_by_name(model, t.line, C2_SCOPE_MARKERS) {
+            continue;
+        }
+        out.push(RawFinding {
+            rule: RuleId::C2,
+            line: t.line,
+            message: format!(
+                "{what} in a persistence path outside `riskpipe_tables::durable`: \
+                 a crash mid-write leaves a torn artifact that the manifest may \
+                 still reference — route the bytes through `durable::write_atomic` \
+                 (or the inflight-then-rename shard protocol), or suppress with a \
+                 written crash-consistency proof"
+            ),
+            trace: Vec::new(),
+        });
+    }
+}
+
+/// **W1** — `unwrap`/`expect`/`panic!` in non-test library code of the
+/// serving-path crates (warn; ratcheted by the CI baseline).
+fn w1_panic_paths(model: &FileModel, cfg: &Config, out: &mut Vec<RawFinding>) {
+    if !cfg
+        .serving_crates
+        .iter()
+        .any(|p| model.path.starts_with(p.as_str()))
+        || is_test_path(&model.path)
+    {
+        return;
+    }
+    for ci in 0..model.code.len() {
+        let t = model.ct(ci).expect("in range");
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            m @ ("unwrap" | "expect")
+                if ci >= 1
+                    && model.ct(ci - 1).is_some_and(|u| u.is_punct("."))
+                    && model.ct(ci + 1).is_some_and(|u| u.is_punct("(")) =>
+            {
+                format!("`.{m}(..)`")
+            }
+            "panic" if model.ct(ci + 1).is_some_and(|u| u.is_punct("!")) => "`panic!`".to_string(),
+            _ => continue,
+        };
+        if model.in_test_code(t.line) {
+            continue;
+        }
+        out.push(RawFinding {
+            rule: RuleId::W1,
+            line: t.line,
+            message: format!(
+                "{what} in non-test library code of a serving-path crate: a \
+                 panic on the worker path aborts the whole pipeline (and poisons \
+                 shared state) — surface a typed error, or document the invariant \
+                 that makes the value infallible"
+            ),
+            trace: Vec::new(),
         });
     }
 }
@@ -627,6 +757,37 @@ mod tests {
         let src = "fn f() {\n    // SAFETY: slot i is exclusively owned here.\n\
                    unsafe { write(i) }\n}";
         assert!(findings_in("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn c2_fires_only_in_persistence_scope() {
+        let src = "fn persist_frame(dir: &Path, b: &[u8]) {\n\
+                   fs::write(dir.join(\"f.bin\"), b);\n}";
+        let f = findings_in("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::C2);
+        let src2 = "fn dump_debug(dir: &Path, b: &[u8]) {\n\
+                    fs::write(dir.join(\"f.bin\"), b);\n}";
+        assert!(findings_in("crates/x/src/a.rs", src2).is_empty());
+    }
+
+    #[test]
+    fn c2_exempts_the_durable_module_itself() {
+        let src = "fn persist_bytes(tmp: &Path) {\n    let f = File::create(tmp);\n}";
+        assert!(findings_in("crates/tables/src/durable.rs", src).is_empty());
+        assert_eq!(findings_in("crates/tables/src/shard.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn w1_scopes_to_serving_crate_library_code() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = findings_in("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::W1);
+        assert!(findings_in("crates/bench/src/x.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n\
+                        fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}";
+        assert!(findings_in("crates/core/src/x.rs", test_src).is_empty());
     }
 
     #[test]

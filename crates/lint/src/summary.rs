@@ -1,0 +1,525 @@
+//! Pass 1 of the workspace analysis: one [`FileSummary`] per file.
+//!
+//! The summary is everything the cross-file pass needs and nothing
+//! more: function/method definitions, call sites by name, `use`-alias
+//! pairs, blocking-primitive sites, and — crucially — closure bodies
+//! attached to the expression that spawns them. A closure handed to
+//! `Scope::spawn` or one of the `par_*` helpers *is* a pipeline task
+//! body, so it becomes its own graph node and a reachability root; a
+//! closure handed to `pool.scope(..)` runs inline on the calling
+//! thread and stays part of the enclosing function.
+//!
+//! Like everything in this crate the extraction is heuristic (no type
+//! inference), tuned so the graph *over*-approximates reachability:
+//! a false edge costs one audited suppression, a missed edge costs an
+//! invariant.
+
+use crate::analysis::{is_test_path, FileModel};
+use crate::lexer::TokKind;
+use crate::Config;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a function node is a reachability root (code that executes on
+/// pool workers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RootKind {
+    /// Closure handed to `Scope::spawn` — a queued pipeline task body.
+    SpawnClosure,
+    /// Closure handed to a `par_*` data-parallel helper (the helper
+    /// spawns it once per chunk).
+    ParClosure(String),
+    /// A function whose name marks it as worker-executed: sink
+    /// delivery (`accept`/`accept_shared`) and stage-1 builds.
+    RootFn,
+}
+
+impl RootKind {
+    pub fn describe(&self) -> String {
+        match self {
+            RootKind::SpawnClosure => "spawned task closure".to_string(),
+            RootKind::ParClosure(h) => format!("`{h}` task closure"),
+            RootKind::RootFn => "worker-executed fn".to_string(),
+        }
+    }
+}
+
+/// One call site inside a function body (name-based; resolution
+/// happens in the graph pass).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub name: String,
+    pub line: u32,
+}
+
+/// One blocking-primitive site inside a function body.
+#[derive(Debug, Clone)]
+pub struct BlockSite {
+    pub line: u32,
+    /// Human description, e.g. "`sleep_lock.lock()` (Mutex acquisition)".
+    pub what: String,
+}
+
+/// A function, method, or pool-task closure with its calls and
+/// blocking sites.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Link name — what call sites resolve against. Empty for
+    /// closures: nothing calls them by name.
+    pub name: String,
+    /// Display name for traces, e.g. "`run_stream`" or
+    /// "task closure in `run_stream`".
+    pub display: String,
+    pub line: u32,
+    pub is_test: bool,
+    pub root: Option<RootKind>,
+    pub calls: Vec<CallSite>,
+    pub blocking: Vec<BlockSite>,
+}
+
+/// Pass-1 product for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSummary {
+    pub path: String,
+    pub fns: Vec<FnNode>,
+    /// `use path::orig as alias;` → alias → orig (last segment only —
+    /// the graph links by bare name).
+    pub aliases: BTreeMap<String, String>,
+}
+
+/// Helpers whose closure argument executes on pool workers.
+const PAR_HELPERS: &[&str] = &["par_for", "par_map_collect", "par_chunks_mut", "par_reduce"];
+
+/// Condvar wait methods (all parking).
+const WAIT_METHODS: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_while",
+    "wait_timeout",
+    "wait_timeout_while",
+];
+
+/// Blocking channel receives (`try_recv` is non-blocking and exempt).
+const RECV_METHODS: &[&str] = &["recv", "recv_timeout", "recv_deadline"];
+
+/// Keywords and control-flow idents that look like calls but are not.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "fn", "let", "in", "as", "move", "mut", "ref",
+    "pub", "use", "mod", "impl", "struct", "enum", "trait", "type", "where", "unsafe", "const",
+    "static", "crate", "super", "else", "break", "continue", "dyn", "box", "await", "async",
+    "yield", "true", "false", "Some", "None", "Ok", "Err",
+];
+
+/// Extract the pass-1 summary from an analysed file.
+pub fn summarize(model: &FileModel, cfg: &Config) -> FileSummary {
+    let file_test = is_test_path(&model.path);
+    let rwlocks = rwlock_idents(model);
+    let mut fns: Vec<FnNode> = Vec::new();
+
+    enum Close {
+        Brace,
+        Paren,
+    }
+    struct Frame {
+        close: Close,
+        node: Option<usize>,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending_fn: Option<(String, u32)> = None;
+    let mut square_depth = 0i32;
+
+    let current_node =
+        |stack: &[Frame]| -> Option<usize> { stack.iter().rev().find_map(|f| f.node) };
+
+    let n = model.code.len();
+    for ci in 0..n {
+        let t = model.ct(ci).expect("in range").clone();
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "fn") => {
+                if let Some(name) = model.ct(ci + 1).filter(|u| u.kind == TokKind::Ident) {
+                    pending_fn = Some((name.text.clone(), name.line));
+                }
+            }
+            (TokKind::Punct, "[") => square_depth += 1,
+            (TokKind::Punct, "]") => square_depth -= 1,
+            (TokKind::Punct, ";")
+                if square_depth == 0
+                    && stack.last().is_none_or(|f| matches!(f.close, Close::Brace)) =>
+            {
+                // A trait-method signature without a body.
+                pending_fn = None;
+            }
+            (TokKind::Punct, "{") => {
+                let node = pending_fn.take().map(|(name, line)| {
+                    let is_test = file_test || model.in_test_code(line);
+                    let root = (!is_test && cfg.root_fns.iter().any(|r| r == &name))
+                        .then_some(RootKind::RootFn);
+                    fns.push(FnNode {
+                        display: format!("`{name}`"),
+                        name,
+                        line,
+                        is_test,
+                        root,
+                        calls: Vec::new(),
+                        blocking: Vec::new(),
+                    });
+                    fns.len() - 1
+                });
+                stack.push(Frame {
+                    close: Close::Brace,
+                    node,
+                });
+            }
+            (TokKind::Punct, "}") => {
+                while let Some(f) = stack.pop() {
+                    if matches!(f.close, Close::Brace) {
+                        break;
+                    }
+                }
+            }
+            (TokKind::Punct, "(") => {
+                // Was this paren opened by a call? `NAME (` with NAME
+                // not a keyword and not a definition (`fn NAME (`).
+                let mut node = None;
+                let prev_is_def = ci >= 2 && model.ct(ci - 2).is_some_and(|u| u.is_ident("fn"));
+                if let Some(prev) = ci.checked_sub(1).and_then(|j| model.ct(j)) {
+                    if prev.kind == TokKind::Ident
+                        && !prev_is_def
+                        && !NON_CALL_IDENTS.contains(&prev.text.as_str())
+                    {
+                        let callee = prev.text.clone();
+                        let is_method =
+                            ci >= 2 && model.ct(ci - 2).is_some_and(|u| u.is_punct("."));
+                        if let Some(ni) = current_node(&stack) {
+                            fns[ni].calls.push(CallSite {
+                                name: callee.clone(),
+                                line: prev.line,
+                            });
+                        }
+                        // Does this call's argument run on pool workers?
+                        let in_test = file_test || model.in_test_code(prev.line);
+                        let root = if in_test {
+                            None
+                        } else if is_method
+                            && callee == "spawn"
+                            && !stmt_back_has(model, ci - 1, &["thread", "Builder"])
+                        {
+                            Some(RootKind::SpawnClosure)
+                        } else if PAR_HELPERS.contains(&callee.as_str()) {
+                            Some(RootKind::ParClosure(callee.clone()))
+                        } else {
+                            None
+                        };
+                        if let Some(root) = root {
+                            let host = current_node(&stack)
+                                .map(|ni| fns[ni].display.clone())
+                                .unwrap_or_else(|| "top level".to_string());
+                            fns.push(FnNode {
+                                name: String::new(),
+                                display: format!("task closure in {host}"),
+                                line: prev.line,
+                                is_test: false,
+                                root: Some(root),
+                                calls: Vec::new(),
+                                blocking: Vec::new(),
+                            });
+                            node = Some(fns.len() - 1);
+                        }
+                    }
+                }
+                stack.push(Frame {
+                    close: Close::Paren,
+                    node,
+                });
+            }
+            (TokKind::Punct, ")") => {
+                while let Some(f) = stack.pop() {
+                    if matches!(f.close, Close::Paren) {
+                        break;
+                    }
+                }
+            }
+            (TokKind::Ident, _) => {
+                if file_test || model.in_test_code(t.line) {
+                    continue;
+                }
+                let Some(ni) = current_node(&stack) else {
+                    continue;
+                };
+                if let Some(site) = blocking_site(model, ci, &rwlocks) {
+                    fns[ni].blocking.push(site);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    FileSummary {
+        path: model.path.clone(),
+        fns,
+        aliases: use_aliases(model),
+    }
+}
+
+/// Is the code-token at `ci` a blocking-primitive site?
+fn blocking_site(model: &FileModel, ci: usize, rwlocks: &BTreeSet<String>) -> Option<BlockSite> {
+    let t = model.ct(ci)?;
+    let prev_dot = ci >= 1 && model.ct(ci - 1).is_some_and(|u| u.is_punct("."));
+    let argless = model.ct(ci + 1).is_some_and(|u| u.is_punct("("))
+        && model.ct(ci + 2).is_some_and(|u| u.is_punct(")"));
+    let called = model.ct(ci + 1).is_some_and(|u| u.is_punct("("));
+    let receiver = || -> String {
+        match ci.checked_sub(2).and_then(|j| model.ct(j)) {
+            Some(u) if u.kind == TokKind::Ident => u.text.clone(),
+            _ => "_".to_string(),
+        }
+    };
+    let what = match t.text.as_str() {
+        "lock" if prev_dot && argless => {
+            format!("`{}.lock()` (Mutex acquisition)", receiver())
+        }
+        "read" | "write" if prev_dot && argless && rwlocks.contains(&receiver()) => {
+            format!("`{}.{}()` (RwLock acquisition)", receiver(), t.text)
+        }
+        m if prev_dot && called && WAIT_METHODS.contains(&m) => {
+            format!("`.{m}(..)` (condvar wait)")
+        }
+        m if prev_dot && called && RECV_METHODS.contains(&m) => {
+            format!("`.{m}()` (blocking channel receive)")
+        }
+        "join" if prev_dot && argless => {
+            format!("`{}.join()` (thread join)", receiver())
+        }
+        "park"
+            if ci >= 2
+                && model.ct(ci - 1).is_some_and(|u| u.is_punct("::"))
+                && model.ct(ci - 2).is_some_and(|u| u.is_ident("thread")) =>
+        {
+            "`thread::park()`".to_string()
+        }
+        "scope" if prev_dot && called => "`.scope(..)` (nested pool scope)".to_string(),
+        _ => return None,
+    };
+    Some(BlockSite { line: t.line, what })
+}
+
+/// Does the statement containing code-token `ci` mention any of
+/// `idents` before `ci`? Used to tell an OS-thread
+/// `Builder::new()..spawn(..)` from a pool `scope.spawn(..)`.
+fn stmt_back_has(model: &FileModel, ci: usize, idents: &[&str]) -> bool {
+    let mut depth = 0i32;
+    for j in (0..ci).rev() {
+        let Some(t) = model.ct(j) else { break };
+        if t.kind == TokKind::Ident && idents.contains(&t.text.as_str()) {
+            return true;
+        }
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    return false; // start of the enclosing argument list
+                }
+                depth -= 1;
+            }
+            "{" | "}" | ";" if depth == 0 => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Identifiers bound to `RwLock` values in this file (annotation or
+/// initialiser mentions `RwLock` in the binding statement).
+fn rwlock_idents(model: &FileModel) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let n = model.code.len();
+    for ci in 0..n {
+        let Some(t) = model.ct(ci) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = match t.text.as_str() {
+            "let" => {
+                let mut j = ci + 1;
+                if model.ct(j).is_some_and(|u| u.is_ident("mut")) {
+                    j += 1;
+                }
+                match model.ct(j) {
+                    Some(u) if u.kind == TokKind::Ident => u.text.clone(),
+                    _ => continue,
+                }
+            }
+            _ => {
+                // `NAME : <type>` — fields and params.
+                if !model.ct(ci + 1).is_some_and(|u| u.is_punct(":")) {
+                    continue;
+                }
+                t.text.clone()
+            }
+        };
+        // Scan the rest of the binding region for `RwLock`.
+        for j in ci + 1..(ci + 32).min(n) {
+            let Some(u) = model.ct(j) else { break };
+            if u.kind == TokKind::Punct && (u.text == ";" || u.text == "{") {
+                break;
+            }
+            if u.is_ident("RwLock") {
+                out.insert(name);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Collect `A as B` pairs from `use` statements: alias → original.
+fn use_aliases(model: &FileModel) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let n = model.code.len();
+    let mut ci = 0usize;
+    while ci < n {
+        let Some(t) = model.ct(ci) else { break };
+        if !t.is_ident("use") {
+            ci += 1;
+            continue;
+        }
+        // Scan to the terminating `;`, recording `IDENT as IDENT`.
+        let mut j = ci + 1;
+        while j < n {
+            let Some(u) = model.ct(j) else { break };
+            if u.is_punct(";") {
+                break;
+            }
+            if u.is_ident("as") {
+                let orig = model.ct(j - 1).filter(|p| p.kind == TokKind::Ident);
+                let alias = model.ct(j + 1).filter(|p| p.kind == TokKind::Ident);
+                if let (Some(orig), Some(alias)) = (orig, alias) {
+                    out.insert(alias.text.clone(), orig.text.clone());
+                }
+            }
+            j += 1;
+        }
+        ci = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FileModel;
+    use crate::lexer::lex;
+
+    fn summary(path: &str, src: &str) -> FileSummary {
+        let model = FileModel::build(path, lex(src));
+        summarize(&model, &Config::default())
+    }
+
+    #[test]
+    fn spawn_closure_becomes_a_root_node() {
+        let s = summary(
+            "crates/x/src/a.rs",
+            "fn drive(pool: &ThreadPool) {\n\
+             pool.scope(|s| {\n    s.spawn(move || { work(); });\n});\n}",
+        );
+        let root = s
+            .fns
+            .iter()
+            .find(|f| f.root == Some(RootKind::SpawnClosure))
+            .expect("root node");
+        assert!(root.display.contains("drive"));
+        assert!(root.calls.iter().any(|c| c.name == "work"));
+        // `drive` itself is not a root; its nested `.scope(` is a
+        // blocking site attributed to `drive`.
+        let drive = s.fns.iter().find(|f| f.name == "drive").unwrap();
+        assert!(drive.root.is_none());
+        assert!(drive.blocking.iter().any(|b| b.what.contains("scope")));
+    }
+
+    #[test]
+    fn os_thread_spawn_is_not_a_root() {
+        let s = summary(
+            "crates/x/src/a.rs",
+            "fn start() {\n\
+             let h = std::thread::Builder::new().name(n).spawn(move || loop_fn()).unwrap();\n}",
+        );
+        assert!(s.fns.iter().all(|f| f.root.is_none()));
+    }
+
+    #[test]
+    fn par_helper_closures_are_roots() {
+        let s = summary(
+            "crates/x/src/a.rs",
+            "fn launch(pool: &ThreadPool, xs: &mut [u64]) {\n\
+             par_for(pool, xs, 1, |chunk| { handle(chunk); });\n}",
+        );
+        let root = s
+            .fns
+            .iter()
+            .find(|f| matches!(f.root, Some(RootKind::ParClosure(_))))
+            .expect("par root");
+        assert!(root.calls.iter().any(|c| c.name == "handle"));
+    }
+
+    #[test]
+    fn named_root_fns_and_blocking_sites() {
+        let s = summary(
+            "crates/x/src/sink.rs",
+            "fn accept(&mut self, r: Report) {\n    self.state.lock();\n}\n\
+             fn other(rx: &Receiver<u32>) {\n    let v = rx.recv();\n}",
+        );
+        let accept = s.fns.iter().find(|f| f.name == "accept").unwrap();
+        assert_eq!(accept.root, Some(RootKind::RootFn));
+        assert!(accept.blocking.iter().any(|b| b.what.contains("lock")));
+        let other = s.fns.iter().find(|f| f.name == "other").unwrap();
+        assert!(other.root.is_none());
+        assert!(other.blocking.iter().any(|b| b.what.contains("recv")));
+    }
+
+    #[test]
+    fn argful_join_is_path_join_not_blocking() {
+        let s = summary(
+            "crates/x/src/a.rs",
+            "fn f(dir: &Path, h: JoinHandle<()>) {\n\
+             let p = dir.join(\"x.bin\");\n    h.join();\n}",
+        );
+        let f = &s.fns[0];
+        assert_eq!(f.blocking.len(), 1);
+        assert!(f.blocking[0].what.contains("h.join()"));
+    }
+
+    #[test]
+    fn rwlock_read_write_only_on_registered_bindings() {
+        let s = summary(
+            "crates/x/src/a.rs",
+            "fn f(gate: &RwLock<u32>, file: &mut File) {\n\
+             let g = gate.read();\n    file.read();\n}",
+        );
+        let f = &s.fns[0];
+        assert_eq!(f.blocking.len(), 1);
+        assert!(f.blocking[0].what.contains("gate.read()"));
+    }
+
+    #[test]
+    fn use_alias_pairs_are_collected() {
+        let s = summary(
+            "crates/x/src/a.rs",
+            "use riskpipe_exec::par::{par_for as pfor, par_reduce};\nfn f() {}\n",
+        );
+        assert_eq!(s.aliases.get("pfor").map(String::as_str), Some("par_for"));
+    }
+
+    #[test]
+    fn test_code_has_no_roots_or_blocking_sites() {
+        let s = summary(
+            "crates/x/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n\
+             fn t(pool: &ThreadPool, m: &Mutex<u32>) {\n\
+             pool.scope(|s| { s.spawn(move || { m.lock(); }); });\n}\n}",
+        );
+        assert!(s.fns.iter().all(|f| f.root.is_none()));
+        assert!(s.fns.iter().all(|f| f.blocking.is_empty()));
+    }
+}

@@ -1,0 +1,9 @@
+// C1 clean fixture: the same blocking primitives as the firing pair,
+// but on the coordinator side — no pool-task root reaches them, so
+// the reachability pass stays silent.
+pub fn coordinator_drain(results: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    let mut buf = results.lock();
+    while let Ok(v) = rx.recv() {
+        buf.push(v);
+    }
+}

@@ -1,0 +1,10 @@
+// C1 firing fixture, leaf half: the blocking site, two calls below
+// the pool task spawned in c1_fire_root.rs. The lint must report the
+// full chain task closure → stage_kernel → gate_barrier → lock.
+pub fn stage_kernel(gate: &StageGate) {
+    gate_barrier(gate);
+}
+
+fn gate_barrier(gate: &StageGate) {
+    let _sync = gate.inner.lock();
+}

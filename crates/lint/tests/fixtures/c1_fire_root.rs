@@ -1,0 +1,11 @@
+// C1 firing fixture, root half: a pool task whose closure sits two
+// call hops above a blocking primitive defined in c1_fire_leaf.rs.
+// The two files are linted together by rule_fixtures.rs — never
+// compiled.
+pub fn drive(pool: &ThreadPool, gate: &StageGate) {
+    pool.scope(|scope| {
+        scope.spawn(move || {
+            stage_kernel(gate);
+        });
+    });
+}

@@ -1,0 +1,10 @@
+// C2 clean fixture: persistence code that routes every byte through
+// the durable layer — tmp + fsync + rename — so no raw write exists
+// for the rule to flag.
+pub fn persist_manifest(dir: &Path, bytes: &[u8]) -> RiskResult<()> {
+    durable::write_atomic(&dir.join("MANIFEST.txt"), bytes)
+}
+
+pub fn persist_snapshot(dir: &Path, rows: &[Row]) -> RiskResult<u64> {
+    durable::write_atomic_with(&dir.join("snapshot.rpt"), |w| encode_rows(w, rows))
+}

@@ -1,0 +1,9 @@
+// Suppression-binding regression fixture: an allow above an attribute
+// stack must bind to the decorated item, not to the attribute line.
+// Before the fix, the suppression below covered only `#[cfg(...)]`,
+// so the D4 on the fn fired AND the suppression reported as unused.
+// lint: allow(D4) — fixture: demo-only sampler seeded from entropy;
+// nothing downstream asserts determinism of its draws.
+#[cfg(feature = "demo")]
+#[inline]
+pub fn demo_sampler() -> f64 { thread_rng().gen() }

@@ -1,0 +1,12 @@
+// W1 firing fixture: panic paths in what rule_fixtures.rs presents as
+// serving-crate library code. The unwrap and the panic! both fire at
+// warn severity; the same source linted under a non-serving or test
+// path stays silent.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    let idx = (q * (xs.len() - 1) as f64).round() as usize;
+    let v = xs.get(idx).unwrap();
+    if !v.is_finite() {
+        panic!("non-finite quantile input");
+    }
+    *v
+}

@@ -9,7 +9,7 @@
 //! embedding them would put the violating tokens inside *this* file,
 //! which the workspace pass does scan.
 
-use riskpipe_lint::{lint_source, Config, Finding, RuleId, Severity};
+use riskpipe_lint::{lint_source, lint_sources, Config, Finding, RuleId, Severity};
 use std::path::Path;
 use std::process::Command;
 
@@ -152,11 +152,151 @@ fn s2_clean_checked_and_widening_casts_pass() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
+// ---------------------------------------------------------------- C1
+
+/// Lint the cross-file firing pair as two workspace files.
+fn lint_c1_pair() -> Vec<Finding> {
+    let files = vec![
+        (
+            "crates/app/src/drive.rs".to_string(),
+            fixture("c1_fire_root.rs"),
+        ),
+        (
+            "crates/app/src/gate.rs".to_string(),
+            fixture("c1_fire_leaf.rs"),
+        ),
+    ];
+    lint_sources(&files, &Config::default()).findings
+}
+
+#[test]
+fn c1_cross_file_chain_fires_two_hops_from_the_pool_task() {
+    let findings = lint_c1_pair();
+    let c1: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::C1).collect();
+    assert_eq!(c1.len(), 1, "{findings:?}");
+    let f = c1[0];
+    assert_eq!(f.severity, Severity::Deny);
+    // The finding anchors at the blocking site in the leaf file...
+    assert_eq!(f.path, "crates/app/src/gate.rs");
+    assert!(f.message.contains("2 hop(s)"), "{}", f.message);
+    // ...and carries the full chain: task closure → stage_kernel →
+    // gate_barrier → the lock itself.
+    assert_eq!(f.trace.len(), 4, "{:?}", f.trace);
+    assert_eq!(f.trace[0].path, "crates/app/src/drive.rs");
+    assert!(f.trace[0].name.contains("task closure"), "{:?}", f.trace);
+    assert!(f.trace[1].name.contains("stage_kernel"), "{:?}", f.trace);
+    assert!(f.trace[2].name.contains("gate_barrier"), "{:?}", f.trace);
+    assert!(f.trace[3].name.contains("lock"), "{:?}", f.trace);
+}
+
+#[test]
+fn c1_text_rendering_prints_the_call_chain() {
+    let findings = lint_c1_pair();
+    let text = findings
+        .iter()
+        .find(|f| f.rule == RuleId::C1)
+        .expect("C1 finding")
+        .to_string();
+    assert!(text.contains("chain: crates/app/src/drive.rs"), "{text}");
+    assert!(text.contains("-> crates/app/src/gate.rs"), "{text}");
+}
+
+#[test]
+fn c1_clean_coordinator_side_blocking_passes() {
+    let findings = lint_fixture("c1_clean.rs", "crates/app/src/drain.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn c1_root_in_a_test_path_is_exempt() {
+    // The same firing pair linted under a tests/ path spawns no roots,
+    // so the chain never forms.
+    let files = vec![
+        (
+            "crates/app/tests/drive.rs".to_string(),
+            fixture("c1_fire_root.rs"),
+        ),
+        (
+            "crates/app/tests/gate.rs".to_string(),
+            fixture("c1_fire_leaf.rs"),
+        ),
+    ];
+    let findings = lint_sources(&files, &Config::default()).findings;
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- C2
+
+#[test]
+fn c2_fires_on_raw_writes_in_persistence_scope() {
+    let findings = lint_fixture("c2_fire.rs", "crates/app/src/store.rs");
+    let c2: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::C2).collect();
+    assert_eq!(
+        c2.len(),
+        2,
+        "fs::write and .truncate(true) should both fire: {findings:?}"
+    );
+    assert!(c2.iter().all(|f| f.severity == Severity::Deny));
+}
+
+#[test]
+fn c2_clean_durable_routed_persistence_passes() {
+    let findings = lint_fixture("c2_clean.rs", "crates/app/src/store.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn c2_same_source_is_exempt_inside_the_durable_module() {
+    // The firing source, linted as the durable layer itself, is clean
+    // — the exemption is path-based, mirroring D3's timing modules.
+    let findings = lint_fixture("c2_fire.rs", "crates/tables/src/durable.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------- W1
+
+#[test]
+fn w1_warns_on_panic_paths_in_serving_crates() {
+    let findings = lint_fixture("w1_fire.rs", "crates/core/src/stats.rs");
+    let w1: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::W1).collect();
+    assert_eq!(
+        w1.len(),
+        2,
+        "the unwrap and the panic! should both warn: {findings:?}"
+    );
+    assert!(w1.iter().all(|f| f.severity == Severity::Warn));
+}
+
+#[test]
+fn w1_is_scoped_to_serving_crates_and_library_code() {
+    // Same source outside the serving set: silent.
+    let non_serving = lint_fixture("w1_fire.rs", "crates/catmodel/src/stats.rs");
+    assert!(non_serving.is_empty(), "{non_serving:?}");
+    // Same source in a test path of a serving crate: silent.
+    let test_path = lint_fixture("w1_fire.rs", "crates/core/tests/stats.rs");
+    assert!(test_path.is_empty(), "{test_path:?}");
+}
+
+#[test]
+fn w1_clean_total_function_passes() {
+    let findings = lint_fixture("w1_clean.rs", "crates/core/src/stats.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 // ------------------------------------------------------ suppressions
 
 #[test]
 fn reasoned_suppression_silences_exactly_its_site() {
     let findings = lint_fixture("suppressed.rs", "crates/app/src/demo.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn suppression_above_an_attribute_stack_binds_to_the_item() {
+    // Regression: the allow sits above `#[cfg(...)]`/`#[inline]`; it
+    // must skip the attributes and cover the decorated fn, so neither
+    // the D4 on the item nor an unused-suppression warning appears.
+    let findings = lint_fixture("sup_attr.rs", "crates/app/src/demo.rs");
     assert!(findings.is_empty(), "{findings:?}");
 }
 
@@ -189,7 +329,7 @@ fn cli_json_report_on_a_firing_fixture() {
         .expect("run riskpipe-lint");
     assert_eq!(out.status.code(), Some(1), "deny findings exit 1");
     let json = String::from_utf8(out.stdout).expect("utf8");
-    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"version\": 2"), "{json}");
     assert!(json.contains("\"rule\": \"D2\""), "{json}");
     assert!(json.contains("\"severity\": \"deny\""), "{json}");
     assert!(json.contains("tests/fixtures/d2_fire.rs"), "{json}");
@@ -227,6 +367,102 @@ fn cli_exits_nonzero_on_graduated_s2() {
         .output()
         .expect("run riskpipe-lint");
     assert_eq!(denied.status.code(), Some(1));
+}
+
+#[test]
+fn cli_json_v2_carries_the_c1_call_chain_trace() {
+    // The fixture pair must live under a src/ layout — tests/fixtures
+    // paths spawn no C1 roots — so stage a tiny workspace in tmp.
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("c1_cli");
+    let src = tmp.join("crates/app/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(src.join("drive.rs"), fixture("c1_fire_root.rs")).expect("write");
+    std::fs::write(src.join("gate.rs"), fixture("c1_fire_leaf.rs")).expect("write");
+    let out = bin()
+        .args([
+            "--root",
+            tmp.to_str().expect("utf8 path"),
+            "--json",
+            "crates",
+        ])
+        .output()
+        .expect("run riskpipe-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.contains("\"version\": 2"), "{json}");
+    assert!(json.contains("\"rule\": \"C1\""), "{json}");
+    assert!(json.contains("\"trace\": ["), "{json}");
+    assert!(
+        json.contains("\"path\": \"crates/app/src/drive.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"name\": \"`stage_kernel`\""), "{json}");
+}
+
+#[test]
+fn cli_baseline_ratchets_warn_findings() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("baseline");
+    std::fs::create_dir_all(&tmp).expect("mkdir");
+    let snapshot = tmp.join("lint-baseline.json");
+    let snapshot_arg = snapshot.to_str().expect("utf8 path");
+    // Snapshot the warn debt of the unused-suppression fixture...
+    let wrote = bin()
+        .args([
+            "--root",
+            root,
+            "--write-baseline",
+            snapshot_arg,
+            "tests/fixtures/sup_unused.rs",
+        ])
+        .output()
+        .expect("run riskpipe-lint");
+    assert_eq!(wrote.status.code(), Some(0), "{wrote:?}");
+    // ...which then passes --deny-warnings against its own baseline...
+    let ok = bin()
+        .args([
+            "--root",
+            root,
+            "--deny-warnings",
+            "--baseline",
+            snapshot_arg,
+            "tests/fixtures/sup_unused.rs",
+        ])
+        .output()
+        .expect("run riskpipe-lint");
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+    // ...while an empty baseline treats the same warns as regressions.
+    let empty = tmp.join("empty-baseline.json");
+    std::fs::write(&empty, "{\"version\": 1, \"entries\": []}\n").expect("write");
+    let denied = bin()
+        .args([
+            "--root",
+            root,
+            "--deny-warnings",
+            "--baseline",
+            empty.to_str().expect("utf8 path"),
+            "tests/fixtures/sup_unused.rs",
+        ])
+        .output()
+        .expect("run riskpipe-lint");
+    assert_eq!(denied.status.code(), Some(1), "{denied:?}");
+    let stderr = String::from_utf8(denied.stderr).expect("utf8");
+    assert!(stderr.contains("exceeds baseline"), "{stderr}");
+    // A malformed baseline is a usage error, not a silent pass.
+    let bad = tmp.join("bad-baseline.json");
+    std::fs::write(&bad, "{\"version\": 9}").expect("write");
+    let usage = bin()
+        .args([
+            "--root",
+            root,
+            "--deny-warnings",
+            "--baseline",
+            bad.to_str().expect("utf8 path"),
+            "tests/fixtures/sup_unused.rs",
+        ])
+        .output()
+        .expect("run riskpipe-lint");
+    assert_eq!(usage.status.code(), Some(2), "{usage:?}");
 }
 
 #[test]

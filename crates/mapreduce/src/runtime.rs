@@ -114,6 +114,9 @@ pub fn run_job<M: Mapper, R: Reducer>(
             Ok(())
         };
         if let Err(e) = task() {
+            // lint: allow(C1) — first-error capture: the mutex guards
+            // one Option write, is uncontended except when tasks fail
+            // simultaneously, and no holder blocks under it.
             let mut slot = map_errors.lock();
             if slot.is_none() {
                 *slot = Some(e);
@@ -156,6 +159,8 @@ pub fn run_job<M: Mapper, R: Reducer>(
         match task() {
             Ok(v) => v,
             Err(e) => {
+                // lint: allow(C1) — first-error capture, same bounded
+                // Option-write discipline as the map phase above.
                 let mut slot = reduce_errors.lock();
                 if slot.is_none() {
                     *slot = Some(e);

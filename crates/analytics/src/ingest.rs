@@ -91,7 +91,7 @@ impl WarehouseSink {
             layout,
             codec,
             cells: BTreeMap::new(),
-            pool: Arc::new(ThreadPool::new(2)),
+            pool: Arc::new(ThreadPool::try_new(2)?),
             work_dir: fresh_work_dir(),
             owns_work_dir: true,
             shards: 4,
@@ -141,6 +141,7 @@ impl WarehouseSink {
     /// path calls this per delivery; the rebuild path calls it per
     /// reloaded YLT — both produce bit-identical cells).
     pub fn ingest(&mut self, slot: usize, ylt: &Ylt) -> RiskResult<()> {
+        let _span = riskpipe_obs::span_key("warehouse.ingest", slot as u64);
         let dims = self.layout.slot_dims(slot)?;
         let agg = ylt.agg_losses();
         if agg.is_empty() {
@@ -182,6 +183,11 @@ impl WarehouseSink {
         self.stats.input_rows += job_stats.input_rows;
         self.stats.shuffle_records += job_stats.shuffle_records;
         self.stats.spill_bytes += job_stats.spill_bytes;
+        // Deterministic quantities only (the shuffle job records its
+        // own `shuffle.*` counters); ingestion order is input order,
+        // so these are bit-identical across thread counts.
+        riskpipe_obs::counter_add("warehouse.reports", 1);
+        riskpipe_obs::counter_add("warehouse.trials", agg.len() as u64);
         Ok(())
     }
 

@@ -272,6 +272,15 @@ impl WarehouseOutcome {
         self.sweep.persisted()
     }
 
+    /// The sweep's telemetry snapshot, when the session was built with
+    /// a telemetry handle (forward of [`SweepOutcome::telemetry`]).
+    /// Warehouse ingestion spans (`warehouse.ingest`, `shuffle.map`,
+    /// `shuffle.reduce`) appear here because ingestion rides the
+    /// sweep's delivery path.
+    pub fn telemetry(&self) -> Option<&riskpipe_obs::TelemetrySnapshot> {
+        self.sweep.telemetry()
+    }
+
     /// The queryable warehouse.
     pub fn drilldown(&self) -> &Drilldown {
         &self.drilldown

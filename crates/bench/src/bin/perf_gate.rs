@@ -16,7 +16,11 @@
 //! scale all with `PERF_GATE_SCALE` (a float multiplier, e.g. `2` on
 //! slow runners). The fan-out check additionally asserts its overhead
 //! against a single-sink run of the same sweep
-//! (`PERF_GATE_FANOUT_MAX_OVERHEAD`, default 3.0x plus 2 s slack).
+//! (`PERF_GATE_FANOUT_MAX_OVERHEAD`, default 3.0x plus 2 s slack), and
+//! the obs check asserts a telemetry-armed run against a bare one
+//! (`PERF_GATE_OBS_MAX_OVERHEAD`, default 1.03x plus 1 s slack),
+//! optionally writing the armed run's chrome-trace export to
+//! `PERF_GATE_TRACE_OUT` for the nightly artifact.
 //!
 //! **Relative gating:** set `PERF_GATE_HISTORY=<path>` to a CSV file
 //! persisted across runs (the nightly workflow carries it in the
@@ -179,6 +183,65 @@ fn check_fanout() -> f64 {
     fanout_s
 }
 
+/// The observability overhead check: the same model-heavy e12 shape
+/// once bare and once with the flight recorder armed. A span site is
+/// one thread-local read and a branch when nothing is installed and a
+/// bounded buffer push when armed, so the armed run must stay within a
+/// few percent of the bare one (`PERF_GATE_OBS_MAX_OVERHEAD`, default
+/// 1.03x, plus 1 s slack for runner noise) — and must not perturb the
+/// pooled numbers by a single bit. With `PERF_GATE_TRACE_OUT=<path>`
+/// the armed run's chrome-trace export is written there (the nightly
+/// workflow uploads it as an artifact).
+fn check_obs_overhead() -> f64 {
+    let sweep = pricing_sweep(model_heavy_small(0x0B5, 500), 8);
+
+    let session = RiskSession::builder().pool_threads(4).build().unwrap();
+    let t0 = Instant::now();
+    let bare = session.sweep(&sweep).summary().drive().unwrap();
+    let bare_s = t0.elapsed().as_secs_f64();
+    let bare_summary = bare.into_summary().unwrap();
+
+    let telemetry = riskpipe_obs::Telemetry::new();
+    let session = RiskSession::builder()
+        .pool_threads(4)
+        .telemetry(telemetry.clone())
+        .build()
+        .unwrap();
+    let t0 = Instant::now();
+    let armed = session.sweep(&sweep).summary().drive().unwrap();
+    let armed_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        armed.summary().unwrap().pooled_tvar99().unwrap().to_bits(),
+        bare_summary.pooled_tvar99().unwrap().to_bits(),
+        "telemetry must not perturb pooled analytics"
+    );
+    let snap = armed.telemetry().unwrap();
+    assert_eq!(
+        snap.spans_named("stage2.engine").count(),
+        8,
+        "the armed run must have recorded every scenario"
+    );
+    assert_eq!(snap.metrics().counter("stage2.scenarios"), 8);
+
+    if let Ok(path) = std::env::var("PERF_GATE_TRACE_OUT") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, snap.to_chrome_trace()) {
+            Ok(()) => println!("chrome trace written to {path}"),
+            Err(e) => eprintln!("warning: could not write chrome trace to {path}: {e}"),
+        }
+    }
+
+    let max_overhead = env_f64("PERF_GATE_OBS_MAX_OVERHEAD", 1.03);
+    assert!(
+        armed_s <= bare_s * max_overhead + 1.0,
+        "telemetry overhead regressed: armed {armed_s:.2}s vs bare {bare_s:.2}s"
+    );
+    armed_s
+}
+
 /// Prior samples per check from the history CSV (`check,seconds`
 /// lines; unparseable lines are ignored).
 fn load_history(path: &str) -> Vec<(String, f64)> {
@@ -210,7 +273,7 @@ fn main() {
         .map(load_history)
         .unwrap_or_default();
 
-    let checks: [Check; 4] = [
+    let checks: [Check; 5] = [
         (
             "sweep_cache (e11 shape)",
             check_sweep_cache,
@@ -230,6 +293,11 @@ fn main() {
             "drilldown (e13 shape)",
             check_drilldown,
             env_f64("PERF_GATE_DRILLDOWN_BUDGET_S", 120.0),
+        ),
+        (
+            "obs_overhead (e12 shape)",
+            check_obs_overhead,
+            env_f64("PERF_GATE_OBS_BUDGET_S", 60.0),
         ),
     ];
     let mut failed = false;

@@ -411,6 +411,46 @@ pub struct Stage1CacheStats {
     /// Entries written through to the disk tier (one per successful
     /// build while the tier is attached).
     pub disk_writes: u64,
+    /// Build timings aged out of the fixed-capacity timing ring
+    /// ([`RiskSessionBuilder::stage1_timing_capacity`]) — when this is
+    /// non-zero, [`RiskSession::stage1_build_timings`] no longer covers
+    /// every build the session ever ran, only the most recent ones.
+    pub timing_drops: u64,
+}
+
+/// Fixed-capacity retention of recent per-key build timings. A
+/// long-lived session builds stage 1 indefinitely; recording one
+/// timing per build forever is an unbounded leak, so the ring keeps
+/// the most recent `capacity` builds and counts what it ages out
+/// (surfaced through [`Stage1CacheStats::timing_drops`] and the
+/// `stage1.timing_drops` telemetry counter).
+struct TimingRing {
+    capacity: usize,
+    /// `(stage1 key, build nanos)`, oldest first.
+    entries: VecDeque<(u64, u64)>,
+    dropped: u64,
+}
+
+impl TimingRing {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, key: u64, nanos: u64) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((key, nanos));
+    }
 }
 
 /// One key's cache entry. `Building` marks an in-progress build so
@@ -431,9 +471,6 @@ struct CacheSlot {
     /// readable without the state lock so budget enforcement under the
     /// index lock never orders against a slot lock.
     bytes: AtomicUsize,
-    /// Wall time of the build that published this slot, in
-    /// nanoseconds (0 while `Building`).
-    build_nanos: AtomicU64,
 }
 
 #[derive(Default)]
@@ -540,6 +577,8 @@ struct Stage1Cache {
     /// processes (see [`DiskStage1Cache`]).
     disk: Option<DiskStage1Cache>,
     index: Mutex<CacheIndex>,
+    /// Recent per-key build timings, bounded (see [`TimingRing`]).
+    timings: Mutex<TimingRing>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -550,12 +589,18 @@ struct Stage1Cache {
 }
 
 impl Stage1Cache {
-    fn new(capacity: usize, budget_bytes: Option<u64>, disk: Option<DiskStage1Cache>) -> Self {
+    fn new(
+        capacity: usize,
+        budget_bytes: Option<u64>,
+        disk: Option<DiskStage1Cache>,
+        timing_capacity: usize,
+    ) -> Self {
         Self {
             capacity,
             budget_bytes,
             disk,
             index: Mutex::new(CacheIndex::default()),
+            timings: Mutex::new(TimingRing::new(timing_capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -611,14 +656,14 @@ impl Stage1Cache {
     ) -> RiskResult<Arc<Stage1Output>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            riskpipe_obs::counter_add("stage1.misses", 1);
             // The disk tier is independent of the RAM cache: with
             // capacity 0 every lookup misses RAM, but a warm tier
             // still avoids the rebuild.
             if let Some(output) = self.disk_load(key)? {
                 return Ok(Arc::new(output));
             }
-            let (output, _) = self.timed_build(build)?;
-            let output = Arc::new(output);
+            let output = Arc::new(self.timed_build(key, build)?);
             self.disk_store(key, &output)?;
             return Ok(output);
         }
@@ -655,6 +700,7 @@ impl Stage1Cache {
             match &*state {
                 SlotState::Ready(output) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    riskpipe_obs::counter_add("stage1.hits", 1);
                     return Ok(Arc::clone(output));
                 }
                 SlotState::Building => {} // redundant build below
@@ -662,6 +708,7 @@ impl Stage1Cache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        riskpipe_obs::counter_add("stage1.misses", 1);
         // RAM missed; a complete disk entry serves the slot without a
         // build (bit-identical — stage 1 is a pure function of the
         // key, and the codec round trip is exact).
@@ -690,23 +737,22 @@ impl Stage1Cache {
                 return Err(e);
             }
         }
-        let built = self.timed_build(build).and_then(|(output, nanos)| {
+        let built = self.timed_build(key, build).and_then(|output| {
             let output = Arc::new(output);
             // Write through before publishing, so a disk-tier error
             // takes the same retry path as a failed build instead of
             // leaving RAM and disk disagreeing.
             self.disk_store(key, &output)?;
-            Ok((output, nanos))
+            Ok(output)
         });
         match built {
-            Ok((output, nanos)) => {
+            Ok(output) => {
                 // lint: allow(C1) — tag-only publish after an unlocked
                 // build; bounded critical section, no nested waits.
                 let mut state = slot.state.lock();
                 if !matches!(*state, SlotState::Ready(_)) {
                     *state = SlotState::Ready(Arc::clone(&output));
                     slot.bytes.store(output.memory_bytes(), Ordering::Relaxed);
-                    slot.build_nanos.store(nanos, Ordering::Relaxed);
                 }
                 drop(state);
                 self.enforce_byte_budget(key);
@@ -737,6 +783,7 @@ impl Stage1Cache {
         match disk.load(key) {
             Ok(Some(output)) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                riskpipe_obs::counter_add("stage1.disk_hits", 1);
                 Ok(Some(output))
             }
             Ok(None) => Ok(None),
@@ -753,24 +800,39 @@ impl Stage1Cache {
         if let Some(disk) = &self.disk {
             disk.store(key, output)?;
             self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            riskpipe_obs::counter_add("stage1.disk_writes", 1);
         }
         Ok(())
     }
 
     /// Run `build` under a wall clock, feeding the cumulative
-    /// build-time counter.
+    /// build-time counter and the bounded timing ring.
     fn timed_build(
         &self,
+        key: u64,
         build: impl FnOnce() -> RiskResult<Stage1Output>,
-    ) -> RiskResult<(Stage1Output, u64)> {
+    ) -> RiskResult<Stage1Output> {
+        let _build_span = riskpipe_obs::span_key("stage1.build", key);
         // lint: allow(D3) — reading flows only into the cumulative
-        // build_nanos stats counter, never into model output.
+        // build_nanos stats counter and the diagnostic timing ring,
+        // never into model output.
         let t0 = Instant::now();
         let output = build()?;
         let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         self.build_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.builds.fetch_add(1, Ordering::Relaxed);
-        Ok((output, nanos))
+        riskpipe_obs::counter_add("stage1.builds", 1);
+        let newly_dropped = {
+            // lint: allow(C1) — timing-ring mutex guards a bounded
+            // deque push; no holder blocks or enqueues pool work under
+            // it, so the wait is bounded by another push.
+            let mut ring = self.timings.lock();
+            let before = ring.dropped;
+            ring.push(key, nanos);
+            ring.dropped - before
+        };
+        riskpipe_obs::counter_add("stage1.timing_drops", newly_dropped);
+        Ok(output)
     }
 
     /// Evict least-recently-used published entries until the retained
@@ -827,23 +889,23 @@ impl Stage1Cache {
             builds: self.builds.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            timing_drops: self.timings.lock().dropped,
         }
     }
 
-    /// Per-key wall time of each retained entry's publishing build,
-    /// sorted by key.
+    /// Per-key wall time of recent builds from the bounded timing
+    /// ring, most recent build per key, sorted by key.
     fn build_timings(&self) -> Vec<(u64, Duration)> {
-        let index = self.index.lock();
-        let mut out: Vec<(u64, Duration)> = index
-            .map
-            .iter()
-            .filter_map(|(&k, slot)| {
-                let nanos = slot.build_nanos.load(Ordering::Relaxed);
-                (nanos > 0).then(|| (k, Duration::from_nanos(nanos)))
-            })
-            .collect();
-        out.sort_by_key(|&(k, _)| k);
-        out
+        let ring = self.timings.lock();
+        let mut latest: BTreeMap<u64, u64> = BTreeMap::new();
+        for &(key, nanos) in &ring.entries {
+            // Entries are oldest-first, so the last write per key wins.
+            latest.insert(key, nanos);
+        }
+        latest
+            .into_iter()
+            .map(|(key, nanos)| (key, Duration::from_nanos(nanos)))
+            .collect()
     }
 
     fn clear(&self) {
@@ -854,6 +916,11 @@ impl Stage1Cache {
 // ---------------------------------------------------------------------
 // The session.
 // ---------------------------------------------------------------------
+
+/// Fixed bucket bounds for the `stage2.trials` histogram (trial
+/// counts; last bucket is overflow). Fixed so snapshots are comparable
+/// across runs and mergeable across registries.
+const STAGE2_TRIALS_BOUNDS: &[u64] = &[1_000, 10_000, 100_000, 1_000_000, 10_000_000];
 
 enum PoolChoice {
     Sized(usize),
@@ -872,6 +939,8 @@ pub struct RiskSessionBuilder {
     stage1_capacity: usize,
     stage1_bytes: Option<u64>,
     stage1_disk_dir: Option<PathBuf>,
+    stage1_timing_capacity: usize,
+    telemetry: Option<riskpipe_obs::Telemetry>,
 }
 
 impl Default for RiskSessionBuilder {
@@ -886,6 +955,8 @@ impl Default for RiskSessionBuilder {
             stage1_capacity: RiskSession::DEFAULT_STAGE1_CACHE_CAPACITY,
             stage1_bytes: None,
             stage1_disk_dir: None,
+            stage1_timing_capacity: RiskSession::DEFAULT_STAGE1_TIMING_CAPACITY,
+            telemetry: None,
         }
     }
 }
@@ -992,6 +1063,37 @@ impl RiskSessionBuilder {
         self
     }
 
+    /// Retain at most `capacity` recent stage-1 build timings for
+    /// [`RiskSession::stage1_build_timings`] (default
+    /// [`RiskSession::DEFAULT_STAGE1_TIMING_CAPACITY`]; 0 retains
+    /// none). A long-lived session builds stage 1 indefinitely, so
+    /// retention is a ring: the oldest timing ages out first, and
+    /// aged-out timings are counted in
+    /// [`Stage1CacheStats::timing_drops`] (and the
+    /// `stage1.timing_drops` telemetry counter) so capacity planning
+    /// knows the view is partial.
+    pub fn stage1_timing_capacity(mut self, capacity: usize) -> Self {
+        self.stage1_timing_capacity = capacity;
+        self
+    }
+
+    /// Attach a telemetry handle ([`riskpipe_obs::Telemetry`]): every
+    /// `run`/`run_stream`/sweep on the built session records spans
+    /// (stage-1 builds and cache tiers, stage-2 engine execution,
+    /// stage-3 DFA, per-consumer sink delivery, durable writes) and
+    /// deterministic counters into it, and a driven
+    /// [`SweepPlan`](crate::SweepPlan) snapshots it into
+    /// [`SweepOutcome::telemetry`](crate::SweepOutcome::telemetry).
+    /// Without this call the session records nothing and every
+    /// instrumentation site compiles to a thread-local read and a
+    /// branch. Timings in spans are diagnostic only — loss numerics
+    /// never read them — and all registry metrics are deterministic
+    /// quantities, bit-identical across thread counts.
+    pub fn telemetry(mut self, telemetry: riskpipe_obs::Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Build the session.
     ///
     /// # Errors
@@ -1015,9 +1117,9 @@ impl RiskSessionBuilder {
             ));
         }
         let pool = match self.pool {
-            PoolChoice::Sized(n) => Arc::new(ThreadPool::new(n)),
+            PoolChoice::Sized(n) => Arc::new(ThreadPool::try_new(n)?),
             PoolChoice::Shared(pool) => pool,
-            PoolChoice::Default => Arc::new(ThreadPool::default()),
+            PoolChoice::Default => Arc::new(ThreadPool::try_default()?),
         };
         let store = match (self.store, self.strategy) {
             (Some(store), _) => store,
@@ -1032,8 +1134,14 @@ impl RiskSessionBuilder {
             pool,
             store,
             company: self.company,
-            stage1: Stage1Cache::new(self.stage1_capacity, self.stage1_bytes, disk),
+            stage1: Stage1Cache::new(
+                self.stage1_capacity,
+                self.stage1_bytes,
+                disk,
+                self.stage1_timing_capacity,
+            ),
             runs: AtomicU64::new(0),
+            telemetry: self.telemetry,
         })
     }
 }
@@ -1050,12 +1158,19 @@ pub struct RiskSession {
     /// Completed `run`/`run_batch`/`run_stream` calls — sequences
     /// [`RunLabel::run`] so a long-lived session's spills never collide.
     runs: AtomicU64,
+    /// Telemetry handle attached at build time; installed as the
+    /// calling thread's context for the duration of each run/sweep.
+    telemetry: Option<riskpipe_obs::Telemetry>,
 }
 
 impl RiskSession {
     /// Default number of distinct stage-1 model runs a session retains
     /// (see [`RiskSessionBuilder::stage1_cache_capacity`]).
     pub const DEFAULT_STAGE1_CACHE_CAPACITY: usize = 8;
+
+    /// Default number of recent stage-1 build timings retained (see
+    /// [`RiskSessionBuilder::stage1_timing_capacity`]).
+    pub const DEFAULT_STAGE1_TIMING_CAPACITY: usize = 256;
 
     /// Start configuring a session.
     pub fn builder() -> RiskSessionBuilder {
@@ -1088,6 +1203,19 @@ impl RiskSession {
     /// through unless the plan overrides it.
     pub fn store(&self) -> Arc<dyn IntermediateStore> {
         Arc::clone(&self.store)
+    }
+
+    /// The telemetry handle attached at build time
+    /// ([`RiskSessionBuilder::telemetry`]), if any.
+    pub fn telemetry(&self) -> Option<&riskpipe_obs::Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Install the session's telemetry (when attached) as the calling
+    /// thread's current context for the guard's lifetime — pool tasks
+    /// spawned while it is installed inherit it.
+    pub(crate) fn install_telemetry(&self) -> Option<riskpipe_obs::ContextGuard> {
+        self.telemetry.as_ref().map(riskpipe_obs::install)
     }
 
     /// The stage-1 cache's hit/miss counters.
@@ -1123,6 +1251,8 @@ impl RiskSession {
 
     /// Run one scenario through all three stages.
     pub fn run(&self, scenario: &ScenarioConfig) -> RiskResult<PipelineReport> {
+        let _obs = self.install_telemetry();
+        let _span = riskpipe_obs::span("session.run");
         let run = self.next_run_id();
         self.execute(scenario, None, run)
     }
@@ -1175,6 +1305,11 @@ impl RiskSession {
         if n == 0 {
             return Ok(0);
         }
+        // Scope the session's telemetry over the whole sweep: the
+        // coordinator runs on this thread, and `Scope::spawn` hands the
+        // installed context to every per-scenario pool task.
+        let _obs = self.install_telemetry();
+        let _sweep_span = riskpipe_obs::span_key("sweep.run_stream", n as u64);
         let run = self.next_run_id();
         let width = self.pool.thread_count().min(n);
         let keys: Vec<u64> = scenarios.iter().map(|s| s.stage1_key()).collect();
@@ -1214,6 +1349,7 @@ impl RiskSession {
                 let state = &state;
                 let completed = &completed;
                 scope.spawn(move || {
+                    let _scenario_span = riskpipe_obs::span_key("sweep.scenario", i as u64);
                     let result = self
                         .acquire_stage1(key, scenario)
                         .and_then(|(output, stage1)| {
@@ -1341,6 +1477,10 @@ impl RiskSession {
                 // manifest, so an interrupted sweep stays detectably
                 // incomplete rather than readable-but-short.
                 sink.finish()?;
+                // Deterministic on success (delivered == n); errors
+                // skip it, so thread-count-dependent abort points never
+                // leak into the registry.
+                riskpipe_obs::counter_add("sweep.delivered", delivered as u64);
                 Ok(delivered)
             }
         }
@@ -1357,6 +1497,7 @@ impl RiskSession {
     pub fn stream(self: &Arc<Self>, scenarios: Vec<ScenarioConfig>) -> ReportStream {
         let session = Arc::clone(self);
         let (tx, rx) = std::sync::mpsc::sync_channel(self.pool.thread_count().max(1));
+        let err_tx = tx.clone();
         let worker = std::thread::Builder::new()
             .name("riskpipe-stream".into())
             .spawn(move || {
@@ -1369,11 +1510,21 @@ impl RiskSession {
                     // means the consumer is gone.
                     let _ = tx.send(Err(e));
                 }
-            })
-            .expect("failed to spawn stream worker thread");
+            });
+        let worker = match worker {
+            Ok(handle) => Some(handle),
+            Err(e) => {
+                // The OS refused the worker thread: deliver the
+                // failure in-band as the stream's one item instead of
+                // panicking — the iterator yields `Err` and ends,
+                // exactly like a sweep that aborted on its first slot.
+                let _ = err_tx.send(Err(e.into()));
+                None
+            }
+        };
         ReportStream {
             rx: Some(rx),
-            worker: Some(worker),
+            worker,
         }
     }
 
@@ -1420,6 +1571,7 @@ impl RiskSession {
         key: u64,
         scenario: &ScenarioConfig,
     ) -> RiskResult<(Arc<Stage1Output>, StageTiming)> {
+        let _span = riskpipe_obs::span_key("stage1.acquire", key);
         // lint: allow(D3) — reading flows only into the StageTiming
         // diagnostic attached to the report, never into loss numerics.
         let t0 = Instant::now();
@@ -1444,6 +1596,8 @@ impl RiskSession {
         stage1: StageTiming,
     ) -> RiskResult<PipelineReport> {
         let bundle: Stage1Bundle = scenario.bundle_from_output(output)?;
+        // Span keys: the sweep slot when streaming, 0 for single runs.
+        let span_key = slot.map_or(0, |s| s as u64);
 
         // ---------------- stage 2: aggregate analysis ----------------
         // lint: allow(D3) — reading flows only into the stage-2
@@ -1451,31 +1605,43 @@ impl RiskSession {
         let t0 = Instant::now();
         let portfolio = bundle.portfolio();
         let yet = bundle.year_event_table();
-        let ylt = self.runner.run(&portfolio, &yet)?;
+        let ylt = {
+            let _engine_span = riskpipe_obs::span_key("stage2.engine", span_key);
+            self.runner.run(&portfolio, &yet)?
+        };
 
         // Materialise the YELT for the first book under the configured
         // store (the drill-down table; at scale this is the artifact
         // that decides memory vs files).
         let yelt = Yelt::from_yet_elt(&yet, &bundle.output.books[0].elt);
-        let yelt_file_bytes = self.store.persist_yelt(
-            RunLabel {
-                scenario: &scenario.name,
-                slot,
-                run,
-            },
-            &yelt,
-        )?;
+        let yelt_file_bytes = {
+            let _persist_span = riskpipe_obs::span_key("stage2.persist_yelt", span_key);
+            self.store.persist_yelt(
+                RunLabel {
+                    scenario: &scenario.name,
+                    slot,
+                    run,
+                },
+                &yelt,
+            )?
+        };
         let stage2 = StageTiming {
             stage: 2,
             elapsed: t0.elapsed(),
         };
+        riskpipe_obs::counter_add("stage2.scenarios", 1);
+        riskpipe_obs::counter_add("stage2.yelt_rows", yelt.rows() as u64);
+        riskpipe_obs::histogram_record("stage2.trials", STAGE2_TRIALS_BOUNDS, ylt.trials() as u64);
 
         // ---------------- stage 3: DFA ----------------
         // lint: allow(D3) — reading flows only into the stage-3
         // StageTiming diagnostic, never into loss numerics.
         let t0 = Instant::now();
         let dfa = DfaEngine::typical(self.company);
-        let dfa_result = dfa.run(&ylt, scenario.seed ^ 0xDFA)?;
+        let dfa_result = {
+            let _dfa_span = riskpipe_obs::span_key("stage3.dfa", span_key);
+            dfa.run(&ylt, scenario.seed ^ 0xDFA)?
+        };
         let stage3 = StageTiming {
             stage: 3,
             elapsed: t0.elapsed(),
@@ -1523,6 +1689,7 @@ impl std::fmt::Debug for RiskSession {
             .field("store", &self.store_name())
             .field("pool_threads", &self.pool.thread_count())
             .field("stage1_cache", &self.stage1.stats())
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }

@@ -331,12 +331,23 @@ where
     B: ReportSink,
 {
     fn accept(&mut self, slot: usize, report: PipelineReport) -> RiskResult<()> {
-        self.first.accept_shared(slot, &report)?;
+        // Tee legs get spans but no delivery counter: a tee often
+        // wraps a FanoutSink (whose members count themselves), and
+        // double-counting would make `sink.deliveries` meaningless.
+        {
+            let _span = riskpipe_obs::span_key("sink.tee", 0);
+            self.first.accept_shared(slot, &report)?;
+        }
+        let _span = riskpipe_obs::span_key("sink.tee", 1);
         self.second.accept(slot, report)
     }
 
     fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
-        self.first.accept_shared(slot, report)?;
+        {
+            let _span = riskpipe_obs::span_key("sink.tee", 0);
+            self.first.accept_shared(slot, report)?;
+        }
+        let _span = riskpipe_obs::span_key("sink.tee", 1);
         self.second.accept_shared(slot, report)
     }
 
@@ -407,14 +418,24 @@ impl ReportSink for FanoutSink<'_> {
         // A single attached sink gets ownership outright so even
         // clone-fallback sinks pay nothing for riding a fan-out alone.
         if self.sinks.len() == 1 {
-            return self.sinks[0].accept(slot, report);
+            let _span = riskpipe_obs::span_key("sink.deliver", 0);
+            self.sinks[0].accept(slot, report)?;
+            riskpipe_obs::counter_add("sink.deliveries", 1);
+            return Ok(());
         }
         self.accept_shared(slot, &report)
     }
 
     fn accept_shared(&mut self, slot: usize, report: &PipelineReport) -> RiskResult<()> {
-        for sink in &mut self.sinks {
+        for (i, sink) in self.sinks.iter_mut().enumerate() {
+            // One span and one delivery count per consumer (span key =
+            // attachment index), so a sweep's flame view shows which
+            // consumer backpressures delivery. Counted after the sink
+            // returns: failed deliveries abort the sweep, so the
+            // counter stays deterministic across thread counts.
+            let _span = riskpipe_obs::span_key("sink.deliver", i as u64);
             sink.accept_shared(slot, report)?;
+            riskpipe_obs::counter_add("sink.deliveries", 1);
         }
         Ok(())
     }

@@ -56,6 +56,7 @@ impl DiskStage1Cache {
     /// recorded under a different key — callers decide whether to
     /// surface that or self-heal via [`DiskStage1Cache::remove`].
     pub fn load(&self, key: u64) -> RiskResult<Option<Stage1Output>> {
+        let _span = riskpipe_obs::span_key("stage1.disk.load", key);
         let path = self.path_for(key);
         let data = match fs::read(&path) {
             Ok(data) => data,
@@ -77,8 +78,10 @@ impl DiskStage1Cache {
     /// Durably store `output` under `key` (atomic replace). Returns the
     /// encoded size in bytes.
     pub fn store(&self, key: u64, output: &Stage1Output) -> RiskResult<u64> {
+        let _span = riskpipe_obs::span_key("stage1.disk.store", key);
         let bytes = stage1io::encode_stage1(key, output);
         durable::write_atomic(&self.path_for(key), &bytes)?;
+        riskpipe_obs::counter_add("stage1.disk_bytes", bytes.len() as u64);
         Ok(bytes.len() as u64)
     }
 

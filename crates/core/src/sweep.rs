@@ -183,6 +183,13 @@ impl<'s> SweepPlan<'s> {
         let scenarios = self.scenarios;
         let want_summary = self.summary.is_some();
 
+        // Install the session's telemetry over the whole drive so the
+        // outcome's snapshot covers plan composition and sink teardown,
+        // not just the streaming core (which installs it again,
+        // harmlessly nested, for direct `run_stream` callers).
+        let _obs = session.install_telemetry();
+        let drive_span = riskpipe_obs::span_key("sweep.drive", scenarios.len() as u64);
+
         // When both pooled analytics and persistence are requested,
         // the persisting sink's embedded summary serves the summary
         // request — exactly the hand-composed `PersistingSink` shape,
@@ -219,11 +226,18 @@ impl<'s> SweepPlan<'s> {
             session.run_stream(scenarios, fan)?
         };
 
+        // Close the drive span before snapshotting, so the snapshot
+        // contains the completed span (open spans are omitted from
+        // stitched records).
+        drop(drive_span);
+        let telemetry = session.telemetry().map(|t| t.snapshot());
+
         let mut outcome = SweepOutcome {
             delivered,
             summary: None,
             persisted: None,
             reports: self.collect.then_some(collector.reports),
+            telemetry,
         };
         if let Some(p) = persisting {
             outcome.persisted = Some(PersistedRun {
@@ -329,6 +343,7 @@ pub struct SweepOutcome {
     summary: Option<SweepSummary>,
     persisted: Option<PersistedRun>,
     reports: Option<Vec<PipelineReport>>,
+    telemetry: Option<riskpipe_obs::TelemetrySnapshot>,
 }
 
 impl SweepOutcome {
@@ -363,6 +378,22 @@ impl SweepOutcome {
     /// Consume the outcome, keeping the collected reports.
     pub fn into_reports(self) -> Option<Vec<PipelineReport>> {
         self.reports
+    }
+
+    /// The sweep's telemetry snapshot — spans and metrics recorded
+    /// between the drive starting and the last sink sealing — when the
+    /// session was built with
+    /// [`RiskSessionBuilder::telemetry`](crate::RiskSessionBuilder::telemetry).
+    /// The snapshot is cumulative over the session's telemetry handle;
+    /// call [`riskpipe_obs::Telemetry::reset`] between drives for
+    /// per-sweep numbers.
+    pub fn telemetry(&self) -> Option<&riskpipe_obs::TelemetrySnapshot> {
+        self.telemetry.as_ref()
+    }
+
+    /// Consume the outcome, keeping the telemetry snapshot.
+    pub fn into_telemetry(self) -> Option<riskpipe_obs::TelemetrySnapshot> {
+        self.telemetry
     }
 
     /// Split the outcome into its artifacts (each `None` unless

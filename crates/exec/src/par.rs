@@ -154,7 +154,10 @@ where
         fold_range(ranges[i].clone(), identity())
     });
     let mut iter = partials.into_iter();
-    let first = iter.next().expect("at least one range");
+    // `grain_ranges` yields at least one range for len > 0, so the
+    // identity fallback is unreachable in practice — it just keeps the
+    // fold total without a panic path.
+    let first = iter.next().unwrap_or_else(&identity);
     iter.fold(first, combine)
 }
 

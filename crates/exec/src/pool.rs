@@ -83,7 +83,22 @@ pub struct ThreadPool {
 
 impl ThreadPool {
     /// Create a pool with `threads` worker threads (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a worker thread; use
+    /// [`ThreadPool::try_new`] for the typed-error path.
     pub fn new(threads: usize) -> Self {
+        // lint: allow(W1) — documented convenience panic; the typed
+        // path is `try_new`, which core's session builder uses.
+        Self::try_new(threads).unwrap_or_else(|e| panic!("failed to spawn pool workers: {e}"))
+    }
+
+    /// Create a pool with `threads` worker threads (at least 1),
+    /// reporting thread-spawn failure as a typed error instead of
+    /// panicking. On failure, any workers already spawned are shut
+    /// down and joined before the error is returned.
+    pub fn try_new(threads: usize) -> std::io::Result<Self> {
         let threads = threads.max(1);
         let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_lifo()).collect();
         let stealers = workers.iter().map(|w| w.stealer()).collect();
@@ -95,22 +110,31 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
             stats: ExecStats::new(),
         });
-        let handles = workers
-            .into_iter()
-            .enumerate()
-            .map(|(i, worker)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("riskpipe-worker-{i}"))
-                    .spawn(move || worker_loop(worker, shared))
-                    .expect("failed to spawn pool worker")
-            })
-            .collect();
-        Self {
+        let mut handles = Vec::with_capacity(threads);
+        for (i, worker) in workers.into_iter().enumerate() {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("riskpipe-worker-{i}"))
+                .spawn(move || worker_loop(worker, worker_shared));
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Dropping the partial pool joins the workers that
+                    // did start, so no threads leak past the error.
+                    drop(Self {
+                        shared,
+                        handles,
+                        threads,
+                    });
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Self {
             shared,
             handles,
             threads,
-        }
+        })
     }
 
     /// Number of worker threads.
@@ -123,9 +147,11 @@ impl ThreadPool {
         &self.shared.stats
     }
 
-    /// Spawn a detached `'static` task.
+    /// Spawn a detached `'static` task. The spawner's telemetry
+    /// context (if any) is propagated into the task.
     pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
-        self.inject(Box::new(f));
+        let telemetry = riskpipe_obs::current();
+        self.inject(Box::new(move || run_task(telemetry, f)));
     }
 
     fn inject(&self, job: Job) {
@@ -175,19 +201,33 @@ impl ThreadPool {
             }
         }
         if scope.panicked.load(Ordering::Acquire) {
+            // lint: allow(W1) — deliberate panic *propagation*: a task
+            // panic caught on a worker is re-raised on the scope
+            // caller, mirroring rayon::scope semantics.
             panic!("a task spawned in ThreadPool::scope panicked");
         }
         result
     }
 }
 
-impl Default for ThreadPool {
-    /// A pool sized to `std::thread::available_parallelism()`.
-    fn default() -> Self {
+impl ThreadPool {
+    /// A pool sized to `std::thread::available_parallelism()`,
+    /// reporting thread-spawn failure as a typed error — the
+    /// non-panicking sibling of [`Default::default`].
+    pub fn try_default() -> std::io::Result<Self> {
         let n = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        Self::new(n)
+        Self::try_new(n)
+    }
+}
+
+impl Default for ThreadPool {
+    /// A pool sized to `std::thread::available_parallelism()`.
+    fn default() -> Self {
+        // lint: allow(W1) — documented convenience panic; the typed
+        // path is `try_default`, which core's session builder uses.
+        Self::try_default().unwrap_or_else(|e| panic!("failed to spawn pool workers: {e}"))
     }
 }
 
@@ -210,6 +250,24 @@ impl std::fmt::Debug for ThreadPool {
             .field("threads", &self.threads)
             .field("tasks_executed", &self.shared.stats.tasks_executed())
             .finish()
+    }
+}
+
+/// Run one pool task under the spawner's telemetry context (when the
+/// spawner had one installed): the context is installed on the
+/// executing worker for the task's duration and a `pool.task` span
+/// brackets it, so span sites inside tasks record into the session's
+/// recorder regardless of which thread runs them. With no telemetry
+/// the task runs bare — this is the recorder-off fast path (one `None`
+/// check).
+fn run_task(telemetry: Option<riskpipe_obs::Telemetry>, f: impl FnOnce()) {
+    match telemetry {
+        Some(t) => {
+            let _ctx = riskpipe_obs::install(&t);
+            let _task = riskpipe_obs::span("pool.task");
+            f();
+        }
+        None => f(),
     }
 }
 
@@ -254,8 +312,9 @@ impl<'scope> Scope<'scope> {
         self.pending.fetch_add(1, Ordering::AcqRel);
         let pending = Arc::clone(&self.pending);
         let panicked = Arc::clone(&self.panicked);
+        let telemetry = riskpipe_obs::current();
         let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| run_task(telemetry, f)));
             if result.is_err() {
                 panicked.store(true, Ordering::Release);
             }
@@ -391,6 +450,52 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.tasks_injected(), 16);
         assert!(stats.tasks_executed() + stats.helper_runs() >= 16);
+    }
+
+    #[test]
+    fn try_new_spawns_a_usable_pool() {
+        let pool = ThreadPool::try_new(2).expect("spawn workers");
+        assert_eq!(pool.thread_count(), 2);
+        let v = pool.scope(|_| 5);
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn scope_spawn_propagates_telemetry_into_tasks() {
+        let pool = ThreadPool::new(4);
+        let telemetry = riskpipe_obs::Telemetry::new();
+        {
+            let _ctx = riskpipe_obs::install(&telemetry);
+            pool.scope(|s| {
+                for i in 0..16 {
+                    s.spawn(move || {
+                        riskpipe_obs::counter_add("exec.test.tasks", 1);
+                        let _s = riskpipe_obs::span_key("exec.test.span", i);
+                    });
+                }
+            });
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.metrics().counter("exec.test.tasks"), 16);
+        assert_eq!(snap.spans_named("exec.test.span").count(), 16);
+        assert_eq!(snap.spans_named("pool.task").count(), 16);
+    }
+
+    #[test]
+    fn tasks_without_telemetry_record_nothing() {
+        let pool = ThreadPool::new(2);
+        let telemetry = riskpipe_obs::Telemetry::new();
+        // No install: tasks run bare, nothing reaches the recorder.
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    riskpipe_obs::counter_add("exec.test.ghost", 1);
+                });
+            }
+        });
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.metrics().counter("exec.test.ghost"), 0);
+        assert!(snap.spans().is_empty());
     }
 
     #[test]

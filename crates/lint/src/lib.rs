@@ -435,7 +435,14 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Self {
-            timing_modules: vec!["crates/bench/".to_string()],
+            timing_modules: vec![
+                "crates/bench/".to_string(),
+                // The telemetry subsystem is the one library home for
+                // wall clocks: span timings are diagnostic-only and
+                // never feed loss numerics (enforced by its own docs
+                // and the registry's integers-only discipline).
+                "crates/obs/".to_string(),
+            ],
             exclude_dirs: vec![
                 "target".to_string(),
                 "vendor".to_string(),
@@ -450,6 +457,7 @@ impl Default for Config {
                 "crates/warehouse/src/".to_string(),
                 "crates/analytics/src/".to_string(),
                 "crates/mapreduce/src/".to_string(),
+                "crates/obs/src/".to_string(),
             ],
             durable_modules: vec!["crates/tables/src/durable.rs".to_string()],
             root_fns: vec![

@@ -87,6 +87,9 @@ pub fn run_job<M: Mapper, R: Reducer>(
     let spill_bytes = AtomicU64::new(0);
     let map_errors: Mutex<Option<RiskError>> = Mutex::new(None);
     par_map_collect(pool, shards as usize, 1, |m| {
+        // One span per map task (key = shard index); the telemetry
+        // context reaches this worker via Scope::spawn propagation.
+        let _map_span = riskpipe_obs::span_key("shuffle.map", m as u64);
         let task = || -> RiskResult<()> {
             let chunks = input.read_shard(m as u32)?;
             // One spill buffer per reduce partition.
@@ -131,6 +134,8 @@ pub fn run_job<M: Mapper, R: Reducer>(
     // ---------------- reduce phase ----------------
     let reduce_errors: Mutex<Option<RiskError>> = Mutex::new(None);
     let partition_outputs: Vec<Vec<(Vec<u8>, Vec<u8>)>> = par_map_collect(pool, r, 1, |p| {
+        // One span per reduce task (key = partition index).
+        let _reduce_span = riskpipe_obs::span_key("shuffle.reduce", p as u64);
         let task = || -> RiskResult<Vec<(Vec<u8>, Vec<u8>)>> {
             // Gather this partition's spills from every map task.
             let mut records: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
@@ -185,6 +190,13 @@ pub fn run_job<M: Mapper, R: Reducer>(
         output_records: outputs.len() as u64,
     };
     let _ = fs::remove_dir_all(&config.work_dir);
+    // Shuffle metrics are all deterministic quantities (task counts,
+    // record counts, spill bytes), so registry snapshots stay
+    // bit-identical across thread counts.
+    riskpipe_obs::counter_add("shuffle.map_tasks", stats.map_tasks);
+    riskpipe_obs::counter_add("shuffle.reduce_tasks", stats.reduce_tasks);
+    riskpipe_obs::counter_add("shuffle.records", stats.shuffle_records);
+    riskpipe_obs::counter_add("shuffle.spill_bytes", stats.spill_bytes);
     Ok((outputs, stats))
 }
 
@@ -297,6 +309,46 @@ mod tests {
         let a = run(1, 1);
         let b = run(4, 5);
         assert_eq!(a, b);
+        fs::remove_dir_all(&store).unwrap();
+    }
+
+    #[test]
+    fn job_records_shuffle_telemetry() {
+        let store = temp("telemetry");
+        make_store(&store, 3, 60);
+        let reader = ShardedReader::open(&store).unwrap();
+        let pool = ThreadPool::new(2);
+        let telemetry = riskpipe_obs::Telemetry::new();
+        let stats = {
+            let _ctx = riskpipe_obs::install(&telemetry);
+            run_job(
+                &reader,
+                &SumByLocation,
+                &SumReducer,
+                &JobConfig::with_reduce_tasks(2),
+                &pool,
+            )
+            .unwrap()
+            .1
+        };
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.metrics().counter("shuffle.map_tasks"), stats.map_tasks);
+        assert_eq!(
+            snap.metrics().counter("shuffle.reduce_tasks"),
+            stats.reduce_tasks
+        );
+        assert_eq!(
+            snap.metrics().counter("shuffle.spill_bytes"),
+            stats.spill_bytes
+        );
+        assert_eq!(
+            snap.spans_named("shuffle.map").count() as u64,
+            stats.map_tasks
+        );
+        assert_eq!(
+            snap.spans_named("shuffle.reduce").count() as u64,
+            stats.reduce_tasks
+        );
         fs::remove_dir_all(&store).unwrap();
     }
 

@@ -64,6 +64,10 @@ fn sync_dir(dir: &Path) {
 /// file is removed and the previous contents of `path` (if any) are
 /// untouched.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> RiskResult<()> {
+    // Telemetry: one write span (key = payload bytes) wrapping the
+    // whole protocol, with the two stable-storage syncs bracketed by
+    // their own fsync spans. No-ops unless a recorder is installed.
+    let _write_span = riskpipe_obs::span_key("durable.write", bytes.len() as u64);
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
@@ -73,15 +77,26 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> RiskResult<()> {
     let result = (|| -> std::io::Result<()> {
         let mut f = fs::File::create(&tmp)?;
         f.write_all(bytes)?;
-        f.sync_all()?;
+        {
+            let _fsync_span = riskpipe_obs::span_key("durable.fsync", bytes.len() as u64);
+            f.sync_all()?;
+        }
         fs::rename(&tmp, path)?;
         Ok(())
     })();
     match result {
         Ok(()) => {
             if let Some(parent) = path.parent() {
+                let _fsync_span = riskpipe_obs::span("durable.fsync_dir");
                 sync_dir(parent);
             }
+            riskpipe_obs::counter_add("durable.writes", 1);
+            riskpipe_obs::counter_add("durable.bytes", bytes.len() as u64);
+            riskpipe_obs::histogram_record(
+                "durable.write_bytes",
+                WRITE_BYTES_BOUNDS,
+                bytes.len() as u64,
+            );
             Ok(())
         }
         Err(e) => {
@@ -90,6 +105,18 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> RiskResult<()> {
         }
     }
 }
+
+/// Fixed bucket bounds for the `durable.write_bytes` histogram (bytes;
+/// last bucket is overflow). Fixed so snapshots are comparable across
+/// runs and mergeable across registries.
+const WRITE_BYTES_BOUNDS: &[u64] = &[
+    1 << 10,  // 1 KiB
+    16 << 10, // 16 KiB
+    256 << 10,
+    1 << 20, // 1 MiB
+    16 << 20,
+    256 << 20,
+];
 
 /// Remove leftover `*.rptmp` files in `dir` (non-recursive). Returns
 /// how many were removed; a missing directory counts as zero.
@@ -170,6 +197,28 @@ mod tests {
         assert_eq!(remove_stale_tmps(&dir).unwrap(), 1);
         assert!(!stale.exists());
         assert!(keep.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_records_telemetry_when_installed() {
+        let dir = temp_dir("telemetry");
+        let telemetry = riskpipe_obs::Telemetry::new();
+        {
+            let _ctx = riskpipe_obs::install(&telemetry);
+            write_atomic(&dir.join("a.bin"), b"0123456789").unwrap();
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.metrics().counter("durable.writes"), 1);
+        assert_eq!(snap.metrics().counter("durable.bytes"), 10);
+        assert_eq!(snap.spans_named("durable.write").count(), 1);
+        assert_eq!(snap.spans_named("durable.fsync").count(), 1);
+        let hist = snap
+            .metrics()
+            .histogram("durable.write_bytes")
+            .expect("histogram registered");
+        assert_eq!(hist.total, 1);
+        assert_eq!(hist.sum, 10);
         fs::remove_dir_all(&dir).unwrap();
     }
 

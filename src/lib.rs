@@ -69,6 +69,7 @@ pub use riskpipe_dfa as dfa;
 pub use riskpipe_exec as exec;
 pub use riskpipe_mapreduce as mapreduce;
 pub use riskpipe_metrics as metrics;
+pub use riskpipe_obs as obs;
 pub use riskpipe_simgpu as simgpu;
 pub use riskpipe_tables as tables;
 pub use riskpipe_types as types;
@@ -90,6 +91,7 @@ pub mod prelude {
     };
     pub use riskpipe_dfa::{AllocationMethod, EnterpriseRollup};
     pub use riskpipe_metrics::{EpCurve, EpPoint, QuantileSketch};
+    pub use riskpipe_obs::{MetricsSnapshot, Telemetry, TelemetrySnapshot};
     pub use riskpipe_tables::{Elt, Ylt};
     pub use riskpipe_types::{RiskError, RiskResult};
     pub use riskpipe_warehouse::{

@@ -1,0 +1,256 @@
+//! The telemetry contract: a session built with a [`Telemetry`] handle
+//! records a span for every stage of a driven plan (stage-1 builds,
+//! stage-2 scenarios, per-sink deliveries, shuffle tasks, durable
+//! writes), its metrics registry snapshots **bit-identically across
+//! thread counts** (timings are spans-only, never metrics), a session
+//! built without one records nothing anywhere, and the JSON export
+//! schema stays pinned at version 1.
+
+use riskpipe::analytics::{DrilldownLayout, ScenarioDims, SweepPlanAnalytics};
+use riskpipe::core::{RiskSession, ScenarioConfig, ShardedFilesStore};
+use riskpipe::obs::JSON_SCHEMA_VERSION;
+use riskpipe::prelude::{MetricsSnapshot, RiskResult, Telemetry};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("riskpipe-obs-{tag}-{}-{n}", std::process::id()))
+}
+
+/// A 2-region × 2-peril grid (distinct stage-1 keys) for plans that
+/// exercise every consumer.
+fn grid(seed: u64) -> (Vec<ScenarioConfig>, Vec<ScenarioDims>) {
+    let mut scenarios = Vec::new();
+    let mut dims = Vec::new();
+    for region in 0..2u32 {
+        for peril in 0..2u32 {
+            let s = ScenarioConfig::small()
+                .with_seed(seed + (region * 2 + peril) as u64)
+                .with_trials(300)
+                .with_name(format!("r{region}-p{peril}"));
+            dims.push(ScenarioDims::for_scenario(region, peril, &s));
+            scenarios.push(s);
+        }
+    }
+    (scenarios, dims)
+}
+
+/// Drive the full summary + persist + warehouse plan on a fresh
+/// telemetry-bearing session and return the registry snapshot.
+fn drive_full_plan(threads: usize, seed: u64) -> RiskResult<MetricsSnapshot> {
+    let telemetry = Telemetry::new();
+    let (scenarios, dims) = grid(seed);
+    let dir = temp("metrics");
+    let store = Arc::new(ShardedFilesStore::new(&dir, 2)?);
+    let session = RiskSession::builder()
+        .pool_threads(threads)
+        .telemetry(telemetry.clone())
+        .build()?;
+    let layout = DrilldownLayout::new(dims, session.engine())?;
+    let outcome = session
+        .sweep(&scenarios)
+        .summary()
+        .persist_to(store)
+        .warehouse(layout)
+        .drive()?;
+    assert_eq!(outcome.delivered(), scenarios.len());
+    let metrics = telemetry.snapshot().metrics().clone();
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(metrics)
+}
+
+/// The headline determinism guarantee: the metrics registry holds only
+/// deterministic integer quantities, so the same logical sweep yields
+/// **bit-identical** snapshots on 1, 2 and 8 threads.
+#[test]
+fn metrics_snapshots_are_bit_identical_across_thread_counts() -> RiskResult<()> {
+    let seen: Vec<MetricsSnapshot> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| drive_full_plan(threads, 0x0B5))
+        .collect::<RiskResult<_>>()?;
+    assert_eq!(seen[0], seen[1], "1-thread vs 2-thread metrics diverged");
+    assert_eq!(seen[1], seen[2], "2-thread vs 8-thread metrics diverged");
+
+    // And the snapshot is substantive, not vacuously equal: every
+    // pipeline layer contributed.
+    let m = &seen[0];
+    assert_eq!(m.counter("stage1.builds"), 4, "one build per distinct key");
+    assert_eq!(m.counter("stage1.misses"), 4);
+    assert_eq!(m.counter("stage2.scenarios"), 4);
+    assert_eq!(m.counter("sweep.delivered"), 4);
+    assert!(m.counter("sink.deliveries") >= 4, "fan-out delivered");
+    assert_eq!(m.counter("warehouse.reports"), 4);
+    assert!(m.counter("warehouse.trials") > 0);
+    assert!(m.counter("shuffle.map_tasks") > 0);
+    assert!(m.counter("shuffle.reduce_tasks") > 0);
+    assert!(m.counter("shuffle.records") > 0);
+    assert!(m.counter("durable.writes") > 0, "persistence wrote files");
+    assert!(m.counter("durable.bytes") > 0);
+    let trials = m
+        .histograms
+        .get("stage2.trials")
+        .expect("stage2 trial histogram registered");
+    assert_eq!(trials.total, 4, "one histogram sample per scenario");
+    assert_eq!(trials.sum, 4 * 300);
+    Ok(())
+}
+
+/// One telemetry-enabled drive of a summary + persist + warehouse plan
+/// records a span for every stage the ISSUE names: stage-1 builds,
+/// stage-2 engine runs per scenario, per-sink deliveries, shuffle
+/// map/reduce tasks, and durable write/fsync.
+#[test]
+fn span_tree_covers_every_stage_of_a_full_plan() -> RiskResult<()> {
+    let telemetry = Telemetry::new();
+    let (scenarios, dims) = grid(0x0B6);
+    let dir = temp("spans");
+    let store = Arc::new(ShardedFilesStore::new(&dir, 2)?);
+    let session = RiskSession::builder()
+        .pool_threads(2)
+        .telemetry(telemetry.clone())
+        .build()?;
+    let layout = DrilldownLayout::new(dims, session.engine())?;
+    let outcome = session
+        .sweep(&scenarios)
+        .summary()
+        .persist_to(store)
+        .warehouse(layout)
+        .drive()?;
+
+    // The outcome carries the snapshot; the flight recorder lost
+    // nothing at this scale.
+    let snap = outcome.telemetry().expect("session has telemetry");
+    assert_eq!(snap.dropped(), 0);
+
+    // Exactly-once stages pin their counts; fan-in stages just have to
+    // be present (task splits vary with thread count).
+    let n = scenarios.len();
+    let exact = [
+        ("sweep.drive", 1),
+        ("sweep.run_stream", 1),
+        ("sweep.scenario", n),
+        ("stage1.acquire", n),
+        ("stage1.build", n), // distinct seeds → one build each
+        ("stage2.engine", n),
+        ("stage2.persist_yelt", n),
+        ("stage3.dfa", n),
+        ("warehouse.ingest", n),
+    ];
+    for (name, want) in exact {
+        assert_eq!(
+            snap.spans_named(name).count(),
+            want,
+            "span count for {name}"
+        );
+    }
+    let present = [
+        "pool.task",
+        "sink.deliver",
+        "shuffle.map",
+        "shuffle.reduce",
+        "durable.write",
+        "durable.fsync",
+    ];
+    for name in present {
+        assert!(
+            snap.spans_named(name).count() > 0,
+            "no {name} span recorded"
+        );
+    }
+
+    // Stitched order is deterministic: thread-then-sequence.
+    let spans = snap.spans();
+    assert!(spans
+        .windows(2)
+        .all(|w| (w[0].thread, w[0].seq) < (w[1].thread, w[1].seq)));
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+/// A session built *without* a telemetry handle records nothing: the
+/// outcome carries no snapshot, and a bystander handle that was never
+/// installed stays empty even though the sweep ran on this thread.
+#[test]
+fn disabled_recorder_emits_nothing() -> RiskResult<()> {
+    let bystander = Telemetry::new();
+    let (scenarios, _) = grid(0x0B7);
+    let session = RiskSession::builder().pool_threads(2).build()?;
+    let outcome = session.sweep(&scenarios).summary().drive()?;
+    assert_eq!(outcome.delivered(), scenarios.len());
+    assert!(outcome.telemetry().is_none(), "no handle, no snapshot");
+
+    let snap = bystander.snapshot();
+    assert!(snap.spans().is_empty());
+    assert_eq!(snap.dropped(), 0);
+    assert_eq!(snap.metrics(), &MetricsSnapshot::default());
+    Ok(())
+}
+
+/// `SweepOutcome::telemetry` is cumulative over the session handle;
+/// `Telemetry::reset` opens a fresh window, after which a re-drive of
+/// the same scenarios shows cache hits instead of builds.
+#[test]
+fn reset_windows_cumulative_telemetry() -> RiskResult<()> {
+    let telemetry = Telemetry::new();
+    let (scenarios, _) = grid(0x0B8);
+    let session = RiskSession::builder()
+        .pool_threads(2)
+        .telemetry(telemetry.clone())
+        .build()?;
+
+    let first = session.sweep(&scenarios).summary().drive()?;
+    let m1 = first.telemetry().expect("telemetry requested").metrics();
+    assert_eq!(m1.counter("stage1.builds"), 4);
+    assert_eq!(m1.counter("stage1.hits"), 0);
+
+    telemetry.reset();
+    let second = session.sweep(&scenarios).summary().drive()?;
+    let m2 = second.telemetry().expect("telemetry requested").metrics();
+    assert_eq!(m2.counter("stage1.builds"), 0, "warm cache: no rebuilds");
+    assert_eq!(m2.counter("stage1.hits"), 4);
+    assert_eq!(m2.counter("stage2.scenarios"), 4, "fresh window counts");
+    Ok(())
+}
+
+/// The export schema is pinned: version 1, fixed key order, spans in
+/// stitched order, metrics name-ordered; the chrome trace is complete
+/// ("ph":"X") events.
+#[test]
+fn json_export_schema_is_pinned() -> RiskResult<()> {
+    assert_eq!(JSON_SCHEMA_VERSION, 1);
+
+    let telemetry = Telemetry::new();
+    let (scenarios, _) = grid(0x0B9);
+    let session = RiskSession::builder()
+        .pool_threads(2)
+        .telemetry(telemetry.clone())
+        .build()?;
+    session.sweep(&scenarios).summary().drive()?;
+
+    let snap = telemetry.snapshot();
+    let json = snap.to_json();
+    assert!(json.starts_with("{\"version\":1,\"dropped\":0,\"spans\":["));
+    assert!(json.contains("\"metrics\":{\"counters\":{"));
+    assert!(json.contains("\"stage1.builds\":4"));
+    assert!(json.contains("\"stage2.scenarios\":4"));
+    assert!(json.contains("\"name\":\"sweep.run_stream\""));
+    assert!(json.contains("\"histograms\":{"));
+    assert!(json.ends_with("}}}"));
+    // Counters serialise in name order (BTreeMap), so stage1.builds
+    // precedes stage2.scenarios which precedes sweep.delivered.
+    let a = json.find("\"stage1.builds\"").unwrap();
+    let b = json.find("\"stage2.scenarios\"").unwrap();
+    let c = json.find("\"sweep.delivered\"").unwrap();
+    assert!(a < b && b < c, "counters must be name-ordered");
+
+    let trace = snap.to_chrome_trace();
+    assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(trace.contains("\"ph\":\"X\""));
+    assert!(trace.contains("\"name\":\"stage2.engine\""));
+    assert!(trace.ends_with("]}"));
+    Ok(())
+}

@@ -107,14 +107,11 @@ impl DrilldownLayout {
         if dims.is_empty() {
             return Err(RiskError::invalid("drill-down layout needs scenarios"));
         }
-        let regions = dims.iter().map(|d| d.region).max().expect("nonempty") + 1;
-        let perils = dims.iter().map(|d| d.peril).max().expect("nonempty") + 1;
-        let bands = dims
-            .iter()
-            .map(|d| d.attachment_band)
-            .max()
-            .expect("nonempty")
-            + 1;
+        // `unwrap_or(0)` is unreachable (emptiness was rejected above)
+        // but keeps the worker path panic-free.
+        let regions = dims.iter().map(|d| d.region).max().unwrap_or(0) + 1;
+        let perils = dims.iter().map(|d| d.peril).max().unwrap_or(0) + 1;
+        let bands = dims.iter().map(|d| d.attachment_band).max().unwrap_or(0) + 1;
         let layers = dims.len() as u32;
         let engine_code = engine_code(engine);
 
@@ -215,11 +212,13 @@ impl DrilldownLayout {
 }
 
 /// The engine's dense code: its position in [`EngineKind::ALL`].
+/// Every variant is in `ALL`, so the lookup cannot miss; the fallback
+/// keeps the worker path panic-free all the same.
 pub fn engine_code(engine: EngineKind) -> u32 {
     EngineKind::ALL
         .iter()
         .position(|&k| k == engine)
-        .expect("every engine is in ALL") as u32
+        .unwrap_or(0) as u32
 }
 
 #[cfg(test)]

@@ -115,15 +115,14 @@ impl Drilldown {
             measured.insert(select, cuboid);
         }
         let selection = greedy_select_budget(&sizes, budget_bytes);
+        // The base select sits in `sizes` (so the picker sees it) but
+        // never in `measured` — it is always retained as `self.base`,
+        // not as a view. `filter_map` drops it here instead of
+        // panicking if the picker ever returns it.
         self.views = selection
             .picked
             .iter()
-            .map(|sel| {
-                (
-                    *sel,
-                    measured.remove(sel).expect("picked views were measured"),
-                )
-            })
+            .filter_map(|sel| measured.remove(sel).map(|cuboid| (*sel, cuboid)))
             .collect();
         Ok(selection)
     }

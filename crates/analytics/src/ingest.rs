@@ -29,8 +29,8 @@
 use crate::dims::DrilldownLayout;
 use crate::drilldown::Drilldown;
 use crate::rp_bands;
-use parking_lot::Mutex;
 use riskpipe_core::{IntermediateStore, PipelineReport, ReportSink, RunLabel};
+use riskpipe_exec::lockwitness::Mutex;
 use riskpipe_exec::ThreadPool;
 use riskpipe_mapreduce::YltFactJob;
 use riskpipe_tables::{shard, ShardedReader, Yelt, Ylt};
@@ -162,6 +162,10 @@ impl WarehouseSink {
             }
             writer.finish()?;
             let reader = ShardedReader::open(&dir)?;
+            // lint: calls(run_job) — `YltFactJob::run` is a thin
+            // wrapper over riskpipe_mapreduce's run_job; the linker
+            // cannot follow the hyper-generic name `run`, and the lock
+            // graph needs the sink → sleep_lock edge this call creates.
             YltFactJob { band_map: None }.run(&reader, self.reduce_tasks, &self.pool)
         })();
         let _ = std::fs::remove_dir_all(&dir);
@@ -274,7 +278,7 @@ impl WarehouseStore {
     pub fn new(inner: Arc<dyn IntermediateStore>, sink: WarehouseSink) -> Self {
         Self {
             inner,
-            sink: Mutex::new(sink),
+            sink: Mutex::new("sink", sink),
         }
     }
 
@@ -316,6 +320,12 @@ impl IntermediateStore for WarehouseStore {
         // inline-steal while waiting, so the holder always makes
         // progress and releases; the wait is bounded by one ingest.
         let mut sink = self.sink.lock();
+        // lint: allow(L2) — the guard is held across the shuffle job
+        // by design: the sink's cells are the job's output target, and
+        // the proof above (no recursive sink acquisition; scope
+        // holders inline-steal, so the pool always drains) bounds the
+        // hold. The lock graph records the resulting sink → sleep_lock
+        // edge, and the runtime lockwitness checks it.
         sink.ingest(label.slot.unwrap_or(0), &report.ylt)?;
         Ok(bytes)
     }

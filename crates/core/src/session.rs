@@ -45,10 +45,10 @@ use crate::config::{ScenarioConfig, Stage1Bundle};
 use crate::report::{money, TextTable};
 use crate::sink::ReportSink;
 use crate::stage1disk::DiskStage1Cache;
-use parking_lot::{Condvar, Mutex};
 use riskpipe_aggregate::{AggregateOptions, AggregateRunner, EngineKind};
 use riskpipe_catmodel::Stage1Output;
 use riskpipe_dfa::{CompanyConfig, DfaEngine};
+use riskpipe_exec::lockwitness::{Condvar, Mutex};
 use riskpipe_exec::ThreadPool;
 use riskpipe_metrics::RiskMeasures;
 use riskpipe_tables::{codec, durable, shard, ScaleSpec, Yelt, Ylt};
@@ -464,13 +464,23 @@ enum SlotState {
     Ready(Arc<Stage1Output>),
 }
 
-#[derive(Default)]
 struct CacheSlot {
     state: Mutex<SlotState>,
     /// Estimated bytes of the published output (0 while `Building`) —
     /// readable without the state lock so budget enforcement under the
     /// index lock never orders against a slot lock.
     bytes: AtomicUsize,
+}
+
+impl Default for CacheSlot {
+    fn default() -> Self {
+        Self {
+            // The witness lock name is the binding the lock is reached
+            // through (`slot.state`), matching the lint identity.
+            state: Mutex::new("state", SlotState::default()),
+            bytes: AtomicUsize::new(0),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -599,8 +609,8 @@ impl Stage1Cache {
             capacity,
             budget_bytes,
             disk,
-            index: Mutex::new(CacheIndex::default()),
-            timings: Mutex::new(TimingRing::new(timing_capacity)),
+            index: Mutex::new("index", CacheIndex::default()),
+            timings: Mutex::new("timings", TimingRing::new(timing_capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -715,12 +725,15 @@ impl Stage1Cache {
         match self.disk_load(key) {
             Ok(Some(output)) => {
                 let output = Arc::new(output);
+                // Sized outside the lock: the footprint is a pure
+                // accessor and the critical section stays tag-only.
+                let output_bytes = output.memory_bytes();
                 // lint: allow(C1) — tag-only publish of a completed
                 // disk hit; bounded critical section, no nested waits.
                 let mut state = slot.state.lock();
                 if !matches!(*state, SlotState::Ready(_)) {
                     *state = SlotState::Ready(Arc::clone(&output));
-                    slot.bytes.store(output.memory_bytes(), Ordering::Relaxed);
+                    slot.bytes.store(output_bytes, Ordering::Relaxed);
                 }
                 drop(state);
                 self.enforce_byte_budget(key);
@@ -747,12 +760,14 @@ impl Stage1Cache {
         });
         match built {
             Ok(output) => {
+                // Sized outside the lock, as in the disk-hit path.
+                let output_bytes = output.memory_bytes();
                 // lint: allow(C1) — tag-only publish after an unlocked
                 // build; bounded critical section, no nested waits.
                 let mut state = slot.state.lock();
                 if !matches!(*state, SlotState::Ready(_)) {
                     *state = SlotState::Ready(Arc::clone(&output));
-                    slot.bytes.store(output.memory_bytes(), Ordering::Relaxed);
+                    slot.bytes.store(output_bytes, Ordering::Relaxed);
                 }
                 drop(state);
                 self.enforce_byte_budget(key);
@@ -1323,11 +1338,14 @@ impl RiskSession {
             /// looked — gated same-key followers may now be eligible.
             stage1_published: bool,
         }
-        let state = Mutex::new(StreamState {
-            ready: BTreeMap::new(),
-            arrivals: Vec::new(),
-            stage1_published: false,
-        });
+        let state = Mutex::new(
+            "state",
+            StreamState {
+                ready: BTreeMap::new(),
+                arrivals: Vec::new(),
+                stage1_published: false,
+            },
+        );
         let completed = Condvar::new();
         let mut delivered = 0usize;
         let mut failure: Option<RiskError> = None;

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod lockwitness;
 mod par;
 mod partition;
 mod pool;

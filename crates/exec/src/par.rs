@@ -78,6 +78,11 @@ where
             unsafe { (*base.0.add(i)).write(f(i)) };
         }
     } else {
+        // lint: allow(C1) — nested scope from a pool worker: a thread
+        // waiting on scope completion help-first steals and executes
+        // queued tasks instead of parking (see `ThreadPool::scope` and
+        // `worker_loop`), so the wait always makes progress and is
+        // deadlock-free by construction.
         pool.scope(|s| {
             for r in ranges {
                 let f = &f;

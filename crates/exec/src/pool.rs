@@ -16,9 +16,9 @@
 //! * a panic inside a task is caught, recorded, and re-raised from the
 //!   scope that spawned it.
 
+use crate::lockwitness::{Condvar, Mutex};
 use crate::stats::ExecStats;
 use crossbeam_deque::{Injector, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -105,7 +105,7 @@ impl ThreadPool {
         let shared = Arc::new(PoolShared {
             injector: Injector::new(),
             stealers,
-            sleep_lock: Mutex::new(()),
+            sleep_lock: Mutex::new("sleep_lock", ()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: ExecStats::new(),

@@ -41,6 +41,23 @@ pub struct Scope {
     pub end_line: u32,
 }
 
+/// One `// lint: calls(NAME, ...) — reason` comment: an explicit call
+/// edge from the enclosing function to each named function, declared
+/// where the name-linker cannot see the call (hyper-generic method
+/// names like `.run(..)` are stoplisted, trait objects erase the
+/// callee, macros hide it). Hints only *add* edges — an unjustified
+/// hint makes the analysis more conservative, never less — so unlike
+/// suppressions they carry no audit rule; the reason text is still
+/// required by convention for the reader.
+#[derive(Debug, Clone)]
+pub struct CallHint {
+    /// Callee link names, as written.
+    pub callees: Vec<String>,
+    /// The line the hint binds to: the comment's own line when code
+    /// shares it (trailing style), else the next line carrying code.
+    pub line: u32,
+}
+
 /// One `// lint: allow(RULE, ...) — reason` comment.
 #[derive(Debug, Clone)]
 pub struct Suppression {
@@ -69,6 +86,8 @@ pub struct FileModel {
     /// practice, and a false positive is one suppression away).
     pub hash_idents: BTreeMap<String, HashKind>,
     pub suppressions: Vec<Suppression>,
+    /// Explicit call-edge declarations (see [`CallHint`]).
+    pub call_hints: Vec<CallHint>,
 }
 
 impl FileModel {
@@ -85,6 +104,7 @@ impl FileModel {
             test_ranges: Vec::new(),
             hash_idents: BTreeMap::new(),
             suppressions: Vec::new(),
+            call_hints: Vec::new(),
             toks,
             code,
         };
@@ -148,11 +168,16 @@ impl FileModel {
         while ci < n {
             let t = self.ct(ci).expect("in range").clone();
             match (t.kind, t.text.as_str()) {
-                // `#[cfg(test)]` — look at the attribute tokens.
+                // `#[cfg(test)]` — look at the attribute tokens. Also
+                // matches the conjunction form `#[cfg(all(test, ...))]`
+                // used by feature-gated test modules.
                 (TokKind::Punct, "#")
-                    if self
-                        .code_slice_text(ci + 1, ci + 7)
-                        .starts_with("[cfg(test)") =>
+                    if {
+                        let attr = self.code_slice_text(ci + 1, ci + 9);
+                        attr.starts_with("[cfg(test)")
+                            || attr.starts_with("[cfg(all(test,")
+                            || attr.starts_with("[cfg(all(test)")
+                    } =>
                 {
                     cfg_test_attr = true;
                 }
@@ -352,19 +377,23 @@ impl FileModel {
         None
     }
 
-    /// Parse `lint: allow(...)` comments. Grammar (inside any `//` or
-    /// `/* */` comment):
+    /// Parse `lint: allow(...)` and `lint: calls(...)` comments.
+    /// Grammar (inside any `//` or `/* */` comment):
     ///
     /// ```text
     /// lint: allow(D1)            — reason text          (em dash)
     /// lint: allow(D3, S1) - reason text                 (hyphen)
+    /// lint: calls(run_job) — reason text                (call edge)
     /// ```
     ///
     /// The suppression covers its own line and the next line carrying
     /// code, so it works both trailing (`code // lint: allow(..)`) and
-    /// on the line above the finding.
+    /// on the line above the finding. A `calls` hint binds the same
+    /// way: to its own line when code shares it, else to the next line
+    /// carrying code.
     fn find_suppressions(&mut self) {
         let mut found: Vec<Suppression> = Vec::new();
+        let mut hints: Vec<CallHint> = Vec::new();
         for (i, t) in self.toks.iter().enumerate() {
             if t.kind != TokKind::Comment {
                 continue;
@@ -383,8 +412,12 @@ impl FileModel {
                 continue;
             };
             let rest = t.text[at + "lint:".len()..].trim_start();
-            let Some(rest) = rest.strip_prefix("allow") else {
-                continue;
+            let (is_hint, rest) = match rest.strip_prefix("allow") {
+                Some(r) => (false, r),
+                None => match rest.strip_prefix("calls") {
+                    Some(r) => (true, r),
+                    None => continue,
+                },
             };
             let rest = rest.trim_start();
             let Some(rest) = rest.strip_prefix('(') else {
@@ -393,11 +426,12 @@ impl FileModel {
             let Some(close) = rest.find(')') else {
                 continue;
             };
-            let rules: Vec<String> = rest[..close]
+            let names: Vec<String> = rest[..close]
                 .split(',')
-                .map(|r| r.trim().to_ascii_uppercase())
+                .map(|r| r.trim().to_string())
                 .filter(|r| !r.is_empty())
                 .collect();
+            let rules: Vec<String> = names.iter().map(|r| r.to_ascii_uppercase()).collect();
             let tail = rest[close + 1..].trim_start();
             let has_reason = ["—", "–", "-"].iter().any(|dash| {
                 tail.strip_prefix(dash)
@@ -454,6 +488,21 @@ impl FileModel {
                 next_code_line = Some(t2.line);
                 break;
             }
+            if is_hint {
+                // Trailing style binds to the comment's own line when
+                // code shares it; otherwise to the next code line.
+                let own_line_has_code = self.code.iter().any(|&j| self.toks[j].line == t.line);
+                let line = if own_line_has_code {
+                    t.line
+                } else {
+                    next_code_line.unwrap_or(t.line)
+                };
+                hints.push(CallHint {
+                    callees: names,
+                    line,
+                });
+                continue;
+            }
             let mut covers = vec![t.line];
             covers.extend(next_code_line);
             found.push(Suppression {
@@ -464,6 +513,8 @@ impl FileModel {
             });
         }
         self.suppressions = found;
+        hints.sort_by_key(|h| h.line);
+        self.call_hints = hints;
     }
 }
 

@@ -303,6 +303,7 @@ mod tests {
             line,
             message: "m".into(),
             trace: Vec::new(),
+            chains: Vec::new(),
         }
     }
 
@@ -315,6 +316,7 @@ mod tests {
                 warn(RuleId::W1, "crates/exec/src/b.rs", 3),
             ],
             files_scanned: 2,
+            ..Report::default()
         };
         let b = Baseline::from_report(&report);
         let parsed = Baseline::parse_json(&b.render_json()).expect("parse");
@@ -330,6 +332,7 @@ mod tests {
         let old = Report {
             findings: vec![warn(RuleId::W1, "crates/core/src/a.rs", 1)],
             files_scanned: 1,
+            ..Report::default()
         };
         let baseline = Baseline::from_report(&old);
         // Same count: clean. One more in a.rs plus a new file: two
@@ -341,6 +344,7 @@ mod tests {
                 warn(RuleId::W1, "crates/exec/src/b.rs", 3),
             ],
             files_scanned: 2,
+            ..Report::default()
         };
         assert!(baseline.regressions(&old).is_empty());
         let regs = baseline.regressions(&grown);

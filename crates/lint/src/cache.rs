@@ -1,0 +1,543 @@
+//! Incremental pass-1 summary cache.
+//!
+//! One file per `(config, path, contents)` fingerprint holding the
+//! complete pass-1 product — suppressions, per-file raw findings, and
+//! the [`FileSummary`] the cross-file pass composes — so a warm run
+//! re-lexes only files that changed. The key folds every
+//! summary-affecting [`Config`] field, so editing the lint
+//! configuration invalidates the whole cache rather than serving
+//! stale models.
+//!
+//! The on-disk format is a line-based record stream (hand-rolled, no
+//! deps) with a version header; *any* parse anomaly — truncation,
+//! unknown tag, version skew — degrades to a cache miss, never an
+//! error. Entries land via the durable idiom used across the
+//! workspace: full write to a `.tmp` sibling, fsync, atomic rename.
+
+use crate::summary::{
+    BlockKind, BlockSite, CallSite, FileSummary, FnNode, GuardSpan, LockAcquire, RootKind,
+};
+use crate::{Config, FileUnit, RawFinding, RuleId, Suppression, TraceFrame};
+use riskpipe_types::Fingerprint;
+use std::path::Path;
+
+/// Bump when the record format or the summarizer's semantics change:
+/// old entries then miss instead of deserializing into wrong shapes.
+const CACHE_VERSION: &str = "riskpipe-lintsum v1";
+
+/// The cache key for one file: format version, every config field the
+/// summary or the per-file rules read, the path, and the contents.
+pub(crate) fn entry_key(path: &str, source: &str, cfg: &Config) -> u64 {
+    let mut fp = Fingerprint::new("lint.summary-cache");
+    fp.push_bytes(CACHE_VERSION.as_bytes());
+    for list in [
+        &cfg.timing_modules,
+        &cfg.serving_crates,
+        &cfg.durable_modules,
+        &cfg.root_fns,
+        &cfg.lock_leaf_crates,
+    ] {
+        fp.push_usize(list.len());
+        for item in list {
+            fp.push_bytes(item.as_bytes());
+        }
+    }
+    fp.push_bytes(path.as_bytes());
+    fp.push_bytes(source.as_bytes());
+    fp.finish()
+}
+
+fn entry_path(dir: &Path, key: u64) -> std::path::PathBuf {
+    dir.join(format!("{key:016x}.lintsum"))
+}
+
+/// Escape a field so `|` and newlines survive the line format.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\p"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            'p' => out.push('|'),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn kind_tag(k: BlockKind) -> &'static str {
+    match k {
+        BlockKind::Mutex => "mutex",
+        BlockKind::RwLock => "rwlock",
+        BlockKind::Wait => "wait",
+        BlockKind::Recv => "recv",
+        BlockKind::Join => "join",
+        BlockKind::Park => "park",
+        BlockKind::Scope => "scope",
+        BlockKind::Spawn => "spawn",
+    }
+}
+
+fn kind_from(tag: &str) -> Option<BlockKind> {
+    Some(match tag {
+        "mutex" => BlockKind::Mutex,
+        "rwlock" => BlockKind::RwLock,
+        "wait" => BlockKind::Wait,
+        "recv" => BlockKind::Recv,
+        "join" => BlockKind::Join,
+        "park" => BlockKind::Park,
+        "scope" => BlockKind::Scope,
+        "spawn" => BlockKind::Spawn,
+        _ => return None,
+    })
+}
+
+fn root_tag(r: &Option<RootKind>) -> String {
+    match r {
+        None => "-".to_string(),
+        Some(RootKind::SpawnClosure) => "spawn".to_string(),
+        Some(RootKind::ParClosure(h)) => format!("par:{h}"),
+        Some(RootKind::RootFn) => "rootfn".to_string(),
+    }
+}
+
+fn root_from(tag: &str) -> Option<Option<RootKind>> {
+    Some(match tag {
+        "-" => None,
+        "spawn" => Some(RootKind::SpawnClosure),
+        "rootfn" => Some(RootKind::RootFn),
+        t => Some(RootKind::ParClosure(t.strip_prefix("par:")?.to_string())),
+    })
+}
+
+fn push_site(out: &mut String, tag: &str, s: &BlockSite) {
+    out.push_str(&format!(
+        "{tag}|{}|{}|{}\n",
+        kind_tag(s.kind),
+        s.line,
+        esc(&s.what)
+    ));
+}
+
+fn push_acq(out: &mut String, tag: &str, a: &LockAcquire) {
+    out.push_str(&format!(
+        "{tag}|{}|{}|{}\n",
+        esc(&a.lock),
+        a.line,
+        esc(&a.what)
+    ));
+}
+
+fn push_frame(out: &mut String, tag: &str, f: &TraceFrame) {
+    out.push_str(&format!(
+        "{tag}|{}|{}|{}\n",
+        esc(&f.path),
+        f.line,
+        esc(&f.name)
+    ));
+}
+
+/// Serialize a pass-1 unit to the record stream.
+fn render(unit: &FileUnit) -> String {
+    let mut out = String::new();
+    out.push_str(CACHE_VERSION);
+    out.push('\n');
+    out.push_str(&format!("path|{}\n", esc(&unit.path)));
+    for s in &unit.suppressions {
+        out.push_str(&format!(
+            "sup|{}|{}|{}|{}\n",
+            s.line,
+            s.has_reason as u8,
+            s.covers
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            s.rules.join(",")
+        ));
+    }
+    for f in &unit.raw {
+        out.push_str(&format!(
+            "raw|{}|{}|{}\n",
+            f.rule.code(),
+            f.line,
+            esc(&f.message)
+        ));
+        for frame in &f.trace {
+            push_frame(&mut out, "rawt", frame);
+        }
+        for (ci, chain) in f.chains.iter().enumerate() {
+            for frame in chain {
+                out.push_str(&format!(
+                    "rawc|{ci}|{}|{}|{}\n",
+                    esc(&frame.path),
+                    frame.line,
+                    esc(&frame.name)
+                ));
+            }
+        }
+    }
+    for (alias, orig) in &unit.summary.aliases {
+        out.push_str(&format!("alias|{}|{}\n", esc(alias), esc(orig)));
+    }
+    for f in &unit.summary.fns {
+        out.push_str(&format!(
+            "fn|{}|{}|{}|{}|{}\n",
+            esc(&f.name),
+            esc(&f.display),
+            f.line,
+            f.is_test as u8,
+            esc(&root_tag(&f.root))
+        ));
+        for c in &f.calls {
+            out.push_str(&format!("call|{}|{}\n", esc(&c.name), c.line));
+        }
+        for b in &f.blocking {
+            push_site(&mut out, "blk", b);
+        }
+        for a in &f.acquires {
+            push_acq(&mut out, "acq", a);
+        }
+        for s in &f.spawns {
+            push_site(&mut out, "spn", s);
+        }
+        for g in &f.guards {
+            out.push_str(&format!(
+                "guard|{}|{}|{}\n",
+                esc(&g.lock),
+                g.line,
+                esc(&g.what)
+            ));
+            for a in &g.acquires {
+                push_acq(&mut out, "gacq", a);
+            }
+            for c in &g.calls {
+                out.push_str(&format!("gcall|{}|{}\n", esc(&c.name), c.line));
+            }
+            for s in &g.crossings {
+                push_site(&mut out, "gcross", s);
+            }
+        }
+    }
+    out
+}
+
+/// Parse the record stream back into a unit. `None` = cache miss.
+fn parse(text: &str) -> Option<FileUnit> {
+    let mut lines = text.lines();
+    if lines.next()? != CACHE_VERSION {
+        return None;
+    }
+    let mut unit = FileUnit {
+        path: String::new(),
+        suppressions: Vec::new(),
+        raw: Vec::new(),
+        summary: FileSummary::default(),
+    };
+    let mut saw_path = false;
+    let site = |fields: &[&str]| -> Option<BlockSite> {
+        let [k, line, what] = fields else { return None };
+        Some(BlockSite {
+            line: line.parse().ok()?,
+            kind: kind_from(k)?,
+            what: unesc(what)?,
+        })
+    };
+    let acq = |fields: &[&str]| -> Option<LockAcquire> {
+        let [lock, line, what] = fields else {
+            return None;
+        };
+        Some(LockAcquire {
+            lock: unesc(lock)?,
+            line: line.parse().ok()?,
+            what: unesc(what)?,
+        })
+    };
+    for line in lines {
+        let (tag, rest) = line.split_once('|')?;
+        let fields: Vec<&str> = rest.split('|').collect();
+        match tag {
+            "path" => {
+                unit.path = unesc(rest)?;
+                unit.summary.path = unit.path.clone();
+                saw_path = true;
+            }
+            "sup" => {
+                let [line, has_reason, covers, rules] = fields.as_slice() else {
+                    return None;
+                };
+                unit.suppressions.push(Suppression {
+                    rules: if rules.is_empty() {
+                        Vec::new()
+                    } else {
+                        rules.split(',').map(str::to_string).collect()
+                    },
+                    line: line.parse().ok()?,
+                    covers: if covers.is_empty() {
+                        Vec::new()
+                    } else {
+                        covers
+                            .split(',')
+                            .map(str::parse)
+                            .collect::<Result<_, _>>()
+                            .ok()?
+                    },
+                    has_reason: *has_reason == "1",
+                });
+            }
+            "raw" => {
+                let [rule, line, message] = fields.as_slice() else {
+                    return None;
+                };
+                unit.raw.push(RawFinding {
+                    rule: RuleId::from_code(rule)?,
+                    line: line.parse().ok()?,
+                    message: unesc(message)?,
+                    trace: Vec::new(),
+                    chains: Vec::new(),
+                });
+            }
+            "rawt" => {
+                let [path, line, name] = fields.as_slice() else {
+                    return None;
+                };
+                unit.raw.last_mut()?.trace.push(TraceFrame {
+                    path: unesc(path)?,
+                    line: line.parse().ok()?,
+                    name: unesc(name)?,
+                });
+            }
+            "rawc" => {
+                let [ci, path, line, name] = fields.as_slice() else {
+                    return None;
+                };
+                let ci: usize = ci.parse().ok()?;
+                let chains = &mut unit.raw.last_mut()?.chains;
+                if ci == chains.len() {
+                    chains.push(Vec::new());
+                }
+                if ci + 1 != chains.len() {
+                    return None;
+                }
+                chains.last_mut()?.push(TraceFrame {
+                    path: unesc(path)?,
+                    line: line.parse().ok()?,
+                    name: unesc(name)?,
+                });
+            }
+            "alias" => {
+                let [alias, orig] = fields.as_slice() else {
+                    return None;
+                };
+                unit.summary.aliases.insert(unesc(alias)?, unesc(orig)?);
+            }
+            "fn" => {
+                let [name, display, line, is_test, root] = fields.as_slice() else {
+                    return None;
+                };
+                unit.summary.fns.push(FnNode {
+                    name: unesc(name)?,
+                    display: unesc(display)?,
+                    line: line.parse().ok()?,
+                    is_test: *is_test == "1",
+                    root: root_from(&unesc(root)?)?,
+                    calls: Vec::new(),
+                    blocking: Vec::new(),
+                    acquires: Vec::new(),
+                    guards: Vec::new(),
+                    spawns: Vec::new(),
+                });
+            }
+            "call" => {
+                let [name, line] = fields.as_slice() else {
+                    return None;
+                };
+                unit.summary.fns.last_mut()?.calls.push(CallSite {
+                    name: unesc(name)?,
+                    line: line.parse().ok()?,
+                });
+            }
+            "blk" => {
+                let s = site(&fields)?;
+                unit.summary.fns.last_mut()?.blocking.push(s);
+            }
+            "acq" => {
+                let a = acq(&fields)?;
+                unit.summary.fns.last_mut()?.acquires.push(a);
+            }
+            "spn" => {
+                let s = site(&fields)?;
+                unit.summary.fns.last_mut()?.spawns.push(s);
+            }
+            "guard" => {
+                let [lock, line, what] = fields.as_slice() else {
+                    return None;
+                };
+                unit.summary.fns.last_mut()?.guards.push(GuardSpan {
+                    lock: unesc(lock)?,
+                    line: line.parse().ok()?,
+                    what: unesc(what)?,
+                    acquires: Vec::new(),
+                    calls: Vec::new(),
+                    crossings: Vec::new(),
+                });
+            }
+            "gacq" => {
+                let a = acq(&fields)?;
+                unit.summary
+                    .fns
+                    .last_mut()?
+                    .guards
+                    .last_mut()?
+                    .acquires
+                    .push(a);
+            }
+            "gcall" => {
+                let [name, line] = fields.as_slice() else {
+                    return None;
+                };
+                unit.summary
+                    .fns
+                    .last_mut()?
+                    .guards
+                    .last_mut()?
+                    .calls
+                    .push(CallSite {
+                        name: unesc(name)?,
+                        line: line.parse().ok()?,
+                    });
+            }
+            "gcross" => {
+                let s = site(&fields)?;
+                unit.summary
+                    .fns
+                    .last_mut()?
+                    .guards
+                    .last_mut()?
+                    .crossings
+                    .push(s);
+            }
+            _ => return None,
+        }
+    }
+    saw_path.then_some(unit)
+}
+
+/// Load a cached unit. Any read or parse failure is a miss.
+pub(crate) fn lookup(dir: &Path, key: u64) -> Option<FileUnit> {
+    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
+    parse(&text)
+}
+
+/// Write a cache entry via the durable idiom: full `.tmp` write,
+/// fsync, atomic rename — a crashed or raced run leaves either the old
+/// entry or the new one, never a torn file.
+pub(crate) fn write_entry(dir: &Path, key: u64, unit: &FileUnit) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let final_path = entry_path(dir, key);
+    let tmp = final_path.with_extension("lintsum.tmp");
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(render(unit).as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &final_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FileModel;
+    use crate::lexer::lex;
+
+    fn unit_for(path: &str, src: &str, cfg: &Config) -> FileUnit {
+        let model = FileModel::build(path, lex(src));
+        let raw = crate::rules::run_all(&model, cfg);
+        let summary = crate::summary::summarize(&model, cfg);
+        FileUnit {
+            path: model.path.clone(),
+            suppressions: model.suppressions,
+            raw,
+            summary,
+        }
+    }
+
+    const SRC: &str = "fn drive(pool: &ThreadPool, m: &Mutex<u32>) {\n\
+                       // lint: allow(C2) — demo reason\n\
+                       let g = m.lock();\n\
+                       pool.scope(|s| { s.spawn(move || { work(); }); });\n\
+                       }\n";
+
+    #[test]
+    fn round_trips_through_the_record_format() {
+        let cfg = Config::default();
+        let unit = unit_for("crates/x/src/a|b.rs", SRC, &cfg);
+        let parsed = parse(&render(&unit)).expect("round trip");
+        assert_eq!(parsed.path, unit.path);
+        assert_eq!(parsed.suppressions.len(), unit.suppressions.len());
+        assert_eq!(parsed.raw.len(), unit.raw.len());
+        assert_eq!(parsed.summary.fns.len(), unit.summary.fns.len());
+        for (a, b) in parsed.summary.fns.iter().zip(&unit.summary.fns) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.guards.len(), b.guards.len());
+            assert_eq!(a.spawns.len(), b.spawns.len());
+            assert_eq!(format!("{:?}", a.root), format!("{:?}", b.root));
+        }
+        // Re-render is byte-identical (the cache is deterministic).
+        assert_eq!(render(&parsed), render(&unit));
+    }
+
+    #[test]
+    fn version_skew_and_garbage_are_misses() {
+        assert!(parse("riskpipe-lintsum v0\npath|x\n").is_none());
+        assert!(parse("nonsense").is_none());
+        assert!(parse("riskpipe-lintsum v1\nbogus|1|2\n").is_none());
+    }
+
+    #[test]
+    fn key_tracks_contents_and_config() {
+        let cfg = Config::default();
+        let a = entry_key("crates/x/src/a.rs", "fn f() {}", &cfg);
+        let b = entry_key("crates/x/src/a.rs", "fn g() {}", &cfg);
+        let c = entry_key("crates/x/src/b.rs", "fn f() {}", &cfg);
+        let mut cfg2 = Config::default();
+        cfg2.root_fns.push("extra_root".to_string());
+        let d = entry_key("crates/x/src/a.rs", "fn f() {}", &cfg2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn lookup_after_write_is_a_hit() {
+        let dir = std::env::temp_dir().join(format!("lintsum-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = Config::default();
+        let unit = unit_for("crates/x/src/a.rs", SRC, &cfg);
+        let key = entry_key("crates/x/src/a.rs", SRC, &cfg);
+        assert!(lookup(&dir, key).is_none());
+        write_entry(&dir, key, &unit).expect("cache entry lands");
+        let hit = lookup(&dir, key).expect("hit after write");
+        assert_eq!(hit.summary.fns.len(), unit.summary.fns.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -54,6 +54,7 @@
 
 mod analysis;
 pub mod baseline;
+mod cache;
 pub mod graph;
 mod lexer;
 mod rules;
@@ -80,12 +81,15 @@ pub enum RuleId {
     S2,
     C1,
     C2,
+    L1,
+    L2,
+    L3,
     W1,
     Sup,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -94,6 +98,9 @@ impl RuleId {
         RuleId::S2,
         RuleId::C1,
         RuleId::C2,
+        RuleId::L1,
+        RuleId::L2,
+        RuleId::L3,
         RuleId::W1,
         RuleId::Sup,
     ];
@@ -108,6 +115,9 @@ impl RuleId {
             RuleId::S2 => "S2",
             RuleId::C1 => "C1",
             RuleId::C2 => "C2",
+            RuleId::L1 => "L1",
+            RuleId::L2 => "L2",
+            RuleId::L3 => "L3",
             RuleId::W1 => "W1",
             RuleId::Sup => "SUP",
         }
@@ -125,7 +135,7 @@ impl RuleId {
     /// warn, ratcheted by the CI `--baseline` job.
     pub fn severity(self) -> Severity {
         match self {
-            RuleId::W1 => Severity::Warn,
+            RuleId::W1 | RuleId::L3 => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -141,6 +151,9 @@ impl RuleId {
             RuleId::S2 => "narrowing `as` casts in codec/decode paths need a checked conversion",
             RuleId::C1 => "no blocking primitive reachable from pool-task roots (call-graph rule)",
             RuleId::C2 => "no raw fs writes in persistence paths outside riskpipe_tables::durable",
+            RuleId::L1 => "no cycle in the workspace lock-order graph (call-graph rule)",
+            RuleId::L2 => "no guard held across a spawn/par_*/scope boundary or blocking site",
+            RuleId::L3 => "no guard held across a call into another crate (baseline-ratcheted)",
             RuleId::W1 => {
                 "no unwrap/expect/panic! in serving-path library code (baseline-ratcheted)"
             }
@@ -306,6 +319,89 @@ impl RuleId {
                  shard writer streams to an `.inflight` name and renames at seal,\n\
                  so a torn inflight file is unreferenced garbage by construction)."
             }
+            RuleId::L1 => {
+                "L1 — cycle in the workspace lock-order graph (deny)\n\
+                 \n\
+                 WHY   Two threads that acquire the same two locks in opposite\n\
+                 orders can deadlock: each holds the lock the other wants. The\n\
+                 22 hand-written C1 suppressions permit specific blocking sites;\n\
+                 this rule proves the *order* of the acquisitions they permit is\n\
+                 globally consistent — the moral equivalent of lockdep, but at\n\
+                 the diff instead of at runtime.\n\
+                 \n\
+                 FIRES via lock-flow analysis: pass 1 attaches each acquisition\n\
+                 to the binding it locks (`self.index.lock()` acquires lock\n\
+                 `index`) and tracks guard lifetimes (binding of the returned\n\
+                 guard, scope end, explicit `drop(..)`); every lock acquired\n\
+                 while another guard is held — directly or through a call\n\
+                 chain — becomes an edge `held -> acquired` of a workspace\n\
+                 lock-order graph. A cycle in that graph is a potential\n\
+                 deadlock; the finding carries every chain that closes it\n\
+                 (holder site -> ... -> nested acquisition, one chain per\n\
+                 edge). Lock identity is the receiver binding name —\n\
+                 deliberately over-approximate, like the call graph: merged\n\
+                 same-name locks can only add edges, never hide one.\n\
+                 \n\
+                 FIX   Pick one global order (document it at the lock\n\
+                 declarations) and restructure the minority site: narrow the\n\
+                 first guard's scope with a block or `drop(..)` before taking\n\
+                 the second lock, or copy the needed data out. Suppress at the\n\
+                 nested acquisition the finding anchors on only with a written\n\
+                 proof the two chains can never run concurrently. The exported\n\
+                 manifest (`--emit-lock-graph`) is what the runtime\n\
+                 lockwitness asserts against, so the order you prove here is\n\
+                 re-checked on every lockwitness-enabled test run."
+            }
+            RuleId::L2 => {
+                "L2 — guard held across a spawn/par_*/scope boundary or a\n\
+                 C1-class blocking site (deny)\n\
+                 \n\
+                 WHY   The pool inline-steals: a thread inside `.scope(..)`\n\
+                 (and any worker between tasks) executes *other queued tasks*.\n\
+                 A guard held across such a boundary is held while arbitrary\n\
+                 stolen work runs — if that work wants the same lock, the\n\
+                 thread deadlocks on itself; a guard held across a condvar\n\
+                 wait, channel receive, or join extends the hold for an\n\
+                 unbounded park. This is the self-deadlock shape the session's\n\
+                 leader-gate suppressions argue about by hand; L2 checks it\n\
+                 mechanically.\n\
+                 \n\
+                 FIRES when a tracked guard is live across a `Scope::spawn` /\n\
+                 `par_*` call, a nested `.scope(..)`, or a wait/recv/join/park\n\
+                 site — in the same fn, or through a call chain to a fn that\n\
+                 transitively reaches one. A condvar wait that names the\n\
+                 guard's binding in its arguments is exempt (the wait releases\n\
+                 that mutex while parked); any *other* guard held across it\n\
+                 still fires.\n\
+                 \n\
+                 FIX   End the guard first (block scope or `drop(..)`), copy\n\
+                 the data out, or move the spawn/wait outside the critical\n\
+                 section. Suppress only with a written proof the held lock is\n\
+                 never touched by work reachable from the boundary."
+            }
+            RuleId::L3 => {
+                "L3 — guard held across a call into another crate (warn)\n\
+                 \n\
+                 WHY   A cross-crate call made while holding a lock makes the\n\
+                 lock order depend on a callee the holder's crate does not\n\
+                 control — today's leaf call is tomorrow's callback that takes\n\
+                 another lock, and the order edge it creates is invisible at\n\
+                 the call site. Order-opaque holds are how lock hierarchies\n\
+                 rot; the rule keeps them enumerable and ratcheted.\n\
+                 \n\
+                 FIRES when a tracked guard is live across a call whose every\n\
+                 resolved definition lives in a different crate (same-crate\n\
+                 candidates win — Rust resolution prefers local items).\n\
+                 Calls into designated lock-leaf crates (default: riskpipe-obs,\n\
+                 whose registry locks never call back out) are exempt, the\n\
+                 same shape as D3's timing modules. Warn severity, ratcheted\n\
+                 by the CI `--baseline` job like W1.\n\
+                 \n\
+                 FIX   Narrow the guard (copy data out, drop before calling),\n\
+                 or keep the call and pay for it in the baseline; promote a\n\
+                 genuinely leaf-like callee crate into `lock_leaf_crates` only\n\
+                 with an audit that its internal locks never call out."
+            }
             RuleId::W1 => {
                 "W1 — unwrap/expect/panic! in serving-path library code (warn)\n\
                  \n\
@@ -384,9 +480,13 @@ pub struct Finding {
     pub path: String,
     pub line: u32,
     pub message: String,
-    /// Call-chain trace from root to blocking site (C1 only; empty for
-    /// every other rule).
+    /// Call-chain trace from root to blocking site (C1/L2/L3; empty
+    /// for the per-file rules).
     pub trace: Vec<TraceFrame>,
+    /// The chains closing a lock-order cycle (L1 only): one chain per
+    /// edge, holder site → … → nested acquisition. JSON schema v3
+    /// reports these under `chains`.
+    pub chains: Vec<Vec<TraceFrame>>,
 }
 
 impl fmt::Display for Finding {
@@ -408,6 +508,16 @@ impl fmt::Display for Finding {
                 frame.path, frame.line, frame.name
             )?;
         }
+        for (c, chain) in self.chains.iter().enumerate() {
+            for (i, frame) in chain.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "\n    chain {}:", c + 1)?;
+                } else {
+                    write!(f, "\n       ->")?;
+                }
+                write!(f, " {}:{} {}", frame.path, frame.line, frame.name)?;
+            }
+        }
         Ok(())
     }
 }
@@ -428,8 +538,17 @@ pub struct Config {
     /// Function names whose bodies execute on pool workers (C1 roots,
     /// in addition to spawned/`par_*` closures).
     pub root_fns: Vec<String>,
+    /// Path prefixes of crates audited as lock *leaves*: their internal
+    /// locks never call back out of the crate, so a guard held across a
+    /// call into them creates no opaque order edge (L3 exempts them —
+    /// the telemetry registry is the canonical case).
+    pub lock_leaf_crates: Vec<String>,
     /// Pass-1 worker threads. 0 = one per available core (capped).
     pub jobs: usize,
+    /// Directory for the incremental pass-1 summary cache (one file
+    /// per (config, path, contents) fingerprint; atomic writes).
+    /// `None` disables caching.
+    pub summary_cache: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -465,7 +584,9 @@ impl Default for Config {
                 "accept_shared".to_string(),
                 "build_stage1_output_on".to_string(),
             ],
+            lock_leaf_crates: vec!["crates/obs/".to_string()],
             jobs: 0,
+            summary_cache: None,
         }
     }
 }
@@ -483,10 +604,12 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     report.findings
 }
 
-/// Pass-1 product for one file: the model (suppressions live there),
-/// the per-file raw findings, and the call-graph summary.
+/// Pass-1 product for one file: everything the cross-file pass and the
+/// suppression pass need — deliberately *not* the full [`FileModel`],
+/// so a summary-cache hit can skip re-lexing entirely.
 struct FileUnit {
-    model: FileModel,
+    path: String,
+    suppressions: Vec<Suppression>,
     raw: Vec<RawFinding>,
     summary: summary::FileSummary,
 }
@@ -496,16 +619,46 @@ fn build_unit(path: &str, source: &str, cfg: &Config) -> FileUnit {
     let raw = rules::run_all(&model, cfg);
     let summary = summary::summarize(&model, cfg);
     FileUnit {
-        model,
+        path: model.path.clone(),
+        suppressions: model.suppressions,
         raw,
         summary,
     }
 }
 
+/// Build one unit, consulting the summary cache when configured. A
+/// corrupt or stale cache entry is a miss, never an error.
+fn build_unit_cached(path: &str, source: &str, cfg: &Config, stats: &CacheStats) -> FileUnit {
+    let Some(dir) = &cfg.summary_cache else {
+        return build_unit(path, source, cfg);
+    };
+    let key = cache::entry_key(path, source, cfg);
+    if let Some(unit) = cache::lookup(dir, key) {
+        stats
+            .hits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        return unit;
+    }
+    stats
+        .misses
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let unit = build_unit(path, source, cfg);
+    // Best-effort: a failed cache write degrades to a cold run.
+    let _ = cache::write_entry(dir, key, &unit);
+    unit
+}
+
+/// Hit/miss counters for one run's summary-cache traffic.
+#[derive(Debug, Default)]
+struct CacheStats {
+    hits: std::sync::atomic::AtomicUsize,
+    misses: std::sync::atomic::AtomicUsize,
+}
+
 /// Pass 1 over all files, fanned out across threads. Work items are
 /// claimed from a shared counter; results are stitched back in input
 /// order, so the output is bit-identical to a sequential pass.
-fn pass1(files: &[(String, String)], cfg: &Config) -> Vec<FileUnit> {
+fn pass1(files: &[(String, String)], cfg: &Config, stats: &CacheStats) -> Vec<FileUnit> {
     let jobs = if cfg.jobs == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -516,7 +669,10 @@ fn pass1(files: &[(String, String)], cfg: &Config) -> Vec<FileUnit> {
     }
     .min(files.len().max(1));
     if jobs <= 1 || files.len() < 4 {
-        return files.iter().map(|(p, s)| build_unit(p, s, cfg)).collect();
+        return files
+            .iter()
+            .map(|(p, s)| build_unit_cached(p, s, cfg, stats))
+            .collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<FileUnit>> = Vec::with_capacity(files.len());
@@ -530,7 +686,7 @@ fn pass1(files: &[(String, String)], cfg: &Config) -> Vec<FileUnit> {
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some((p, s)) = files.get(i) else { break };
-                    mine.push((i, build_unit(p, s, cfg)));
+                    mine.push((i, build_unit_cached(p, s, cfg, stats)));
                 }
                 mine
             }));
@@ -550,24 +706,35 @@ fn pass1(files: &[(String, String)], cfg: &Config) -> Vec<FileUnit> {
 }
 
 /// Lint a set of already-read sources as one workspace: per-file rules
-/// plus the cross-file call-graph pass, then per-file suppression
-/// processing over the combined findings.
+/// plus the cross-file call-graph passes (C1 reachability and the
+/// L1/L2/L3 lock-flow analysis), then per-file suppression processing
+/// over the combined findings.
 pub fn lint_sources(files: &[(String, String)], cfg: &Config) -> Report {
-    let units = pass1(files, cfg);
+    let stats = CacheStats::default();
+    let units = pass1(files, cfg, &stats);
     let summaries: Vec<summary::FileSummary> = units.iter().map(|u| u.summary.clone()).collect();
     let mut graph_findings = graph::check(&summaries);
+    let (lock_findings, lock_graph) = graph::lock_analysis(&summaries, cfg);
+    for (path, mut extra) in lock_findings {
+        graph_findings.entry(path).or_default().append(&mut extra);
+    }
 
     let mut report = Report {
         findings: Vec::new(),
         files_scanned: units.len(),
+        lock_graph,
+        cache_hits: stats.hits.load(std::sync::atomic::Ordering::Relaxed),
+        cache_misses: stats.misses.load(std::sync::atomic::Ordering::Relaxed),
     };
     for unit in units {
         let mut raw = unit.raw;
-        if let Some(mut extra) = graph_findings.remove(&unit.model.path) {
+        if let Some(mut extra) = graph_findings.remove(&unit.path) {
             raw.append(&mut extra);
         }
         raw.sort_by_key(|a| (a.line, a.rule));
-        report.findings.extend(apply_suppressions(&unit.model, raw));
+        report
+            .findings
+            .extend(apply_suppressions(&unit.path, &unit.suppressions, raw));
     }
     report
         .findings
@@ -577,13 +744,16 @@ pub fn lint_sources(files: &[(String, String)], cfg: &Config) -> Report {
 
 /// Apply the file's suppressions to its raw findings and append the
 /// `SUP` hygiene findings.
-fn apply_suppressions(model: &FileModel, raw: Vec<RawFinding>) -> Vec<Finding> {
-    let path = &model.path;
-    let mut used = vec![false; model.suppressions.len()];
+fn apply_suppressions(
+    path: &str,
+    suppressions: &[Suppression],
+    raw: Vec<RawFinding>,
+) -> Vec<Finding> {
+    let mut used = vec![false; suppressions.len()];
     let mut findings: Vec<Finding> = Vec::new();
 
     'finding: for f in raw {
-        for (si, sup) in model.suppressions.iter().enumerate() {
+        for (si, sup) in suppressions.iter().enumerate() {
             let names_rule = sup.rules.iter().any(|r| r == f.rule.code());
             if names_rule && sup.has_reason && sup.covers.contains(&f.line) {
                 used[si] = true;
@@ -597,11 +767,12 @@ fn apply_suppressions(model: &FileModel, raw: Vec<RawFinding>) -> Vec<Finding> {
             line: f.line,
             message: f.message,
             trace: f.trace,
+            chains: f.chains,
         });
     }
 
     // Suppression hygiene.
-    for (si, sup) in model.suppressions.iter().enumerate() {
+    for (si, sup) in suppressions.iter().enumerate() {
         for r in &sup.rules {
             if RuleId::from_code(r).is_none() {
                 findings.push(Finding {
@@ -611,9 +782,10 @@ fn apply_suppressions(model: &FileModel, raw: Vec<RawFinding>) -> Vec<Finding> {
                     line: sup.line,
                     message: format!(
                         "suppression names unknown rule `{r}` — known rules: \
-                         D1 D2 D3 D4 S1 S2 C1 C2 W1"
+                         D1 D2 D3 D4 S1 S2 C1 C2 L1 L2 L3 W1"
                     ),
                     trace: Vec::new(),
+                    chains: Vec::new(),
                 });
             }
         }
@@ -627,6 +799,7 @@ fn apply_suppressions(model: &FileModel, raw: Vec<RawFinding>) -> Vec<Finding> {
                           `// lint: allow(<rule>) — <why this site is sound>`"
                     .to_string(),
                 trace: Vec::new(),
+                chains: Vec::new(),
             });
         } else if !used[si] && sup.rules.iter().all(|r| RuleId::from_code(r).is_some()) {
             findings.push(Finding {
@@ -640,6 +813,7 @@ fn apply_suppressions(model: &FileModel, raw: Vec<RawFinding>) -> Vec<Finding> {
                     sup.rules.join(", ")
                 ),
                 trace: Vec::new(),
+                chains: Vec::new(),
             });
         }
     }
@@ -653,6 +827,14 @@ fn apply_suppressions(model: &FileModel, raw: Vec<RawFinding>) -> Vec<Finding> {
 pub struct Report {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    /// The workspace lock-order graph the L1/L2/L3 pass derived —
+    /// exported by `--emit-lock-graph` as DOT plus the runtime witness
+    /// manifest.
+    pub lock_graph: graph::LockGraph,
+    /// Summary-cache hits this run (0 when caching is disabled).
+    pub cache_hits: usize,
+    /// Summary-cache misses this run.
+    pub cache_misses: usize,
 }
 
 impl Report {
@@ -687,11 +869,12 @@ impl Report {
     }
 
     /// Machine-readable report (stable JSON, hand-rolled — no deps).
-    /// Schema v2: findings carry a `trace` array (the C1 call chain)
-    /// when non-empty.
+    /// Schema v3: findings carry a `trace` array (the C1 call chain)
+    /// when non-empty, and a `chains` array-of-arrays (the root→site
+    /// chains closing an L1 cycle, one per cycle edge) when non-empty.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"version\": 2,\n");
+        out.push_str("  \"version\": 3,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!(
             "  \"counts\": {{\"deny\": {}, \"warn\": {}}},\n",
@@ -724,6 +907,28 @@ impl Report {
                         frame.line,
                         json_escape(&frame.name)
                     ));
+                }
+                out.push(']');
+            }
+            if !f.chains.is_empty() {
+                out.push_str(", \"chains\": [");
+                for (ci, chain) in f.chains.iter().enumerate() {
+                    if ci > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('[');
+                    for (j, frame) in chain.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!(
+                            "{{\"path\": \"{}\", \"line\": {}, \"name\": \"{}\"}}",
+                            json_escape(&frame.path),
+                            frame.line,
+                            json_escape(&frame.name)
+                        ));
+                    }
+                    out.push(']');
                 }
                 out.push(']');
             }
@@ -895,27 +1100,31 @@ mod tests {
                 line: 3,
                 message: "say \"hi\"".into(),
                 trace: Vec::new(),
+                chains: Vec::new(),
             }],
             files_scanned: 1,
+            ..Report::default()
         };
         let json = report.render_json();
-        assert!(json.contains("\"version\": 2"));
+        assert!(json.contains("\"version\": 3"));
         assert!(json.contains("\"rule\": \"D2\""));
         assert!(json.contains("a\\\\b.rs"));
         assert!(json.contains("say \\\"hi\\\""));
         assert!(json.contains("\"counts\": {\"deny\": 1, \"warn\": 0}"));
-        // No trace → no trace key.
+        // No trace → no trace key; no chains → no chains key.
         assert!(!json.contains("\"trace\""));
+        assert!(!json.contains("\"chains\""));
     }
 
     #[test]
-    fn json_v2_trace_field_and_text_chain() {
+    fn json_v3_trace_field_and_text_chain() {
         let finding = Finding {
             rule: RuleId::C1,
             severity: Severity::Deny,
             path: "crates/x/src/b.rs".into(),
             line: 9,
             message: "blocking".into(),
+            chains: Vec::new(),
             trace: vec![
                 TraceFrame {
                     path: "crates/x/src/a.rs".into(),
@@ -935,9 +1144,54 @@ mod tests {
         let report = Report {
             findings: vec![finding],
             files_scanned: 2,
+            ..Report::default()
         };
         let json = report.render_json();
         assert!(json.contains("\"trace\": [{\"path\": \"crates/x/src/a.rs\", \"line\": 3"));
+    }
+
+    #[test]
+    fn json_v3_chains_field_and_text_rendering() {
+        let frame = |p: &str, l: u32, n: &str| TraceFrame {
+            path: p.into(),
+            line: l,
+            name: n.into(),
+        };
+        let finding = Finding {
+            rule: RuleId::L1,
+            severity: Severity::Deny,
+            path: "crates/x/src/a.rs".into(),
+            line: 4,
+            message: "lock-order cycle".into(),
+            trace: Vec::new(),
+            chains: vec![
+                vec![
+                    frame("crates/x/src/a.rs", 2, "`a`"),
+                    frame("crates/x/src/a.rs", 4, "`b.lock()`"),
+                ],
+                vec![
+                    frame("crates/x/src/b.rs", 7, "`c`"),
+                    frame("crates/x/src/b.rs", 9, "`a.lock()`"),
+                ],
+            ],
+        };
+        let text = finding.to_string();
+        assert!(text.contains("chain 1: crates/x/src/a.rs:2"), "{text}");
+        assert!(text.contains("chain 2: crates/x/src/b.rs:7"), "{text}");
+        let report = Report {
+            findings: vec![finding],
+            files_scanned: 2,
+            ..Report::default()
+        };
+        let json = report.render_json();
+        assert!(
+            json.contains("\"chains\": [[{\"path\": \"crates/x/src/a.rs\", \"line\": 2"),
+            "{json}"
+        );
+        assert!(
+            json.contains("[{\"path\": \"crates/x/src/b.rs\", \"line\": 7"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! ```text
 //! riskpipe-lint                      # lint the whole workspace
 //! riskpipe-lint crates/warehouse     # lint one subtree
-//! riskpipe-lint --json               # machine-readable output (v2)
-//! riskpipe-lint --explain C1         # why a rule exists and how to fix
+//! riskpipe-lint --json               # machine-readable output (v3)
+//! riskpipe-lint --explain L1         # why a rule exists and how to fix
 //! riskpipe-lint --rules              # list the catalogue
 //! riskpipe-lint --deny-warnings      # warn findings also fail
 //! riskpipe-lint --deny-warnings --baseline lint-baseline.json
@@ -33,14 +33,20 @@ ARGS:
 OPTIONS:
     --root <DIR>      workspace root (default: nearest ancestor with a
                       [workspace] Cargo.toml)
-    --json            emit the machine-readable JSON report (schema v2:
-                      C1 findings carry a call-chain `trace`)
+    --json            emit the machine-readable JSON report (schema v3:
+                      C1/L2/L3 findings carry a call-chain `trace`,
+                      L1 findings carry the cycle's `chains`)
     --deny-warnings   exit nonzero on warn-level findings too
     --baseline <F>    tolerate warn findings up to the per-(rule, path)
                       counts recorded in F; only growth fails (deny
                       findings are never baselined)
     --write-baseline <F>  snapshot current warn counts to F and exit 0
     --jobs <N>        pass-1 scan threads (default: one per core)
+    --summary-cache <DIR>  incremental pass-1 cache: re-lex only files
+                      whose contents (or the lint config) changed
+    --emit-lock-graph <DIR>  write the workspace lock-order graph as
+                      lock-order.dot + lock-order.manifest (the runtime
+                      lockwitness asserts against the manifest)
     --explain <RULE>  print the rationale and fix guidance for one rule
     --rules           list the rule catalogue
     -h, --help        this text
@@ -55,6 +61,8 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
     let mut jobs: usize = 0;
+    let mut summary_cache: Option<PathBuf> = None;
+    let mut emit_lock_graph: Option<PathBuf> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -76,7 +84,7 @@ fn main() -> ExitCode {
             "--explain" => {
                 let Some(code) = args.next() else {
                     eprintln!(
-                        "--explain needs a rule code (one of D1 D2 D3 D4 S1 S2 C1 C2 W1 SUP)"
+                        "--explain needs a rule code (one of D1 D2 D3 D4 S1 S2 C1 C2 L1 L2 L3 W1 SUP)"
                     );
                     return ExitCode::from(2);
                 };
@@ -86,7 +94,9 @@ fn main() -> ExitCode {
                         return ExitCode::SUCCESS;
                     }
                     None => {
-                        eprintln!("unknown rule `{code}` — known: D1 D2 D3 D4 S1 S2 C1 C2 W1 SUP");
+                        eprintln!(
+                            "unknown rule `{code}` — known: D1 D2 D3 D4 S1 S2 C1 C2 L1 L2 L3 W1 SUP"
+                        );
                         return ExitCode::from(2);
                     }
                 }
@@ -114,6 +124,20 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 jobs = n;
+            }
+            "--summary-cache" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--summary-cache needs a directory");
+                    return ExitCode::from(2);
+                };
+                summary_cache = Some(PathBuf::from(dir));
+            }
+            "--emit-lock-graph" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--emit-lock-graph needs a directory");
+                    return ExitCode::from(2);
+                };
+                emit_lock_graph = Some(PathBuf::from(dir));
             }
             "--root" => {
                 let Some(dir) = args.next() else {
@@ -171,6 +195,7 @@ fn main() -> ExitCode {
 
     let cfg = Config {
         jobs,
+        summary_cache,
         ..Config::default()
     };
     let report = match lint_paths(&root, &paths, &cfg) {
@@ -180,6 +205,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(dir) = &emit_lock_graph {
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(dir.join("lock-order.dot"), report.lock_graph.render_dot())?;
+            std::fs::write(
+                dir.join("lock-order.manifest"),
+                report.lock_graph.render_manifest(),
+            )
+        };
+        if let Err(e) = write() {
+            eprintln!(
+                "riskpipe-lint: cannot write lock graph to {}: {e}",
+                dir.display()
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "riskpipe-lint: lock graph ({} lock(s), {} edge(s)) written to {}",
+            report.lock_graph.locks.len(),
+            report.lock_graph.edges.len(),
+            dir.display()
+        );
+    }
 
     if let Some(out) = write_baseline {
         let snapshot = Baseline::from_report(&report);

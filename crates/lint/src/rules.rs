@@ -25,8 +25,11 @@ pub struct RawFinding {
     pub rule: RuleId,
     pub line: u32,
     pub message: String,
-    /// Call-chain trace (C1 findings only; empty otherwise).
+    /// Call-chain trace (C1/L2/L3 findings only; empty otherwise).
     pub trace: Vec<TraceFrame>,
+    /// Root→site chains closing a lock-order cycle, one per cycle
+    /// edge (L1 findings only; empty otherwise).
+    pub chains: Vec<Vec<TraceFrame>>,
 }
 
 /// Function/closure/file-name markers that put code in D1's
@@ -296,6 +299,7 @@ fn d1_check_for_loop(model: &FileModel, for_ci: usize) -> Option<RawFinding> {
             name_tok.text
         ),
         trace: Vec::new(),
+        chains: Vec::new(),
     })
 }
 
@@ -364,6 +368,7 @@ fn d1_check_method_chain(model: &FileModel, name_ci: usize) -> Option<RawFinding
             name_tok.text, method.text
         ),
         trace: Vec::new(),
+        chains: Vec::new(),
     })
 }
 
@@ -446,6 +451,7 @@ fn d2_partial_cmp(model: &FileModel, out: &mut Vec<RawFinding>) {
                             t.text
                         ),
                         trace: Vec::new(),
+                        chains: Vec::new(),
                     });
                     break;
                 }
@@ -489,6 +495,7 @@ fn d3_wall_clock(model: &FileModel, cfg: &Config, out: &mut Vec<RawFinding>) {
                 t.text
             ),
             trace: Vec::new(),
+            chains: Vec::new(),
         });
     }
 }
@@ -513,6 +520,7 @@ fn d4_entropy_rng(model: &FileModel, out: &mut Vec<RawFinding>) {
                 t.text
             ),
             trace: Vec::new(),
+            chains: Vec::new(),
         });
     }
 }
@@ -551,6 +559,7 @@ fn s1_unsafe_audit(model: &FileModel, out: &mut Vec<RawFinding>) {
                  audit of the invariants that make it sound"
             ),
             trace: Vec::new(),
+            chains: Vec::new(),
         });
     }
 }
@@ -582,6 +591,7 @@ fn s2_narrowing_casts(model: &FileModel, out: &mut Vec<RawFinding>) {
                 target.text
             ),
             trace: Vec::new(),
+            chains: Vec::new(),
         });
     }
 }
@@ -643,6 +653,7 @@ fn c2_raw_persistence_writes(model: &FileModel, cfg: &Config, out: &mut Vec<RawF
                  written crash-consistency proof"
             ),
             trace: Vec::new(),
+            chains: Vec::new(),
         });
     }
 }
@@ -687,6 +698,7 @@ fn w1_panic_paths(model: &FileModel, cfg: &Config, out: &mut Vec<RawFinding>) {
                  that makes the value infallible"
             ),
             trace: Vec::new(),
+            chains: Vec::new(),
         });
     }
 }

@@ -1,9 +1,13 @@
 // C1 clean fixture: the same blocking primitives as the firing pair,
 // but on the coordinator side — no pool-task root reaches them, so
-// the reachability pass stays silent.
+// the reachability pass stays silent. The drain also respects the
+// lock-flow rules: the channel is fully drained *before* the results
+// lock is taken, so no guard is ever held across the blocking recv.
 pub fn coordinator_drain(results: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
-    let mut buf = results.lock();
+    let mut drained = Vec::new();
     while let Ok(v) = rx.recv() {
-        buf.push(v);
+        drained.push(v);
     }
+    let mut buf = results.lock();
+    buf.extend(drained);
 }

@@ -1,0 +1,14 @@
+// L1 clean fixture, alpha half: every path takes `registry` before
+// `journal` — the lock graph stays acyclic.
+pub fn snapshot_pair(st: &Shared) -> Snapshot {
+    let reg = st.registry.lock();
+    let journal_rows = sync_journal(st);
+    let snap = Snapshot::merge(&reg, journal_rows);
+    drop(reg);
+    snap
+}
+
+pub fn stamp_registry(st: &Shared) {
+    let mut reg = st.registry.lock();
+    reg.touch();
+}

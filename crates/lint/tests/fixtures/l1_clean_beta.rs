@@ -1,0 +1,14 @@
+// L1 clean fixture, beta half: `journal` is only ever taken alone or
+// under `registry` — same global order as the alpha half.
+pub fn sync_journal(st: &Shared) -> usize {
+    let journal = st.journal.lock();
+    journal.rows()
+}
+
+pub fn registry_then_journal(st: &Shared) {
+    let reg = st.registry.lock();
+    let journal = st.journal.lock();
+    reg.reconcile(&journal);
+    drop(journal);
+    drop(reg);
+}

@@ -1,0 +1,15 @@
+// L1 firing fixture, alpha half: takes `registry` then calls into
+// l1_fire_beta.rs, which acquires `journal` — one direction of the
+// cycle. Linted together by rule_fixtures.rs — never compiled.
+pub fn snapshot_pair(st: &Shared) -> Snapshot {
+    let reg = st.registry.lock();
+    let journal_rows = sync_journal(st);
+    let snap = Snapshot::merge(&reg, journal_rows);
+    drop(reg);
+    snap
+}
+
+pub fn stamp_registry(st: &Shared) {
+    let mut reg = st.registry.lock();
+    reg.touch();
+}

@@ -1,0 +1,12 @@
+// L1 firing fixture, beta half: takes `journal` then calls back into
+// l1_fire_alpha.rs, which acquires `registry` — closing the cycle.
+pub fn sync_journal(st: &Shared) -> usize {
+    let journal = st.journal.lock();
+    journal.rows()
+}
+
+pub fn journal_then_registry(st: &Shared) {
+    let journal = st.journal.lock();
+    stamp_registry(st);
+    drop(journal);
+}

@@ -1,0 +1,20 @@
+// L2 clean fixture: the same shapes with the guard scoped out before
+// the boundary — snapshot under the lock, spawn/park without it.
+pub fn broadcast(st: &Shared, pool: &ThreadPool) {
+    let batch = {
+        let queue = st.queue.lock();
+        queue.snapshot()
+    };
+    pool.scope(|scope| {
+        scope.spawn(move || relabel(&batch));
+    });
+}
+
+pub fn drain_results(st: &Shared, rx: &Receiver) {
+    let mut rows = Vec::new();
+    while let Ok(row) = rx.recv() {
+        rows.push(row);
+    }
+    let mut results = st.results.lock();
+    results.extend(rows);
+}

@@ -1,0 +1,16 @@
+// L2 firing fixture: one guard held across a task spawn, one across a
+// blocking channel receive. Both park (or run) other threads while
+// still owning the lock.
+pub fn broadcast(st: &Shared, pool: &ThreadPool) {
+    let queue = st.queue.lock();
+    pool.scope(|scope| {
+        scope.spawn(move || relabel(&queue));
+    });
+}
+
+pub fn drain_results(st: &Shared, rx: &Receiver) {
+    let results = st.results.lock();
+    while let Ok(row) = rx.recv() {
+        results.push(row);
+    }
+}

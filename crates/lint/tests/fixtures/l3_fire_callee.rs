@@ -1,0 +1,5 @@
+// L3 firing fixture, callee half: lives in another crate; what it
+// locks internally is not visible from the holder's crate.
+pub fn forward_batch(rows: usize) -> usize {
+    rows.saturating_mul(2)
+}

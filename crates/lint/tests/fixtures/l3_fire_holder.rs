@@ -1,0 +1,8 @@
+// L3 firing fixture, holder half: a guard held across a call that
+// resolves into a *different* crate (l3_fire_callee.rs is linted as
+// crates/relay) — the lock order becomes invisible at this call site.
+pub fn publish_outbox(st: &Shared) {
+    let outbox = st.outbox.lock();
+    forward_batch(outbox.rows());
+    drop(outbox);
+}

@@ -71,11 +71,92 @@ fn workspace_has_no_deny_findings() {
 fn reachability_rules_are_active_at_deny() {
     // The workspace gate above is only meaningful if C1/C2 actually
     // participate at deny severity; a severity downgrade must not
-    // slip through a refactor silently.
+    // slip through a refactor silently. Same for the lock-flow rules:
+    // L1/L2 are deny, L3 rides the warn ratchet like W1.
     assert_eq!(RuleId::C1.severity(), Severity::Deny);
     assert_eq!(RuleId::C2.severity(), Severity::Deny);
+    assert_eq!(RuleId::L1.severity(), Severity::Deny);
+    assert_eq!(RuleId::L2.severity(), Severity::Deny);
+    assert_eq!(RuleId::L3.severity(), Severity::Warn);
     assert_eq!(RuleId::W1.severity(), Severity::Warn);
     assert!(RuleId::ALL.contains(&RuleId::C1));
     assert!(RuleId::ALL.contains(&RuleId::C2));
+    assert!(RuleId::ALL.contains(&RuleId::L1));
+    assert!(RuleId::ALL.contains(&RuleId::L2));
+    assert!(RuleId::ALL.contains(&RuleId::L3));
     assert!(RuleId::ALL.contains(&RuleId::W1));
+}
+
+#[test]
+fn committed_lock_manifest_matches_the_derived_graph() {
+    // The runtime lockwitness (crates/exec, `--features lockwitness`)
+    // embeds `lock-order.manifest` from the repo root at compile time
+    // and asserts every observed acquisition order against it. That
+    // check is only as good as the manifest's freshness: if the
+    // derived graph drifts from the committed file, regenerate with
+    //     cargo run -p riskpipe-lint -- --emit-lock-graph .
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = lint_workspace(&root, &Config::default()).expect("lint workspace");
+    let committed = std::fs::read_to_string(root.join("lock-order.manifest"))
+        .expect("lock-order.manifest at the workspace root");
+    let derived = report.lock_graph.render_manifest();
+    assert!(
+        committed == derived,
+        "lock-order.manifest is stale — the derived lock graph changed.\n\
+         Regenerate it:  cargo run -p riskpipe-lint -- --emit-lock-graph .\n\
+         \n--- committed ---\n{committed}\n--- derived ---\n{derived}"
+    );
+}
+
+#[test]
+fn summary_cache_warm_run_rescans_nothing() {
+    // The incremental pass-1 cache must turn a warm re-run into pure
+    // cache hits: same workspace, same config, second run re-lexes no
+    // file. (Each test binary gets a fresh temp dir, so this is also
+    // an end-to-end atomic-write/read-back check of the cache tier.)
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let cache_dir =
+        std::env::temp_dir().join(format!("riskpipe-lint-cache-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cfg = Config {
+        summary_cache: Some(cache_dir.clone()),
+        ..Config::default()
+    };
+
+    let cold = lint_workspace(&root, &cfg).expect("cold run");
+    assert_eq!(
+        cold.cache_hits, 0,
+        "cold run must start from an empty cache"
+    );
+    assert_eq!(cold.cache_misses, cold.files_scanned);
+
+    // lint: allow(D3) — test-only wall-clock reading; asserts the warm
+    // run stays inside the same CI budget as the cold scan.
+    let started = std::time::Instant::now();
+    let warm = lint_workspace(&root, &cfg).expect("warm run");
+    let elapsed = started.elapsed();
+
+    assert_eq!(
+        warm.cache_hits, warm.files_scanned,
+        "warm run re-lexed {} file(s) the cache should have served",
+        warm.cache_misses
+    );
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(
+        warm.findings.len(),
+        cold.findings.len(),
+        "cached summaries produced a different report"
+    );
+    assert!(
+        elapsed < SCAN_BUDGET,
+        "warm scan took {elapsed:?} (budget {SCAN_BUDGET:?})"
+    );
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }

@@ -82,8 +82,14 @@ impl Dimension {
         let mut levels = levels;
         let mut maps = maps;
         // Append the implicit "all" level unless the caller already
-        // finished on a 1-ary level named "all".
-        let last = levels.last().expect("nonempty");
+        // finished on a 1-ary level named "all". Emptiness was
+        // rejected above; surface a typed error rather than panicking
+        // if that invariant ever breaks.
+        let Some(last) = levels.last() else {
+            return Err(RiskError::invalid(format!(
+                "dimension {name}: needs at least one level"
+            )));
+        };
         if !(last.cardinality == 1 && last.name == "all") {
             maps.push(vec![0; last.cardinality as usize]);
             levels.push(Level {

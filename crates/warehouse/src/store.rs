@@ -24,9 +24,11 @@ use std::path::Path;
 /// cell instead of 8; counts are small integers and varint-compress
 /// likewise. Measures stay raw `f64` (effectively incompressible and
 /// bit-exactness matters).
-pub fn encode_cuboid(cuboid: &Cuboid) -> Bytes {
+pub fn encode_cuboid(cuboid: &Cuboid) -> RiskResult<Bytes> {
     let (keys, counts, sums, maxs) = cuboid.columns();
-    let packed_keys = compress_u64s_sorted(keys).expect("cuboid keys are sorted by construction");
+    // Cuboid keys are sorted by construction; a violation surfaces as
+    // a typed error rather than a worker-path panic.
+    let packed_keys = compress_u64s_sorted(keys)?;
     let packed_counts = compress_u64s(counts);
     let mut p =
         BytesMut::with_capacity(16 + packed_keys.len() + packed_counts.len() + keys.len() * 16);
@@ -42,7 +44,7 @@ pub fn encode_cuboid(cuboid: &Cuboid) -> Bytes {
     for &m in maxs {
         p.put_f64_le(m);
     }
-    frame(TableKind::Cuboid, &p)
+    Ok(frame(TableKind::Cuboid, &p))
 }
 
 /// Decode one cuboid frame, validating the selection against `schema`
@@ -135,7 +137,7 @@ pub fn decode_cuboid(data: &[u8], schema: &Schema) -> RiskResult<(Cuboid, usize)
 pub fn save_views(path: &Path, views: &[&Cuboid]) -> RiskResult<()> {
     let mut bytes = Vec::new();
     for v in views {
-        bytes.extend_from_slice(&encode_cuboid(v));
+        bytes.extend_from_slice(&encode_cuboid(v)?);
     }
     durable::write_atomic(path, &bytes)
 }
@@ -171,7 +173,7 @@ mod tests {
     fn cuboid_round_trips_exactly() {
         let (s, views) = setup();
         for v in &views {
-            let bytes = encode_cuboid(v);
+            let bytes = encode_cuboid(v).unwrap();
             let (back, consumed) = decode_cuboid(&bytes, &s).unwrap();
             assert_eq!(consumed, bytes.len());
             assert_eq!(back.select(), v.select());
@@ -192,7 +194,7 @@ mod tests {
         let (_s, views) = setup();
         let base = &views[0];
         let raw_bytes = base.cells() * 32; // 4 × 8-byte columns
-        let encoded = encode_cuboid(base).len();
+        let encoded = encode_cuboid(base).unwrap().len();
         // Keys+counts shrink to a few bytes per cell; measures stay
         // raw. Expect well under 70% of the raw cell bytes.
         assert!(
@@ -219,10 +221,10 @@ mod tests {
     #[test]
     fn every_flipped_byte_is_detected() {
         let (s, views) = setup();
-        let bytes = encode_cuboid(&views[2]); // apex: small frame
-                                              // Flip each byte in turn; every corruption must surface as an
-                                              // error (CRC for payload bytes, header checks otherwise) —
-                                              // never a silently different cuboid.
+        let bytes = encode_cuboid(&views[2]).unwrap(); // apex: small frame
+                                                       // Flip each byte in turn; every corruption must surface as an
+                                                       // error (CRC for payload bytes, header checks otherwise) —
+                                                       // never a silently different cuboid.
         for i in 0..bytes.len() {
             let mut bad = bytes.to_vec();
             bad[i] ^= 0x40;
@@ -249,7 +251,7 @@ mod tests {
     #[test]
     fn truncation_is_detected() {
         let (s, views) = setup();
-        let bytes = encode_cuboid(&views[1]);
+        let bytes = encode_cuboid(&views[1]).unwrap();
         for cut in [1usize, 10, bytes.len() / 2, bytes.len() - 1] {
             assert!(
                 decode_cuboid(&bytes[..cut], &s).is_err(),
@@ -261,8 +263,8 @@ mod tests {
     #[test]
     fn wrong_schema_is_rejected() {
         let (s, views) = setup();
-        let bytes = encode_cuboid(&views[0]); // base cuboid, location codes up to 29
-                                              // A schema with fewer locations cannot hold these codes.
+        let bytes = encode_cuboid(&views[0]).unwrap(); // base cuboid, location codes up to 29
+                                                       // A schema with fewer locations cannot hold these codes.
         let smaller = Schema::standard(10, 5, 25, 3, 8, 2).unwrap();
         let r = decode_cuboid(&bytes, &smaller);
         assert!(r.is_err(), "foreign schema accepted");
@@ -289,7 +291,7 @@ mod tests {
 
         // Round-trip the merged view and compare against a rebuild
         // over the concatenated facts.
-        let bytes = encode_cuboid(&view);
+        let bytes = encode_cuboid(&view).unwrap();
         let (loaded, _) = decode_cuboid(&bytes, &s).unwrap();
         let mut all = crate::fact::FactBuilder::new(&s);
         for f in [&first, &second] {

@@ -170,7 +170,7 @@ fn warehouse_view_file_corruption_is_detected() {
 
     // Truncation after the first frame: the intact prefix is not
     // enough either (the partial second frame errors).
-    let first_len = encode_cuboid(&base).len();
+    let first_len = encode_cuboid(&base).unwrap().len();
     std::fs::write(&path, &std::fs::read(&path).unwrap()[..first_len + 7]).unwrap();
     assert!(load_views(&path, &schema).is_err());
     std::fs::remove_file(&path).ok();
